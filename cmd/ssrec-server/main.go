@@ -1,0 +1,73 @@
+// Command ssrec-server serves a trained ssRec engine over the JSON HTTP
+// API of internal/server.
+//
+// Either load a model saved with the library's persistence support:
+//
+//	ssrec-server -model engine.bin -addr :8080
+//
+// or bootstrap a demo engine on generated data:
+//
+//	ssrec-server -demo -scale 0.3 -addr :8080
+//
+// Then:
+//
+//	curl -s localhost:8080/v1/stats
+//	curl -s -X POST localhost:8080/v1/recommend \
+//	  -d '{"item":{"id":"x","category":"cat02","producer":"up0003","entities":["c02e001"]},"k":5}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"ssrec/internal/core"
+	"ssrec/internal/dataset"
+	"ssrec/internal/evalx"
+	"ssrec/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		model = flag.String("model", "", "path to a saved engine (core.SaveFile format)")
+		demo  = flag.Bool("demo", false, "bootstrap a demo engine on generated data")
+		scale = flag.Float64("scale", 0.3, "demo dataset scale")
+		seed  = flag.Int64("seed", 42, "demo dataset seed")
+	)
+	flag.Parse()
+
+	var eng *core.Engine
+	switch {
+	case *model != "":
+		loaded, err := core.LoadFile(*model)
+		if err != nil {
+			log.Fatalf("load model: %v", err)
+		}
+		eng = loaded
+		log.Printf("loaded engine from %s (%d users)", *model, eng.Store().Len())
+	case *demo:
+		cfg := dataset.YTubeConfig(*scale)
+		cfg.Seed = *seed
+		ds := dataset.Generate(cfg)
+		eng = core.New(core.Config{Categories: ds.Categories, Seed: *seed})
+		if err := evalx.Train(eng, ds, evalx.Setup{}); err != nil {
+			log.Fatalf("train demo engine: %v", err)
+		}
+		log.Printf("demo engine trained: %s", ds.ComputeStats())
+	default:
+		log.Fatal("either -model or -demo is required")
+	}
+
+	srv := server.New(core.WrapSafe(eng))
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      srv.Handler(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 10 * time.Second,
+	}
+	fmt.Printf("ssrec-server listening on %s\n", *addr)
+	log.Fatal(httpSrv.ListenAndServe())
+}

@@ -1,0 +1,126 @@
+// Command ssrec-stream runs the live stream-recommendation topology: the
+// paper's deployment shape (one recommendation bolt per item category over
+// Apache Storm, §VI-D) on the package stream substitute.
+//
+// A spout replays the item stream; items are fields-grouped by category
+// onto recommendation bolts, each owning an independently trained ssRec
+// engine; a sink prints the top-k users per item and final throughput
+// numbers.
+//
+// Usage:
+//
+//	ssrec-stream -scale 0.3 -k 5 -items 40 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"ssrec/internal/core"
+	"ssrec/internal/dataset"
+	"ssrec/internal/evalx"
+	"ssrec/internal/model"
+	"ssrec/internal/stream"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.3, "dataset scale factor")
+		k       = flag.Int("k", 5, "recommendations per item")
+		nItems  = flag.Int("items", 30, "number of streamed items to print (0 = all)")
+		seed    = flag.Int64("seed", 42, "random seed")
+		verbose = flag.Bool("v", false, "print each recommendation")
+	)
+	flag.Parse()
+
+	cfg := dataset.YTubeConfig(*scale)
+	cfg.Seed = *seed
+	ds := dataset.Generate(cfg)
+	fmt.Printf("dataset: %s\n", ds.ComputeStats())
+
+	// The test stream: items first appearing after the training prefix.
+	parts := ds.Partition(6)
+	trainEnd := parts[1][len(parts[1])-1].Timestamp
+	var testItems []model.Item
+	for _, v := range ds.Items {
+		if v.Timestamp > trainEnd {
+			testItems = append(testItems, v)
+		}
+	}
+	if *nItems > 0 && len(testItems) > *nItems {
+		testItems = testItems[:*nItems]
+	}
+	fmt.Printf("streaming %d items across %d category bolts (k=%d)\n\n",
+		len(testItems), len(ds.Categories), *k)
+
+	tuples := make([]stream.Tuple, len(testItems))
+	for i, v := range testItems {
+		tuples[i] = stream.Tuple{Key: v.Category, Value: v, Ts: v.Timestamp}
+	}
+
+	type result struct {
+		item model.Item
+		recs []model.Recommendation
+		took time.Duration
+	}
+
+	tp := stream.NewTopology("ssrec-stream")
+	tp.AddSpout("items", &stream.SliceSpout{Tuples: tuples})
+	// One bolt instance per category (fields grouping keeps each category
+	// on one instance), each with its own trained engine.
+	tp.AddBolt("recommend", len(ds.Categories), func(instance int) stream.Bolt {
+		eng := core.New(core.Config{Categories: ds.Categories, TrainMaxIter: 6, Restarts: 1, Seed: *seed})
+		if err := evalx.Train(eng, ds, evalx.Setup{}); err != nil {
+			log.Fatalf("bolt %d train: %v", instance, err)
+		}
+		return stream.BoltFunc(func(t stream.Tuple, emit func(stream.Tuple)) error {
+			v := t.Value.(model.Item)
+			t0 := time.Now()
+			recs := eng.Recommend(v, *k)
+			emit(stream.Tuple{Key: v.Category, Value: result{item: v, recs: recs, took: time.Since(t0)}})
+			return nil
+		})
+	}).FieldsBy("items")
+	tp.AddBolt("sink", 1, func(int) stream.Bolt {
+		return stream.BoltFunc(func(t stream.Tuple, emit func(stream.Tuple)) error {
+			r := t.Value.(result)
+			if !*verbose {
+				return nil
+			}
+			fmt.Printf("%-10s %-8s by %-7s -> ", r.item.ID, r.item.Category, r.item.Producer)
+			for i, rec := range r.recs {
+				if i > 0 {
+					fmt.Print(", ")
+				}
+				fmt.Printf("%s(%.2f)", rec.UserID, rec.Score)
+			}
+			fmt.Printf("   [%v]\n", r.took.Round(time.Microsecond))
+			return nil
+		})
+	}).Shuffle("recommend")
+
+	start := time.Now()
+	metrics, err := tp.Run(stream.Options{})
+	if err != nil {
+		log.Fatalf("topology: %v", err)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("\ntopology finished in %v\n", wall.Round(time.Millisecond))
+	names := make([]string, 0, len(metrics))
+	for name := range metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tot := metrics[name].Totals()
+		fmt.Printf("  bolt %-10s processed=%-6d emitted=%-6d errors=%d busy=%v\n",
+			name, tot.Processed, tot.Emitted, tot.Errors, time.Duration(tot.BusyNanos).Round(time.Microsecond))
+	}
+	if n := len(testItems); n > 0 {
+		fmt.Printf("  throughput: %.0f items/s\n", float64(n)/wall.Seconds())
+	}
+}

@@ -1,0 +1,98 @@
+// Newsroom: the paper's motivating news-broadcasting scenario (§I). John
+// regularly watches movies, but when a crisis breaks out he follows the
+// coverage — his *short-term* interest shifts while his *long-term*
+// interest stays put. ssRec's windowed profile plus the λs blend makes the
+// recommender deliver breaking-news items to John during the burst and
+// movie items again afterwards.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssrec"
+)
+
+const (
+	catMovies = "movies"
+	catNews   = "news"
+	catSports = "sports"
+)
+
+func item(id, cat, producer string, ents ...string) ssrec.Item {
+	return ssrec.Item{ID: id, Category: cat, Producer: producer, Entities: ents,
+		Description: fmt.Sprint(ents), Timestamp: itemClock()}
+}
+
+var clock int64 = 1_500_000_000
+
+func itemClock() int64 { clock += 60; return clock }
+
+func main() {
+	// Training world: John watches movies every evening; Dana watches
+	// sports; a handful of filler users watch a mix. The "frontline"
+	// producer posts news items nobody has cared about yet.
+	var items []ssrec.Item
+	var irs []ssrec.Interaction
+	byID := map[string]ssrec.Item{}
+	record := func(v ssrec.Item, viewers ...string) {
+		items = append(items, v)
+		byID[v.ID] = v
+		for _, u := range viewers {
+			irs = append(irs, ssrec.Interaction{UserID: u, ItemID: v.ID, Timestamp: v.Timestamp + 30})
+		}
+	}
+
+	for i := 0; i < 30; i++ {
+		record(item(fmt.Sprintf("movie%02d", i), catMovies, "studio", "thriller", "premiere"),
+			"john", fmt.Sprintf("filler%d", i%3))
+		record(item(fmt.Sprintf("match%02d", i), catSports, "espn", "football", "league"),
+			"dana", fmt.Sprintf("filler%d", i%3))
+		if i%3 == 0 {
+			record(item(fmt.Sprintf("brief%02d", i), catNews, "frontline", "politics", "summit"),
+				fmt.Sprintf("filler%d", i%3))
+		}
+	}
+
+	rec := ssrec.New(ssrec.Config{
+		Categories: []string{catMovies, catNews, catSports},
+		WindowSize: 5,
+		LambdaS:    0.4,
+	})
+	resolve := func(id string) (ssrec.Item, bool) { v, ok := byID[id]; return v, ok }
+	if err := rec.Train(items, irs, resolve); err != nil {
+		log.Fatal(err)
+	}
+
+	rank := func(v ssrec.Item, user string) int {
+		for i, r := range rec.Recommend(v, 10) {
+			if r.UserID == user {
+				return i + 1
+			}
+		}
+		return -1
+	}
+
+	breaking := item("crisis00", catNews, "frontline", "crisis", "frontline-report")
+	byID[breaking.ID] = breaking
+	fmt.Printf("before the burst: breaking-news item ranks John at position %d\n",
+		rank(breaking, "john"))
+
+	// The burst: John follows the crisis coverage — five interactions
+	// fill his short-term window with news.
+	for i := 0; i < 5; i++ {
+		v := item(fmt.Sprintf("crisis%02d", i+1), catNews, "frontline", "crisis", "frontline-report")
+		byID[v.ID] = v
+		rec.Observe(ssrec.Interaction{UserID: "john", ItemID: v.ID, Timestamp: v.Timestamp + 5}, v)
+	}
+
+	followUp := item("crisis99", catNews, "frontline", "crisis", "frontline-report")
+	byID[followUp.ID] = followUp
+	fmt.Printf("during the burst:  follow-up coverage ranks John at position %d\n",
+		rank(followUp, "john"))
+
+	newMovie := item("blockbuster", catMovies, "studio", "thriller", "premiere")
+	byID[newMovie.ID] = newMovie
+	fmt.Printf("long-term intact:  a new movie still ranks John at position %d\n",
+		rank(newMovie, "john"))
+}

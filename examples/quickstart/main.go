@@ -1,0 +1,61 @@
+// Quickstart: generate a social-media workload, train an ssRec recommender
+// on the leading third of the interaction stream, then replay the rest —
+// recommending every new item to its top-5 users and feeding interactions
+// back for streaming maintenance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssrec"
+)
+
+func main() {
+	// A YTube-shaped synthetic workload: 19 categories, producers with
+	// regime-switching output, consumers that follow producers.
+	ds := ssrec.GenerateYTubeLike(0.25, 42)
+	fmt.Println("dataset:", ds.Summary())
+
+	rec := ssrec.New(ssrec.Config{Categories: ds.Categories()})
+	if err := rec.TrainDataset(ds, 1.0/3); err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay the tail of the stream.
+	items := ds.Items()
+	interactions := ds.Interactions()
+	cut := interactions[len(interactions)/3].Timestamp
+
+	streamed, recommended := 0, 0
+	for _, v := range items {
+		if v.Timestamp <= cut || streamed >= 10 {
+			continue
+		}
+		streamed++
+		top := rec.Recommend(v, 5)
+		if len(top) == 0 {
+			continue
+		}
+		recommended++
+		fmt.Printf("\nitem %s (%s by %s):\n", v.ID, v.Category, v.Producer)
+		for i, r := range top {
+			fmt.Printf("  %d. deliver to %s (score %.2f)\n", i+1, r.UserID, r.Score)
+		}
+	}
+
+	// Streaming maintenance: interactions keep profiles and the index
+	// fresh (short-term windows, producer regimes, new entities).
+	fed := 0
+	for _, ir := range interactions {
+		if ir.Timestamp <= cut || fed >= 500 {
+			continue
+		}
+		if v, ok := ds.Item(ir.ItemID); ok {
+			rec.Observe(ir, v)
+			fed++
+		}
+	}
+	fmt.Printf("\nstreamed %d items, recommended %d, fed %d interactions back\n",
+		streamed, recommended, fed)
+}

@@ -1,0 +1,217 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"ssrec/internal/model"
+)
+
+func item(id, cat, up string, ents ...string) model.Item {
+	return model.Item{ID: id, Category: cat, Producer: up, Entities: ents}
+}
+
+func feed(r Recommender, user string, v model.Item, ts int64) {
+	r.Observe(model.Interaction{UserID: user, ItemID: v.ID, Timestamp: ts}, v)
+}
+
+func trainCohorts(r Recommender) {
+	// 10 sports fans, 10 music fans.
+	for i := 0; i < 10; i++ {
+		su := fmt.Sprintf("sports%02d", i)
+		mu := fmt.Sprintf("music%02d", i)
+		for j := 0; j < 20; j++ {
+			ts := int64(1000 + j)
+			feed(r, su, item(fmt.Sprintf("sv%d-%d", i, j), "sports", "espn", "Messi", "worldcup"), ts)
+			feed(r, mu, item(fmt.Sprintf("mv%d-%d", i, j), "music", "mtv", "Adele", "concert"), ts)
+		}
+	}
+}
+
+func TestCTTPrefersMatchingCohort(t *testing.T) {
+	c := NewCTT(CTTConfig{})
+	trainCohorts(c)
+	recs := c.Recommend(item("q", "sports", "espn", "Messi"), 10)
+	if len(recs) != 10 {
+		t.Fatalf("got %d recs", len(recs))
+	}
+	for _, r := range recs {
+		if r.UserID[:5] != "sport" {
+			t.Errorf("music user %s recommended for sports item", r.UserID)
+		}
+	}
+}
+
+func TestCTTTemporalFactor(t *testing.T) {
+	c := NewCTT(CTTConfig{AlphaCF: 0, BetaType: 0, GammaTemporal: 1, HalfLifeSecs: 100})
+	v := item("a", "sports", "espn", "Messi")
+	feed(c, "old", v, 0)
+	feed(c, "fresh", v, 0)
+	// fresh interacts again much later; clock advances.
+	feed(c, "fresh", item("b", "sports", "espn", "Messi"), 1000)
+	recs := c.Recommend(item("q", "sports", "espn", "Messi"), 2)
+	if recs[0].UserID != "fresh" {
+		t.Errorf("temporal factor ignored: %v", recs)
+	}
+	if recs[0].Score <= recs[1].Score {
+		t.Errorf("no decay separation: %v", recs)
+	}
+}
+
+func TestCTTTypeFactor(t *testing.T) {
+	c := NewCTT(CTTConfig{AlphaCF: 0, BetaType: 1, GammaTemporal: 0})
+	for j := 0; j < 9; j++ {
+		feed(c, "fan", item(fmt.Sprintf("s%d", j), "sports", "espn"), int64(j))
+	}
+	feed(c, "fan", item("m0", "music", "mtv"), 10)
+	feed(c, "casual", item("s9", "sports", "espn"), 10)
+	feed(c, "casual", item("m1", "music", "mtv"), 11)
+	recs := c.Recommend(item("q", "sports", "espn"), 2)
+	if recs[0].UserID != "fan" {
+		t.Errorf("type factor ignored: %v", recs)
+	}
+}
+
+func TestCTTEmptyPopulation(t *testing.T) {
+	c := NewCTT(CTTConfig{})
+	if got := c.Recommend(item("q", "sports", "espn"), 5); len(got) != 0 {
+		t.Errorf("recommendations from empty population: %v", got)
+	}
+	if c.UserCount() != 0 {
+		t.Errorf("UserCount = %d", c.UserCount())
+	}
+}
+
+func TestCTTRecentWindowBounded(t *testing.T) {
+	c := NewCTT(CTTConfig{RecentItems: 5})
+	for j := 0; j < 50; j++ {
+		feed(c, "u", item(fmt.Sprintf("v%d", j), "sports", "espn", "Messi"), int64(j))
+	}
+	if got := len(c.users["u"].recent); got != 5 {
+		t.Errorf("recent window = %d, want 5", got)
+	}
+}
+
+func TestItemSim(t *testing.T) {
+	a := item("a", "sports", "x", "Messi", "worldcup")
+	b := item("b", "sports", "y", "Messi", "FIFA")
+	c := item("c", "music", "z", "Adele")
+	if itemSim(a, b) <= itemSim(a, c) {
+		t.Errorf("similarity ordering wrong: %v vs %v", itemSim(a, b), itemSim(a, c))
+	}
+	if itemSim(a, a) <= itemSim(a, b) {
+		t.Errorf("self-similarity not maximal")
+	}
+	// Entity-free items fall back to category match.
+	d := item("d", "sports", "x")
+	e := item("e", "sports", "y")
+	if itemSim(d, e) <= 0 {
+		t.Errorf("same-category entity-free items should have positive sim")
+	}
+}
+
+func TestUCDPrefersMatchingCohort(t *testing.T) {
+	u := NewUCD(UCDConfig{}, []string{"sports", "music"})
+	trainCohorts(u)
+	u.RefreshNeighbours()
+	recs := u.Recommend(item("q", "sports", "espn", "Messi"), 10)
+	if len(recs) != 10 {
+		t.Fatalf("got %d recs", len(recs))
+	}
+	for _, r := range recs {
+		if r.UserID[:5] != "sport" {
+			t.Errorf("music user %s recommended for sports item", r.UserID)
+		}
+	}
+}
+
+func TestUCDNeighbourExpansion(t *testing.T) {
+	u := NewUCD(UCDConfig{Neighbours: 2, NeighbourW: 1}, []string{"sports", "music"})
+	trainCohorts(u)
+	u.RefreshNeighbours()
+	// Every sports user's neighbours must be sports users.
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("sports%02d", i)
+		for _, nb := range u.users[id].neighbours {
+			if nb[:5] != "sport" {
+				t.Errorf("%s has cross-cohort neighbour %s", id, nb)
+			}
+		}
+	}
+}
+
+func TestUCDDiversityPenalisesRepeats(t *testing.T) {
+	u := NewUCD(UCDConfig{DiversityW: 0.9}, []string{"sports", "music"})
+	for j := 0; j < 20; j++ {
+		feed(u, "fan", item(fmt.Sprintf("s%d", j), "sports", "espn", "Messi"), int64(j))
+	}
+	u.RefreshNeighbours()
+	same := item("rep", "sports", "espn", "Messi")
+	first := u.Recommend(same, 1)
+	// Recommending the identical item again must score lower (diversity
+	// memory now contains it).
+	second := u.Recommend(same, 1)
+	if len(first) != 1 || len(second) != 1 {
+		t.Fatal("missing recommendations")
+	}
+	if second[0].Score >= first[0].Score {
+		t.Errorf("no diversity penalty: %v then %v", first[0].Score, second[0].Score)
+	}
+}
+
+func TestUCDRecentRecsBounded(t *testing.T) {
+	u := NewUCD(UCDConfig{RecentRecs: 3}, []string{"sports"})
+	feed(u, "fan", item("s0", "sports", "espn", "Messi"), 0)
+	for j := 0; j < 10; j++ {
+		u.Recommend(item(fmt.Sprintf("q%d", j), "sports", "espn", "Messi"), 1)
+	}
+	if got := len(u.users["fan"].recentRecs); got != 3 {
+		t.Errorf("recentRecs = %d, want 3", got)
+	}
+}
+
+func TestUCDAutoRefresh(t *testing.T) {
+	u := NewUCD(UCDConfig{RefreshEvery: 10, Neighbours: 1}, []string{"sports", "music"})
+	for j := 0; j < 25; j++ {
+		feed(u, fmt.Sprintf("u%d", j%4), item(fmt.Sprintf("s%d", j), "sports", "espn"), int64(j))
+	}
+	// After 25 observations with RefreshEvery=10, neighbours exist.
+	if len(u.users["u0"].neighbours) == 0 {
+		t.Error("auto-refresh never ran")
+	}
+}
+
+func TestRecommenderInterfaceCompliance(t *testing.T) {
+	var _ Recommender = NewCTT(CTTConfig{})
+	var _ Recommender = NewUCD(UCDConfig{}, nil)
+	if NewCTT(CTTConfig{}).Name() != "CTT" || NewUCD(UCDConfig{}, nil).Name() != "UCD" {
+		t.Error("names wrong")
+	}
+}
+
+func BenchmarkCTTRecommend(b *testing.B) {
+	c := NewCTT(CTTConfig{})
+	for i := 0; i < 2000; i++ {
+		feed(c, fmt.Sprintf("u%d", i), item(fmt.Sprintf("v%d", i), "sports", "espn", "Messi"), int64(i))
+	}
+	q := item("q", "sports", "espn", "Messi")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Recommend(q, 30)
+	}
+}
+
+func BenchmarkUCDRecommend(b *testing.B) {
+	u := NewUCD(UCDConfig{}, []string{"sports", "music"})
+	for i := 0; i < 2000; i++ {
+		feed(u, fmt.Sprintf("u%d", i), item(fmt.Sprintf("v%d", i), "sports", "espn", "Messi"), int64(i))
+	}
+	u.RefreshNeighbours()
+	q := item("q", "sports", "espn", "Messi")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Recommend(q, 30)
+	}
+}

@@ -1,0 +1,474 @@
+// Package bihmm implements the Bi-Layer Hidden Markov Model of Zhou et al.
+// (ICDE 2019, §IV-A).
+//
+// The model has two layers:
+//
+//   - The a-HMM layer models each producer's item-creation process with a
+//     classic HMM over item categories (package hmm). Viterbi decoding
+//     assigns every created item a producer hidden state Z.
+//   - The b-HMM layer models a consumer conditioned on the producer layer:
+//     its transition and emission probabilities depend on the producer
+//     hidden state of the browsed item, a(b)ikj = p(Uj | Ui, Zk) and
+//     b(b)jkm = p(cm | Uj, Zk). Following the paper's reformulation, the
+//     dependency is handled by treating the Z sequence as observed side
+//     information, which yields a conditioned Baum-Welch with per-Z
+//     parameter matrices.
+//
+// Prediction: for an incoming item from producer up, the producer's a-HMM
+// supplies the current Z, and the consumer's b-HMM forward pass gives
+// p(c | consumer history, Z) — the category probability used by the
+// item–user ranking (Eq. 1).
+package bihmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ssrec/internal/hmm"
+)
+
+// ZUnknown is the reserved producer-state value used when the producer of
+// an item is unknown or has too little history to train an a-HMM. It is a
+// real conditioning value with its own parameter slices, so the model
+// degrades gracefully to a single-layer HMM for such items.
+const ZUnknown = -1
+
+// Obs is one conditioned observation of a consumer: the browsed item's
+// category index and the producer hidden state of that item (ZUnknown
+// allowed).
+type Obs struct {
+	Cat int
+	Z   int
+}
+
+// BHMM is the consumer-layer model: NU consumer hidden states, NZ producer
+// states (plus the unknown bucket) and M observation categories.
+//
+// A[z][i][j] = p(U_j | U_i, Z=z); B[z][j][m] = p(c_m | U_j, Z=z).
+// Index z = NZ is the unknown-producer bucket.
+type BHMM struct {
+	NU int
+	NZ int // producer states, excluding the unknown bucket
+	M  int
+	Pi []float64
+	A  [][][]float64 // (NZ+1) x NU x NU
+	B  [][][]float64 // (NZ+1) x NU x M
+}
+
+// ErrNoObservations mirrors hmm.ErrNoObservations for the conditioned
+// trainer.
+var ErrNoObservations = errors.New("bihmm: no observation sequences")
+
+// zSlot maps a producer state (or ZUnknown) to the parameter slice index.
+func (m *BHMM) zSlot(z int) int {
+	if z == ZUnknown || z < 0 || z >= m.NZ {
+		return m.NZ
+	}
+	return z
+}
+
+// NewRandom creates a randomly initialised BHMM.
+func NewRandom(nu, nz, mcats int, rng *rand.Rand) *BHMM {
+	if nu <= 0 || nz < 0 || mcats <= 0 {
+		panic(fmt.Sprintf("bihmm: invalid dims nu=%d nz=%d m=%d", nu, nz, mcats))
+	}
+	b := &BHMM{NU: nu, NZ: nz, M: mcats}
+	b.Pi = randomRow(nu, rng)
+	b.A = make([][][]float64, nz+1)
+	b.B = make([][][]float64, nz+1)
+	for z := 0; z <= nz; z++ {
+		b.A[z] = make([][]float64, nu)
+		b.B[z] = make([][]float64, nu)
+		for i := 0; i < nu; i++ {
+			b.A[z][i] = randomRow(nu, rng)
+			b.B[z][i] = randomRow(mcats, rng)
+		}
+	}
+	return b
+}
+
+// Validate checks stochasticity of every row.
+func (m *BHMM) Validate() error {
+	if err := checkRow("pi", m.Pi); err != nil {
+		return err
+	}
+	for z := range m.A {
+		for i := range m.A[z] {
+			if err := checkRow(fmt.Sprintf("A[%d][%d]", z, i), m.A[z][i]); err != nil {
+				return err
+			}
+			if err := checkRow(fmt.Sprintf("B[%d][%d]", z, i), m.B[z][i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Forward runs the Z-conditioned scaled forward pass and returns the scaled
+// alpha matrix, scaling factors and total log-likelihood.
+func (m *BHMM) Forward(obs []Obs) (alpha [][]float64, scale []float64, logLik float64) {
+	T := len(obs)
+	alpha = makeMatrix(T, m.NU)
+	scale = make([]float64, T)
+	if T == 0 {
+		return alpha, scale, 0
+	}
+	z0 := m.zSlot(obs[0].Z)
+	for i := 0; i < m.NU; i++ {
+		alpha[0][i] = m.Pi[i] * m.B[z0][i][obs[0].Cat]
+	}
+	scale[0] = normalize(alpha[0])
+	for t := 1; t < T; t++ {
+		zt := m.zSlot(obs[t].Z)
+		prev, cur := alpha[t-1], alpha[t]
+		for j := 0; j < m.NU; j++ {
+			var s float64
+			for i := 0; i < m.NU; i++ {
+				s += prev[i] * m.A[zt][i][j]
+			}
+			cur[j] = s * m.B[zt][j][obs[t].Cat]
+		}
+		scale[t] = normalize(cur)
+	}
+	for t := 0; t < T; t++ {
+		logLik += math.Log(scale[t])
+	}
+	return alpha, scale, logLik
+}
+
+// Backward runs the conditioned scaled backward pass.
+func (m *BHMM) Backward(obs []Obs, scale []float64) [][]float64 {
+	T := len(obs)
+	beta := makeMatrix(T, m.NU)
+	if T == 0 {
+		return beta
+	}
+	for i := 0; i < m.NU; i++ {
+		beta[T-1][i] = 1 / scale[T-1]
+	}
+	for t := T - 2; t >= 0; t-- {
+		zt1 := m.zSlot(obs[t+1].Z)
+		for i := 0; i < m.NU; i++ {
+			var s float64
+			for j := 0; j < m.NU; j++ {
+				s += m.A[zt1][i][j] * m.B[zt1][j][obs[t+1].Cat] * beta[t+1][j]
+			}
+			beta[t][i] = s / scale[t]
+		}
+	}
+	return beta
+}
+
+// LogLikelihood returns log P(obs | model).
+func (m *BHMM) LogLikelihood(obs []Obs) float64 {
+	_, _, ll := m.Forward(obs)
+	return ll
+}
+
+// StateDistribution returns the filtered consumer-state distribution after
+// the history.
+func (m *BHMM) StateDistribution(obs []Obs) []float64 {
+	if len(obs) == 0 {
+		return append([]float64(nil), m.Pi...)
+	}
+	alpha, _, _ := m.Forward(obs)
+	return append([]float64(nil), alpha[len(obs)-1]...)
+}
+
+// PredictNextGivenZ returns p(c | history, next item's producer state z)
+// over all M categories — the BiHMM output plugged into the ranking
+// function for a concrete incoming item.
+func (m *BHMM) PredictNextGivenZ(obs []Obs, z int) []float64 {
+	cur := m.StateDistribution(obs)
+	zs := m.zSlot(z)
+	next := make([]float64, m.NU)
+	if len(obs) == 0 {
+		copy(next, cur)
+	} else {
+		for j := 0; j < m.NU; j++ {
+			var s float64
+			for i := 0; i < m.NU; i++ {
+				s += cur[i] * m.A[zs][i][j]
+			}
+			next[j] = s
+		}
+	}
+	out := make([]float64, m.M)
+	for c := 0; c < m.M; c++ {
+		var s float64
+		for j := 0; j < m.NU; j++ {
+			s += next[j] * m.B[zs][j][c]
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// PredictNextMarginal returns p(c | history) with the producer state
+// marginalised under zDist (length NZ+1, last element = unknown bucket).
+// A nil zDist uses a uniform distribution.
+func (m *BHMM) PredictNextMarginal(obs []Obs, zDist []float64) []float64 {
+	if zDist == nil {
+		zDist = make([]float64, m.NZ+1)
+		for i := range zDist {
+			zDist[i] = 1 / float64(m.NZ+1)
+		}
+	}
+	out := make([]float64, m.M)
+	for z := 0; z <= m.NZ; z++ {
+		if zDist[z] == 0 {
+			continue
+		}
+		p := m.PredictNextGivenZ(obs, zForSlot(z, m.NZ))
+		for c := range out {
+			out[c] += zDist[z] * p[c]
+		}
+	}
+	return out
+}
+
+func zForSlot(slot, nz int) int {
+	if slot >= nz {
+		return ZUnknown
+	}
+	return slot
+}
+
+// TrainOptions mirrors hmm.TrainOptions.
+type TrainOptions struct {
+	MaxIter   int
+	Tolerance float64
+	MinProb   float64
+	Restarts  int
+}
+
+func (o *TrainOptions) fill() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 30
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-4
+	}
+	if o.MinProb <= 0 {
+		o.MinProb = 1e-6
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 2
+	}
+}
+
+// BaumWelch runs the Z-conditioned Baum-Welch over the observation
+// sequences, updating the model in place.
+func (m *BHMM) BaumWelch(sequences [][]Obs, opts TrainOptions) (hmm.TrainResult, error) {
+	opts.fill()
+	var usable [][]Obs
+	for _, s := range sequences {
+		if len(s) > 0 {
+			usable = append(usable, s)
+		}
+	}
+	if len(usable) == 0 {
+		return hmm.TrainResult{}, ErrNoObservations
+	}
+	for _, s := range usable {
+		for _, o := range s {
+			if o.Cat < 0 || o.Cat >= m.M {
+				return hmm.TrainResult{}, fmt.Errorf("bihmm: category %d out of range [0,%d)", o.Cat, m.M)
+			}
+		}
+	}
+
+	nz1 := m.NZ + 1
+	prevLL := math.Inf(-1)
+	res := hmm.TrainResult{}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		piAcc := make([]float64, m.NU)
+		aNum := makeCube(nz1, m.NU, m.NU)
+		aDen := makeMatrix(nz1, m.NU)
+		bNum := makeCube(nz1, m.NU, m.M)
+		bDen := makeMatrix(nz1, m.NU)
+		var totalLL float64
+
+		for _, obs := range usable {
+			T := len(obs)
+			alpha, scale, ll := m.Forward(obs)
+			beta := m.Backward(obs, scale)
+			totalLL += ll
+
+			for t := 0; t < T; t++ {
+				zt := m.zSlot(obs[t].Z)
+				var norm float64
+				g := make([]float64, m.NU)
+				for i := 0; i < m.NU; i++ {
+					g[i] = alpha[t][i] * beta[t][i]
+					norm += g[i]
+				}
+				if norm == 0 {
+					continue
+				}
+				for i := 0; i < m.NU; i++ {
+					g[i] /= norm
+					if t == 0 {
+						piAcc[i] += g[i]
+					}
+					bNum[zt][i][obs[t].Cat] += g[i]
+					bDen[zt][i] += g[i]
+				}
+			}
+			for t := 0; t < T-1; t++ {
+				zt1 := m.zSlot(obs[t+1].Z)
+				var norm float64
+				xi := makeMatrix(m.NU, m.NU)
+				for i := 0; i < m.NU; i++ {
+					for j := 0; j < m.NU; j++ {
+						v := alpha[t][i] * m.A[zt1][i][j] * m.B[zt1][j][obs[t+1].Cat] * beta[t+1][j]
+						xi[i][j] = v
+						norm += v
+					}
+				}
+				if norm == 0 {
+					continue
+				}
+				for i := 0; i < m.NU; i++ {
+					var rowSum float64
+					for j := 0; j < m.NU; j++ {
+						xi[i][j] /= norm
+						aNum[zt1][i][j] += xi[i][j]
+						rowSum += xi[i][j]
+					}
+					aDen[zt1][i] += rowSum
+				}
+			}
+		}
+
+		for i := 0; i < m.NU; i++ {
+			m.Pi[i] = piAcc[i]
+		}
+		floorAndNormalize(m.Pi, opts.MinProb)
+		for z := 0; z < nz1; z++ {
+			for i := 0; i < m.NU; i++ {
+				if aDen[z][i] > 0 {
+					for j := 0; j < m.NU; j++ {
+						m.A[z][i][j] = aNum[z][i][j] / aDen[z][i]
+					}
+				}
+				floorAndNormalize(m.A[z][i], opts.MinProb)
+				if bDen[z][i] > 0 {
+					for c := 0; c < m.M; c++ {
+						m.B[z][i][c] = bNum[z][i][c] / bDen[z][i]
+					}
+				}
+				floorAndNormalize(m.B[z][i], opts.MinProb)
+			}
+		}
+
+		res.Iterations = iter + 1
+		res.LogLikelihood = totalLL
+		if iter > 0 && totalLL-prevLL < opts.Tolerance {
+			res.Converged = true
+			break
+		}
+		prevLL = totalLL
+	}
+	return res, nil
+}
+
+// Fit trains a BHMM with random restarts, keeping the best run.
+func Fit(nu, nz, mcats int, sequences [][]Obs, seed int64, opts TrainOptions) (*BHMM, hmm.TrainResult, error) {
+	opts.fill()
+	var (
+		best    *BHMM
+		bestRes hmm.TrainResult
+	)
+	for r := 0; r < opts.Restarts; r++ {
+		b := NewRandom(nu, nz, mcats, rand.New(rand.NewSource(seed+int64(r)*104729)))
+		res, err := b.BaumWelch(sequences, opts)
+		if err != nil {
+			return nil, hmm.TrainResult{}, err
+		}
+		if best == nil || res.LogLikelihood > bestRes.LogLikelihood {
+			best, bestRes = b, res
+		}
+	}
+	return best, bestRes, nil
+}
+
+// ---- small numeric helpers (kept local; see package hmm for rationale) ----
+
+func randomRow(n int, rng *rand.Rand) []float64 {
+	r := make([]float64, n)
+	var sum float64
+	for i := range r {
+		r[i] = 0.5 + rng.Float64()
+		sum += r[i]
+	}
+	for i := range r {
+		r[i] /= sum
+	}
+	return r
+}
+
+func makeMatrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
+}
+
+func makeCube(a, b, c int) [][][]float64 {
+	out := make([][][]float64, a)
+	for i := range out {
+		out[i] = makeMatrix(b, c)
+	}
+	return out
+}
+
+func normalize(row []float64) float64 {
+	var sum float64
+	for _, v := range row {
+		sum += v
+	}
+	if sum == 0 {
+		u := 1 / float64(len(row))
+		for i := range row {
+			row[i] = u
+		}
+		return 1e-300
+	}
+	for i := range row {
+		row[i] /= sum
+	}
+	return sum
+}
+
+func floorAndNormalize(row []float64, floor float64) {
+	var sum float64
+	for i := range row {
+		if row[i] < floor {
+			row[i] = floor
+		}
+		sum += row[i]
+	}
+	for i := range row {
+		row[i] /= sum
+	}
+}
+
+func checkRow(name string, row []float64) error {
+	var sum float64
+	for _, v := range row {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("bihmm: %s contains invalid probability %v", name, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("bihmm: %s sums to %v, want 1", name, sum)
+	}
+	return nil
+}

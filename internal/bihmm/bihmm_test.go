@@ -1,0 +1,283 @@
+package bihmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// plantedWorld builds a ground-truth generative process in which the
+// consumer's behavior genuinely depends on the producer state z:
+// z=0 pushes the consumer toward category 0, z=1 toward category 1,
+// while the consumer's own chain alternates lazily between 2 and 3.
+func plantedSequence(T int, rng *rand.Rand) []Obs {
+	obs := make([]Obs, T)
+	own := 2
+	for t := 0; t < T; t++ {
+		z := rng.Intn(2)
+		var cat int
+		if rng.Float64() < 0.75 {
+			cat = z // producer-driven browse
+		} else {
+			if rng.Float64() < 0.3 {
+				own = 5 - own // swap 2<->3
+			}
+			cat = own
+		}
+		obs[t] = Obs{Cat: cat, Z: z}
+	}
+	return obs
+}
+
+func TestNewRandomValid(t *testing.T) {
+	b := NewRandom(3, 2, 5, rand.New(rand.NewSource(1)))
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(b.A) != 3 || len(b.B) != 3 { // NZ+1 slices
+		t.Fatalf("A/B slices = %d/%d, want 3", len(b.A), len(b.B))
+	}
+}
+
+func TestNewRandomPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRandom(0, 2, 3, rand.New(rand.NewSource(1)))
+}
+
+func TestZSlotMapping(t *testing.T) {
+	b := NewRandom(2, 3, 4, rand.New(rand.NewSource(2)))
+	cases := map[int]int{0: 0, 1: 1, 2: 2, ZUnknown: 3, 7: 3, -5: 3}
+	for z, want := range cases {
+		if got := b.zSlot(z); got != want {
+			t.Errorf("zSlot(%d) = %d, want %d", z, got, want)
+		}
+	}
+}
+
+func TestForwardNormalized(t *testing.T) {
+	b := NewRandom(3, 2, 4, rand.New(rand.NewSource(3)))
+	obs := []Obs{{0, 0}, {1, 1}, {2, ZUnknown}, {3, 0}, {0, 1}}
+	alpha, scale, ll := b.Forward(obs)
+	for t2, row := range alpha {
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha[%d] sums to %v", t2, sum)
+		}
+	}
+	if len(scale) != len(obs) || ll >= 0 {
+		t.Errorf("scale len %d, ll %v", len(scale), ll)
+	}
+}
+
+func TestForwardBackwardConsistency(t *testing.T) {
+	b := NewRandom(3, 2, 4, rand.New(rand.NewSource(4)))
+	obs := []Obs{{0, 0}, {1, 1}, {2, 0}, {3, 1}, {0, ZUnknown}}
+	alpha, scale, _ := b.Forward(obs)
+	beta := b.Backward(obs, scale)
+	for t2 := range obs {
+		var s float64
+		for i := 0; i < b.NU; i++ {
+			s += alpha[t2][i] * beta[t2][i]
+		}
+		s *= scale[t2]
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("t=%d: alpha·beta·scale = %v", t2, s)
+		}
+	}
+}
+
+func TestEmptySequence(t *testing.T) {
+	b := NewRandom(2, 1, 3, rand.New(rand.NewSource(5)))
+	alpha, scale, ll := b.Forward(nil)
+	if len(alpha) != 0 || len(scale) != 0 || ll != 0 {
+		t.Fatal("empty forward misbehaved")
+	}
+	p := b.PredictNextGivenZ(nil, 0)
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("empty-history prediction sums to %v", sum)
+	}
+}
+
+func TestBaumWelchIncreasesLikelihood(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var seqs [][]Obs
+	for i := 0; i < 15; i++ {
+		seqs = append(seqs, plantedSequence(50, rng))
+	}
+	b := NewRandom(2, 2, 4, rand.New(rand.NewSource(7)))
+	var before float64
+	for _, s := range seqs {
+		before += b.LogLikelihood(s)
+	}
+	res, err := b.BaumWelch(seqs, TrainOptions{MaxIter: 20})
+	if err != nil {
+		t.Fatalf("BaumWelch: %v", err)
+	}
+	var after float64
+	for _, s := range seqs {
+		after += b.LogLikelihood(s)
+	}
+	if after < before {
+		t.Errorf("likelihood decreased: %v -> %v", before, after)
+	}
+	if res.Iterations == 0 {
+		t.Error("no iterations")
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("invalid after training: %v", err)
+	}
+}
+
+func TestBaumWelchErrors(t *testing.T) {
+	b := NewRandom(2, 1, 3, rand.New(rand.NewSource(8)))
+	if _, err := b.BaumWelch(nil, TrainOptions{}); err != ErrNoObservations {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := b.BaumWelch([][]Obs{{{Cat: 9, Z: 0}}}, TrainOptions{}); err == nil {
+		t.Error("out-of-range category accepted")
+	}
+}
+
+func TestConditionedPredictionLearnsZDependency(t *testing.T) {
+	// After training on the planted world, prediction conditioned on z=0
+	// must put more mass on category 0 than prediction conditioned on z=1,
+	// and vice versa.
+	rng := rand.New(rand.NewSource(9))
+	var seqs [][]Obs
+	for i := 0; i < 30; i++ {
+		seqs = append(seqs, plantedSequence(60, rng))
+	}
+	b, _, err := Fit(3, 2, 4, seqs, 11, TrainOptions{MaxIter: 30, Restarts: 3})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	hist := plantedSequence(20, rng)
+	p0 := b.PredictNextGivenZ(hist, 0)
+	p1 := b.PredictNextGivenZ(hist, 1)
+	if p0[0] <= p1[0] {
+		t.Errorf("p(c0|z=0)=%v not > p(c0|z=1)=%v", p0[0], p1[0])
+	}
+	if p1[1] <= p0[1] {
+		t.Errorf("p(c1|z=1)=%v not > p(c1|z=0)=%v", p1[1], p0[1])
+	}
+}
+
+func TestBiHMMBeatsPlainHMMOnPlantedWorld(t *testing.T) {
+	// The Fig. 5 claim in miniature: when consumer behavior depends on
+	// producer state, the conditioned model predicts the next category
+	// better than a plain HMM that ignores z.
+	rng := rand.New(rand.NewSource(12))
+	seq := plantedSequence(400, rng)
+	split := len(seq) * 8 / 10
+
+	// BiHMM.
+	bi, _, err := Fit(3, 2, 4, [][]Obs{seq[:split]}, 13, TrainOptions{MaxIter: 25, Restarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	biAcc := EvaluateNextPrediction(bi, seq, split)
+
+	// Plain HMM on the same data with z erased (simulated by ZUnknown so
+	// the single shared bucket is used throughout).
+	flat := make([]Obs, len(seq))
+	for i, o := range seq {
+		flat[i] = Obs{Cat: o.Cat, Z: ZUnknown}
+	}
+	plain, _, err := Fit(3, 0, 4, [][]Obs{flat[:split]}, 13, TrainOptions{MaxIter: 25, Restarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainAcc := EvaluateNextPrediction(plain, flat, split)
+
+	if biAcc <= plainAcc {
+		t.Errorf("BiHMM accuracy %.3f not above plain HMM %.3f", biAcc, plainAcc)
+	}
+}
+
+func TestPredictNextMarginal(t *testing.T) {
+	b := NewRandom(2, 2, 3, rand.New(rand.NewSource(14)))
+	hist := []Obs{{0, 0}, {1, 1}}
+	p := b.PredictNextMarginal(hist, nil)
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("marginal prediction sums to %v", sum)
+	}
+	// Weighted marginal with all mass on z=0 equals conditional on z=0.
+	zd := []float64{1, 0, 0}
+	pm := b.PredictNextMarginal(hist, zd)
+	pc := b.PredictNextGivenZ(hist, 0)
+	for i := range pm {
+		if math.Abs(pm[i]-pc[i]) > 1e-12 {
+			t.Fatalf("marginal(z=0) != conditional: %v vs %v", pm, pc)
+		}
+	}
+}
+
+// Property: rows stay stochastic after training on arbitrary data.
+func TestTrainStochasticProperty(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		seq := make([]Obs, len(raw))
+		for i, v := range raw {
+			z := int(v % 3)
+			if z == 2 {
+				z = ZUnknown
+			}
+			seq[i] = Obs{Cat: int(v) % 4, Z: z}
+		}
+		b := NewRandom(2, 2, 4, rng)
+		if _, err := b.BaumWelch([][]Obs{seq}, TrainOptions{MaxIter: 4}); err != nil {
+			return false
+		}
+		return b.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBHMMForward(b *testing.B) {
+	m := NewRandom(4, 3, 19, rand.New(rand.NewSource(1)))
+	rng := rand.New(rand.NewSource(2))
+	obs := make([]Obs, 150)
+	for i := range obs {
+		obs[i] = Obs{Cat: rng.Intn(19), Z: rng.Intn(3)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(obs)
+	}
+}
+
+func BenchmarkBHMMPredict(b *testing.B) {
+	m := NewRandom(4, 3, 19, rand.New(rand.NewSource(1)))
+	rng := rand.New(rand.NewSource(2))
+	obs := make([]Obs, 50)
+	for i := range obs {
+		obs[i] = Obs{Cat: rng.Intn(19), Z: rng.Intn(3)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictNextGivenZ(obs, i%3)
+	}
+}

@@ -1,0 +1,203 @@
+package bihmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssrec/internal/hmm"
+)
+
+// producerHistories builds synthetic per-producer category sequences with
+// clear regimes: producer pX alternates between long runs of category a
+// and category b.
+func producerHistories() map[string][]int {
+	mk := func(a, b, runs, runLen int) []int {
+		var seq []int
+		for r := 0; r < runs; r++ {
+			c := a
+			if r%2 == 1 {
+				c = b
+			}
+			for i := 0; i < runLen; i++ {
+				seq = append(seq, c)
+			}
+		}
+		return seq
+	}
+	return map[string][]int{
+		"p0": mk(0, 1, 6, 8),
+		"p1": mk(2, 3, 6, 8),
+		"p2": {0, 1}, // too short to train
+	}
+}
+
+func layerOpts() ProducerLayerOptions {
+	return ProducerLayerOptions{
+		NZ:         2,
+		MinHistory: 5,
+		Seed:       1,
+		Train:      hmm.TrainOptions{MaxIter: 20, Restarts: 2},
+	}
+}
+
+func TestFitProducerLayerTrainsEligible(t *testing.T) {
+	pl := FitProducerLayer(producerHistories(), 4, layerOpts())
+	if pl.TrainedProducers() != 2 {
+		t.Fatalf("trained %d producers, want 2", pl.TrainedProducers())
+	}
+	if pl.Model("p0") == nil || pl.Model("p1") == nil {
+		t.Fatal("missing models for eligible producers")
+	}
+	if pl.Model("p2") != nil {
+		t.Fatal("short-history producer was trained")
+	}
+}
+
+func TestStateAt(t *testing.T) {
+	pl := FitProducerLayer(producerHistories(), 4, layerOpts())
+	h := producerHistories()["p0"]
+	for pos := range h {
+		z := pl.StateAt("p0", pos)
+		if z < 0 || z >= 2 {
+			t.Fatalf("StateAt(p0,%d) = %d out of range", pos, z)
+		}
+	}
+	if pl.StateAt("p0", -1) != ZUnknown || pl.StateAt("p0", 10_000) != ZUnknown {
+		t.Error("out-of-range positions must be ZUnknown")
+	}
+	if pl.StateAt("p2", 0) != ZUnknown {
+		t.Error("untrained producer must be ZUnknown")
+	}
+	if pl.StateAt("ghost", 0) != ZUnknown {
+		t.Error("unknown producer must be ZUnknown")
+	}
+}
+
+func TestDecodedStatesTrackRegimes(t *testing.T) {
+	// Within one long run the decoded state should be constant most of
+	// the time, and the two runs should map to different states.
+	pl := FitProducerLayer(producerHistories(), 4, layerOpts())
+	h := producerHistories()["p0"]
+	// Majority state of first run vs second run.
+	count := func(lo, hi int) map[int]int {
+		m := map[int]int{}
+		for pos := lo; pos < hi; pos++ {
+			m[pl.StateAt("p0", pos)]++
+		}
+		return m
+	}
+	maj := func(m map[int]int) int {
+		best, arg := -1, 0
+		for k, v := range m {
+			if v > best {
+				best, arg = v, k
+			}
+		}
+		return arg
+	}
+	first, second := maj(count(0, 8)), maj(count(8, 16))
+	_ = h
+	if first == second {
+		t.Errorf("regimes decoded to same state %d", first)
+	}
+}
+
+func TestCurrentZ(t *testing.T) {
+	pl := FitProducerLayer(producerHistories(), 4, layerOpts())
+	if z := pl.CurrentZ("p0"); z < 0 || z >= 2 {
+		t.Errorf("CurrentZ(p0) = %d", z)
+	}
+	if pl.CurrentZ("p2") != ZUnknown {
+		t.Error("untrained producer CurrentZ must be ZUnknown")
+	}
+	if pl.CurrentZ("ghost") != ZUnknown {
+		t.Error("unknown producer CurrentZ must be ZUnknown")
+	}
+}
+
+func TestObserveItemExtendsStates(t *testing.T) {
+	pl := FitProducerLayer(producerHistories(), 4, layerOpts())
+	before := len(pl.states["p0"])
+	pl.ObserveItem("p0", 0)
+	if len(pl.states["p0"]) != before+1 {
+		t.Fatalf("states not extended: %d -> %d", before, len(pl.states["p0"]))
+	}
+	z := pl.StateAt("p0", before)
+	if z < 0 || z >= 2 {
+		t.Fatalf("extended state %d out of range", z)
+	}
+	// Untrained producers accumulate history without states.
+	pl.ObserveItem("p2", 1)
+	if len(pl.states["p2"]) != 0 {
+		t.Error("untrained producer gained states")
+	}
+	if len(pl.histories["p2"]) != 3 {
+		t.Errorf("history len %d, want 3", len(pl.histories["p2"]))
+	}
+}
+
+func TestRefitPromotesProducer(t *testing.T) {
+	pl := FitProducerLayer(producerHistories(), 4, layerOpts())
+	// p2 has 2 items; feed more until eligible.
+	for i := 0; i < 10; i++ {
+		pl.ObserveItem("p2", i%2)
+	}
+	if ok := pl.Refit("p2", 99, hmm.TrainOptions{MaxIter: 10}); !ok {
+		t.Fatal("Refit failed for eligible producer")
+	}
+	if pl.Model("p2") == nil {
+		t.Fatal("no model after Refit")
+	}
+	if pl.CurrentZ("p2") == ZUnknown {
+		t.Error("CurrentZ still unknown after Refit")
+	}
+}
+
+func TestRefitRejectsShortHistory(t *testing.T) {
+	pl := FitProducerLayer(map[string][]int{"q": {0}}, 2, layerOpts())
+	if pl.Refit("q", 1, hmm.TrainOptions{MaxIter: 5}) {
+		t.Fatal("Refit accepted short history")
+	}
+}
+
+func TestSelectConsumerStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	seq := plantedSequence(200, rng)
+	n, m, acc := SelectConsumerStates(seq, 4, 2, 4, 5, TrainOptions{MaxIter: 10, Restarts: 1})
+	if n < 1 || n > 4 {
+		t.Fatalf("selected %d states", n)
+	}
+	if m == nil {
+		t.Fatal("nil model")
+	}
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v", acc)
+	}
+}
+
+func TestSelectConsumerStatesTinySequence(t *testing.T) {
+	seq := []Obs{{0, 0}, {1, 0}}
+	n, m, _ := SelectConsumerStates(seq, 3, 1, 2, 1, TrainOptions{MaxIter: 3})
+	if m == nil || n < 1 {
+		t.Fatalf("degenerate selection: n=%d m=%v", n, m)
+	}
+}
+
+func TestHMMSelectStates(t *testing.T) {
+	// Sticky two-regime sequence: more than one state should help, and
+	// the selection must return a valid model regardless.
+	var seq []int
+	for r := 0; r < 10; r++ {
+		c := r % 2
+		for i := 0; i < 10; i++ {
+			seq = append(seq, c)
+		}
+	}
+	n, m, acc := hmm.SelectStates(seq, 4, 2, 3, hmm.TrainOptions{MaxIter: 15, Restarts: 2})
+	if n < 1 || n > 4 || m == nil {
+		t.Fatalf("n=%d m=%v", n, m)
+	}
+	if acc <= 0.5 {
+		t.Errorf("accuracy %.2f too low for a predictable sequence", acc)
+	}
+}

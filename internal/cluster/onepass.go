@@ -1,0 +1,179 @@
+// Package cluster implements the one-pass clustering used by the
+// CPPse-index to group users into blocks by their long-term categorical
+// interests (Zhou et al., ICDE 2019, §V-A).
+//
+// One-pass clustering (Schweikardt 2009) reads each point exactly once:
+// a point joins the nearest existing cluster if the cosine similarity to
+// that cluster's centroid is at least a threshold, otherwise it seeds a new
+// cluster. The CPPse-index uses the resulting blocks to keep per-tree
+// signature universes small (paper Table II).
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one item to cluster: an identifier plus a sparse non-negative
+// feature vector (for CPPse: normalised long-term category counts).
+type Point struct {
+	ID  string
+	Vec []float64
+}
+
+// Options controls the clustering.
+type Options struct {
+	// SimThreshold is the minimum cosine similarity to join an existing
+	// cluster. Lower values produce fewer, larger blocks. Default 0.6.
+	SimThreshold float64
+	// MaxClusters caps the number of clusters; once reached, every point
+	// joins its nearest cluster regardless of the threshold. 0 = no cap.
+	MaxClusters int
+}
+
+func (o *Options) fill() {
+	if o.SimThreshold == 0 {
+		o.SimThreshold = 0.6
+	}
+}
+
+// Cluster is one output block.
+type Cluster struct {
+	ID       int
+	Members  []string  // point IDs in insertion order
+	Centroid []float64 // running mean of member vectors
+	count    int
+}
+
+// Result of a clustering run.
+type Result struct {
+	Clusters   []*Cluster
+	Assignment map[string]int // point ID -> cluster ID
+	Dim        int
+}
+
+// Run performs one-pass clustering over points in order. All vectors must
+// share the same dimensionality.
+func Run(points []Point, opts Options) (*Result, error) {
+	opts.fill()
+	res := &Result{Assignment: make(map[string]int, len(points))}
+	if len(points) == 0 {
+		return res, nil
+	}
+	res.Dim = len(points[0].Vec)
+	for _, p := range points {
+		if len(p.Vec) != res.Dim {
+			return nil, fmt.Errorf("cluster: point %q has dim %d, want %d", p.ID, len(p.Vec), res.Dim)
+		}
+		best, bestSim := -1, -1.0
+		for _, c := range res.Clusters {
+			sim := Cosine(p.Vec, c.Centroid)
+			if sim > bestSim {
+				best, bestSim = c.ID, sim
+			}
+		}
+		capped := opts.MaxClusters > 0 && len(res.Clusters) >= opts.MaxClusters
+		if best >= 0 && (bestSim >= opts.SimThreshold || capped) {
+			res.Clusters[best].add(p)
+			res.Assignment[p.ID] = best
+			continue
+		}
+		c := &Cluster{ID: len(res.Clusters), Centroid: append([]float64(nil), p.Vec...), count: 1}
+		c.Members = append(c.Members, p.ID)
+		res.Clusters = append(res.Clusters, c)
+		res.Assignment[p.ID] = c.ID
+	}
+	return res, nil
+}
+
+// RunFixed forces (approximately) exactly k blocks by disabling the
+// similarity threshold once k clusters exist and seeding new clusters until
+// k is reached regardless of similarity. Used by the Table II experiment,
+// which sweeps the block count directly. If there are fewer points than k,
+// each point gets its own cluster.
+func RunFixed(points []Point, k int) (*Result, error) {
+	if k < 1 {
+		k = 1
+	}
+	res := &Result{Assignment: make(map[string]int, len(points))}
+	if len(points) == 0 {
+		return res, nil
+	}
+	res.Dim = len(points[0].Vec)
+	for _, p := range points {
+		if len(p.Vec) != res.Dim {
+			return nil, fmt.Errorf("cluster: point %q has dim %d, want %d", p.ID, len(p.Vec), res.Dim)
+		}
+		if len(res.Clusters) < k {
+			// Seed new clusters with the first k maximally spread points:
+			// seed when no existing centroid is very close.
+			best, bestSim := -1, -1.0
+			for _, c := range res.Clusters {
+				if sim := Cosine(p.Vec, c.Centroid); sim > bestSim {
+					best, bestSim = c.ID, sim
+				}
+			}
+			if best < 0 || bestSim < 0.999 {
+				c := &Cluster{ID: len(res.Clusters), Centroid: append([]float64(nil), p.Vec...), count: 1}
+				c.Members = append(c.Members, p.ID)
+				res.Clusters = append(res.Clusters, c)
+				res.Assignment[p.ID] = c.ID
+				continue
+			}
+			res.Clusters[best].add(p)
+			res.Assignment[p.ID] = best
+			continue
+		}
+		best, bestSim := 0, -1.0
+		for _, c := range res.Clusters {
+			if sim := Cosine(p.Vec, c.Centroid); sim > bestSim {
+				best, bestSim = c.ID, sim
+			}
+		}
+		res.Clusters[best].add(p)
+		res.Assignment[p.ID] = best
+	}
+	return res, nil
+}
+
+func (c *Cluster) add(p Point) {
+	c.Members = append(c.Members, p.ID)
+	c.count++
+	inv := 1 / float64(c.count)
+	for i := range c.Centroid {
+		c.Centroid[i] += (p.Vec[i] - c.Centroid[i]) * inv
+	}
+}
+
+// Size returns the number of members.
+func (c *Cluster) Size() int { return len(c.Members) }
+
+// Cosine returns the cosine similarity of a and b (0 if either is zero).
+func Cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// SizesDescending returns the cluster sizes sorted largest first — a quick
+// shape summary used in logs and tests.
+func (r *Result) SizesDescending() []int {
+	sizes := make([]int, len(r.Clusters))
+	for i, c := range r.Clusters {
+		sizes[i] = c.Size()
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}

@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func axisPoint(id string, dim, axis int, noise float64, rng *rand.Rand) Point {
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = noise * rng.Float64()
+	}
+	v[axis] = 1
+	return Point{ID: id, Vec: v}
+}
+
+func TestCosine(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{1, 0}, []float64{1, 0}, 1},
+		{[]float64{1, 0}, []float64{0, 1}, 0},
+		{[]float64{1, 1}, []float64{1, 1}, 1},
+		{[]float64{0, 0}, []float64{1, 1}, 0},
+		{[]float64{2, 0}, []float64{7, 0}, 1},
+	}
+	for _, c := range cases {
+		if got := Cosine(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Cosine(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCosineMismatchedLengths(t *testing.T) {
+	// Shorter vector is treated as zero-padded.
+	got := Cosine([]float64{1, 0, 0}, []float64{1})
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("Cosine with short b = %v", got)
+	}
+}
+
+func TestRunSeparatesAxisClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var pts []Point
+	for i := 0; i < 30; i++ {
+		pts = append(pts, axisPoint(fmt.Sprintf("a%d", i), 5, 0, 0.05, rng))
+		pts = append(pts, axisPoint(fmt.Sprintf("b%d", i), 5, 2, 0.05, rng))
+		pts = append(pts, axisPoint(fmt.Sprintf("c%d", i), 5, 4, 0.05, rng))
+	}
+	res, err := Run(pts, Options{SimThreshold: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 3 {
+		t.Fatalf("got %d clusters, want 3 (sizes %v)", len(res.Clusters), res.SizesDescending())
+	}
+	// Members of the same letter must share a cluster.
+	for _, prefix := range []string{"a", "b", "c"} {
+		first := res.Assignment[prefix+"0"]
+		for i := 1; i < 30; i++ {
+			if res.Assignment[fmt.Sprintf("%s%d", prefix, i)] != first {
+				t.Errorf("%s%d not in cluster %d", prefix, i, first)
+			}
+		}
+	}
+}
+
+func TestRunEveryPointAssignedExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var pts []Point
+	for i := 0; i < 100; i++ {
+		pts = append(pts, axisPoint(fmt.Sprintf("p%d", i), 8, rng.Intn(8), 0.2, rng))
+	}
+	res, err := Run(pts, Options{SimThreshold: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignment) != len(pts) {
+		t.Fatalf("%d assignments for %d points", len(res.Assignment), len(pts))
+	}
+	total := 0
+	for _, c := range res.Clusters {
+		total += c.Size()
+		for _, id := range c.Members {
+			if res.Assignment[id] != c.ID {
+				t.Errorf("member %s of cluster %d assigned to %d", id, c.ID, res.Assignment[id])
+			}
+		}
+	}
+	if total != len(pts) {
+		t.Fatalf("cluster sizes sum to %d, want %d", total, len(pts))
+	}
+}
+
+func TestRunMaxClustersCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var pts []Point
+	for i := 0; i < 200; i++ {
+		pts = append(pts, axisPoint(fmt.Sprintf("p%d", i), 20, i%20, 0.0, rng))
+	}
+	res, err := Run(pts, Options{SimThreshold: 0.99, MaxClusters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) > 5 {
+		t.Fatalf("cap violated: %d clusters", len(res.Clusters))
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	res, err := Run(nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 0 || len(res.Assignment) != 0 {
+		t.Fatal("non-empty result for empty input")
+	}
+}
+
+func TestRunDimensionMismatch(t *testing.T) {
+	pts := []Point{{ID: "a", Vec: []float64{1, 0}}, {ID: "b", Vec: []float64{1}}}
+	if _, err := Run(pts, Options{}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestRunFixedReachesK(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var pts []Point
+	for i := 0; i < 300; i++ {
+		pts = append(pts, axisPoint(fmt.Sprintf("p%d", i), 10, i%10, 0.3, rng))
+	}
+	for _, k := range []int{1, 3, 10, 25} {
+		res, err := RunFixed(pts, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Clusters) > k && k <= len(pts) {
+			t.Errorf("k=%d: got %d clusters", k, len(res.Clusters))
+		}
+		if len(res.Assignment) != len(pts) {
+			t.Errorf("k=%d: %d assignments", k, len(res.Assignment))
+		}
+	}
+}
+
+func TestRunFixedOneBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var pts []Point
+	for i := 0; i < 50; i++ {
+		pts = append(pts, axisPoint(fmt.Sprintf("p%d", i), 4, i%4, 0.1, rng))
+	}
+	res, err := RunFixed(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 || res.Clusters[0].Size() != 50 {
+		t.Fatalf("want single cluster of 50, got sizes %v", res.SizesDescending())
+	}
+}
+
+func TestCentroidIsRunningMean(t *testing.T) {
+	pts := []Point{
+		{ID: "a", Vec: []float64{1, 0}},
+		{ID: "b", Vec: []float64{0.8, 0.2}},
+		{ID: "c", Vec: []float64{0.6, 0.1}},
+	}
+	res, err := Run(pts, Options{SimThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 {
+		t.Fatalf("expected one cluster, got %d", len(res.Clusters))
+	}
+	want := []float64{(1 + 0.8 + 0.6) / 3, (0 + 0.2 + 0.1) / 3}
+	got := res.Clusters[0].Centroid
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("centroid[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: each point appears in exactly one cluster, and cluster count
+// never exceeds the cap.
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		maxC := int(capRaw%10) + 1
+		var pts []Point
+		n := 40
+		for i := 0; i < n; i++ {
+			pts = append(pts, axisPoint(fmt.Sprintf("p%d", i), 6, rng.Intn(6), rng.Float64()*0.5, rng))
+		}
+		res, err := Run(pts, Options{SimThreshold: 0.3 + rng.Float64()*0.6, MaxClusters: maxC})
+		if err != nil {
+			return false
+		}
+		if len(res.Clusters) > maxC {
+			return false
+		}
+		seen := map[string]int{}
+		for _, c := range res.Clusters {
+			for _, id := range c.Members {
+				seen[id]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, k := range seen {
+			if k != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var pts []Point
+	for i := 0; i < 2000; i++ {
+		pts = append(pts, axisPoint(fmt.Sprintf("p%d", i), 19, i%19, 0.2, rng))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(pts, Options{SimThreshold: 0.6, MaxClusters: 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,533 @@
+// Package core implements the ssRec engine of Zhou et al. (ICDE 2019): the
+// full pipeline wiring the BiHMM interest model (§IV-A), the CPPse user
+// profiles and entity-based matching (§IV-B/C) and the CPPse-index (§V)
+// behind one Engine type that satisfies the shared Recommender interface.
+//
+// Lifecycle:
+//
+//	eng := core.New(cfg)
+//	eng.Train(items, interactions)        // batch bootstrap
+//	recs := eng.Recommend(item, k)        // per incoming stream item
+//	eng.Observe(interaction, item)        // per user-item interaction
+//
+// Observe maintains the short-term windows, the producer layer and the
+// index entries (Algorithm 2) unless updates are disabled
+// (Config.DisableUpdates — the ssRec-nu arm of Fig. 9).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ssrec/internal/bihmm"
+	"ssrec/internal/cppse"
+	"ssrec/internal/entity"
+	"ssrec/internal/hmm"
+	"ssrec/internal/model"
+	"ssrec/internal/profile"
+	"ssrec/internal/ranking"
+	"ssrec/internal/sigtree"
+)
+
+// Config parameterises the engine. Zero values take the paper's defaults.
+type Config struct {
+	Categories []string
+
+	// WindowSize is |W|, the short-term interest window (paper optimum 5).
+	WindowSize int
+	// LambdaS balances short/long-term relevance (paper optima 0.4/0.3).
+	LambdaS float64
+	// Mu is the Dirichlet smoothing pseudo-count. Default 10.
+	Mu float64
+
+	// ConsumerStates / ProducerStates are the BiHMM hidden-state counts.
+	ConsumerStates int
+	ProducerStates int
+	// AutoSelectStates tunes the consumer hidden-state count per user by
+	// held-out next-category accuracy (the paper's §VI-C1 protocol),
+	// trying 1..ConsumerStates. Costs ~ConsumerStates× the training time;
+	// off by default.
+	AutoSelectStates bool
+	// MinProducerHistory gates per-producer a-HMM training.
+	MinProducerHistory int
+	// MinConsumerHistory gates per-consumer b-HMM training; smaller users
+	// share the population model.
+	MinConsumerHistory int
+	// MaxPopulationSeqs caps the corpus of the shared population model.
+	MaxPopulationSeqs int
+	// TrainMaxIter / Restarts forward to Baum-Welch.
+	TrainMaxIter int
+	Restarts     int
+
+	// DisableExpansion turns entity expansion off (ssRec-ne, Fig. 8).
+	DisableExpansion bool
+	// ExpansionWindow / ExpansionTopK tune the proximity expander.
+	ExpansionWindow int
+	ExpansionTopK   int
+
+	// DisableUpdates freezes profiles and index after Train (ssRec-nu,
+	// Fig. 9).
+	DisableUpdates bool
+	// UpdateBatch batches index maintenance: profile changes are applied
+	// immediately, but the per-user index entries (Algorithm 2) refresh
+	// only every UpdateBatch observations — the paper's "periodic"
+	// maintenance mode. Pending users are always flushed before a query
+	// so results never serve stale entries. 0 or 1 = immediate.
+	UpdateBatch int
+
+	// Index knobs (see cppse.Config).
+	SimThreshold float64
+	MaxBlocks    int
+	FixedBlocks  int
+	Fanout       int
+	HashBuckets  int
+
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.WindowSize <= 0 {
+		c.WindowSize = 5
+	}
+	if c.LambdaS == 0 {
+		c.LambdaS = 0.4
+	}
+	if c.Mu <= 0 {
+		c.Mu = 10
+	}
+	if c.ConsumerStates <= 0 {
+		c.ConsumerStates = 3
+	}
+	if c.ProducerStates <= 0 {
+		c.ProducerStates = 3
+	}
+	if c.MinProducerHistory <= 0 {
+		c.MinProducerHistory = 5
+	}
+	if c.MinConsumerHistory <= 0 {
+		c.MinConsumerHistory = 12
+	}
+	if c.MaxPopulationSeqs <= 0 {
+		c.MaxPopulationSeqs = 150
+	}
+	if c.TrainMaxIter <= 0 {
+		c.TrainMaxIter = 15
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 2
+	}
+	if c.ExpansionWindow <= 0 {
+		c.ExpansionWindow = 5
+	}
+	if c.ExpansionTopK <= 0 {
+		c.ExpansionTopK = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Engine is the assembled ssRec recommender.
+type Engine struct {
+	cfg    Config
+	catIdx map[string]int
+
+	store    *profile.Store
+	bg       *profile.Background
+	expander *entity.Expander
+
+	producers *bihmm.ProducerLayer
+	// consumer observation sequences: category index + producer state of
+	// every browsed item, in temporal order. The last WindowLen entries
+	// correspond to the profile's short-term window.
+	consumerObs map[string][]bihmm.Obs
+	consumers   map[string]*bihmm.BHMM // per-consumer models
+	population  *bihmm.BHMM            // fallback for thin consumers
+
+	// itemZ caches the decoded producer state of every known item.
+	itemZ     map[string]int
+	prodPos   map[string]int // items created per producer so far
+	index     *cppse.Index
+	predCache map[string]*predEntry
+
+	// dirty users await batched index maintenance (Config.UpdateBatch).
+	dirty      map[string]bool
+	sinceFlush int
+	trained    bool
+}
+
+// predEntry caches one consumer's long/short category predictions keyed by
+// the observation length they were computed at.
+type predEntry struct {
+	obsLen int
+	long   []float64
+	short  []float64
+}
+
+// New creates an engine; Train must run before Recommend.
+func New(cfg Config) *Engine {
+	cfg.fill()
+	e := &Engine{
+		cfg:         cfg,
+		catIdx:      make(map[string]int, len(cfg.Categories)),
+		store:       profile.NewStore(cfg.WindowSize),
+		consumerObs: make(map[string][]bihmm.Obs),
+		consumers:   make(map[string]*bihmm.BHMM),
+		itemZ:       make(map[string]int),
+		prodPos:     make(map[string]int),
+		predCache:   make(map[string]*predEntry),
+		dirty:       make(map[string]bool),
+	}
+	for i, c := range cfg.Categories {
+		e.catIdx[c] = i
+	}
+	e.expander = entity.NewExpander(cfg.ExpansionWindow, cfg.ExpansionTopK)
+	return e
+}
+
+// Name implements the Recommender interface.
+func (e *Engine) Name() string {
+	switch {
+	case e.cfg.DisableExpansion:
+		return "ssRec-ne"
+	case e.cfg.DisableUpdates:
+		return "ssRec-nu"
+	}
+	return "ssRec"
+}
+
+// Train bootstraps the engine: background distributions and the expander
+// from the training items, the producer layer from per-producer item
+// streams, per-consumer BiHMMs from the training interactions, and finally
+// the CPPse-index.
+//
+// items must contain every item referenced by interactions (and may
+// contain more — only items up to the last training timestamp contribute
+// to the background).
+func (e *Engine) Train(items []model.Item, interactions []model.Interaction, resolve func(string) (model.Item, bool)) error {
+	if len(e.cfg.Categories) == 0 {
+		return fmt.Errorf("core: no categories configured")
+	}
+	var lastTS int64
+	for _, ir := range interactions {
+		if ir.Timestamp > lastTS {
+			lastTS = ir.Timestamp
+		}
+	}
+	// Background + expander + producer histories from training-era items.
+	var bgItems []model.Item
+	prodHist := map[string][]int{}
+	prodItems := map[string][]string{}
+	for _, v := range items {
+		if lastTS > 0 && v.Timestamp > lastTS {
+			continue
+		}
+		bgItems = append(bgItems, v)
+		e.expander.Observe(v.Category, v.Entities)
+		ci, ok := e.catIdx[v.Category]
+		if !ok {
+			continue
+		}
+		prodHist[v.Producer] = append(prodHist[v.Producer], ci)
+		prodItems[v.Producer] = append(prodItems[v.Producer], v.ID)
+	}
+	e.bg = profile.NewBackground(bgItems, e.cfg.Mu)
+
+	e.producers = bihmm.FitProducerLayer(prodHist, len(e.cfg.Categories), bihmm.ProducerLayerOptions{
+		NZ:         e.cfg.ProducerStates,
+		MinHistory: e.cfg.MinProducerHistory,
+		Seed:       e.cfg.Seed,
+		Train:      hmm.TrainOptions{MaxIter: e.cfg.TrainMaxIter, Restarts: e.cfg.Restarts},
+	})
+	for up, ids := range prodItems {
+		for pos, id := range ids {
+			e.itemZ[id] = e.producers.AlignedStateAt(up, pos)
+		}
+		e.prodPos[up] = len(ids)
+	}
+
+	// Replay training interactions into profiles and observation streams.
+	for _, ir := range interactions {
+		v, ok := resolve(ir.ItemID)
+		if !ok {
+			continue
+		}
+		p := e.store.Get(ir.UserID)
+		p.ObserveLongTerm(profile.EventFromItem(v, ir.Timestamp))
+		e.consumerObs[ir.UserID] = append(e.consumerObs[ir.UserID], e.obsFor(v))
+	}
+
+	// Per-consumer BiHMMs plus the shared population fallback.
+	ids := make([]string, 0, len(e.consumerObs))
+	for id := range e.consumerObs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	opts := bihmm.TrainOptions{MaxIter: e.cfg.TrainMaxIter, Restarts: e.cfg.Restarts}
+	// The conditioning alphabet is the aligned producer state: one symbol
+	// per category (see bihmm.ProducerLayer.AlignedStateAt).
+	nz := len(e.cfg.Categories)
+	var popCorpus [][]bihmm.Obs
+	for k, id := range ids {
+		obs := e.consumerObs[id]
+		if len(popCorpus) < e.cfg.MaxPopulationSeqs {
+			popCorpus = append(popCorpus, obs)
+		}
+		if len(obs) < e.cfg.MinConsumerHistory {
+			continue
+		}
+		if e.cfg.AutoSelectStates {
+			_, m, _ := bihmm.SelectConsumerStates(obs, e.cfg.ConsumerStates, nz,
+				len(e.cfg.Categories), e.cfg.Seed+int64(k)*31, opts)
+			if m != nil {
+				e.consumers[id] = m
+			}
+			continue
+		}
+		m, _, err := bihmm.Fit(e.cfg.ConsumerStates, nz, len(e.cfg.Categories),
+			[][]bihmm.Obs{obs}, e.cfg.Seed+int64(k)*31, opts)
+		if err == nil {
+			e.consumers[id] = m
+		}
+	}
+	if len(popCorpus) > 0 {
+		if m, _, err := bihmm.Fit(e.cfg.ConsumerStates, nz, len(e.cfg.Categories),
+			popCorpus, e.cfg.Seed+7, opts); err == nil {
+			e.population = m
+		}
+	}
+
+	// Build the index with BiHMM-backed probabilities.
+	ix, err := buildIndex(e)
+	if err != nil {
+		return err
+	}
+	e.index = ix
+	e.trained = true
+	return nil
+}
+
+// buildIndex constructs the CPPse-index from the engine's current state.
+func buildIndex(e *Engine) (*cppse.Index, error) {
+	ix, err := cppse.Build(e.store, e.bg, e.probs(), cppse.Config{
+		Categories:   e.cfg.Categories,
+		LambdaS:      e.cfg.LambdaS,
+		Mu:           e.cfg.Mu,
+		SimThreshold: e.cfg.SimThreshold,
+		MaxBlocks:    e.cfg.MaxBlocks,
+		FixedBlocks:  e.cfg.FixedBlocks,
+		Fanout:       e.cfg.Fanout,
+		HashBuckets:  e.cfg.HashBuckets,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: index build: %w", err)
+	}
+	return ix, nil
+}
+
+// obsFor converts an item into the consumer observation (category index,
+// producer state of the item).
+func (e *Engine) obsFor(v model.Item) bihmm.Obs {
+	ci, ok := e.catIdx[v.Category]
+	if !ok {
+		ci = 0
+	}
+	z, ok := e.itemZ[v.ID]
+	if !ok {
+		z = bihmm.ZUnknown
+	}
+	return bihmm.Obs{Cat: ci, Z: z}
+}
+
+// RegisterItem tells the engine about a newly arrived item: its producer's
+// layer advances (assigning the item a decoded state) and, unless updates
+// are disabled, the expander absorbs its entity co-occurrences. Recommend
+// calls this implicitly for unseen items.
+func (e *Engine) RegisterItem(v model.Item) {
+	if _, known := e.itemZ[v.ID]; known {
+		return
+	}
+	ci, ok := e.catIdx[v.Category]
+	if !ok {
+		e.itemZ[v.ID] = bihmm.ZUnknown
+		return
+	}
+	if e.producers != nil {
+		e.producers.ObserveItem(v.Producer, ci)
+		e.itemZ[v.ID] = e.producers.AlignedStateAt(v.Producer, e.prodPos[v.Producer])
+	} else {
+		e.itemZ[v.ID] = bihmm.ZUnknown
+	}
+	e.prodPos[v.Producer]++
+	if !e.cfg.DisableUpdates {
+		e.expander.Observe(v.Category, v.Entities)
+	}
+}
+
+// Observe implements the Recommender interface: one user-item interaction
+// from the stream. It maintains the profile (window → long-term flush),
+// the observation sequence and — unless disabled — the user's index
+// entries per Algorithm 2.
+func (e *Engine) Observe(ir model.Interaction, v model.Item) {
+	if e.cfg.DisableUpdates {
+		return
+	}
+	e.RegisterItem(v)
+	p := e.store.Get(ir.UserID)
+	p.Observe(profile.EventFromItem(v, ir.Timestamp))
+	e.consumerObs[ir.UserID] = append(e.consumerObs[ir.UserID], e.obsFor(v))
+	delete(e.predCache, ir.UserID)
+	if e.index == nil {
+		return
+	}
+	if e.cfg.UpdateBatch <= 1 {
+		_ = e.index.UpdateUser(ir.UserID) // user guaranteed to exist: created above
+		return
+	}
+	e.dirty[ir.UserID] = true
+	e.sinceFlush++
+	if e.sinceFlush >= e.cfg.UpdateBatch {
+		e.FlushUpdates()
+	}
+}
+
+// FlushUpdates applies all pending batched index maintenance (Algorithm 2)
+// and returns how many users were refreshed.
+func (e *Engine) FlushUpdates() int {
+	if e.index == nil || len(e.dirty) == 0 {
+		e.sinceFlush = 0
+		return 0
+	}
+	ids := make([]string, 0, len(e.dirty))
+	for id := range e.dirty {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		_ = e.index.UpdateUser(id)
+	}
+	n := len(ids)
+	e.dirty = make(map[string]bool)
+	e.sinceFlush = 0
+	return n
+}
+
+// Recommend implements the Recommender interface: top-k users for an
+// incoming item via the CPPse-index (Algorithm 1).
+func (e *Engine) Recommend(v model.Item, k int) []model.Recommendation {
+	recs, _ := e.RecommendStats(v, k)
+	return recs
+}
+
+// RecommendStats additionally reports the index search statistics.
+func (e *Engine) RecommendStats(v model.Item, k int) ([]model.Recommendation, sigtree.SearchStats) {
+	if !e.trained {
+		return nil, sigtree.SearchStats{}
+	}
+	e.FlushUpdates() // batched maintenance must not serve stale entries
+	e.RegisterItem(v)
+	q := e.BuildQuery(v)
+	return e.index.Recommend(q, k)
+}
+
+// RecommendScan is the pruning-free arm (AblationPruning): identical
+// candidates and scores, every leaf scored.
+func (e *Engine) RecommendScan(v model.Item, k int) []model.Recommendation {
+	if !e.trained {
+		return nil
+	}
+	e.FlushUpdates()
+	e.RegisterItem(v)
+	return e.index.RecommendScan(e.BuildQuery(v), k)
+}
+
+// BuildQuery prepares the weighted entity query for an item, applying
+// expansion unless disabled.
+func (e *Engine) BuildQuery(v model.Item) ranking.ItemQuery {
+	x := e.expander
+	if e.cfg.DisableExpansion {
+		x = nil
+	}
+	return ranking.BuildQuery(v, x)
+}
+
+// probs returns the cppse.Probs implementation backed by the BiHMM layers.
+func (e *Engine) probs() cppse.Probs { return engineProbs{e} }
+
+type engineProbs struct{ e *Engine }
+
+// Long returns the cached long-term BiHMM probability p(c|u).
+func (p engineProbs) Long(userID, category string) float64 {
+	return p.e.categoryProb(userID, category, false)
+}
+
+// Short returns the cached short-term probability ps(c|u) over the window.
+func (p engineProbs) Short(userID, category string) float64 {
+	return p.e.categoryProb(userID, category, true)
+}
+
+// categoryProb computes (with caching) the predictive category
+// distribution of a user from its BiHMM: the long-term side conditions on
+// the full history minus the window; the short-term side on the window
+// alone.
+func (e *Engine) categoryProb(userID, category string, short bool) float64 {
+	ci, ok := e.catIdx[category]
+	if !ok {
+		return 1e-9
+	}
+	obs := e.consumerObs[userID]
+	ce := e.predCache[userID]
+	if ce == nil || ce.obsLen != len(obs) {
+		ce = e.refreshPrediction(userID, obs)
+	}
+	if short {
+		return ce.short[ci]
+	}
+	return ce.long[ci]
+}
+
+func (e *Engine) refreshPrediction(userID string, obs []bihmm.Obs) *predEntry {
+	m := e.consumers[userID]
+	if m == nil {
+		m = e.population
+	}
+	nCats := len(e.cfg.Categories)
+	ce := &predEntry{obsLen: len(obs)}
+	if m == nil {
+		uniform := make([]float64, nCats)
+		for i := range uniform {
+			uniform[i] = 1 / float64(nCats)
+		}
+		ce.long, ce.short = uniform, uniform
+		e.predCache[userID] = ce
+		return ce
+	}
+	winLen := 0
+	if p, ok := e.store.Lookup(userID); ok {
+		winLen = p.WindowLen()
+	}
+	if winLen > len(obs) {
+		winLen = len(obs)
+	}
+	longObs := obs[:len(obs)-winLen]
+	shortObs := obs[len(obs)-winLen:]
+	ce.long = m.PredictNextMarginal(longObs, nil)
+	ce.short = m.PredictNextMarginal(shortObs, nil)
+	e.predCache[userID] = ce
+	return ce
+}
+
+// Store exposes the profile store (read-mostly; used by experiments).
+func (e *Engine) Store() *profile.Store { return e.store }
+
+// Index exposes the CPPse-index (used by experiments and stats reporting).
+func (e *Engine) Index() *cppse.Index { return e.index }
+
+// Expander exposes the entity expander.
+func (e *Engine) Expander() *entity.Expander { return e.expander }
+
+// ProducerLayer exposes the a-HMM layer.
+func (e *Engine) ProducerLayer() *bihmm.ProducerLayer { return e.producers }
+
+// ConsumerModelCount reports how many consumers got their own b-HMM.
+func (e *Engine) ConsumerModelCount() int { return len(e.consumers) }

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"testing"
+
+	"ssrec/internal/baseline"
+	"ssrec/internal/dataset"
+	"ssrec/internal/model"
+)
+
+func testDataset(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.YTubeConfig(0.25)
+	cfg.Seed = 5
+	return dataset.Generate(cfg)
+}
+
+func trainedEngine(t testing.TB, ds *dataset.Dataset, mutate func(*Config)) *Engine {
+	t.Helper()
+	cfg := Config{
+		Categories:   ds.Categories,
+		TrainMaxIter: 6,
+		Restarts:     1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	eng := New(cfg)
+	parts := ds.Partition(6)
+	var train []model.Interaction
+	train = append(train, parts[0]...)
+	train = append(train, parts[1]...)
+	if err := eng.Train(ds.Items, train, ds.Item); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return eng
+}
+
+func TestTrainBuildsEverything(t *testing.T) {
+	ds := testDataset(t)
+	eng := trainedEngine(t, ds, nil)
+	if eng.Index() == nil {
+		t.Fatal("no index")
+	}
+	if eng.ProducerLayer() == nil || eng.ProducerLayer().TrainedProducers() == 0 {
+		t.Fatal("producer layer not trained")
+	}
+	if eng.Store().Len() == 0 {
+		t.Fatal("no profiles")
+	}
+	if eng.Expander().Categories() == 0 {
+		t.Fatal("expander saw nothing")
+	}
+	s := eng.Index().Stats()
+	if s.Users != eng.Store().Len() {
+		t.Errorf("index has %d users, store %d", s.Users, eng.Store().Len())
+	}
+}
+
+func TestTrainRequiresCategories(t *testing.T) {
+	eng := New(Config{})
+	if err := eng.Train(nil, nil, func(string) (model.Item, bool) { return model.Item{}, false }); err == nil {
+		t.Fatal("Train accepted empty categories")
+	}
+}
+
+func TestRecommendReturnsRankedUsers(t *testing.T) {
+	ds := testDataset(t)
+	eng := trainedEngine(t, ds, nil)
+	parts := ds.Partition(6)
+	tested, nonEmpty := 0, 0
+	for _, ir := range parts[2][:min(200, len(parts[2]))] {
+		v, ok := ds.Item(ir.ItemID)
+		if !ok {
+			continue
+		}
+		recs := eng.Recommend(v, 10)
+		tested++
+		if len(recs) > 0 {
+			nonEmpty++
+			for i := 1; i < len(recs); i++ {
+				if recs[i].Score > recs[i-1].Score {
+					t.Fatalf("results not sorted: %v", recs)
+				}
+			}
+			if len(recs) > 10 {
+				t.Fatalf("more than k results: %d", len(recs))
+			}
+		}
+	}
+	if tested == 0 || nonEmpty*2 < tested {
+		t.Errorf("only %d/%d items produced recommendations", nonEmpty, tested)
+	}
+}
+
+func TestRecommendUntrained(t *testing.T) {
+	eng := New(Config{Categories: []string{"a"}})
+	if got := eng.Recommend(model.Item{ID: "x", Category: "a"}, 5); got != nil {
+		t.Fatalf("recommendations before Train: %v", got)
+	}
+}
+
+func TestRecommendMatchesScan(t *testing.T) {
+	ds := testDataset(t)
+	eng := trainedEngine(t, ds, nil)
+	parts := ds.Partition(6)
+	checked := 0
+	for _, ir := range parts[2][:min(60, len(parts[2]))] {
+		v, ok := ds.Item(ir.ItemID)
+		if !ok {
+			continue
+		}
+		got, _ := eng.RecommendStats(v, 10)
+		want := eng.RecommendScan(v, 10)
+		if len(got) != len(want) {
+			t.Fatalf("item %s: %d vs %d results", v.ID, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("item %s rank %d: %v vs %v", v.ID, i, got[i], want[i])
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+}
+
+func TestObserveUpdatesState(t *testing.T) {
+	ds := testDataset(t)
+	eng := trainedEngine(t, ds, nil)
+	parts := ds.Partition(6)
+	u := parts[2][0].UserID
+	p, ok := eng.Store().Lookup(u)
+	if !ok {
+		t.Fatalf("user %s missing", u)
+	}
+	before := p.TotalLen()
+	for _, ir := range parts[2][:min(100, len(parts[2]))] {
+		if v, ok := ds.Item(ir.ItemID); ok {
+			eng.Observe(ir, v)
+		}
+	}
+	if p.TotalLen() <= before {
+		t.Errorf("profile did not grow: %d -> %d", before, p.TotalLen())
+	}
+}
+
+func TestDisableUpdatesFreezesProfiles(t *testing.T) {
+	ds := testDataset(t)
+	eng := trainedEngine(t, ds, func(c *Config) { c.DisableUpdates = true })
+	if eng.Name() != "ssRec-nu" {
+		t.Fatalf("Name = %s", eng.Name())
+	}
+	parts := ds.Partition(6)
+	u := parts[2][0].UserID
+	p, _ := eng.Store().Lookup(u)
+	before := p.TotalLen()
+	for _, ir := range parts[2][:min(100, len(parts[2]))] {
+		if v, ok := ds.Item(ir.ItemID); ok {
+			eng.Observe(ir, v)
+		}
+	}
+	if p.TotalLen() != before {
+		t.Errorf("frozen profile grew: %d -> %d", before, p.TotalLen())
+	}
+}
+
+func TestDisableExpansionName(t *testing.T) {
+	ds := testDataset(t)
+	eng := trainedEngine(t, ds, func(c *Config) { c.DisableExpansion = true })
+	if eng.Name() != "ssRec-ne" {
+		t.Fatalf("Name = %s", eng.Name())
+	}
+	// Query must carry only the item's own entities at weight 1.
+	v := ds.Items[0]
+	q := eng.BuildQuery(v)
+	if len(q.Entities) != len(v.Entities) {
+		t.Errorf("expansion leaked: %d entities for item with %d", len(q.Entities), len(v.Entities))
+	}
+}
+
+func TestExpansionEnlargesQuery(t *testing.T) {
+	ds := testDataset(t)
+	eng := trainedEngine(t, ds, nil)
+	grew := false
+	for _, v := range ds.Items[:50] {
+		if len(eng.BuildQuery(v).Entities) > len(v.Entities) {
+			grew = true
+			break
+		}
+	}
+	if !grew {
+		t.Error("expansion never added entities over 50 items")
+	}
+}
+
+func TestRegisterItemAssignsZ(t *testing.T) {
+	ds := testDataset(t)
+	eng := trainedEngine(t, ds, nil)
+	// A fresh item from an existing (trained) producer gets a real state.
+	var up string
+	for _, v := range ds.Items {
+		if eng.ProducerLayer().Model(v.Producer) != nil {
+			up = v.Producer
+			break
+		}
+	}
+	if up == "" {
+		t.Skip("no trained producer in tiny dataset")
+	}
+	v := model.Item{ID: "fresh-item", Category: ds.Categories[0], Producer: up,
+		Entities: []string{"whatever"}}
+	eng.RegisterItem(v)
+	obs := eng.obsFor(v)
+	if obs.Z < 0 {
+		t.Errorf("fresh item from trained producer got Z=%d", obs.Z)
+	}
+	// Idempotent.
+	eng.RegisterItem(v)
+}
+
+func TestObserveNewUserJoinsIndex(t *testing.T) {
+	ds := testDataset(t)
+	eng := trainedEngine(t, ds, nil)
+	v := ds.Items[0]
+	ir := model.Interaction{UserID: "brand-new-user", ItemID: v.ID, Timestamp: v.Timestamp + 10}
+	eng.Observe(ir, v)
+	if _, ok := eng.Index().BlockOf("brand-new-user"); !ok {
+		t.Fatal("new user not assigned to a block")
+	}
+}
+
+func TestEngineImplementsRecommender(t *testing.T) {
+	var _ baseline.Recommender = (*Engine)(nil)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkEngineRecommend(b *testing.B) {
+	ds := testDataset(b)
+	eng := trainedEngine(b, ds, nil)
+	items := ds.Items
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Recommend(items[i%len(items)], 30)
+	}
+}
+
+func BenchmarkEngineObserve(b *testing.B) {
+	ds := testDataset(b)
+	eng := trainedEngine(b, ds, nil)
+	irs := ds.Interactions
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ir := irs[i%len(irs)]
+		if v, ok := ds.Item(ir.ItemID); ok {
+			eng.Observe(ir, v)
+		}
+	}
+}
+
+func TestAutoSelectStates(t *testing.T) {
+	ds := testDataset(t)
+	eng := trainedEngine(t, ds, func(c *Config) {
+		c.AutoSelectStates = true
+		c.ConsumerStates = 3
+		c.MinConsumerHistory = 8
+	})
+	if eng.ConsumerModelCount() == 0 {
+		t.Fatal("auto selection trained no consumer models")
+	}
+	// The engine must still answer queries normally.
+	recs := eng.Recommend(ds.Items[len(ds.Items)-1], 5)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations with auto-selected models")
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"ssrec/internal/bihmm"
+	"ssrec/internal/entity"
+	"ssrec/internal/profile"
+)
+
+// engineSnapshot is the on-disk form of a trained Engine: every learned
+// component plus the raw profile state. The CPPse-index is NOT serialised —
+// it is a derived structure and is rebuilt on load, which keeps the wire
+// format small and forward-compatible with index-layout changes.
+type engineSnapshot struct {
+	Config      Config
+	Profiles    []profile.Snapshot
+	Background  profile.BackgroundSnapshot
+	Expander    entity.ExpanderSnapshot
+	Producers   bihmm.LayerSnapshot
+	ConsumerObs map[string][]bihmm.Obs
+	Consumers   map[string]*bihmm.BHMM
+	Population  *bihmm.BHMM
+	ItemZ       map[string]int
+	ProdPos     map[string]int
+}
+
+// SaveTo serialises the trained engine as gzip-compressed gob. It returns
+// an error if the engine has not been trained.
+func (e *Engine) SaveTo(w io.Writer) error {
+	if !e.trained {
+		return fmt.Errorf("core: cannot save an untrained engine")
+	}
+	e.FlushUpdates()
+	snap := engineSnapshot{
+		Config:      e.cfg,
+		Background:  e.bg.Snapshot(),
+		Expander:    e.expander.Snapshot(),
+		Producers:   e.producers.Snapshot(),
+		ConsumerObs: e.consumerObs,
+		Consumers:   e.consumers,
+		Population:  e.population,
+		ItemZ:       e.itemZ,
+		ProdPos:     e.prodPos,
+	}
+	e.store.Each(func(p *profile.Profile) {
+		snap.Profiles = append(snap.Profiles, p.Snapshot())
+	})
+	gz := gzip.NewWriter(w)
+	if err := gob.NewEncoder(gz).Encode(snap); err != nil {
+		return fmt.Errorf("core: encode engine: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("core: gzip close: %w", err)
+	}
+	return nil
+}
+
+// LoadFrom deserialises an engine previously written by SaveTo and rebuilds
+// the CPPse-index, returning a ready-to-serve engine.
+func LoadFrom(r io.Reader) (*Engine, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: gzip open: %w", err)
+	}
+	defer gz.Close()
+	var snap engineSnapshot
+	if err := gob.NewDecoder(gz).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decode engine: %w", err)
+	}
+
+	e := New(snap.Config)
+	e.bg = profile.BackgroundFromSnapshot(snap.Background)
+	e.expander = entity.ExpanderFromSnapshot(snap.Expander)
+	e.producers = bihmm.LayerFromSnapshot(snap.Producers)
+	e.consumerObs = snap.ConsumerObs
+	if e.consumerObs == nil {
+		e.consumerObs = make(map[string][]bihmm.Obs)
+	}
+	e.consumers = snap.Consumers
+	if e.consumers == nil {
+		e.consumers = make(map[string]*bihmm.BHMM)
+	}
+	e.population = snap.Population
+	e.itemZ = snap.ItemZ
+	if e.itemZ == nil {
+		e.itemZ = make(map[string]int)
+	}
+	e.prodPos = snap.ProdPos
+	if e.prodPos == nil {
+		e.prodPos = make(map[string]int)
+	}
+	for _, ps := range snap.Profiles {
+		restored := profile.FromSnapshot(ps)
+		*e.store.Get(ps.UserID) = *restored
+	}
+	if err := e.rebuildIndex(); err != nil {
+		return nil, err
+	}
+	e.trained = true
+	return e, nil
+}
+
+// rebuildIndex reconstructs the CPPse-index from the current profile and
+// model state (used after LoadFrom, and available for periodic
+// re-clustering).
+func (e *Engine) rebuildIndex() error {
+	ix, err := buildIndex(e)
+	if err != nil {
+		return err
+	}
+	e.index = ix
+	e.predCache = make(map[string]*predEntry)
+	return nil
+}
+
+// RebuildIndex re-clusters users and rebuilds the index from scratch —
+// periodic maintenance for when incremental block assignment has drifted
+// far from the one-pass clustering optimum.
+func (e *Engine) RebuildIndex() error {
+	if !e.trained {
+		return fmt.Errorf("core: engine not trained")
+	}
+	e.FlushUpdates()
+	return e.rebuildIndex()
+}
+
+// SaveFile / LoadFile are path-based conveniences.
+func (e *Engine) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: create %s: %w", path, err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := e.SaveTo(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadFile reads an engine from path.
+func LoadFile(path string) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return LoadFrom(bufio.NewReader(f))
+}

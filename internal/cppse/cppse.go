@@ -1,0 +1,508 @@
+// Package cppse assembles the CPPse-index of Zhou et al. (ICDE 2019, §V):
+// a chained shift-add-xor hash table over category–entity pairs (package
+// shx) pointing into extended signature trees (package sigtree), one per
+// ⟨user block, category⟩, with user blocks produced by one-pass clustering
+// over long-term categorical interests (package cluster).
+//
+// The index answers top-k user queries for incoming items (Algorithm 1 via
+// sigtree.Search) and supports the dynamic maintenance of Algorithm 2:
+// profile updates, unseen entities (hash + universe growth) and new users
+// (nearest-block assignment).
+package cppse
+
+import (
+	"fmt"
+	"sort"
+
+	"ssrec/internal/cluster"
+	"ssrec/internal/model"
+	"ssrec/internal/profile"
+	"ssrec/internal/ranking"
+	"ssrec/internal/shx"
+	"ssrec/internal/sigtree"
+)
+
+// Config parameterises index construction.
+type Config struct {
+	Categories []string
+	// LambdaS balances short- vs long-term relevance (Eq. 3). Default 0.4.
+	LambdaS float64
+	// Mu is the Dirichlet pseudo-count of the smoothed MLEs. Default 10.
+	Mu float64
+	// SimThreshold is the one-pass clustering threshold. Default 0.6.
+	SimThreshold float64
+	// MaxBlocks caps the number of user blocks. Default 20.
+	MaxBlocks int
+	// FixedBlocks, when > 0, forces (approximately) that many blocks via
+	// cluster.RunFixed — used by the Table II experiment sweep.
+	FixedBlocks int
+	// Fanout of the signature trees. Default sigtree.DefaultFanout.
+	Fanout int
+	// HashBuckets of the chained table. Default 1 << 12.
+	HashBuckets int
+}
+
+func (c *Config) fill() {
+	if c.LambdaS == 0 {
+		c.LambdaS = 0.4
+	}
+	if c.Mu <= 0 {
+		c.Mu = 10
+	}
+	if c.SimThreshold == 0 {
+		c.SimThreshold = 0.6
+	}
+	if c.MaxBlocks <= 0 {
+		c.MaxBlocks = 20
+	}
+	if c.HashBuckets <= 0 {
+		c.HashBuckets = 1 << 12
+	}
+}
+
+// Probs supplies the cached BiHMM category probabilities stored in leaf
+// signatures: Long is the long-term p(c|u), Short the short-term ps(c|u)
+// over the user's recent window. The ssRec engine implements this with the
+// trained BiHMM; MLEProbs is a model-free fallback.
+type Probs interface {
+	Long(userID, category string) float64
+	Short(userID, category string) float64
+}
+
+// MLEProbs implements Probs from profile statistics alone: the long-term
+// category MLE and the add-one-smoothed window frequency.
+type MLEProbs struct {
+	Store *profile.Store
+	NCats int
+}
+
+// Long implements Probs.
+func (m MLEProbs) Long(userID, category string) float64 {
+	p, ok := m.Store.Lookup(userID)
+	if !ok {
+		return 1 / float64(m.NCats)
+	}
+	return p.CategoryMLE(category, m.NCats)
+}
+
+// Short implements Probs.
+func (m MLEProbs) Short(userID, category string) float64 {
+	p, ok := m.Store.Lookup(userID)
+	if !ok {
+		return 1 / float64(m.NCats)
+	}
+	n := 0
+	for _, c := range p.WindowCategories() {
+		if c == category {
+			n++
+		}
+	}
+	return float64(n+1) / float64(p.WindowLen()+m.NCats)
+}
+
+type treeKey struct {
+	block    int
+	category string
+}
+
+// Index is the assembled CPPse-index.
+type Index struct {
+	cfg   Config
+	bg    *profile.Background
+	probs Probs
+	store *profile.Store
+
+	blocks     *cluster.Result
+	userBlock  map[string]int
+	prodUni    []*sigtree.Universe // per block, shared across its trees
+	trees      map[treeKey]*sigtree.Tree
+	treesByCat map[string][]*sigtree.Tree
+	hash       *shx.Table
+}
+
+// Build constructs the index over every profile in store.
+//
+// Steps: (1) one-pass clustering of users into blocks on their long-term
+// category vectors; (2) per block, a shared producer universe; (3) per
+// ⟨block, category⟩ with at least one interested member, an extended
+// signature tree with one leaf entry per member; (4) a chained hash table
+// from every ⟨category, entity⟩ pair in a tree's universe to that tree.
+func Build(store *profile.Store, bg *profile.Background, probs Probs, cfg Config) (*Index, error) {
+	cfg.fill()
+	if len(cfg.Categories) == 0 {
+		return nil, fmt.Errorf("cppse: no categories configured")
+	}
+	ix := &Index{
+		cfg:        cfg,
+		bg:         bg,
+		probs:      probs,
+		store:      store,
+		userBlock:  make(map[string]int),
+		trees:      make(map[treeKey]*sigtree.Tree),
+		treesByCat: make(map[string][]*sigtree.Tree),
+		hash:       shx.NewTable(cfg.HashBuckets),
+	}
+
+	// (1) user blocks.
+	var points []cluster.Point
+	store.Each(func(p *profile.Profile) {
+		points = append(points, cluster.Point{ID: p.UserID, Vec: p.CategoryVector(cfg.Categories)})
+	})
+	// Deterministic clustering input order.
+	sortPointsByID(points)
+	var (
+		res *cluster.Result
+		err error
+	)
+	if cfg.FixedBlocks > 0 {
+		res, err = cluster.RunFixed(points, cfg.FixedBlocks)
+	} else {
+		res, err = cluster.Run(points, cluster.Options{SimThreshold: cfg.SimThreshold, MaxClusters: cfg.MaxBlocks})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cppse: clustering: %w", err)
+	}
+	ix.blocks = res
+	for id, b := range res.Assignment {
+		ix.userBlock[id] = b
+	}
+
+	// (2) block producer universes.
+	ix.prodUni = make([]*sigtree.Universe, len(res.Clusters))
+	for _, c := range res.Clusters {
+		u := sigtree.NewUniverse(nil)
+		for _, uid := range c.Members {
+			p, _ := store.Lookup(uid)
+			if p == nil {
+				continue
+			}
+			for _, up := range sortedStrings(p.Producers()) {
+				u.Add(up)
+			}
+		}
+		ix.prodUni[c.ID] = u
+	}
+
+	// (3)+(4) trees and hash entries.
+	for _, c := range res.Clusters {
+		for _, cat := range cfg.Categories {
+			var members []*profile.Profile
+			ents := sigtree.NewUniverse(nil)
+			for _, uid := range c.Members {
+				p, _ := store.Lookup(uid)
+				if p == nil || !ix.userInterested(p, cat) {
+					continue
+				}
+				members = append(members, p)
+				for _, e := range sortedStrings(p.EntitiesIn(cat)) {
+					ents.Add(e)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			tr := sigtree.New(c.ID, cat, ix.prodUni[c.ID], ents, cfg.Fanout)
+			ix.trees[treeKey{c.ID, cat}] = tr // register before leafSignature reads tr.Ent
+			ix.treesByCat[cat] = append(ix.treesByCat[cat], tr)
+			for _, p := range members {
+				tr.Insert(p.UserID, ix.leafSignature(p, c.ID, cat))
+			}
+			for _, e := range ents.Names() {
+				ix.hash.Insert(shx.PairKey(cat, e), tr)
+			}
+		}
+	}
+	return ix, nil
+}
+
+// userInterested reports whether a user belongs in the tree of cat: any
+// long-term or windowed activity there.
+func (ix *Index) userInterested(p *profile.Profile, cat string) bool {
+	if p.CategoryCount(cat) > 0 {
+		return true
+	}
+	for _, wc := range p.WindowCategories() {
+		if wc == cat {
+			return true
+		}
+	}
+	return false
+}
+
+// leafSignature encodes a user's statistics for one tree.
+func (ix *Index) leafSignature(p *profile.Profile, block int, cat string) sigtree.Signature {
+	prodU := ix.prodUni[block]
+	sig := sigtree.Signature{
+		Pl:         ix.probs.Long(p.UserID, cat),
+		Ps:         ix.probs.Short(p.UserID, cat),
+		ProdCounts: make([]float64, prodU.Len()),
+		ProdTotal:  float64(p.ProducerTotal()),
+		EntTotal:   float64(p.EntityTotal(cat)),
+	}
+	for _, up := range p.Producers() {
+		if i, ok := prodU.Index(up); ok {
+			sig.ProdCounts[i] = float64(p.ProducerCount(up))
+		}
+	}
+	tr := ix.trees[treeKey{block, cat}]
+	var entU *sigtree.Universe
+	if tr != nil {
+		entU = tr.Ent
+	}
+	if entU != nil {
+		sig.EntCounts = make([]float64, entU.Len())
+		for _, e := range p.EntitiesIn(cat) {
+			if i, ok := entU.Index(e); ok {
+				sig.EntCounts[i] = float64(p.EntityCount(cat, e))
+			}
+		}
+	}
+	return sig
+}
+
+// Recommend returns the top-k users for the prepared item query, plus the
+// pruning statistics of the search. The query should be built with
+// ranking.BuildQuery (expansion included when desired).
+func (ix *Index) Recommend(q ranking.ItemQuery, k int) ([]model.Recommendation, sigtree.SearchStats) {
+	trees := ix.lookupTrees(q)
+	tqs := make([]sigtree.TreeQuery, 0, len(trees))
+	for _, tr := range trees {
+		tqs = append(tqs, sigtree.TreeQuery{Tree: tr, Query: ix.encodeQuery(q, tr)})
+	}
+	return sigtree.Search(tqs, k)
+}
+
+// CandidateUsers returns the users reachable for a query — the candidate
+// set a sequential scan over the same trees would consider. Used by
+// equivalence tests and the ablation benchmarks.
+func (ix *Index) CandidateUsers(q ranking.ItemQuery) []string {
+	var out []string
+	for _, tr := range ix.lookupTrees(q) {
+		out = append(out, tr.Users()...)
+	}
+	return out
+}
+
+// RecommendScan is the no-pruning arm: identical candidate trees and
+// scoring, but every leaf entry is scored (AblationPruning).
+func (ix *Index) RecommendScan(q ranking.ItemQuery, k int) []model.Recommendation {
+	trees := ix.lookupTrees(q)
+	tqs := make([]sigtree.TreeQuery, 0, len(trees))
+	for _, tr := range trees {
+		tqs = append(tqs, sigtree.TreeQuery{Tree: tr, Query: ix.encodeQuery(q, tr)})
+	}
+	return sigtree.SequentialScan(tqs, k)
+}
+
+// lookupTrees locates candidate trees for a query. The primary path is the
+// paper's: the chained hash table over the query's ⟨category, entity⟩
+// pairs. It is complemented by producer routing — trees of the item's
+// category whose block has browsed the item's producer — because the
+// ranking function (Eq. 2) scores producer affinity as strongly as entity
+// affinity, and at laptop-scale vocabularies the entity hash alone would
+// spuriously skip whole blocks that the paper's 54k-entity vocabulary
+// would always match (see DESIGN.md, implementation refinements).
+func (ix *Index) lookupTrees(q ranking.ItemQuery) []*sigtree.Tree {
+	seen := map[*sigtree.Tree]bool{}
+	var out []*sigtree.Tree
+	add := func(tr *sigtree.Tree) {
+		if !seen[tr] {
+			seen[tr] = true
+			out = append(out, tr)
+		}
+	}
+	for _, we := range q.Entities {
+		for _, ptr := range ix.hash.Lookup(shx.PairKey(q.Category, we.Name)) {
+			add(ptr.(*sigtree.Tree))
+		}
+	}
+	for _, tr := range ix.treesByCat[q.Category] {
+		if _, ok := tr.Prod.Index(q.Producer); ok {
+			add(tr)
+		}
+	}
+	return out
+}
+
+// encodeQuery produces the pseudo-query of the paper's Example 1 for one
+// tree: producer one-hot collapsed to an index, sparse entity weights over
+// the tree's universe, and the user-independent background mass.
+func (ix *Index) encodeQuery(q ranking.ItemQuery, tr *sigtree.Tree) *sigtree.Query {
+	sq := &sigtree.Query{
+		ProdIdx: -1,
+		BgProd:  ix.bg.ProducerProb(q.Producer),
+		Mu:      ix.cfg.Mu,
+		LambdaS: ix.cfg.LambdaS,
+	}
+	if i, ok := tr.Prod.Index(q.Producer); ok {
+		sq.ProdIdx = i
+	}
+	acc := map[int]float64{}
+	for _, we := range q.Entities {
+		sq.BgEnt += we.Weight * ix.bg.EntityProb(q.Category, we.Name)
+		if i, ok := tr.Ent.Index(we.Name); ok {
+			acc[i] += we.Weight
+		}
+	}
+	for i, w := range acc {
+		sq.Ents = append(sq.Ents, sigtree.WeightedIdx{Idx: i, W: w})
+	}
+	// Deterministic summation order so repeated encodings of the same item
+	// produce bit-identical scores.
+	sort.Slice(sq.Ents, func(a, b int) bool { return sq.Ents[a].Idx < sq.Ents[b].Idx })
+	return sq
+}
+
+// UpdateUser refreshes (or creates) the index entries of one user from the
+// current state of its profile — the per-user body of Algorithm 2. New
+// users are assigned to the nearest block centroid; unseen entities extend
+// the tree universe and the hash table.
+func (ix *Index) UpdateUser(userID string) error {
+	p, ok := ix.store.Lookup(userID)
+	if !ok {
+		return fmt.Errorf("cppse: unknown user %q", userID)
+	}
+	block, known := ix.userBlock[userID]
+	if !known {
+		block = ix.nearestBlock(p)
+		ix.userBlock[userID] = block
+	}
+	prodU := ix.prodUni[block]
+	for _, up := range sortedStrings(p.Producers()) {
+		prodU.Add(up)
+	}
+	cats := map[string]bool{}
+	for _, c := range p.Categories() {
+		cats[c] = true
+	}
+	for _, c := range p.WindowCategories() {
+		cats[c] = true
+	}
+	for _, cat := range sortedKeys(cats) {
+		key := treeKey{block, cat}
+		tr := ix.trees[key]
+		if tr == nil {
+			tr = sigtree.New(block, cat, prodU, sigtree.NewUniverse(nil), ix.cfg.Fanout)
+			ix.trees[key] = tr
+			ix.treesByCat[cat] = append(ix.treesByCat[cat], tr)
+		}
+		// Unseen entities: extend universe + hash (Algorithm 2 lines 5-9).
+		for _, e := range sortedStrings(p.EntitiesIn(cat)) {
+			if _, ok := tr.Ent.Index(e); !ok {
+				tr.Ent.Add(e)
+				ix.hash.Insert(shx.PairKey(cat, e), tr)
+			}
+		}
+		sig := ix.leafSignature(p, block, cat)
+		if !tr.Update(userID, sig) {
+			tr.Insert(userID, sig)
+		}
+	}
+	return nil
+}
+
+// RemoveUser deletes a user's entries from every tree of its block (a user
+// leaving the platform). The profile itself is owned by the caller's
+// store. Returns false if the user was never indexed.
+func (ix *Index) RemoveUser(userID string) bool {
+	block, ok := ix.userBlock[userID]
+	if !ok {
+		return false
+	}
+	removed := false
+	for _, cat := range ix.cfg.Categories {
+		if tr := ix.trees[treeKey{block, cat}]; tr != nil && tr.Delete(userID) {
+			removed = true
+		}
+	}
+	delete(ix.userBlock, userID)
+	return removed
+}
+
+// nearestBlock assigns a (new) user to the closest block centroid, or
+// block 0 when no blocks exist.
+func (ix *Index) nearestBlock(p *profile.Profile) int {
+	if len(ix.blocks.Clusters) == 0 {
+		return 0
+	}
+	vec := p.CategoryVector(ix.cfg.Categories)
+	best, bestSim := 0, -1.0
+	for _, c := range ix.blocks.Clusters {
+		if sim := cluster.Cosine(vec, c.Centroid); sim > bestSim {
+			best, bestSim = c.ID, sim
+		}
+	}
+	return best
+}
+
+// IndexStats summarises the built index (Table II inputs and general
+// shape).
+type IndexStats struct {
+	Blocks          int
+	Trees           int
+	Users           int
+	MaxEntityUni    int // largest per-tree entity universe
+	MaxProducerUni  int // largest per-block producer universe
+	HashKeys        int
+	HashMaxChain    int
+	TotalLeafCount  int
+	MaxTreeEntries  int
+	DeepestTreeSize int
+}
+
+// Stats computes the index summary.
+func (ix *Index) Stats() IndexStats {
+	s := IndexStats{Blocks: len(ix.blocks.Clusters), Trees: len(ix.trees), Users: len(ix.userBlock)}
+	for _, u := range ix.prodUni {
+		if u.Len() > s.MaxProducerUni {
+			s.MaxProducerUni = u.Len()
+		}
+	}
+	for _, tr := range ix.trees {
+		if tr.Ent.Len() > s.MaxEntityUni {
+			s.MaxEntityUni = tr.Ent.Len()
+		}
+		s.TotalLeafCount += tr.Len()
+		if tr.Len() > s.MaxTreeEntries {
+			s.MaxTreeEntries = tr.Len()
+		}
+		if d := tr.Depth(); d > s.DeepestTreeSize {
+			s.DeepestTreeSize = d
+		}
+	}
+	hs := ix.hash.Stats()
+	s.HashKeys = hs.Keys
+	s.HashMaxChain = hs.MaxChain
+	return s
+}
+
+// Tree exposes one tree for tests.
+func (ix *Index) Tree(block int, category string) *sigtree.Tree {
+	return ix.trees[treeKey{block, category}]
+}
+
+// BlockOf returns the block a user is assigned to.
+func (ix *Index) BlockOf(userID string) (int, bool) {
+	b, ok := ix.userBlock[userID]
+	return b, ok
+}
+
+// ---- helpers ----
+
+func sortPointsByID(points []cluster.Point) {
+	sort.Slice(points, func(i, j int) bool { return points[i].ID < points[j].ID })
+}
+
+func sortedStrings(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return sortedStrings(out)
+}

@@ -1,0 +1,189 @@
+// Package dataset provides the data substrates of the ssRec reproduction:
+// an in-memory dataset type, synthetic generators standing in for the
+// paper's crawled YTube and derived MLens collections, and a
+// synthpop-style replicator producing SynYTube/SynMLens analogues
+// (Zhou et al., ICDE 2019, §VI-A, Table III).
+//
+// The real collections are unavailable (crawled YouTube data; MovieLens
+// with the authors' derived categories/producers), so the generators plant
+// exactly the statistical structure the paper's models exploit:
+//
+//   - producers emit items following per-producer hidden regimes over
+//     categories (the a-HMM signal);
+//   - consumers interleave an own-interest Markov chain with
+//     producer-influenced interruptions (the b-HMM / BiHMM signal);
+//   - item descriptions draw entities from per-category topic clusters so
+//     proximity-based expansion has co-occurrence signal.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"ssrec/internal/model"
+)
+
+// Dataset is one complete collection: items, time-ordered interactions and
+// the universes they draw from.
+type Dataset struct {
+	Name         string
+	Categories   []string
+	Items        []model.Item // ordered by Timestamp
+	Interactions []model.Interaction
+	itemByID     map[string]*model.Item
+}
+
+// New creates an empty dataset with the given category universe.
+func New(name string, categories []string) *Dataset {
+	return &Dataset{Name: name, Categories: categories, itemByID: make(map[string]*model.Item)}
+}
+
+// AddItem appends an item.
+func (d *Dataset) AddItem(v model.Item) {
+	d.Items = append(d.Items, v)
+	d.itemByID[v.ID] = &d.Items[len(d.Items)-1]
+}
+
+// AddInteraction appends an interaction.
+func (d *Dataset) AddInteraction(ir model.Interaction) {
+	d.Interactions = append(d.Interactions, ir)
+}
+
+// Item returns the item with the given ID, or false.
+func (d *Dataset) Item(id string) (model.Item, bool) {
+	v := d.itemByID[id]
+	if v == nil {
+		return model.Item{}, false
+	}
+	return *v, true
+}
+
+// reindex rebuilds the item lookup; called after bulk loads.
+func (d *Dataset) reindex() {
+	d.itemByID = make(map[string]*model.Item, len(d.Items))
+	for i := range d.Items {
+		d.itemByID[d.Items[i].ID] = &d.Items[i]
+	}
+}
+
+// SortByTime orders items and interactions by timestamp (stable).
+func (d *Dataset) SortByTime() {
+	sort.SliceStable(d.Items, func(i, j int) bool { return d.Items[i].Timestamp < d.Items[j].Timestamp })
+	sort.SliceStable(d.Interactions, func(i, j int) bool {
+		return d.Interactions[i].Timestamp < d.Interactions[j].Timestamp
+	})
+	d.reindex()
+}
+
+// Stats is the Table III row for a dataset: |Up|, |Uc|, |E|, C, |IRact|, |V|.
+type Stats struct {
+	Name         string
+	Producers    int // |Up|
+	Consumers    int // |Uc|
+	Entities     int // |E|
+	Categories   int // C
+	Interactions int // |IRact|
+	Items        int // |V|
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%-10s |Up|=%-6d |Uc|=%-7d |E|=%-7d C=%-3d |IRact|=%-8d |V|=%d",
+		s.Name, s.Producers, s.Consumers, s.Entities, s.Categories, s.Interactions, s.Items)
+}
+
+// ComputeStats derives the Table III row.
+func (d *Dataset) ComputeStats() Stats {
+	producers := map[string]bool{}
+	entities := map[string]bool{}
+	for _, v := range d.Items {
+		producers[v.Producer] = true
+		for _, e := range v.Entities {
+			entities[e] = true
+		}
+	}
+	consumers := map[string]bool{}
+	for _, ir := range d.Interactions {
+		consumers[ir.UserID] = true
+	}
+	return Stats{
+		Name:         d.Name,
+		Producers:    len(producers),
+		Consumers:    len(consumers),
+		Entities:     len(entities),
+		Categories:   len(d.Categories),
+		Interactions: len(d.Interactions),
+		Items:        len(d.Items),
+	}
+}
+
+// EntityVocabulary returns the distinct entities appearing in items,
+// sorted — the dictionary for entity.Extractor.
+func (d *Dataset) EntityVocabulary() []string {
+	set := map[string]bool{}
+	for _, v := range d.Items {
+		for _, e := range v.Entities {
+			set[e] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Producers returns the distinct producer IDs, sorted.
+func (d *Dataset) Producers() []string {
+	set := map[string]bool{}
+	for _, v := range d.Items {
+		set[v.Producer] = true
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Consumers returns the distinct consumer IDs, sorted.
+func (d *Dataset) Consumers() []string {
+	set := map[string]bool{}
+	for _, ir := range d.Interactions {
+		set[ir.UserID] = true
+	}
+	out := make([]string, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InteractionsByUser groups interactions per consumer, each group in
+// temporal order (assumes SortByTime was applied or generation order).
+func (d *Dataset) InteractionsByUser() map[string][]model.Interaction {
+	out := make(map[string][]model.Interaction)
+	for _, ir := range d.Interactions {
+		out[ir.UserID] = append(out[ir.UserID], ir)
+	}
+	return out
+}
+
+// Partition splits the interactions into n contiguous, timestamp-ordered
+// partitions of (near-)equal size — the stream-simulation setup of Wang et
+// al. (SIGKDD 2018) used in §VI-B: first partitions train, the rest test.
+func (d *Dataset) Partition(n int) [][]model.Interaction {
+	if n < 1 {
+		n = 1
+	}
+	parts := make([][]model.Interaction, n)
+	total := len(d.Interactions)
+	for i := 0; i < n; i++ {
+		lo := i * total / n
+		hi := (i + 1) * total / n
+		parts[i] = d.Interactions[lo:hi]
+	}
+	return parts
+}

@@ -1,0 +1,277 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+func tinyYTube(t testing.TB) *Dataset {
+	t.Helper()
+	cfg := YTubeConfig(0.3)
+	cfg.Seed = 7
+	return Generate(cfg)
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	d := tinyYTube(t)
+	if len(d.Items) == 0 {
+		t.Fatal("no items generated")
+	}
+	if len(d.Interactions) == 0 {
+		t.Fatal("no interactions generated")
+	}
+	s := d.ComputeStats()
+	if s.Categories != 19 {
+		t.Errorf("categories = %d, want 19", s.Categories)
+	}
+	if s.Producers == 0 || s.Consumers == 0 || s.Entities == 0 {
+		t.Errorf("degenerate stats: %+v", s)
+	}
+	// YTube shape: more interactions than items.
+	if s.Interactions < s.Items {
+		t.Errorf("interactions (%d) < items (%d): wrong shape", s.Interactions, s.Items)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := YTubeConfig(0.2)
+	cfg.Seed = 99
+	a := Generate(cfg)
+	b := Generate(cfg)
+	sa, sb := a.ComputeStats(), b.ComputeStats()
+	if sa != sb {
+		t.Fatalf("same config, different stats: %v vs %v", sa, sb)
+	}
+	for i := range a.Items {
+		if a.Items[i].ID != b.Items[i].ID || a.Items[i].Category != b.Items[i].Category {
+			t.Fatalf("item %d differs", i)
+		}
+	}
+}
+
+func TestGenerateItemsWellFormed(t *testing.T) {
+	d := tinyYTube(t)
+	catSet := map[string]bool{}
+	for _, c := range d.Categories {
+		catSet[c] = true
+	}
+	seen := map[string]bool{}
+	for _, v := range d.Items {
+		if seen[v.ID] {
+			t.Fatalf("duplicate item ID %s", v.ID)
+		}
+		seen[v.ID] = true
+		if !catSet[v.Category] {
+			t.Errorf("item %s has unknown category %q", v.ID, v.Category)
+		}
+		if v.Producer == "" {
+			t.Errorf("item %s has empty producer", v.ID)
+		}
+		if len(v.Entities) == 0 {
+			t.Errorf("item %s has no entities", v.ID)
+		}
+		if v.Description == "" {
+			t.Errorf("item %s has no description", v.ID)
+		}
+	}
+}
+
+func TestGenerateInteractionsReferenceItems(t *testing.T) {
+	d := tinyYTube(t)
+	for _, ir := range d.Interactions {
+		v, ok := d.Item(ir.ItemID)
+		if !ok {
+			t.Fatalf("interaction references unknown item %s", ir.ItemID)
+		}
+		if ir.Timestamp < v.Timestamp {
+			t.Fatalf("user %s browsed %s before creation (%d < %d)",
+				ir.UserID, ir.ItemID, ir.Timestamp, v.Timestamp)
+		}
+	}
+}
+
+func TestGenerateTimeOrdered(t *testing.T) {
+	d := tinyYTube(t)
+	for i := 1; i < len(d.Items); i++ {
+		if d.Items[i].Timestamp < d.Items[i-1].Timestamp {
+			t.Fatal("items not time-ordered")
+		}
+	}
+	for i := 1; i < len(d.Interactions); i++ {
+		if d.Interactions[i].Timestamp < d.Interactions[i-1].Timestamp {
+			t.Fatal("interactions not time-ordered")
+		}
+	}
+}
+
+func TestProducersAreConsistentPerItem(t *testing.T) {
+	// A producer's items should be concentrated on few categories
+	// (CategoriesPerUp palette).
+	d := tinyYTube(t)
+	byProd := map[string]map[string]bool{}
+	for _, v := range d.Items {
+		m := byProd[v.Producer]
+		if m == nil {
+			m = map[string]bool{}
+			byProd[v.Producer] = m
+		}
+		m[v.Category] = true
+	}
+	for up, cats := range byProd {
+		if len(cats) > 5 {
+			t.Errorf("producer %s spans %d categories, want ≤5", up, len(cats))
+		}
+	}
+}
+
+func TestMLensShape(t *testing.T) {
+	cfg := MLensConfig(0.3)
+	cfg.Seed = 11
+	d := Generate(cfg)
+	s := d.ComputeStats()
+	if s.Categories != 15 {
+		t.Errorf("categories = %d, want 15", s.Categories)
+	}
+	// MLens shape: interactions per item much denser than YTube.
+	y := tinyYTube(t).ComputeStats()
+	mlDensity := float64(s.Interactions) / float64(s.Items)
+	ytDensity := float64(y.Interactions) / float64(y.Items)
+	if mlDensity <= ytDensity {
+		t.Errorf("MLens density %.1f not greater than YTube %.1f", mlDensity, ytDensity)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	d := tinyYTube(t)
+	parts := d.Partition(6)
+	if len(parts) != 6 {
+		t.Fatalf("got %d partitions", len(parts))
+	}
+	var total int
+	var lastTS int64 = -1 << 62
+	for _, p := range parts {
+		total += len(p)
+		for _, ir := range p {
+			if ir.Timestamp < lastTS {
+				t.Fatal("partition boundary breaks time order")
+			}
+			lastTS = ir.Timestamp
+		}
+	}
+	if total != len(d.Interactions) {
+		t.Fatalf("partitions cover %d of %d interactions", total, len(d.Interactions))
+	}
+	// Near-equal sizes.
+	for i, p := range parts {
+		if len(p) < len(d.Interactions)/6-1 || len(p) > len(d.Interactions)/6+1 {
+			t.Errorf("partition %d has %d of %d", i, len(p), len(d.Interactions))
+		}
+	}
+}
+
+func TestPartitionDegenerate(t *testing.T) {
+	d := New("x", []string{"a"})
+	parts := d.Partition(0)
+	if len(parts) != 1 {
+		t.Fatalf("Partition(0) -> %d parts", len(parts))
+	}
+}
+
+func TestEntityVocabularyAndAccessors(t *testing.T) {
+	d := tinyYTube(t)
+	vocab := d.EntityVocabulary()
+	if len(vocab) == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	for i := 1; i < len(vocab); i++ {
+		if vocab[i-1] >= vocab[i] {
+			t.Fatal("vocabulary not sorted/unique")
+		}
+	}
+	if len(d.Producers()) == 0 || len(d.Consumers()) == 0 {
+		t.Fatal("empty producer/consumer lists")
+	}
+	byUser := d.InteractionsByUser()
+	var n int
+	for _, irs := range byUser {
+		n += len(irs)
+		for i := 1; i < len(irs); i++ {
+			if irs[i].Timestamp < irs[i-1].Timestamp {
+				t.Fatal("per-user interactions out of order")
+			}
+		}
+	}
+	if n != len(d.Interactions) {
+		t.Fatalf("per-user grouping lost interactions: %d of %d", n, len(d.Interactions))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := tinyYTube(t)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Name != d.Name || len(got.Items) != len(d.Items) || len(got.Interactions) != len(d.Interactions) {
+		t.Fatalf("round-trip mismatch: %v vs %v", got.ComputeStats(), d.ComputeStats())
+	}
+	// Item lookup must work after load.
+	if _, ok := got.Item(d.Items[0].ID); !ok {
+		t.Fatal("item index broken after load")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	d := tinyYTube(t)
+	path := t.TempDir() + "/ds.gob.gz"
+	if err := d.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if got.ComputeStats() != d.ComputeStats() {
+		t.Fatal("file round-trip changed stats")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+}
+
+func TestInfluenceCreatesProducerDependency(t *testing.T) {
+	// With influence enabled, consumers browse items from followed
+	// producers right after creation; verify that a nontrivial share of
+	// interactions land on items created within the recency window.
+	cfg := YTubeConfig(0.3)
+	cfg.Seed = 21
+	d := Generate(cfg)
+	stepSecs := cfg.StepSecs
+	fresh := 0
+	for _, ir := range d.Interactions {
+		v, _ := d.Item(ir.ItemID)
+		if ir.Timestamp-v.Timestamp <= 3*stepSecs {
+			fresh++
+		}
+	}
+	ratio := float64(fresh) / float64(len(d.Interactions))
+	if ratio < 0.2 {
+		t.Errorf("fresh-interaction ratio %.2f too low: influence machinery inert", ratio)
+	}
+}
+
+func BenchmarkGenerateYTube(b *testing.B) {
+	cfg := YTubeConfig(0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		Generate(cfg)
+	}
+}

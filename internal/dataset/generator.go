@@ -1,0 +1,510 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"ssrec/internal/model"
+)
+
+// GenConfig parameterises the synthetic social-media generator. Two presets
+// (YTubeConfig, MLensConfig) mirror the shape of the paper's collections at
+// laptop scale.
+type GenConfig struct {
+	Name string
+	Seed int64
+
+	NumCategories int
+	NumProducers  int
+	NumConsumers  int
+	Steps         int // timeline length
+
+	// Producer dynamics.
+	ProducerStates  int     // hidden regimes per producer (a-HMM signal)
+	ProducerStay    float64 // regime self-transition probability
+	CreateProb      float64 // per-producer per-step item creation probability
+	CategoriesPerUp int     // distinct categories a producer covers across regimes
+
+	// Consumer dynamics.
+	BrowseProb      float64 // per-consumer per-step browse probability
+	PreferredCats   int     // size of a consumer's own-interest category set
+	OwnStay         float64 // own-chain self-transition probability
+	FollowsMin      int     // producers followed (min)
+	FollowsMax      int     // producers followed (max)
+	InfluenceProb   float64 // probability a browse is captured by a followed producer's fresh item
+	AttentionMean   float64 // mean geometric attention span after capture (steps)
+	RecencyWindow   int     // steps an item stays "fresh" for influence capture
+	BrowsableWindow int     // steps an item stays browsable at all
+
+	// NoRepeatBrowse prevents a consumer from interacting with the same
+	// item twice — MovieLens-style unique (user, item) pairs. YTube-style
+	// re-watching keeps it false.
+	NoRepeatBrowse bool
+
+	// Entity model.
+	EntitiesPerCategory int
+	TopicsPerCategory   int
+	EntitiesPerItemMin  int
+	EntitiesPerItemMax  int
+	TopicPurity         float64 // fraction of an item's entities drawn from its topic
+
+	BaseTime int64 // first timestamp (unix seconds)
+	StepSecs int64 // seconds per timeline step
+}
+
+func (c *GenConfig) fill() {
+	def := func(v *int, d int) {
+		if *v <= 0 {
+			*v = d
+		}
+	}
+	deff := func(v *float64, d float64) {
+		if *v <= 0 {
+			*v = d
+		}
+	}
+	def(&c.NumCategories, 19)
+	def(&c.NumProducers, 40)
+	def(&c.NumConsumers, 300)
+	def(&c.Steps, 400)
+	def(&c.ProducerStates, 3)
+	deff(&c.ProducerStay, 0.88)
+	deff(&c.CreateProb, 0.30)
+	def(&c.CategoriesPerUp, 3)
+	deff(&c.BrowseProb, 0.35)
+	def(&c.PreferredCats, 3)
+	deff(&c.OwnStay, 0.75)
+	def(&c.FollowsMin, 2)
+	def(&c.FollowsMax, 5)
+	deff(&c.InfluenceProb, 0.35)
+	deff(&c.AttentionMean, 3)
+	def(&c.RecencyWindow, 3)
+	def(&c.BrowsableWindow, 40)
+	def(&c.EntitiesPerCategory, 80)
+	def(&c.TopicsPerCategory, 6)
+	def(&c.EntitiesPerItemMin, 3)
+	def(&c.EntitiesPerItemMax, 7)
+	deff(&c.TopicPurity, 0.85)
+	if c.BaseTime == 0 {
+		c.BaseTime = 1_400_000_000
+	}
+	if c.StepSecs == 0 {
+		c.StepSecs = 3600
+	}
+	if c.FollowsMax < c.FollowsMin {
+		c.FollowsMax = c.FollowsMin
+	}
+	if c.EntitiesPerItemMax < c.EntitiesPerItemMin {
+		c.EntitiesPerItemMax = c.EntitiesPerItemMin
+	}
+}
+
+// YTubeConfig returns the YTube-shaped preset scaled by scale (1.0 = laptop
+// default). YTube's shape: many items relative to interactions per item,
+// thousands of producers, 19 categories.
+func YTubeConfig(scale float64) GenConfig {
+	if scale <= 0 {
+		scale = 1
+	}
+	s := func(base int) int { return maxInt(2, int(math.Round(float64(base)*scale))) }
+	return GenConfig{
+		Name:                "YTube",
+		Seed:                42,
+		NumCategories:       19,
+		NumProducers:        s(50),
+		NumConsumers:        s(400),
+		Steps:               s(500),
+		CreateProb:          0.25,
+		BrowseProb:          0.35,
+		EntitiesPerCategory: 80,
+	}
+}
+
+// MLensConfig returns the MLens-shaped preset: fewer producers and items,
+// 15 categories, denser interactions per item (MovieLens has 20M ratings
+// over only 27k movies).
+func MLensConfig(scale float64) GenConfig {
+	if scale <= 0 {
+		scale = 1
+	}
+	s := func(base int) int { return maxInt(2, int(math.Round(float64(base)*scale))) }
+	return GenConfig{
+		Name:          "MLens",
+		Seed:          1337,
+		NumCategories: 15,
+		// The paper's derived MLens has 586 producers for 138k consumers —
+		// each consumer follows a small fraction of them. Keeping that
+		// selectivity (follows ≪ |Up|) preserves the producer-affinity
+		// signal the ssRec models exploit.
+		NumProducers:        s(40),
+		NumConsumers:        s(500),
+		Steps:               s(400),
+		CreateProb:          0.05,
+		BrowseProb:          0.55,
+		EntitiesPerCategory: 60,
+		BrowsableWindow:     120,  // movies stay relevant longer than clips
+		NoRepeatBrowse:      true, // MovieLens ratings are unique (user, movie) pairs
+	}
+}
+
+// producerState is a producer's hidden-regime machine.
+type producerState struct {
+	id       string
+	regimes  [][]float64 // regime -> category distribution
+	trans    [][]float64 // regime transition matrix
+	regime   int
+	lastItem int // index into dataset items of most recent creation, -1 if none
+	lastStep int
+}
+
+// consumerState is a consumer's browsing machine.
+type consumerState struct {
+	id        string
+	cats      []int        // preferred categories
+	trans     [][]float64  // own chain over preferred cats
+	cur       int          // index into cats
+	follows   []int        // producer indices
+	attention int          // producer index currently capturing attention, -1 none
+	attLeft   int          // remaining attention steps
+	browsed   map[int]bool // item indices already browsed (NoRepeatBrowse)
+}
+
+// Generate builds a dataset from cfg. The run is fully deterministic for a
+// given config (single rand source).
+func Generate(cfg GenConfig) *Dataset {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cats := make([]string, cfg.NumCategories)
+	for i := range cats {
+		cats[i] = fmt.Sprintf("cat%02d", i)
+	}
+	d := New(cfg.Name, cats)
+
+	// Entity universe: per category, entities grouped into topics.
+	entNames := make([][]string, cfg.NumCategories) // category -> entity names
+	entTopics := make([][][]int, cfg.NumCategories) // category -> topic -> entity indices
+	for ci := range cats {
+		names := make([]string, cfg.EntitiesPerCategory)
+		for j := range names {
+			names[j] = fmt.Sprintf("c%02de%03d", ci, j)
+		}
+		entNames[ci] = names
+		per := cfg.EntitiesPerCategory / cfg.TopicsPerCategory
+		if per < 1 {
+			per = 1
+		}
+		var topics [][]int
+		for t := 0; t*per < cfg.EntitiesPerCategory; t++ {
+			var topic []int
+			for j := t * per; j < (t+1)*per && j < cfg.EntitiesPerCategory; j++ {
+				topic = append(topic, j)
+			}
+			topics = append(topics, topic)
+		}
+		entTopics[ci] = topics
+	}
+
+	// Producers.
+	producers := make([]*producerState, cfg.NumProducers)
+	for i := range producers {
+		p := &producerState{id: fmt.Sprintf("up%04d", i), lastItem: -1, lastStep: -1}
+		// Pick the producer's category palette.
+		palette := rng.Perm(cfg.NumCategories)[:minInt(cfg.CategoriesPerUp, cfg.NumCategories)]
+		p.regimes = make([][]float64, cfg.ProducerStates)
+		for r := range p.regimes {
+			dist := make([]float64, cfg.NumCategories)
+			// Each regime concentrates on one palette category with some
+			// bleed to the rest of the palette.
+			main := palette[r%len(palette)]
+			dist[main] = 0.8
+			for _, c := range palette {
+				if c != main {
+					dist[c] += 0.2 / float64(maxInt(1, len(palette)-1))
+				}
+			}
+			if len(palette) == 1 {
+				dist[main] = 1.0
+			}
+			p.regimes[r] = dist
+		}
+		p.trans = stickyMatrix(cfg.ProducerStates, cfg.ProducerStay, rng)
+		p.regime = rng.Intn(cfg.ProducerStates)
+		producers[i] = p
+	}
+
+	// Consumers.
+	consumers := make([]*consumerState, cfg.NumConsumers)
+	for i := range consumers {
+		u := &consumerState{id: fmt.Sprintf("uc%05d", i), attention: -1}
+		if cfg.NoRepeatBrowse {
+			u.browsed = make(map[int]bool)
+		}
+		k := minInt(cfg.PreferredCats, cfg.NumCategories)
+		u.cats = rng.Perm(cfg.NumCategories)[:k]
+		u.trans = stickyMatrix(k, cfg.OwnStay, rng)
+		u.cur = rng.Intn(k)
+		nf := cfg.FollowsMin
+		if cfg.FollowsMax > cfg.FollowsMin {
+			nf += rng.Intn(cfg.FollowsMax - cfg.FollowsMin + 1)
+		}
+		nf = minInt(nf, cfg.NumProducers)
+		// Prefer producers whose palette overlaps the consumer's interests.
+		u.follows = pickFollows(producers, u.cats, nf, rng)
+		consumers[i] = u
+	}
+
+	// Per-category ring of recent browsable items (indices into d.Items).
+	recentByCat := make([][]int, cfg.NumCategories)
+	itemStep := []int{} // creation step per item index
+
+	catIndex := func(name string) int {
+		var ci int
+		fmt.Sscanf(name, "cat%02d", &ci)
+		return ci
+	}
+	_ = catIndex
+
+	for step := 0; step < cfg.Steps; step++ {
+		ts := cfg.BaseTime + int64(step)*cfg.StepSecs
+		// Producers create.
+		for pi, p := range producers {
+			if rng.Float64() >= cfg.CreateProb {
+				continue
+			}
+			p.regime = sampleIdx(p.trans[p.regime], rng)
+			ci := sampleIdx(p.regimes[p.regime], rng)
+			ents, desc := sampleEntities(entNames[ci], entTopics[ci], cfg, rng)
+			item := model.Item{
+				ID:          fmt.Sprintf("v%07d", len(d.Items)),
+				Category:    cats[ci],
+				Producer:    p.id,
+				Entities:    ents,
+				Description: desc,
+				Timestamp:   ts,
+			}
+			d.AddItem(item)
+			idx := len(d.Items) - 1
+			itemStep = append(itemStep, step)
+			recentByCat[ci] = append(recentByCat[ci], idx)
+			p.lastItem = idx
+			p.lastStep = step
+			_ = pi
+		}
+		// Trim browsable windows.
+		for ci := range recentByCat {
+			lst := recentByCat[ci]
+			cut := 0
+			for cut < len(lst) && itemStep[lst[cut]] < step-cfg.BrowsableWindow {
+				cut++
+			}
+			recentByCat[ci] = lst[cut:]
+		}
+		// Consumers browse.
+		for _, u := range consumers {
+			if rng.Float64() >= cfg.BrowseProb {
+				continue
+			}
+			itemIdx := -1
+			// 1) Fresh item from a followed producer may capture attention.
+			if rng.Float64() < cfg.InfluenceProb {
+				if pi, ok := freshFollowedProducer(u, producers, step, cfg.RecencyWindow, rng); ok {
+					u.attention = pi
+					u.attLeft = 1 + geometric(cfg.AttentionMean, rng)
+					itemIdx = producers[pi].lastItem
+				}
+			}
+			// 2) Ongoing attention: follow the captured producer's output.
+			if itemIdx < 0 && u.attention >= 0 && u.attLeft > 0 {
+				p := producers[u.attention]
+				if p.lastItem >= 0 && step-p.lastStep <= cfg.BrowsableWindow {
+					itemIdx = p.lastItem
+					u.attLeft--
+				} else {
+					u.attention, u.attLeft = -1, 0
+				}
+			}
+			// 3) Own interest chain.
+			if itemIdx < 0 {
+				u.attention, u.attLeft = -1, 0
+				u.cur = sampleIdx(u.trans[u.cur], rng)
+				ci := u.cats[u.cur]
+				pool := recentByCat[ci]
+				if len(pool) == 0 {
+					continue // nothing browsable in this category yet
+				}
+				// Recency-weighted pick: newer items are more likely.
+				// Under NoRepeatBrowse retry a few times to find a fresh
+				// item, then give up (browse nothing this step).
+				for try := 0; try < 4; try++ {
+					cand := pool[weightedRecentIdx(len(pool), rng)]
+					if u.browsed == nil || !u.browsed[cand] {
+						itemIdx = cand
+						break
+					}
+				}
+				if itemIdx < 0 {
+					continue
+				}
+			}
+			if u.browsed != nil {
+				if u.browsed[itemIdx] {
+					continue // repeat suppressed (attention/influence path)
+				}
+				u.browsed[itemIdx] = true
+			}
+			d.AddInteraction(model.Interaction{
+				UserID:    u.id,
+				ItemID:    d.Items[itemIdx].ID,
+				Timestamp: ts,
+			})
+		}
+	}
+	d.SortByTime()
+	return d
+}
+
+// sampleEntities draws an item's entity list: a topic is chosen, most
+// entities come from it (TopicPurity), the rest from the whole category
+// vocabulary — this plants the co-occurrence structure used by expansion.
+func sampleEntities(names []string, topics [][]int, cfg GenConfig, rng *rand.Rand) ([]string, string) {
+	n := cfg.EntitiesPerItemMin
+	if cfg.EntitiesPerItemMax > cfg.EntitiesPerItemMin {
+		n += rng.Intn(cfg.EntitiesPerItemMax - cfg.EntitiesPerItemMin + 1)
+	}
+	topic := topics[rng.Intn(len(topics))]
+	ents := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		var idx int
+		if rng.Float64() < cfg.TopicPurity {
+			idx = topic[rng.Intn(len(topic))]
+		} else {
+			idx = rng.Intn(len(names))
+		}
+		ents = append(ents, names[idx])
+	}
+	desc := "about " + strings.Join(ents, " and ")
+	return ents, desc
+}
+
+func pickFollows(producers []*producerState, cats []int, n int, rng *rand.Rand) []int {
+	inCats := func(p *producerState) bool {
+		for _, dist := range p.regimes {
+			for _, c := range cats {
+				if dist[c] > 0.3 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	var aligned, rest []int
+	for i, p := range producers {
+		if inCats(p) {
+			aligned = append(aligned, i)
+		} else {
+			rest = append(rest, i)
+		}
+	}
+	rng.Shuffle(len(aligned), func(i, j int) { aligned[i], aligned[j] = aligned[j], aligned[i] })
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	out := append([]int{}, aligned...)
+	out = append(out, rest...)
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func freshFollowedProducer(u *consumerState, producers []*producerState, step, window int, rng *rand.Rand) (int, bool) {
+	var fresh []int
+	for _, pi := range u.follows {
+		p := producers[pi]
+		if p.lastItem >= 0 && step-p.lastStep <= window {
+			fresh = append(fresh, pi)
+		}
+	}
+	if len(fresh) == 0 {
+		return 0, false
+	}
+	return fresh[rng.Intn(len(fresh))], true
+}
+
+// stickyMatrix builds an n-state transition matrix with self-probability
+// stay and the remainder spread unevenly (randomly) over other states.
+func stickyMatrix(n int, stay float64, rng *rand.Rand) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		row := make([]float64, n)
+		if n == 1 {
+			row[0] = 1
+			m[i] = row
+			continue
+		}
+		row[i] = stay
+		rest := 1 - stay
+		weights := make([]float64, n)
+		var sum float64
+		for j := range weights {
+			if j != i {
+				weights[j] = 0.2 + rng.Float64()
+				sum += weights[j]
+			}
+		}
+		for j := range weights {
+			if j != i {
+				row[j] = rest * weights[j] / sum
+			}
+		}
+		m[i] = row
+	}
+	return m
+}
+
+func sampleIdx(dist []float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	var c float64
+	for i, p := range dist {
+		c += p
+		if r < c {
+			return i
+		}
+	}
+	return len(dist) - 1
+}
+
+// geometric samples a geometric number of steps with the given mean.
+func geometric(mean float64, rng *rand.Rand) int {
+	if mean <= 1 {
+		return 0
+	}
+	p := 1 / mean
+	n := 0
+	for rng.Float64() > p && n < 50 {
+		n++
+	}
+	return n
+}
+
+// weightedRecentIdx picks an index in [0,n) biased toward the end (recent
+// items): quadratic bias.
+func weightedRecentIdx(n int, rng *rand.Rand) int {
+	u := rng.Float64()
+	return int(math.Sqrt(u) * float64(n))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

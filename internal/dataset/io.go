@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"ssrec/internal/model"
+)
+
+// wireDataset is the on-disk representation (gob inside gzip).
+type wireDataset struct {
+	Name         string
+	Categories   []string
+	Items        []model.Item
+	Interactions []model.Interaction
+}
+
+// Save writes the dataset to w as gzip-compressed gob.
+func (d *Dataset) Save(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	enc := gob.NewEncoder(gz)
+	err := enc.Encode(wireDataset{
+		Name:         d.Name,
+		Categories:   d.Categories,
+		Items:        d.Items,
+		Interactions: d.Interactions,
+	})
+	if err != nil {
+		return fmt.Errorf("dataset: encode: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("dataset: gzip close: %w", err)
+	}
+	return nil
+}
+
+// Load reads a dataset previously written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: gzip open: %w", err)
+	}
+	defer gz.Close()
+	var w wireDataset
+	if err := gob.NewDecoder(gz).Decode(&w); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	d := New(w.Name, w.Categories)
+	d.Items = w.Items
+	d.Interactions = w.Interactions
+	d.reindex()
+	return d, nil
+}
+
+// SaveFile writes the dataset to path.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := d.Save(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}

@@ -1,0 +1,147 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ssrec/internal/model"
+)
+
+// JSONL interop: newline-delimited JSON import/export so real item and
+// interaction logs can be loaded without the binary gob format. One JSON
+// object per line.
+//
+// Item lines:        {"id":"v1","category":"sports","producer":"bbc",
+//                     "entities":["Messi"],"description":"...","timestamp":123}
+// Interaction lines: {"user_id":"u1","item_id":"v1","timestamp":124}
+
+type itemJSON struct {
+	ID          string   `json:"id"`
+	Category    string   `json:"category"`
+	Producer    string   `json:"producer"`
+	Entities    []string `json:"entities,omitempty"`
+	Description string   `json:"description,omitempty"`
+	Timestamp   int64    `json:"timestamp"`
+}
+
+type interactionJSON struct {
+	UserID    string `json:"user_id"`
+	ItemID    string `json:"item_id"`
+	Timestamp int64  `json:"timestamp"`
+}
+
+// ReadItemsJSONL parses items from newline-delimited JSON. Blank lines are
+// skipped; any malformed line aborts with a line-numbered error.
+func ReadItemsJSONL(r io.Reader) ([]model.Item, error) {
+	var items []model.Item
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var it itemJSON
+		if err := json.Unmarshal(raw, &it); err != nil {
+			return nil, fmt.Errorf("dataset: items line %d: %w", line, err)
+		}
+		if it.ID == "" || it.Category == "" {
+			return nil, fmt.Errorf("dataset: items line %d: id and category are required", line)
+		}
+		items = append(items, model.Item{
+			ID: it.ID, Category: it.Category, Producer: it.Producer,
+			Entities: it.Entities, Description: it.Description, Timestamp: it.Timestamp,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: items scan: %w", err)
+	}
+	return items, nil
+}
+
+// ReadInteractionsJSONL parses interactions from newline-delimited JSON.
+func ReadInteractionsJSONL(r io.Reader) ([]model.Interaction, error) {
+	var irs []model.Interaction
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ir interactionJSON
+		if err := json.Unmarshal(raw, &ir); err != nil {
+			return nil, fmt.Errorf("dataset: interactions line %d: %w", line, err)
+		}
+		if ir.UserID == "" || ir.ItemID == "" {
+			return nil, fmt.Errorf("dataset: interactions line %d: user_id and item_id are required", line)
+		}
+		irs = append(irs, model.Interaction{UserID: ir.UserID, ItemID: ir.ItemID, Timestamp: ir.Timestamp})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: interactions scan: %w", err)
+	}
+	return irs, nil
+}
+
+// WriteItemsJSONL writes items as newline-delimited JSON.
+func WriteItemsJSONL(w io.Writer, items []model.Item) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range items {
+		v := &items[i]
+		if err := enc.Encode(itemJSON{
+			ID: v.ID, Category: v.Category, Producer: v.Producer,
+			Entities: v.Entities, Description: v.Description, Timestamp: v.Timestamp,
+		}); err != nil {
+			return fmt.Errorf("dataset: write item %s: %w", v.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteInteractionsJSONL writes interactions as newline-delimited JSON.
+func WriteInteractionsJSONL(w io.Writer, irs []model.Interaction) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ir := range irs {
+		if err := enc.Encode(interactionJSON{UserID: ir.UserID, ItemID: ir.ItemID, Timestamp: ir.Timestamp}); err != nil {
+			return fmt.Errorf("dataset: write interaction: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// FromRecords assembles a Dataset from parsed items and interactions,
+// deriving the category universe and sorting by time.
+func FromRecords(name string, items []model.Item, irs []model.Interaction) (*Dataset, error) {
+	catSet := map[string]bool{}
+	var cats []string
+	for _, v := range items {
+		if !catSet[v.Category] {
+			catSet[v.Category] = true
+			cats = append(cats, v.Category)
+		}
+	}
+	d := New(name, cats)
+	for _, v := range items {
+		if _, dup := d.Item(v.ID); dup {
+			return nil, fmt.Errorf("dataset: duplicate item id %q", v.ID)
+		}
+		d.AddItem(v)
+	}
+	for _, ir := range irs {
+		if _, ok := d.Item(ir.ItemID); !ok {
+			return nil, fmt.Errorf("dataset: interaction references unknown item %q", ir.ItemID)
+		}
+		d.AddInteraction(ir)
+	}
+	d.SortByTime()
+	return d, nil
+}

@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ssrec/internal/model"
+)
+
+func TestItemsJSONLRoundTrip(t *testing.T) {
+	src := tinyYTube(t)
+	var buf bytes.Buffer
+	if err := WriteItemsJSONL(&buf, src.Items); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadItemsJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != len(src.Items) {
+		t.Fatalf("items %d, want %d", len(got), len(src.Items))
+	}
+	for i := range got {
+		a, b := got[i], src.Items[i]
+		if a.ID != b.ID || a.Category != b.Category || a.Producer != b.Producer ||
+			a.Timestamp != b.Timestamp || len(a.Entities) != len(b.Entities) {
+			t.Fatalf("item %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestInteractionsJSONLRoundTrip(t *testing.T) {
+	src := tinyYTube(t)
+	var buf bytes.Buffer
+	if err := WriteInteractionsJSONL(&buf, src.Interactions); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadInteractionsJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != len(src.Interactions) {
+		t.Fatalf("interactions %d, want %d", len(got), len(src.Interactions))
+	}
+	if got[0] != src.Interactions[0] {
+		t.Fatalf("first interaction mismatch")
+	}
+}
+
+func TestReadItemsJSONLValidation(t *testing.T) {
+	cases := []string{
+		`{"category":"c"}`,                // missing id
+		`{"id":"a"}`,                      // missing category
+		`{"id":"a","category":"c"` + "\n", // malformed JSON
+	}
+	for i, in := range cases {
+		if _, err := ReadItemsJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Blank lines are fine.
+	got, err := ReadItemsJSONL(strings.NewReader("\n{\"id\":\"a\",\"category\":\"c\"}\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("blank-line handling: %v %v", got, err)
+	}
+}
+
+func TestReadInteractionsJSONLValidation(t *testing.T) {
+	if _, err := ReadInteractionsJSONL(strings.NewReader(`{"user_id":"u"}`)); err == nil {
+		t.Error("missing item_id accepted")
+	}
+	if _, err := ReadInteractionsJSONL(strings.NewReader(`{bad`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestFromRecords(t *testing.T) {
+	items := []model.Item{
+		{ID: "b", Category: "y", Timestamp: 2},
+		{ID: "a", Category: "x", Timestamp: 1},
+	}
+	irs := []model.Interaction{
+		{UserID: "u", ItemID: "b", Timestamp: 5},
+		{UserID: "u", ItemID: "a", Timestamp: 3},
+	}
+	d, err := FromRecords("imported", items, irs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Categories) != 2 {
+		t.Errorf("categories = %v", d.Categories)
+	}
+	if d.Items[0].ID != "a" || d.Interactions[0].ItemID != "a" {
+		t.Errorf("not time-sorted: %v %v", d.Items[0], d.Interactions[0])
+	}
+	st := d.ComputeStats()
+	if st.Items != 2 || st.Interactions != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFromRecordsErrors(t *testing.T) {
+	if _, err := FromRecords("x", []model.Item{
+		{ID: "a", Category: "c"}, {ID: "a", Category: "c"},
+	}, nil); err == nil {
+		t.Error("duplicate item accepted")
+	}
+	if _, err := FromRecords("x", []model.Item{{ID: "a", Category: "c"}},
+		[]model.Interaction{{UserID: "u", ItemID: "ghost"}}); err == nil {
+		t.Error("dangling interaction accepted")
+	}
+}
+
+func TestJSONLEndToEndThroughEngineFormat(t *testing.T) {
+	// Export a generated dataset to JSONL, re-import, and verify the
+	// round-tripped dataset evaluates identically at the stats level.
+	src := tinyYTube(t)
+	var ib, rb bytes.Buffer
+	if err := WriteItemsJSONL(&ib, src.Items); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteInteractionsJSONL(&rb, src.Interactions); err != nil {
+		t.Fatal(err)
+	}
+	items, err := ReadItemsJSONL(&ib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	irs, err := ReadInteractionsJSONL(&rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FromRecords(src.Name, items, irs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FromRecords derives the category universe from the observed items,
+	// so compare every other Table III column.
+	got, want := d.ComputeStats(), src.ComputeStats()
+	got.Categories, want.Categories = 0, 0
+	if got != want {
+		t.Fatalf("stats changed: %v vs %v", got, want)
+	}
+}

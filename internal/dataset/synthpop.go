@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ssrec/internal/model"
+)
+
+// Replicate produces a synthetic twin of src in the spirit of the synthpop
+// R package (Nowok et al., 2016) used by the paper for SynYTube/SynMLens:
+// sequential conditional synthesis that preserves the source's empirical
+// distributions while generating fresh records.
+//
+// Concretely it preserves, per the variables the ssRec experiments depend
+// on:
+//
+//   - the item count, timestamps, and the producer marginal;
+//   - each producer's conditional category distribution;
+//   - per-(category, source-item) entity multisets via hot-deck donor
+//     sampling (synthpop's default CART synthesis degenerates to donor
+//     sampling for high-cardinality variables);
+//   - each consumer's interaction count and category trajectory, replayed
+//     against synthetic items available at the original timestamps.
+//
+// The result therefore reports (Table III) the same C, |V| and near-equal
+// |Up|, |Uc|, |E|, |IRact| as the source, matching the paper's observation
+// that the synthetic sets share the source's optima.
+func Replicate(src *Dataset, name string, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	out := New(name, append([]string(nil), src.Categories...))
+
+	// ---- Fit stage ----
+	donorsByCat := map[string][]int{} // category -> source item indices (entity donors)
+	for i, v := range src.Items {
+		donorsByCat[v.Category] = append(donorsByCat[v.Category], i)
+	}
+
+	// ---- Synthesise items ----
+	// Keep each source item's timestamp, producer and category — the
+	// joint (producer, category, time) structure is what the consumer
+	// models depend on, and synthpop preserves fitted joint structure.
+	// Entities are hot-deck resampled from same-category donors, so the
+	// synthetic items are fresh records with the source distributions.
+	synthByCat := map[string][]int{}  // category -> synthetic item indices, time-ordered
+	synthByProd := map[string][]int{} // category+producer -> indices, time-ordered
+	for i := range src.Items {
+		srcItem := src.Items[i]
+		up := srcItem.Producer
+		cat := srcItem.Category
+		donors := donorsByCat[cat]
+		var ents []string
+		var desc string
+		if len(donors) > 0 {
+			donor := src.Items[donors[rng.Intn(len(donors))]]
+			ents = append([]string(nil), donor.Entities...)
+			desc = donor.Description
+			// Perturb: occasionally swap one entity with another donor's.
+			if len(ents) > 0 && rng.Float64() < 0.3 {
+				other := src.Items[donors[rng.Intn(len(donors))]]
+				if len(other.Entities) > 0 {
+					ents[rng.Intn(len(ents))] = other.Entities[rng.Intn(len(other.Entities))]
+				}
+			}
+		}
+		item := model.Item{
+			ID:          fmt.Sprintf("s%07d", i),
+			Category:    cat,
+			Producer:    up,
+			Entities:    ents,
+			Description: desc,
+			Timestamp:   srcItem.Timestamp,
+		}
+		out.AddItem(item)
+		synthByCat[cat] = append(synthByCat[cat], i)
+		pk := cat + "\x1f" + up
+		synthByProd[pk] = append(synthByProd[pk], i)
+	}
+
+	// ---- Synthesise interactions ----
+	// Replay each source interaction: same user, same timestamp, item
+	// resampled among synthetic items already published at that time —
+	// preferring the same (category, producer) pool so the user→producer
+	// affinity patterns of the source survive, falling back to the
+	// category pool (recency-biased, like real browsing).
+	for _, ir := range src.Interactions {
+		srcItem, ok := src.Item(ir.ItemID)
+		if !ok {
+			continue
+		}
+		pool := synthByProd[srcItem.Category+"\x1f"+srcItem.Producer]
+		hi := availablePrefix(out, pool, ir.Timestamp)
+		if hi == 0 {
+			pool = synthByCat[srcItem.Category]
+			hi = availablePrefix(out, pool, ir.Timestamp)
+		}
+		if hi == 0 {
+			continue
+		}
+		pick := pool[weightedRecentIdx(hi, rng)]
+		out.AddInteraction(model.Interaction{
+			UserID:    ir.UserID,
+			ItemID:    out.Items[pick].ID,
+			Timestamp: ir.Timestamp,
+		})
+	}
+	out.SortByTime()
+	return out
+}
+
+// availablePrefix returns the count of pool items published at or before
+// ts (pool is time-ordered).
+func availablePrefix(d *Dataset, pool []int, ts int64) int {
+	return sort.Search(len(pool), func(k int) bool {
+		return d.Items[pool[k]].Timestamp > ts
+	})
+}

@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReplicatePreservesShape(t *testing.T) {
+	src := tinyYTube(t)
+	syn := Replicate(src, "SynYTube", 1)
+	ss, sy := src.ComputeStats(), syn.ComputeStats()
+
+	if sy.Items != ss.Items {
+		t.Errorf("|V| = %d, want %d", sy.Items, ss.Items)
+	}
+	if sy.Categories != ss.Categories {
+		t.Errorf("C = %d, want %d", sy.Categories, ss.Categories)
+	}
+	// Producers/consumers/entities/interactions should be close, not
+	// necessarily equal (paper's SynMLens: 593 vs 586 producers).
+	within := func(name string, got, want int, tol float64) {
+		if want == 0 {
+			return
+		}
+		if math.Abs(float64(got-want))/float64(want) > tol {
+			t.Errorf("%s = %d, want within %.0f%% of %d", name, got, tol*100, want)
+		}
+	}
+	within("|Up|", sy.Producers, ss.Producers, 0.15)
+	within("|Uc|", sy.Consumers, ss.Consumers, 0.10)
+	within("|IRact|", sy.Interactions, ss.Interactions, 0.15)
+	within("|E|", sy.Entities, ss.Entities, 0.25)
+}
+
+func TestReplicateFreshIDs(t *testing.T) {
+	src := tinyYTube(t)
+	syn := Replicate(src, "SynYTube", 2)
+	for _, v := range syn.Items {
+		if _, ok := src.Item(v.ID); ok {
+			t.Fatalf("synthetic item reuses source ID %s", v.ID)
+		}
+	}
+}
+
+func TestReplicateValidReferences(t *testing.T) {
+	src := tinyYTube(t)
+	syn := Replicate(src, "SynYTube", 3)
+	for _, ir := range syn.Interactions {
+		v, ok := syn.Item(ir.ItemID)
+		if !ok {
+			t.Fatalf("dangling item ref %s", ir.ItemID)
+		}
+		if ir.Timestamp < v.Timestamp {
+			t.Fatalf("interaction precedes item creation")
+		}
+	}
+}
+
+func TestReplicateCategoryMarginalClose(t *testing.T) {
+	src := tinyYTube(t)
+	syn := Replicate(src, "SynYTube", 4)
+	count := func(d *Dataset) map[string]float64 {
+		m := map[string]float64{}
+		for _, v := range d.Items {
+			m[v.Category]++
+		}
+		for k := range m {
+			m[k] /= float64(len(d.Items))
+		}
+		return m
+	}
+	cs, cy := count(src), count(syn)
+	var l1 float64
+	for _, c := range src.Categories {
+		l1 += math.Abs(cs[c] - cy[c])
+	}
+	if l1 > 0.25 {
+		t.Errorf("category marginal L1 distance %.3f too large", l1)
+	}
+}
+
+func TestReplicateProducerConditionalPreserved(t *testing.T) {
+	// Producers in the synthetic set must still be (near-)single-palette:
+	// each producer's categories should come from its source conditional.
+	src := tinyYTube(t)
+	syn := Replicate(src, "SynYTube", 5)
+	srcCats := map[string]map[string]bool{}
+	for _, v := range src.Items {
+		m := srcCats[v.Producer]
+		if m == nil {
+			m = map[string]bool{}
+			srcCats[v.Producer] = m
+		}
+		m[v.Category] = true
+	}
+	for _, v := range syn.Items {
+		if allowed := srcCats[v.Producer]; allowed != nil && !allowed[v.Category] {
+			t.Fatalf("producer %s emits category %s never seen in source", v.Producer, v.Category)
+		}
+	}
+}
+
+func TestReplicateDeterministic(t *testing.T) {
+	src := tinyYTube(t)
+	a := Replicate(src, "S", 9)
+	b := Replicate(src, "S", 9)
+	if a.ComputeStats() != b.ComputeStats() {
+		t.Fatal("replication not deterministic for fixed seed")
+	}
+}

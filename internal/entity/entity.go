@@ -1,0 +1,314 @@
+// Package entity provides entity extraction from social item descriptions
+// and proximity-based entity expansion (Zhou et al., ICDE 2019, §IV-B/C).
+//
+// The paper uses the TagMe web annotator for extraction; TagMe is an
+// external service, so this package substitutes a deterministic
+// dictionary-based longest-match extractor over a known entity vocabulary
+// (see DESIGN.md, substitutions). The downstream experiments only require a
+// deterministic description→entity mapping.
+//
+// Expansion follows the paper's proximity heuristic (Tao & Zhai, SIGIR
+// 2007): two entities that frequently co-occur close to each other within
+// item descriptions of the same category are strongly related; the
+// expansion weight of a related entity is its accumulated, normalised
+// proximity score.
+package entity
+
+import (
+	"sort"
+	"strings"
+)
+
+// Extractor maps free-text descriptions to entity sets by greedy
+// longest-match against a dictionary of known surface forms. Matching is
+// case-insensitive; entities may span multiple tokens ("Australian Open").
+type Extractor struct {
+	// byFirst maps the lowercase first token of each dictionary entity to
+	// the candidate token-length-sorted surface forms starting with it.
+	byFirst map[string][]dictEntry
+	size    int
+}
+
+type dictEntry struct {
+	tokens []string // lowercase tokens
+	name   string   // canonical entity name
+}
+
+// NewExtractor builds an extractor from the canonical entity names.
+func NewExtractor(vocabulary []string) *Extractor {
+	ex := &Extractor{byFirst: make(map[string][]dictEntry)}
+	for _, name := range vocabulary {
+		toks := Tokenize(name)
+		if len(toks) == 0 {
+			continue
+		}
+		ex.byFirst[toks[0]] = append(ex.byFirst[toks[0]], dictEntry{tokens: toks, name: name})
+		ex.size++
+	}
+	// Longest candidates first so greedy matching prefers the most
+	// specific entity ("australian open" over "australian").
+	for k := range ex.byFirst {
+		es := ex.byFirst[k]
+		sort.SliceStable(es, func(i, j int) bool { return len(es[i].tokens) > len(es[j].tokens) })
+	}
+	return ex
+}
+
+// Size returns the number of dictionary entries.
+func (ex *Extractor) Size() int { return ex.size }
+
+// Extract returns the entities found in text, in order of first occurrence,
+// with repeats preserved (the matching scheme counts entity frequencies).
+func (ex *Extractor) Extract(text string) []string {
+	toks := Tokenize(text)
+	var out []string
+	for i := 0; i < len(toks); {
+		matched := false
+		for _, cand := range ex.byFirst[toks[i]] {
+			if i+len(cand.tokens) > len(toks) {
+				continue
+			}
+			ok := true
+			for j := 1; j < len(cand.tokens); j++ {
+				if toks[i+j] != cand.tokens[j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, cand.name)
+				i += len(cand.tokens)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			i++
+		}
+	}
+	return out
+}
+
+// Tokenize lower-cases and splits text into alphanumeric tokens.
+func Tokenize(text string) []string {
+	var toks []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			toks = append(toks, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// Expansion is one expanded entity with its weight w_e ∈ (0, 1].
+type Expansion struct {
+	Entity string
+	Weight float64
+}
+
+// Expander accumulates proximity co-occurrence statistics per category and
+// answers expansion queries. Build it once over the training corpus, then
+// call Expand per incoming item.
+type Expander struct {
+	// prox[category][a][b] = accumulated proximity mass between entities
+	// a and b observed in category's item descriptions.
+	prox map[string]map[string]map[string]float64
+	// maxProx[category] tracks the largest pairwise mass for normalisation.
+	maxProx map[string]float64
+	// Window is the token distance beyond which co-occurrence contributes
+	// nothing. Proximity contribution is 1/d for entity mentions d ≥ 1
+	// positions apart within the same description.
+	Window int
+	// TopK limits how many expansions a single entity may contribute.
+	TopK int
+}
+
+// NewExpander returns an empty expander with the given proximity window
+// (entity-position distance) and per-entity expansion cap.
+func NewExpander(window, topK int) *Expander {
+	if window < 1 {
+		window = 5
+	}
+	if topK < 1 {
+		topK = 3
+	}
+	return &Expander{
+		prox:    make(map[string]map[string]map[string]float64),
+		maxProx: make(map[string]float64),
+		Window:  window,
+		TopK:    topK,
+	}
+}
+
+// Observe records the entity mention sequence of one item description in
+// the given category. Entities closer together contribute more proximity
+// mass (1/distance), per the proximity heuristic.
+func (x *Expander) Observe(category string, entities []string) {
+	if len(entities) < 2 {
+		return
+	}
+	cat := x.prox[category]
+	if cat == nil {
+		cat = make(map[string]map[string]float64)
+		x.prox[category] = cat
+	}
+	for i := 0; i < len(entities); i++ {
+		for j := i + 1; j < len(entities) && j-i <= x.Window; j++ {
+			a, b := entities[i], entities[j]
+			if a == b {
+				continue
+			}
+			w := 1 / float64(j-i)
+			x.bump(cat, category, a, b, w)
+			x.bump(cat, category, b, a, w)
+		}
+	}
+}
+
+func (x *Expander) bump(cat map[string]map[string]float64, category, a, b string, w float64) {
+	m := cat[a]
+	if m == nil {
+		m = make(map[string]float64)
+		cat[a] = m
+	}
+	m[b] += w
+	if m[b] > x.maxProx[category] {
+		x.maxProx[category] = m[b]
+	}
+}
+
+// Expand returns the expansion set E' for the item's entity list in the
+// given category: for each source entity, up to TopK related entities with
+// normalised weights, excluding entities already present in the item.
+// Results are sorted by weight descending, then name, for determinism.
+func (x *Expander) Expand(category string, entities []string) []Expansion {
+	cat := x.prox[category]
+	if cat == nil || x.maxProx[category] == 0 {
+		return nil
+	}
+	present := make(map[string]bool, len(entities))
+	for _, e := range entities {
+		present[e] = true
+	}
+	norm := x.maxProx[category]
+	best := make(map[string]float64)
+	for _, e := range entities {
+		related := cat[e]
+		if len(related) == 0 {
+			continue
+		}
+		type cand struct {
+			name string
+			w    float64
+		}
+		cands := make([]cand, 0, len(related))
+		for name, mass := range related {
+			if present[name] {
+				continue
+			}
+			cands = append(cands, cand{name, mass / norm})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].w != cands[j].w {
+				return cands[i].w > cands[j].w
+			}
+			return cands[i].name < cands[j].name
+		})
+		if len(cands) > x.TopK {
+			cands = cands[:x.TopK]
+		}
+		for _, c := range cands {
+			if c.w > best[c.name] {
+				best[c.name] = c.w
+			}
+		}
+	}
+	out := make([]Expansion, 0, len(best))
+	for name, w := range best {
+		out = append(out, Expansion{Entity: name, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Entity < out[j].Entity
+	})
+	return out
+}
+
+// Weight returns the normalised proximity weight between two entities in a
+// category (0 if unrelated or unknown).
+func (x *Expander) Weight(category, a, b string) float64 {
+	cat := x.prox[category]
+	if cat == nil || x.maxProx[category] == 0 {
+		return 0
+	}
+	return cat[a][b] / x.maxProx[category]
+}
+
+// Categories returns the number of categories with recorded statistics.
+func (x *Expander) Categories() int { return len(x.prox) }
+
+// ExpanderSnapshot is the exported wire form of an Expander.
+type ExpanderSnapshot struct {
+	Prox    map[string]map[string]map[string]float64
+	MaxProx map[string]float64
+	Window  int
+	TopK    int
+}
+
+// Snapshot exports the accumulated proximity statistics.
+func (x *Expander) Snapshot() ExpanderSnapshot {
+	s := ExpanderSnapshot{
+		Prox:    make(map[string]map[string]map[string]float64, len(x.prox)),
+		MaxProx: make(map[string]float64, len(x.maxProx)),
+		Window:  x.Window,
+		TopK:    x.TopK,
+	}
+	for cat, m := range x.prox {
+		cm := make(map[string]map[string]float64, len(m))
+		for a, rel := range m {
+			rm := make(map[string]float64, len(rel))
+			for b, w := range rel {
+				rm[b] = w
+			}
+			cm[a] = rm
+		}
+		s.Prox[cat] = cm
+	}
+	for cat, v := range x.maxProx {
+		s.MaxProx[cat] = v
+	}
+	return s
+}
+
+// ExpanderFromSnapshot rebuilds an Expander.
+func ExpanderFromSnapshot(s ExpanderSnapshot) *Expander {
+	x := NewExpander(s.Window, s.TopK)
+	for cat, m := range s.Prox {
+		cm := make(map[string]map[string]float64, len(m))
+		for a, rel := range m {
+			rm := make(map[string]float64, len(rel))
+			for b, w := range rel {
+				rm[b] = w
+			}
+			cm[a] = rm
+		}
+		x.prox[cat] = cm
+	}
+	for cat, v := range s.MaxProx {
+		x.maxProx[cat] = v
+	}
+	return x
+}

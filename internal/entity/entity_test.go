@@ -1,0 +1,238 @@
+package entity
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Australian Open 2017 Men's Final", []string{"australian", "open", "2017", "men", "s", "final"}},
+		{"", nil},
+		{"   ", nil},
+		{"Roger-Federer vs. Rafael_Nadal!", []string{"roger", "federer", "vs", "rafael", "nadal"}},
+		{"ABC123", []string{"abc123"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func testVocab() []string {
+	return []string{
+		"Australian Open", "Roger Federer", "Rafael Nadal", "Match",
+		"Beckham", "worldcup", "FIFA", "Messi", "football", "Brazil",
+	}
+}
+
+func TestExtractPaperExample(t *testing.T) {
+	// The running example from §IV-B of the paper.
+	ex := NewExtractor(testVocab())
+	got := ex.Extract("Australian Open 2017 Men's Final Roger Federer vs Rafael Nadal Full Match.")
+	want := []string{"Australian Open", "Roger Federer", "Rafael Nadal", "Match"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Extract = %v, want %v", got, want)
+	}
+}
+
+func TestExtractLongestMatchWins(t *testing.T) {
+	ex := NewExtractor([]string{"Open", "Australian Open"})
+	got := ex.Extract("the australian open final")
+	want := []string{"Australian Open"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Extract = %v, want %v", got, want)
+	}
+}
+
+func TestExtractRepeatsPreserved(t *testing.T) {
+	ex := NewExtractor(testVocab())
+	got := ex.Extract("worldcup highlights worldcup goals")
+	want := []string{"worldcup", "worldcup"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Extract = %v, want %v", got, want)
+	}
+}
+
+func TestExtractCaseInsensitive(t *testing.T) {
+	ex := NewExtractor(testVocab())
+	got := ex.Extract("MESSI and beckham")
+	want := []string{"Messi", "Beckham"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Extract = %v, want %v", got, want)
+	}
+}
+
+func TestExtractNoMatches(t *testing.T) {
+	ex := NewExtractor(testVocab())
+	if got := ex.Extract("completely unrelated text"); got != nil {
+		t.Errorf("Extract = %v, want nil", got)
+	}
+	if got := ex.Extract(""); got != nil {
+		t.Errorf("Extract(\"\") = %v, want nil", got)
+	}
+}
+
+func TestExtractorSize(t *testing.T) {
+	ex := NewExtractor([]string{"a", "b", "", "c d"})
+	if ex.Size() != 3 {
+		t.Errorf("Size = %d, want 3", ex.Size())
+	}
+}
+
+func TestExpanderRelatesCooccurring(t *testing.T) {
+	x := NewExpander(5, 3)
+	// Beckham and football co-occur adjacently many times in sports.
+	for i := 0; i < 10; i++ {
+		x.Observe("sports", []string{"Beckham", "football"})
+	}
+	x.Observe("sports", []string{"Beckham", "FIFA"})
+
+	exp := x.Expand("sports", []string{"Beckham"})
+	if len(exp) < 2 {
+		t.Fatalf("expansions = %v", exp)
+	}
+	if exp[0].Entity != "football" {
+		t.Errorf("top expansion = %v, want football", exp[0])
+	}
+	if exp[0].Weight <= exp[1].Weight {
+		t.Errorf("weights not ordered: %v", exp)
+	}
+	if exp[0].Weight > 1 || exp[0].Weight <= 0 {
+		t.Errorf("weight out of (0,1]: %v", exp[0].Weight)
+	}
+}
+
+func TestExpandExcludesPresentEntities(t *testing.T) {
+	x := NewExpander(5, 3)
+	x.Observe("sports", []string{"Messi", "worldcup", "FIFA"})
+	exp := x.Expand("sports", []string{"Messi", "worldcup"})
+	for _, e := range exp {
+		if e.Entity == "Messi" || e.Entity == "worldcup" {
+			t.Errorf("expansion contains present entity %v", e)
+		}
+	}
+}
+
+func TestExpandCategoryIsolation(t *testing.T) {
+	x := NewExpander(5, 3)
+	x.Observe("sports", []string{"Messi", "worldcup"})
+	if exp := x.Expand("music", []string{"Messi"}); exp != nil {
+		t.Errorf("cross-category expansion: %v", exp)
+	}
+}
+
+func TestExpandTopKCap(t *testing.T) {
+	x := NewExpander(10, 2)
+	x.Observe("c", []string{"a", "b1", "b2", "b3", "b4", "b5"})
+	exp := x.Expand("c", []string{"a"})
+	if len(exp) > 2 {
+		t.Errorf("TopK=2 but got %d expansions: %v", len(exp), exp)
+	}
+}
+
+func TestProximityDecaysWithDistance(t *testing.T) {
+	x := NewExpander(10, 5)
+	x.Observe("c", []string{"a", "near", "x", "x2", "x3", "far"})
+	if x.Weight("c", "a", "near") <= x.Weight("c", "a", "far") {
+		t.Errorf("near=%v far=%v; proximity should decay",
+			x.Weight("c", "a", "near"), x.Weight("c", "a", "far"))
+	}
+}
+
+func TestObserveWindowLimit(t *testing.T) {
+	x := NewExpander(2, 5)
+	x.Observe("c", []string{"a", "x1", "x2", "beyond"})
+	if w := x.Weight("c", "a", "beyond"); w != 0 {
+		t.Errorf("beyond-window pair has weight %v", w)
+	}
+	if w := x.Weight("c", "a", "x2"); w == 0 {
+		t.Errorf("within-window pair has zero weight")
+	}
+}
+
+func TestObserveSelfPairsIgnored(t *testing.T) {
+	x := NewExpander(5, 5)
+	x.Observe("c", []string{"a", "a", "a"})
+	if w := x.Weight("c", "a", "a"); w != 0 {
+		t.Errorf("self-proximity recorded: %v", w)
+	}
+}
+
+func TestExpandDeterministicOrder(t *testing.T) {
+	x := NewExpander(5, 5)
+	// Two expansions with identical weights must sort by name.
+	x.Observe("c", []string{"a", "zeta"})
+	x.Observe("c", []string{"a", "alpha"})
+	exp := x.Expand("c", []string{"a"})
+	if len(exp) != 2 || exp[0].Entity != "alpha" || exp[1].Entity != "zeta" {
+		t.Errorf("tie-break order wrong: %v", exp)
+	}
+}
+
+func TestWeightSymmetric(t *testing.T) {
+	x := NewExpander(5, 5)
+	x.Observe("c", []string{"p", "q", "r"})
+	if x.Weight("c", "p", "q") != x.Weight("c", "q", "p") {
+		t.Errorf("proximity not symmetric")
+	}
+}
+
+// Property: every expansion weight lies in (0, 1], and no expansion repeats
+// or echoes an input entity.
+func TestExpandWeightProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		names := []string{"e0", "e1", "e2", "e3", "e4", "e5"}
+		x := NewExpander(4, 3)
+		var seq []string
+		for _, b := range raw {
+			seq = append(seq, names[int(b)%len(names)])
+		}
+		x.Observe("cat", seq)
+		exp := x.Expand("cat", []string{"e0"})
+		seen := map[string]bool{"e0": true}
+		for _, e := range exp {
+			if e.Weight <= 0 || e.Weight > 1 {
+				return false
+			}
+			if seen[e.Entity] {
+				return false
+			}
+			seen[e.Entity] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	ex := NewExtractor(testVocab())
+	text := "Australian Open 2017 Men's Final Roger Federer vs Rafael Nadal Full Match with Messi Beckham worldcup FIFA football Brazil highlights"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ex.Extract(text)
+	}
+}
+
+func BenchmarkExpand(b *testing.B) {
+	x := NewExpander(5, 3)
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i := 0; i < 200; i++ {
+		x.Observe("c", []string{names[i%8], names[(i+1)%8], names[(i+3)%8]})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Expand("c", []string{"a", "c"})
+	}
+}

@@ -1,0 +1,226 @@
+// Package evalx is the stream-simulation evaluation harness of the paper's
+// §VI-B: interactions are ordered by timestamp and split into six equal
+// partitions; the first two train, the remaining four test. Each test
+// partition is replayed in order — when an item first appears the system
+// recommends its top-k users (P@k hit = a recommended user really
+// interacts with that item within the partition), after which the
+// interaction feeds the system's streaming update path.
+//
+// The same harness measures the per-item recommendation latency (Fig. 10)
+// and the update cost (Fig. 11).
+package evalx
+
+import (
+	"fmt"
+	"time"
+
+	"ssrec/internal/baseline"
+	"ssrec/internal/dataset"
+	"ssrec/internal/metrics"
+	"ssrec/internal/model"
+)
+
+// Setup fixes the partitioning scheme. Zero values take the paper's
+// defaults (6 partitions, first 2 train).
+type Setup struct {
+	Partitions int
+	TrainParts int
+	// MaxItemsPerPartition caps the number of distinct items evaluated per
+	// test partition (0 = all) — a throttle for quick benchmark runs.
+	MaxItemsPerPartition int
+}
+
+func (s *Setup) fill() {
+	if s.Partitions <= 0 {
+		s.Partitions = 6
+	}
+	if s.TrainParts <= 0 {
+		s.TrainParts = 2
+	}
+	if s.TrainParts >= s.Partitions {
+		s.TrainParts = s.Partitions - 1
+	}
+}
+
+// BatchTrainer is implemented by systems (the ssRec engine) that bootstrap
+// from the training partitions in one call instead of replaying Observe.
+type BatchTrainer interface {
+	Train(items []model.Item, interactions []model.Interaction, resolve func(string) (model.Item, bool)) error
+}
+
+// neighbourRefresher lets UCD rebuild its neighbour lists after training.
+type neighbourRefresher interface {
+	RefreshNeighbours()
+}
+
+// Result aggregates one evaluation run.
+type Result struct {
+	System string
+	// PAtK maps cutoff k to precision over all test partitions.
+	PAtK map[int]float64
+	// Hits / ItemsTested decompose the precision.
+	Hits        map[int]int
+	ItemsTested int
+	// RecommendLatency is the average per-item recommendation time.
+	RecommendLatency time.Duration
+	// UpdateLatency is the average per-interaction Observe time.
+	UpdateLatency time.Duration
+	// RecommendHist carries the full latency distribution (p50/p95/p99).
+	RecommendHist metrics.Snapshot
+	// PerPartition carries per-test-partition cumulative metrics
+	// (partition i = prefix of i+1 test partitions), matching Fig. 10's
+	// x-axis "number of partitions".
+	PerPartition []PartitionMetrics
+}
+
+// PartitionMetrics is the cumulative view after each test partition.
+type PartitionMetrics struct {
+	Partition        int
+	ItemsTested      int
+	RecommendLatency time.Duration // cumulative average per item
+	UpdateLatency    time.Duration // cumulative average per interaction
+	UpdateTotal      time.Duration // total update time so far (Fig. 11)
+}
+
+// Train bootstraps a recommender on the training partitions: BatchTrainer
+// systems get the one-shot path, others an Observe replay.
+func Train(rec baseline.Recommender, ds *dataset.Dataset, setup Setup) error {
+	setup.fill()
+	parts := ds.Partition(setup.Partitions)
+	var train []model.Interaction
+	for i := 0; i < setup.TrainParts; i++ {
+		train = append(train, parts[i]...)
+	}
+	if bt, ok := rec.(BatchTrainer); ok {
+		if err := bt.Train(ds.Items, train, ds.Item); err != nil {
+			return fmt.Errorf("evalx: train %s: %w", rec.Name(), err)
+		}
+	} else {
+		for _, ir := range train {
+			if v, ok := ds.Item(ir.ItemID); ok {
+				rec.Observe(ir, v)
+			}
+		}
+	}
+	if nr, ok := rec.(neighbourRefresher); ok {
+		nr.RefreshNeighbours()
+	}
+	return nil
+}
+
+// Run trains rec and replays the test partitions, measuring P@k for every
+// cutoff in ks plus latencies. The recommender must be freshly constructed.
+func Run(rec baseline.Recommender, ds *dataset.Dataset, setup Setup, ks []int) (Result, error) {
+	setup.fill()
+	if err := Train(rec, ds, setup); err != nil {
+		return Result{}, err
+	}
+	return RunTest(rec, ds, setup, ks)
+}
+
+// RunTest replays only the test partitions against an already-trained
+// recommender.
+func RunTest(rec baseline.Recommender, ds *dataset.Dataset, setup Setup, ks []int) (Result, error) {
+	setup.fill()
+	maxK := 0
+	for _, k := range ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	if maxK == 0 {
+		return Result{}, fmt.Errorf("evalx: no cutoffs")
+	}
+	res := Result{
+		System: rec.Name(),
+		PAtK:   make(map[int]float64, len(ks)),
+		Hits:   make(map[int]int, len(ks)),
+	}
+	parts := ds.Partition(setup.Partitions)
+	var recTotal, updTotal time.Duration
+	var nInteractions int
+	var recHist metrics.Histogram
+
+	for pi := setup.TrainParts; pi < setup.Partitions; pi++ {
+		part := parts[pi]
+		// Ground truth: users interacting with each item in this partition.
+		truth := map[string]map[string]bool{}
+		for _, ir := range part {
+			m := truth[ir.ItemID]
+			if m == nil {
+				m = map[string]bool{}
+				truth[ir.ItemID] = m
+			}
+			m[ir.UserID] = true
+		}
+		seen := map[string]bool{}
+		itemsThisPart := 0
+		for _, ir := range part {
+			v, ok := ds.Item(ir.ItemID)
+			if !ok {
+				continue
+			}
+			if !seen[ir.ItemID] &&
+				(setup.MaxItemsPerPartition == 0 || itemsThisPart < setup.MaxItemsPerPartition) {
+				seen[ir.ItemID] = true
+				itemsThisPart++
+				start := time.Now()
+				recs := rec.Recommend(v, maxK)
+				took := time.Since(start)
+				recTotal += took
+				recHist.Record(took)
+				res.ItemsTested++
+				gt := truth[ir.ItemID]
+				for _, k := range ks {
+					top := recs
+					if len(top) > k {
+						top = top[:k]
+					}
+					for _, r := range top {
+						if gt[r.UserID] {
+							res.Hits[k]++
+						}
+					}
+				}
+			}
+			start := time.Now()
+			rec.Observe(ir, v)
+			updTotal += time.Since(start)
+			nInteractions++
+		}
+		pm := PartitionMetrics{Partition: pi - setup.TrainParts + 1, ItemsTested: res.ItemsTested, UpdateTotal: updTotal}
+		if res.ItemsTested > 0 {
+			pm.RecommendLatency = recTotal / time.Duration(res.ItemsTested)
+		}
+		if nInteractions > 0 {
+			pm.UpdateLatency = updTotal / time.Duration(nInteractions)
+		}
+		res.PerPartition = append(res.PerPartition, pm)
+	}
+	for _, k := range ks {
+		if res.ItemsTested > 0 {
+			res.PAtK[k] = float64(res.Hits[k]) / float64(res.ItemsTested*k)
+		}
+	}
+	if res.ItemsTested > 0 {
+		res.RecommendLatency = recTotal / time.Duration(res.ItemsTested)
+	}
+	if nInteractions > 0 {
+		res.UpdateLatency = updTotal / time.Duration(nInteractions)
+	}
+	res.RecommendHist = recHist.Snapshot()
+	return res, nil
+}
+
+// Accuracy is the Fig. 5 metric: fraction of correct next-category
+// predictions. Exposed here for symmetric reporting.
+type Accuracy struct {
+	States int
+	Users  int
+	HMM    float64
+	BiHMM  float64
+}
+
+func (a Accuracy) String() string {
+	return fmt.Sprintf("states=%d users=%d HMM=%.3f BiHMM=%.3f", a.States, a.Users, a.HMM, a.BiHMM)
+}

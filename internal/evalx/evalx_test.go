@@ -1,0 +1,180 @@
+package evalx
+
+import (
+	"testing"
+
+	"ssrec/internal/baseline"
+	"ssrec/internal/dataset"
+	"ssrec/internal/model"
+)
+
+func tinyDS(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.YTubeConfig(0.2)
+	cfg.Seed = 77
+	return dataset.Generate(cfg)
+}
+
+// oracle recommends exactly the future interactors (cheating reference —
+// calibrates the harness: its P@k must be high).
+type oracle struct {
+	truth map[string][]string // itemID -> future users
+}
+
+func (o *oracle) Name() string                               { return "oracle" }
+func (o *oracle) Observe(ir model.Interaction, v model.Item) {}
+func (o *oracle) Recommend(v model.Item, k int) []model.Recommendation {
+	var out []model.Recommendation
+	for i, u := range o.truth[v.ID] {
+		if i >= k {
+			break
+		}
+		out = append(out, model.Recommendation{UserID: u, Score: 1 - float64(i)/100})
+	}
+	return out
+}
+
+// antiOracle recommends users that never interact.
+type antiOracle struct{}
+
+func (antiOracle) Name() string                               { return "anti" }
+func (antiOracle) Observe(ir model.Interaction, v model.Item) {}
+func (antiOracle) Recommend(v model.Item, k int) []model.Recommendation {
+	out := make([]model.Recommendation, k)
+	for i := range out {
+		out[i] = model.Recommendation{UserID: "nobody", Score: 0}
+	}
+	return out
+}
+
+func buildOracle(ds *dataset.Dataset, setup Setup) *oracle {
+	parts := ds.Partition(setup.Partitions)
+	o := &oracle{truth: map[string][]string{}}
+	for pi := setup.TrainParts; pi < setup.Partitions; pi++ {
+		seen := map[string]map[string]bool{}
+		for _, ir := range parts[pi] {
+			m := seen[ir.ItemID]
+			if m == nil {
+				m = map[string]bool{}
+				seen[ir.ItemID] = m
+			}
+			if !m[ir.UserID] {
+				m[ir.UserID] = true
+				o.truth[ir.ItemID] = append(o.truth[ir.ItemID], ir.UserID)
+			}
+		}
+	}
+	return o
+}
+
+func TestOracleScoresHigh(t *testing.T) {
+	ds := tinyDS(t)
+	setup := Setup{}
+	o := buildOracle(ds, Setup{Partitions: 6, TrainParts: 2})
+	res, err := Run(o, ds, setup, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PAtK[5] < 0.2 {
+		t.Errorf("oracle P@5 = %.3f — harness not crediting true hits", res.PAtK[5])
+	}
+	if res.ItemsTested == 0 {
+		t.Fatal("no items tested")
+	}
+}
+
+func TestAntiOracleScoresZero(t *testing.T) {
+	ds := tinyDS(t)
+	res, err := Run(antiOracle{}, ds, Setup{}, []int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PAtK[5] != 0 || res.PAtK[10] != 0 {
+		t.Errorf("anti-oracle scored: %v", res.PAtK)
+	}
+}
+
+func TestRunWithCTTEndToEnd(t *testing.T) {
+	ds := tinyDS(t)
+	res, err := Run(baseline.NewCTT(baseline.CTTConfig{}), ds, Setup{}, []int{5, 10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != "CTT" {
+		t.Errorf("System = %s", res.System)
+	}
+	for _, k := range []int{5, 10, 20, 30} {
+		p := res.PAtK[k]
+		if p < 0 || p > 1 {
+			t.Errorf("P@%d = %v out of range", k, p)
+		}
+	}
+	if res.RecommendLatency <= 0 {
+		t.Errorf("latency not measured")
+	}
+	if res.RecommendHist.Count == 0 || res.RecommendHist.P99 < res.RecommendHist.P50 {
+		t.Errorf("latency histogram wrong: %v", res.RecommendHist)
+	}
+	if len(res.PerPartition) != 4 {
+		t.Errorf("per-partition metrics: %d, want 4", len(res.PerPartition))
+	}
+	// Cumulative update totals must be non-decreasing.
+	for i := 1; i < len(res.PerPartition); i++ {
+		if res.PerPartition[i].UpdateTotal < res.PerPartition[i-1].UpdateTotal {
+			t.Errorf("update totals decreased at partition %d", i)
+		}
+	}
+}
+
+func TestCTTBeatsAntiOracle(t *testing.T) {
+	ds := tinyDS(t)
+	ctt, err := Run(baseline.NewCTT(baseline.CTTConfig{}), ds, Setup{}, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anti, err := Run(antiOracle{}, ds, Setup{}, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctt.PAtK[10] <= anti.PAtK[10] {
+		t.Errorf("CTT (%.4f) not above random-garbage baseline (%.4f)", ctt.PAtK[10], anti.PAtK[10])
+	}
+}
+
+func TestMaxItemsThrottle(t *testing.T) {
+	ds := tinyDS(t)
+	full, err := Run(baseline.NewCTT(baseline.CTTConfig{}), ds, Setup{}, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := Run(baseline.NewCTT(baseline.CTTConfig{}), ds, Setup{MaxItemsPerPartition: 3}, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.ItemsTested >= full.ItemsTested {
+		t.Errorf("throttle inert: %d vs %d", capped.ItemsTested, full.ItemsTested)
+	}
+	if capped.ItemsTested > 3*4 {
+		t.Errorf("throttle exceeded: %d items", capped.ItemsTested)
+	}
+}
+
+func TestRunNoCutoffs(t *testing.T) {
+	ds := tinyDS(t)
+	if _, err := Run(antiOracle{}, ds, Setup{}, nil); err == nil {
+		t.Fatal("accepted empty cutoffs")
+	}
+}
+
+func TestSetupDefaults(t *testing.T) {
+	s := Setup{}
+	s.fill()
+	if s.Partitions != 6 || s.TrainParts != 2 {
+		t.Errorf("defaults = %+v", s)
+	}
+	s2 := Setup{Partitions: 3, TrainParts: 9}
+	s2.fill()
+	if s2.TrainParts >= s2.Partitions {
+		t.Errorf("TrainParts not clamped: %+v", s2)
+	}
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ssrec/internal/core"
+	"ssrec/internal/evalx"
+	"ssrec/internal/shx"
+)
+
+// Ablations beyond the paper's figures: each isolates one design choice
+// DESIGN.md calls out. All run on the YTube-shaped dataset.
+
+// PruningRow compares Algorithm 1 against a full scan of the same
+// candidate trees.
+type PruningRow struct {
+	Items          int
+	IndexPerItem   time.Duration // branch-and-bound
+	ScanPerItem    time.Duration // same trees, every leaf scored
+	EntriesScored  int           // total across items (index arm)
+	EntriesTotal   int           // total candidate entries
+	ResultsMatched bool          // exactness check
+}
+
+// AblationPruning measures the benefit of the upper-bound candidate
+// pruning (Lemmas 1–2) with identical results guaranteed.
+func AblationPruning(o Options) PruningRow {
+	o.fill()
+	ds := Datasets(o)["YTube"]
+	eng := core.New(engineConfig(ds, o))
+	if err := evalx.Train(eng, ds, evalx.Setup{}); err != nil {
+		return PruningRow{}
+	}
+	nItems := 200
+	if o.Quick {
+		nItems = 50
+	}
+	if nItems > len(ds.Items) {
+		nItems = len(ds.Items)
+	}
+	// k = 10: pruning headroom requires k well below the candidate
+	// population, which tiny Quick datasets do not give k = 30.
+	const k = 10
+	row := PruningRow{Items: nItems, ResultsMatched: true}
+	var idxTotal, scanTotal time.Duration
+	for i := 0; i < nItems; i++ {
+		v := ds.Items[len(ds.Items)-1-i] // late items: richest profiles
+		t0 := time.Now()
+		got, stats := eng.RecommendStats(v, k)
+		idxTotal += time.Since(t0)
+		row.EntriesScored += stats.EntriesScored
+		row.EntriesTotal += stats.EntriesScored + stats.EntriesSkipped
+
+		t1 := time.Now()
+		want := eng.RecommendScan(v, k)
+		scanTotal += time.Since(t1)
+		if len(got) != len(want) {
+			row.ResultsMatched = false
+		} else {
+			for j := range got {
+				if got[j] != want[j] {
+					row.ResultsMatched = false
+					break
+				}
+			}
+		}
+	}
+	row.IndexPerItem = idxTotal / time.Duration(nItems)
+	row.ScanPerItem = scanTotal / time.Duration(nItems)
+	return row
+}
+
+// BlocksRow compares the index built with one block against tuned blocks
+// (the Table II memory argument turned into latency and width numbers).
+type BlocksRow struct {
+	Blocks       int
+	MaxEntityUni int
+	PerItem      time.Duration
+}
+
+// AblationBlocks sweeps the forced block count and reports query latency
+// and tree width.
+func AblationBlocks(o Options) []BlocksRow {
+	o.fill()
+	ds := Datasets(o)["YTube"]
+	counts := []int{1, 5, 20}
+	if o.Quick {
+		counts = []int{1, 10}
+	}
+	nItems := 150
+	if o.Quick {
+		nItems = 40
+	}
+	if nItems > len(ds.Items) {
+		nItems = len(ds.Items)
+	}
+	var rows []BlocksRow
+	for _, k := range counts {
+		cfg := engineConfig(ds, o)
+		cfg.FixedBlocks = k
+		eng := core.New(cfg)
+		if err := evalx.Train(eng, ds, evalx.Setup{}); err != nil {
+			continue
+		}
+		t0 := time.Now()
+		for i := 0; i < nItems; i++ {
+			eng.Recommend(ds.Items[len(ds.Items)-1-i], 30)
+		}
+		rows = append(rows, BlocksRow{
+			Blocks:       eng.Index().Stats().Blocks,
+			MaxEntityUni: eng.Index().Stats().MaxEntityUni,
+			PerItem:      time.Since(t0) / time.Duration(nItems),
+		})
+	}
+	return rows
+}
+
+// HashRow compares the paper's chained shift-add-xor table against Go's
+// built-in map on the same key population.
+type HashRow struct {
+	Keys      int
+	ShxPerOp  time.Duration
+	MapPerOp  time.Duration
+	ShxChains shx.ChainStats
+}
+
+// AblationHash measures point lookups over the category–entity key space.
+func AblationHash(o Options) HashRow {
+	o.fill()
+	ds := Datasets(o)["YTube"]
+	keys := make([]string, 0, 4096)
+	for _, v := range ds.Items {
+		for _, e := range v.Entities {
+			keys = append(keys, shx.PairKey(v.Category, e))
+		}
+	}
+	tab := shx.NewTable(1 << 12)
+	m := make(map[string]int, len(keys))
+	for i, k := range keys {
+		tab.Insert(k, i)
+		m[k] = i
+	}
+	iters := 200_000
+	if o.Quick {
+		iters = 50_000
+	}
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		tab.Lookup(keys[i%len(keys)])
+	}
+	shxD := time.Since(t0)
+	t1 := time.Now()
+	var sink int
+	for i := 0; i < iters; i++ {
+		sink += m[keys[i%len(keys)]]
+	}
+	mapD := time.Since(t1)
+	_ = sink
+	return HashRow{
+		Keys:      tab.Len(),
+		ShxPerOp:  shxD / time.Duration(iters),
+		MapPerOp:  mapD / time.Duration(iters),
+		ShxChains: tab.Stats(),
+	}
+}
+
+// ExpansionRow reports the cost and coverage impact of entity expansion.
+type ExpansionRow struct {
+	System        string
+	PAt10         float64
+	PerItem       time.Duration
+	AvgQueryEnts  float64 // average entity count after (or without) expansion
+	ItemsEvaluted int
+}
+
+// AblationExpansion compares ssRec with and without entity expansion on
+// effectiveness and per-item cost.
+func AblationExpansion(o Options) []ExpansionRow {
+	o.fill()
+	ds := Datasets(o)["YTube"]
+	var rows []ExpansionRow
+	for _, disable := range []bool{true, false} {
+		cfg := engineConfig(ds, o)
+		cfg.DisableExpansion = disable
+		eng := core.New(cfg)
+		res, err := evalx.Run(eng, ds, setupFor(o), []int{10})
+		if err != nil {
+			continue
+		}
+		var ents int
+		n := 100
+		if n > len(ds.Items) {
+			n = len(ds.Items)
+		}
+		for i := 0; i < n; i++ {
+			ents += len(eng.BuildQuery(ds.Items[i]).Entities)
+		}
+		rows = append(rows, ExpansionRow{
+			System:        eng.Name(),
+			PAt10:         res.PAtK[10],
+			PerItem:       res.RecommendLatency,
+			AvgQueryEnts:  float64(ents) / float64(n),
+			ItemsEvaluted: res.ItemsTested,
+		})
+	}
+	return rows
+}
+
+// String implementations keep cmd/ssrec-bench output compact.
+
+func (r PruningRow) String() string {
+	frac := 0.0
+	if r.EntriesTotal > 0 {
+		frac = float64(r.EntriesScored) / float64(r.EntriesTotal)
+	}
+	return fmt.Sprintf("items=%d index=%v scan=%v scored=%.0f%% match=%v",
+		r.Items, r.IndexPerItem, r.ScanPerItem, frac*100, r.ResultsMatched)
+}
+
+func (r BlocksRow) String() string {
+	return fmt.Sprintf("blocks=%-3d maxEntUni=%-5d perItem=%v", r.Blocks, r.MaxEntityUni, r.PerItem)
+}
+
+func (r HashRow) String() string {
+	return fmt.Sprintf("keys=%d shx=%v map=%v chains{%v}", r.Keys, r.ShxPerOp, r.MapPerOp, r.ShxChains)
+}
+
+func (r ExpansionRow) String() string {
+	return fmt.Sprintf("%-9s P@10=%.3f perItem=%v avgQueryEnts=%.1f", r.System, r.PAt10, r.PerItem, r.AvgQueryEnts)
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// quickOpts keeps experiment tests fast; the full protocol runs in the
+// benchmarks and cmd/ssrec-bench.
+func quickOpts() Options {
+	return Options{Scale: 0.15, Seed: 7, Quick: true, Ks: []int{5, 10}}
+}
+
+func TestDatasetsBuildsAllFour(t *testing.T) {
+	dss := Datasets(quickOpts())
+	for _, name := range DatasetNames {
+		ds := dss[name]
+		if ds == nil {
+			t.Fatalf("missing dataset %s", name)
+		}
+		if len(ds.Items) == 0 || len(ds.Interactions) == 0 {
+			t.Errorf("%s degenerate: %v", name, ds.ComputeStats())
+		}
+	}
+	// Cache must return identical pointers.
+	again := Datasets(quickOpts())
+	if again["YTube"] != dss["YTube"] {
+		t.Error("dataset cache miss on identical options")
+	}
+}
+
+func TestTable2BlocksShrinkUniverses(t *testing.T) {
+	rows := Table2(quickOpts())
+	if len(rows) < 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0].Blocks != 1 {
+		t.Fatalf("first row blocks = %d", rows[0].Blocks)
+	}
+	last := rows[len(rows)-1]
+	if last.MaxEntity > rows[0].MaxEntity {
+		t.Errorf("blocking grew entity universe: %d -> %d", rows[0].MaxEntity, last.MaxEntity)
+	}
+	if last.MaxProducer > rows[0].MaxProducer {
+		t.Errorf("blocking grew producer universe: %d -> %d", rows[0].MaxProducer, last.MaxProducer)
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	rows := Table3(quickOpts())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Name != "YTube" || rows[1].Name != "SynYTube" {
+		t.Errorf("order wrong: %v %v", rows[0].Name, rows[1].Name)
+	}
+	// Synthetic sets match their source shape.
+	if rows[1].Items != rows[0].Items || rows[1].Categories != rows[0].Categories {
+		t.Errorf("SynYTube diverges from YTube: %v vs %v", rows[1], rows[0])
+	}
+}
+
+func TestFig5BiHMMAdvantage(t *testing.T) {
+	rows := Fig5(quickOpts())
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	var hmmSum, biSum float64
+	var n int
+	for _, r := range rows {
+		if r.Users <= 0 || r.HMM < 0 || r.HMM > 1 || r.BiHMM < 0 || r.BiHMM > 1 {
+			t.Errorf("bad row %+v", r)
+		}
+		hmmSum += r.HMM * float64(r.Users)
+		biSum += r.BiHMM * float64(r.Users)
+		n += r.Users
+	}
+	// The paper's Fig. 5 claim: BiHMM ≥ HMM on average.
+	if biSum/float64(n) < hmmSum/float64(n)-0.02 {
+		t.Errorf("BiHMM (%.3f) below HMM (%.3f) on average", biSum/float64(n), hmmSum/float64(n))
+	}
+}
+
+func TestFig6WindowSweep(t *testing.T) {
+	rows := Fig6(quickOpts(), "YTube")
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for k, p := range r.PAtK {
+			if p < 0 || p > 1 {
+				t.Errorf("W=%v P@%d=%v out of range", r.X, k, p)
+			}
+		}
+	}
+}
+
+func TestFig7LambdaSweep(t *testing.T) {
+	rows := Fig7(quickOpts(), "YTube")
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.X < 0 || r.X > 1 {
+			t.Errorf("lambda %v out of range", r.X)
+		}
+	}
+}
+
+func TestFig8SystemsComplete(t *testing.T) {
+	o := quickOpts()
+	rows := Fig8(o)
+	// 4 systems × 4 datasets.
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+	perDS := map[string]map[string]map[int]float64{}
+	for _, r := range rows {
+		if perDS[r.Dataset] == nil {
+			perDS[r.Dataset] = map[string]map[int]float64{}
+		}
+		perDS[r.Dataset][r.System] = r.PAtK
+	}
+	for _, name := range DatasetNames {
+		sys := perDS[name]
+		for _, want := range []string{"CTT", "UCD", "ssRec-ne", "ssRec"} {
+			if sys[want] == nil {
+				t.Errorf("%s missing system %s", name, want)
+			}
+		}
+	}
+}
+
+func TestFig9UpdatesHelp(t *testing.T) {
+	rows := Fig9(quickOpts())
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	// On average across datasets, ssRec with updates should beat ssRec-nu.
+	var nu, full float64
+	for _, r := range rows {
+		switch r.System {
+		case "ssRec-nu":
+			nu += r.PAtK[10]
+		case "ssRec":
+			full += r.PAtK[10]
+		}
+	}
+	if full < nu {
+		t.Errorf("updates hurt on average: ssRec=%.4f ssRec-nu=%.4f", full/4, nu/4)
+	}
+}
+
+func TestFig10LatencyRows(t *testing.T) {
+	rows := Fig10(quickOpts())
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	systems := map[string]bool{}
+	for _, r := range rows {
+		systems[r.System] = true
+		if r.Partitions < 1 || r.Partitions > 4 {
+			t.Errorf("bad partition %d", r.Partitions)
+		}
+		if r.PerItem < 0 {
+			t.Errorf("negative latency")
+		}
+	}
+	for _, want := range []string{"CTT", "UCD", "CPPse-index"} {
+		if !systems[want] {
+			t.Errorf("missing system %s", want)
+		}
+	}
+}
+
+func TestFig11UpdateCostsGrow(t *testing.T) {
+	rows := Fig11(quickOpts())
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	byDS := map[string][]UpdateRow{}
+	for _, r := range rows {
+		byDS[r.Dataset] = append(byDS[r.Dataset], r)
+	}
+	for name, rs := range byDS {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Total < rs[i-1].Total {
+				t.Errorf("%s: cumulative update cost decreased at partition %d", name, i+1)
+			}
+		}
+	}
+}
+
+func TestAblationPruningExactAndCheaper(t *testing.T) {
+	row := AblationPruning(quickOpts())
+	if !row.ResultsMatched {
+		t.Fatal("pruned search returned different results from scan")
+	}
+	if row.Items == 0 {
+		t.Fatal("nothing measured")
+	}
+	if row.EntriesTotal > 0 && row.EntriesScored >= row.EntriesTotal {
+		t.Errorf("no candidates pruned: %d of %d scored", row.EntriesScored, row.EntriesTotal)
+	}
+}
+
+func TestAblationBlocks(t *testing.T) {
+	rows := AblationBlocks(quickOpts())
+	if len(rows) < 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[len(rows)-1].MaxEntityUni > rows[0].MaxEntityUni {
+		t.Errorf("more blocks widened trees: %v", rows)
+	}
+}
+
+func TestAblationHash(t *testing.T) {
+	row := AblationHash(quickOpts())
+	if row.Keys == 0 || row.ShxPerOp <= 0 || row.MapPerOp <= 0 {
+		t.Fatalf("degenerate row: %+v", row)
+	}
+}
+
+func TestAblationExpansion(t *testing.T) {
+	rows := AblationExpansion(quickOpts())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].System != "ssRec-ne" || rows[1].System != "ssRec" {
+		t.Errorf("system order: %v %v", rows[0].System, rows[1].System)
+	}
+	if rows[1].AvgQueryEnts <= rows[0].AvgQueryEnts {
+		t.Errorf("expansion did not widen queries: %v vs %v", rows[1].AvgQueryEnts, rows[0].AvgQueryEnts)
+	}
+}

@@ -1,0 +1,511 @@
+// Package hmm implements discrete-observation hidden Markov models with
+// scaled forward-backward inference, Baum-Welch parameter estimation and
+// Viterbi decoding.
+//
+// It is the substrate for both layers of the BiHMM model of Zhou et al.
+// (ICDE 2019) and for the single-layer HMM baseline in the Fig. 5
+// experiment. All probability tables are dense float64 matrices; numerical
+// underflow over long sequences is avoided with per-step scaling factors
+// (Rabiner-style), so the package is safe for sequences of arbitrary length.
+package hmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model is a discrete HMM with N hidden states and M observation symbols.
+//
+// Pi[i] is the initial probability of state i, A[i][j] the transition
+// probability from state i to state j, and B[i][m] the probability of
+// emitting symbol m in state i. All rows are stochastic (sum to 1).
+type Model struct {
+	N  int         // number of hidden states
+	M  int         // number of observation symbols
+	Pi []float64   // N
+	A  [][]float64 // N x N
+	B  [][]float64 // N x M
+}
+
+// ErrNoObservations is returned when training is attempted with no usable
+// observation sequences.
+var ErrNoObservations = errors.New("hmm: no observation sequences")
+
+// New returns a model with uniform parameters.
+func New(n, m int) *Model {
+	if n <= 0 || m <= 0 {
+		panic(fmt.Sprintf("hmm: invalid dimensions n=%d m=%d", n, m))
+	}
+	h := &Model{N: n, M: m}
+	h.Pi = uniformRow(n)
+	h.A = make([][]float64, n)
+	h.B = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		h.A[i] = uniformRow(n)
+		h.B[i] = uniformRow(m)
+	}
+	return h
+}
+
+// NewRandom returns a model with randomly perturbed stochastic rows drawn
+// from rng. Random (rather than uniform) initialisation is required for
+// Baum-Welch to break symmetry between states.
+func NewRandom(n, m int, rng *rand.Rand) *Model {
+	h := New(n, m)
+	h.Pi = randomRow(n, rng)
+	for i := 0; i < n; i++ {
+		h.A[i] = randomRow(n, rng)
+		h.B[i] = randomRow(m, rng)
+	}
+	return h
+}
+
+// Clone returns a deep copy of the model.
+func (h *Model) Clone() *Model {
+	c := &Model{N: h.N, M: h.M}
+	c.Pi = append([]float64(nil), h.Pi...)
+	c.A = cloneMatrix(h.A)
+	c.B = cloneMatrix(h.B)
+	return c
+}
+
+// Validate checks that the dimensions are consistent and all rows are
+// stochastic within tolerance.
+func (h *Model) Validate() error {
+	if len(h.Pi) != h.N || len(h.A) != h.N || len(h.B) != h.N {
+		return fmt.Errorf("hmm: inconsistent dimensions N=%d", h.N)
+	}
+	if err := checkRow("pi", h.Pi); err != nil {
+		return err
+	}
+	for i := 0; i < h.N; i++ {
+		if len(h.A[i]) != h.N {
+			return fmt.Errorf("hmm: A row %d has length %d, want %d", i, len(h.A[i]), h.N)
+		}
+		if len(h.B[i]) != h.M {
+			return fmt.Errorf("hmm: B row %d has length %d, want %d", i, len(h.B[i]), h.M)
+		}
+		if err := checkRow(fmt.Sprintf("A[%d]", i), h.A[i]); err != nil {
+			return err
+		}
+		if err := checkRow(fmt.Sprintf("B[%d]", i), h.B[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Forward runs the scaled forward algorithm over obs and returns the scaled
+// alpha matrix (T x N), the per-step scaling coefficients and the total
+// log-likelihood log P(obs | model).
+//
+// alpha[t][i] is P(state_t = i | o_1..o_t) after scaling, i.e. each row sums
+// to 1 and scale[t] holds the normaliser.
+func (h *Model) Forward(obs []int) (alpha [][]float64, scale []float64, logLik float64) {
+	T := len(obs)
+	alpha = makeMatrix(T, h.N)
+	scale = make([]float64, T)
+	if T == 0 {
+		return alpha, scale, 0
+	}
+	// Initialisation.
+	for i := 0; i < h.N; i++ {
+		alpha[0][i] = h.Pi[i] * h.B[i][obs[0]]
+	}
+	scale[0] = normalize(alpha[0])
+	// Induction.
+	for t := 1; t < T; t++ {
+		prev, cur := alpha[t-1], alpha[t]
+		for j := 0; j < h.N; j++ {
+			var s float64
+			for i := 0; i < h.N; i++ {
+				s += prev[i] * h.A[i][j]
+			}
+			cur[j] = s * h.B[j][obs[t]]
+		}
+		scale[t] = normalize(cur)
+	}
+	for t := 0; t < T; t++ {
+		logLik += math.Log(scale[t])
+	}
+	return alpha, scale, logLik
+}
+
+// Backward runs the scaled backward algorithm using the scaling factors
+// produced by Forward over the same observation sequence.
+func (h *Model) Backward(obs []int, scale []float64) [][]float64 {
+	T := len(obs)
+	beta := makeMatrix(T, h.N)
+	if T == 0 {
+		return beta
+	}
+	for i := 0; i < h.N; i++ {
+		beta[T-1][i] = 1 / scale[T-1]
+	}
+	for t := T - 2; t >= 0; t-- {
+		for i := 0; i < h.N; i++ {
+			var s float64
+			for j := 0; j < h.N; j++ {
+				s += h.A[i][j] * h.B[j][obs[t+1]] * beta[t+1][j]
+			}
+			beta[t][i] = s / scale[t]
+		}
+	}
+	return beta
+}
+
+// LogLikelihood returns log P(obs | model).
+func (h *Model) LogLikelihood(obs []int) float64 {
+	_, _, ll := h.Forward(obs)
+	return ll
+}
+
+// Viterbi returns the most likely hidden state path for obs and its log
+// probability. It works in log space and therefore never underflows.
+func (h *Model) Viterbi(obs []int) (path []int, logProb float64) {
+	T := len(obs)
+	if T == 0 {
+		return nil, 0
+	}
+	delta := makeMatrix(T, h.N)
+	psi := make([][]int, T)
+	for t := range psi {
+		psi[t] = make([]int, h.N)
+	}
+	for i := 0; i < h.N; i++ {
+		delta[0][i] = safeLog(h.Pi[i]) + safeLog(h.B[i][obs[0]])
+	}
+	for t := 1; t < T; t++ {
+		for j := 0; j < h.N; j++ {
+			best, arg := math.Inf(-1), 0
+			for i := 0; i < h.N; i++ {
+				v := delta[t-1][i] + safeLog(h.A[i][j])
+				if v > best {
+					best, arg = v, i
+				}
+			}
+			delta[t][j] = best + safeLog(h.B[j][obs[t]])
+			psi[t][j] = arg
+		}
+	}
+	best, arg := math.Inf(-1), 0
+	for i := 0; i < h.N; i++ {
+		if delta[T-1][i] > best {
+			best, arg = delta[T-1][i], i
+		}
+	}
+	path = make([]int, T)
+	path[T-1] = arg
+	for t := T - 2; t >= 0; t-- {
+		path[t] = psi[t+1][path[t+1]]
+	}
+	return path, best
+}
+
+// StateDistribution returns the filtered distribution over hidden states
+// after observing obs, i.e. P(state_T = i | o_1..o_T).
+func (h *Model) StateDistribution(obs []int) []float64 {
+	if len(obs) == 0 {
+		return append([]float64(nil), h.Pi...)
+	}
+	alpha, _, _ := h.Forward(obs)
+	return append([]float64(nil), alpha[len(obs)-1]...)
+}
+
+// PredictNext returns the predictive distribution over the next observation
+// symbol, P(o_{T+1} = m | o_1..o_T). With an empty history it predicts from
+// the initial state distribution.
+func (h *Model) PredictNext(obs []int) []float64 {
+	cur := h.StateDistribution(obs)
+	next := make([]float64, h.N)
+	if len(obs) == 0 {
+		copy(next, cur)
+	} else {
+		for j := 0; j < h.N; j++ {
+			var s float64
+			for i := 0; i < h.N; i++ {
+				s += cur[i] * h.A[i][j]
+			}
+			next[j] = s
+		}
+	}
+	out := make([]float64, h.M)
+	for m := 0; m < h.M; m++ {
+		var s float64
+		for j := 0; j < h.N; j++ {
+			s += next[j] * h.B[j][m]
+		}
+		out[m] = s
+	}
+	return out
+}
+
+// TrainResult reports the outcome of a Baum-Welch run.
+type TrainResult struct {
+	Iterations    int
+	LogLikelihood float64 // final total log-likelihood over all sequences
+	Converged     bool
+}
+
+// TrainOptions controls Baum-Welch.
+type TrainOptions struct {
+	MaxIter   int     // maximum iterations; default 50
+	Tolerance float64 // stop when log-likelihood improves by less; default 1e-4
+	// MinProb floors every re-estimated probability to keep the model
+	// ergodic (no structurally unreachable state); default 1e-6.
+	MinProb float64
+	// Restarts is the number of random restarts Fit performs to escape
+	// local optima of EM; the model with the best final log-likelihood
+	// wins. Default 3. Ignored by BaumWelch itself.
+	Restarts int
+}
+
+func (o *TrainOptions) fill() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-4
+	}
+	if o.MinProb <= 0 {
+		o.MinProb = 1e-6
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 3
+	}
+}
+
+// BaumWelch re-estimates the model parameters from a set of observation
+// sequences using the (scaled, multi-sequence) Baum-Welch algorithm.
+// Empty sequences are ignored. The model is updated in place.
+func (h *Model) BaumWelch(sequences [][]int, opts TrainOptions) (TrainResult, error) {
+	opts.fill()
+	var usable [][]int
+	for _, s := range sequences {
+		if len(s) > 0 {
+			usable = append(usable, s)
+		}
+	}
+	if len(usable) == 0 {
+		return TrainResult{}, ErrNoObservations
+	}
+	for _, s := range usable {
+		for _, o := range s {
+			if o < 0 || o >= h.M {
+				return TrainResult{}, fmt.Errorf("hmm: observation %d out of range [0,%d)", o, h.M)
+			}
+		}
+	}
+
+	prevLL := math.Inf(-1)
+	res := TrainResult{}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		piAcc := make([]float64, h.N)
+		aNum := makeMatrix(h.N, h.N)
+		aDen := make([]float64, h.N)
+		bNum := makeMatrix(h.N, h.M)
+		bDen := make([]float64, h.N)
+		var totalLL float64
+
+		for _, obs := range usable {
+			T := len(obs)
+			alpha, scale, ll := h.Forward(obs)
+			beta := h.Backward(obs, scale)
+			totalLL += ll
+
+			// gamma[t][i] = P(state_t = i | obs); with scaled alpha/beta,
+			// gamma ∝ alpha[t][i]*beta[t][i]*scale[t].
+			for t := 0; t < T; t++ {
+				var norm float64
+				g := make([]float64, h.N)
+				for i := 0; i < h.N; i++ {
+					g[i] = alpha[t][i] * beta[t][i]
+					norm += g[i]
+				}
+				if norm == 0 {
+					continue
+				}
+				for i := 0; i < h.N; i++ {
+					g[i] /= norm
+					if t == 0 {
+						piAcc[i] += g[i]
+					}
+					bNum[i][obs[t]] += g[i]
+					bDen[i] += g[i]
+					if t < T-1 {
+						aDen[i] += g[i]
+					}
+				}
+			}
+			// xi[t][i][j] accumulated directly into aNum.
+			for t := 0; t < T-1; t++ {
+				var norm float64
+				xi := makeMatrix(h.N, h.N)
+				for i := 0; i < h.N; i++ {
+					for j := 0; j < h.N; j++ {
+						v := alpha[t][i] * h.A[i][j] * h.B[j][obs[t+1]] * beta[t+1][j]
+						xi[i][j] = v
+						norm += v
+					}
+				}
+				if norm == 0 {
+					continue
+				}
+				for i := 0; i < h.N; i++ {
+					for j := 0; j < h.N; j++ {
+						aNum[i][j] += xi[i][j] / norm
+					}
+				}
+			}
+		}
+
+		// Re-estimate with flooring, then renormalise.
+		for i := 0; i < h.N; i++ {
+			h.Pi[i] = piAcc[i]
+		}
+		floorAndNormalize(h.Pi, opts.MinProb)
+		for i := 0; i < h.N; i++ {
+			for j := 0; j < h.N; j++ {
+				if aDen[i] > 0 {
+					h.A[i][j] = aNum[i][j] / aDen[i]
+				}
+			}
+			floorAndNormalize(h.A[i], opts.MinProb)
+			for m := 0; m < h.M; m++ {
+				if bDen[i] > 0 {
+					h.B[i][m] = bNum[i][m] / bDen[i]
+				}
+			}
+			floorAndNormalize(h.B[i], opts.MinProb)
+		}
+
+		res.Iterations = iter + 1
+		res.LogLikelihood = totalLL
+		if iter > 0 && totalLL-prevLL < opts.Tolerance {
+			res.Converged = true
+			break
+		}
+		prevLL = totalLL
+	}
+	return res, nil
+}
+
+// Fit creates and trains a model with n states and m symbols on sequences.
+// It runs opts.Restarts independent Baum-Welch runs from random
+// initialisations derived from seed and returns the run with the highest
+// final log-likelihood, which makes the result robust to EM local optima.
+func Fit(n, m int, sequences [][]int, seed int64, opts TrainOptions) (*Model, TrainResult, error) {
+	opts.fill()
+	var (
+		best    *Model
+		bestRes TrainResult
+	)
+	for r := 0; r < opts.Restarts; r++ {
+		h := NewRandom(n, m, rand.New(rand.NewSource(seed+int64(r)*7919)))
+		res, err := h.BaumWelch(sequences, opts)
+		if err != nil {
+			return nil, TrainResult{}, err
+		}
+		if best == nil || res.LogLikelihood > bestRes.LogLikelihood {
+			best, bestRes = h, res
+		}
+	}
+	return best, bestRes, nil
+}
+
+// ---- helpers ----
+
+func uniformRow(n int) []float64 {
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = 1 / float64(n)
+	}
+	return r
+}
+
+func randomRow(n int, rng *rand.Rand) []float64 {
+	r := make([]float64, n)
+	var sum float64
+	for i := range r {
+		r[i] = 0.5 + rng.Float64() // bounded away from zero
+		sum += r[i]
+	}
+	for i := range r {
+		r[i] /= sum
+	}
+	return r
+}
+
+func makeMatrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
+}
+
+func cloneMatrix(m [][]float64) [][]float64 {
+	c := make([][]float64, len(m))
+	for i := range m {
+		c[i] = append([]float64(nil), m[i]...)
+	}
+	return c
+}
+
+// normalize scales row to sum 1 and returns the original sum. A zero row is
+// replaced with a uniform row (sum reported as a tiny epsilon) so scaled
+// recursions can continue.
+func normalize(row []float64) float64 {
+	var sum float64
+	for _, v := range row {
+		sum += v
+	}
+	if sum == 0 {
+		u := 1 / float64(len(row))
+		for i := range row {
+			row[i] = u
+		}
+		return 1e-300
+	}
+	for i := range row {
+		row[i] /= sum
+	}
+	return sum
+}
+
+func floorAndNormalize(row []float64, floor float64) {
+	var sum float64
+	for i := range row {
+		if row[i] < floor {
+			row[i] = floor
+		}
+		sum += row[i]
+	}
+	for i := range row {
+		row[i] /= sum
+	}
+}
+
+func checkRow(name string, row []float64) error {
+	var sum float64
+	for _, v := range row {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("hmm: %s contains invalid probability %v", name, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("hmm: %s sums to %v, want 1", name, sum)
+	}
+	return nil
+}
+
+func safeLog(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(v)
+}

@@ -1,0 +1,409 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sampleSequence draws a sequence of length T from the model.
+func sampleSequence(h *Model, T int, rng *rand.Rand) []int {
+	obs := make([]int, T)
+	state := sampleIndex(h.Pi, rng)
+	for t := 0; t < T; t++ {
+		obs[t] = sampleIndex(h.B[state], rng)
+		state = sampleIndex(h.A[state], rng)
+	}
+	return obs
+}
+
+func sampleIndex(dist []float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	var c float64
+	for i, p := range dist {
+		c += p
+		if r < c {
+			return i
+		}
+	}
+	return len(dist) - 1
+}
+
+// twoStateModel is a strongly identifiable ground-truth model used by
+// several tests: state 0 emits mostly symbol 0, state 1 mostly symbol 1,
+// and states are sticky.
+func twoStateModel() *Model {
+	h := New(2, 2)
+	h.Pi = []float64{0.9, 0.1}
+	h.A = [][]float64{{0.9, 0.1}, {0.2, 0.8}}
+	h.B = [][]float64{{0.95, 0.05}, {0.1, 0.9}}
+	return h
+}
+
+func TestNewUniform(t *testing.T) {
+	h := New(3, 4)
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if got := h.A[0][i]; math.Abs(got-1.0/3) > 1e-12 {
+			t.Errorf("A[0][%d] = %v, want 1/3", i, got)
+		}
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestForwardRowsNormalized(t *testing.T) {
+	h := twoStateModel()
+	obs := []int{0, 0, 1, 1, 0, 1, 0, 0}
+	alpha, scale, ll := h.Forward(obs)
+	if len(alpha) != len(obs) || len(scale) != len(obs) {
+		t.Fatalf("bad shapes: %d %d", len(alpha), len(scale))
+	}
+	for t2, row := range alpha {
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha[%d] sums to %v", t2, sum)
+		}
+	}
+	if ll >= 0 {
+		t.Errorf("log-likelihood %v, want negative", ll)
+	}
+}
+
+func TestForwardEmptySequence(t *testing.T) {
+	h := twoStateModel()
+	alpha, scale, ll := h.Forward(nil)
+	if len(alpha) != 0 || len(scale) != 0 || ll != 0 {
+		t.Fatalf("empty forward: %v %v %v", alpha, scale, ll)
+	}
+}
+
+// Brute-force likelihood by enumerating all hidden state paths.
+func bruteForceLikelihood(h *Model, obs []int) float64 {
+	var rec func(t, state int) float64
+	rec = func(t, state int) float64 {
+		if t == len(obs) {
+			return 1
+		}
+		var s float64
+		for j := 0; j < h.N; j++ {
+			s += h.A[state][j] * h.B[j][obs[t]] * rec(t+1, j)
+		}
+		return s
+	}
+	var total float64
+	for i := 0; i < h.N; i++ {
+		total += h.Pi[i] * h.B[i][obs[0]] * rec(1, i)
+	}
+	return total
+}
+
+func TestForwardMatchesBruteForce(t *testing.T) {
+	h := twoStateModel()
+	for _, obs := range [][]int{{0}, {1, 0}, {0, 1, 1}, {1, 1, 0, 0, 1}} {
+		want := math.Log(bruteForceLikelihood(h, obs))
+		got := h.LogLikelihood(obs)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("obs %v: logLik = %v, want %v", obs, got, want)
+		}
+	}
+}
+
+func TestBackwardConsistency(t *testing.T) {
+	// For every t, sum_i alpha[t][i]*beta[t][i]*scale[t] should be 1
+	// under the scaled convention.
+	h := twoStateModel()
+	obs := []int{0, 1, 1, 0, 0, 1}
+	alpha, scale, _ := h.Forward(obs)
+	beta := h.Backward(obs, scale)
+	for t2 := range obs {
+		var s float64
+		for i := 0; i < h.N; i++ {
+			s += alpha[t2][i] * beta[t2][i]
+		}
+		s *= scale[t2]
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("t=%d: sum alpha*beta*scale = %v, want 1", t2, s)
+		}
+	}
+}
+
+func TestViterbiRecoversPlantedStates(t *testing.T) {
+	h := twoStateModel()
+	rng := rand.New(rand.NewSource(7))
+	// Plant an unambiguous run: long stretch of 0s then of 1s.
+	obs := make([]int, 40)
+	for i := 20; i < 40; i++ {
+		obs[i] = 1
+	}
+	_ = rng
+	path, lp := h.Viterbi(obs)
+	if len(path) != len(obs) {
+		t.Fatalf("path length %d", len(path))
+	}
+	if math.IsInf(lp, 1) || math.IsNaN(lp) {
+		t.Fatalf("bad log prob %v", lp)
+	}
+	if path[5] != 0 || path[35] != 1 {
+		t.Errorf("Viterbi failed to track planted regimes: %v", path)
+	}
+}
+
+func TestViterbiEmpty(t *testing.T) {
+	h := twoStateModel()
+	path, lp := h.Viterbi(nil)
+	if path != nil || lp != 0 {
+		t.Fatalf("got %v %v", path, lp)
+	}
+}
+
+func TestViterbiStatesInRange(t *testing.T) {
+	h := NewRandom(4, 5, rand.New(rand.NewSource(3)))
+	rng := rand.New(rand.NewSource(4))
+	obs := sampleSequence(h, 100, rng)
+	path, _ := h.Viterbi(obs)
+	for i, s := range path {
+		if s < 0 || s >= h.N {
+			t.Fatalf("path[%d]=%d out of range", i, s)
+		}
+	}
+}
+
+func TestPredictNextSumsToOne(t *testing.T) {
+	h := twoStateModel()
+	for _, obs := range [][]int{nil, {0}, {0, 1, 1, 0}} {
+		p := h.PredictNext(obs)
+		var sum float64
+		for _, v := range p {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("PredictNext(%v) sums to %v", obs, sum)
+		}
+	}
+}
+
+func TestPredictNextFavorsStickyRegime(t *testing.T) {
+	h := twoStateModel()
+	// After a long run of symbol 1 we are almost surely in state 1,
+	// which is sticky and emits 1 with 0.9.
+	obs := []int{1, 1, 1, 1, 1, 1, 1, 1}
+	p := h.PredictNext(obs)
+	if p[1] <= p[0] {
+		t.Errorf("expected symbol 1 to be predicted, got %v", p)
+	}
+}
+
+func TestBaumWelchIncreasesLikelihood(t *testing.T) {
+	truth := twoStateModel()
+	rng := rand.New(rand.NewSource(11))
+	var seqs [][]int
+	for i := 0; i < 20; i++ {
+		seqs = append(seqs, sampleSequence(truth, 60, rng))
+	}
+	h := NewRandom(2, 2, rand.New(rand.NewSource(5)))
+	var before float64
+	for _, s := range seqs {
+		before += h.LogLikelihood(s)
+	}
+	res, err := h.BaumWelch(seqs, TrainOptions{MaxIter: 30})
+	if err != nil {
+		t.Fatalf("BaumWelch: %v", err)
+	}
+	var after float64
+	for _, s := range seqs {
+		after += h.LogLikelihood(s)
+	}
+	if after < before {
+		t.Errorf("likelihood decreased: %v -> %v", before, after)
+	}
+	if res.Iterations == 0 {
+		t.Errorf("no iterations performed")
+	}
+	if err := h.Validate(); err != nil {
+		t.Errorf("model invalid after training: %v", err)
+	}
+}
+
+func TestBaumWelchMonotoneLikelihood(t *testing.T) {
+	truth := twoStateModel()
+	rng := rand.New(rand.NewSource(13))
+	var seqs [][]int
+	for i := 0; i < 10; i++ {
+		seqs = append(seqs, sampleSequence(truth, 40, rng))
+	}
+	h := NewRandom(2, 2, rand.New(rand.NewSource(17)))
+	prev := math.Inf(-1)
+	for iter := 0; iter < 10; iter++ {
+		if _, err := h.BaumWelch(seqs, TrainOptions{MaxIter: 1, Tolerance: 1e-300}); err != nil {
+			t.Fatalf("BaumWelch: %v", err)
+		}
+		var ll float64
+		for _, s := range seqs {
+			ll += h.LogLikelihood(s)
+		}
+		// EM guarantees monotonicity up to the probability flooring;
+		// allow a tiny numerical slack.
+		if ll < prev-1e-6 {
+			t.Fatalf("iteration %d decreased likelihood: %v -> %v", iter, prev, ll)
+		}
+		prev = ll
+	}
+}
+
+func TestBaumWelchRecoversEmissionStructure(t *testing.T) {
+	truth := twoStateModel()
+	rng := rand.New(rand.NewSource(19))
+	var seqs [][]int
+	for i := 0; i < 50; i++ {
+		seqs = append(seqs, sampleSequence(truth, 80, rng))
+	}
+	h, _, err := Fit(2, 2, seqs, 23, TrainOptions{MaxIter: 60})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	// Up to label permutation, one state should strongly prefer symbol 0
+	// and the other symbol 1.
+	s0 := h.B[0][0] > h.B[0][1]
+	s1 := h.B[1][0] > h.B[1][1]
+	if s0 == s1 {
+		t.Errorf("states not separated: B=%v", h.B)
+	}
+}
+
+func TestBaumWelchErrors(t *testing.T) {
+	h := New(2, 2)
+	if _, err := h.BaumWelch(nil, TrainOptions{}); err != ErrNoObservations {
+		t.Errorf("nil sequences: err=%v, want ErrNoObservations", err)
+	}
+	if _, err := h.BaumWelch([][]int{{}}, TrainOptions{}); err != ErrNoObservations {
+		t.Errorf("empty sequences: err=%v, want ErrNoObservations", err)
+	}
+	if _, err := h.BaumWelch([][]int{{0, 5}}, TrainOptions{}); err == nil {
+		t.Errorf("out-of-range symbol accepted")
+	}
+	if _, err := h.BaumWelch([][]int{{0, -1}}, TrainOptions{}); err == nil {
+		t.Errorf("negative symbol accepted")
+	}
+}
+
+func TestBaumWelchIgnoresEmptySequences(t *testing.T) {
+	h := NewRandom(2, 2, rand.New(rand.NewSource(29)))
+	_, err := h.BaumWelch([][]int{{}, {0, 1, 0, 1}, nil}, TrainOptions{MaxIter: 5})
+	if err != nil {
+		t.Fatalf("BaumWelch with some empty sequences: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	h := twoStateModel()
+	c := h.Clone()
+	c.A[0][0] = 0.123
+	c.Pi[0] = 0.5
+	c.B[1][1] = 0.001
+	if h.A[0][0] == 0.123 || h.Pi[0] == 0.5 || h.B[1][1] == 0.001 {
+		t.Errorf("Clone shares backing storage with original")
+	}
+}
+
+func TestValidateRejectsBadModel(t *testing.T) {
+	h := twoStateModel()
+	h.A[0][0] = 5
+	if err := h.Validate(); err == nil {
+		t.Errorf("Validate accepted non-stochastic row")
+	}
+	h = twoStateModel()
+	h.B[0][0] = math.NaN()
+	if err := h.Validate(); err == nil {
+		t.Errorf("Validate accepted NaN")
+	}
+}
+
+// Property: after Baum-Welch from any seed on any (non-trivial) random
+// corpus, all rows remain stochastic and contain no NaNs.
+func TestBaumWelchStochasticProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%4) + 1
+		m := int(mRaw%5) + 2
+		rng := rand.New(rand.NewSource(seed))
+		truth := NewRandom(n, m, rng)
+		var seqs [][]int
+		for i := 0; i < 5; i++ {
+			seqs = append(seqs, sampleSequence(truth, 30, rng))
+		}
+		h := NewRandom(n, m, rng)
+		if _, err := h.BaumWelch(seqs, TrainOptions{MaxIter: 5}); err != nil {
+			return false
+		}
+		return h.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Viterbi log-prob is never greater than the total log-likelihood
+// (the best single path cannot beat the sum over all paths).
+func TestViterbiBoundedByLikelihoodProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewRandom(3, 4, rng)
+		obs := sampleSequence(h, 25, rng)
+		_, vp := h.Viterbi(obs)
+		ll := h.LogLikelihood(obs)
+		return vp <= ll+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkForward(b *testing.B) {
+	h := NewRandom(8, 20, rand.New(rand.NewSource(1)))
+	obs := sampleSequence(h, 200, rand.New(rand.NewSource(2)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Forward(obs)
+	}
+}
+
+func BenchmarkViterbi(b *testing.B) {
+	h := NewRandom(8, 20, rand.New(rand.NewSource(1)))
+	obs := sampleSequence(h, 200, rand.New(rand.NewSource(2)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Viterbi(obs)
+	}
+}
+
+func BenchmarkBaumWelchIteration(b *testing.B) {
+	truth := NewRandom(4, 10, rand.New(rand.NewSource(1)))
+	rng := rand.New(rand.NewSource(2))
+	var seqs [][]int
+	for i := 0; i < 10; i++ {
+		seqs = append(seqs, sampleSequence(truth, 100, rng))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewRandom(4, 10, rand.New(rand.NewSource(3)))
+		if _, err := h.BaumWelch(seqs, TrainOptions{MaxIter: 1, Tolerance: 1e-300}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

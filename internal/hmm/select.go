@@ -1,0 +1,69 @@
+package hmm
+
+// EvaluateNextPrediction measures next-symbol prediction accuracy of a
+// trained model over the suffix of seq starting at position start: for each
+// position t ≥ start, the model predicts argmax P(o_t | o_0..o_{t-1}) and
+// scores a hit when it matches seq[t]. This is the Accuracy metric of the
+// Fig. 5 experiment (Zhou et al., ICDE 2019, §VI-C1).
+func EvaluateNextPrediction(m *Model, seq []int, start int) float64 {
+	if start < 1 {
+		start = 1
+	}
+	if start >= len(seq) {
+		return 0
+	}
+	hits := 0
+	for t := start; t < len(seq); t++ {
+		p := m.PredictNext(seq[:t])
+		if argmax(p) == seq[t] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(seq)-start)
+}
+
+// SelectStates picks the optimal hidden-state count per the paper's
+// protocol: the first 80% of the user's history trains the model, the last
+// 20% tests next-symbol accuracy; state counts 1..maxStates are tried and
+// the count with the peak accuracy wins (ties broken toward fewer states).
+// It returns the chosen count, the trained model and its test accuracy.
+func SelectStates(seq []int, maxStates, m int, seed int64, opts TrainOptions) (int, *Model, float64) {
+	if maxStates < 1 {
+		maxStates = 1
+	}
+	split := len(seq) * 8 / 10
+	if split < 2 {
+		split = len(seq) - 1
+	}
+	if split < 1 {
+		return 1, New(1, m), 0
+	}
+	train := [][]int{seq[:split]}
+	bestN, bestAcc := 1, -1.0
+	var bestModel *Model
+	for n := 1; n <= maxStates; n++ {
+		h, _, err := Fit(n, m, train, seed+int64(n), opts)
+		if err != nil {
+			continue
+		}
+		acc := EvaluateNextPrediction(h, seq, split)
+		if acc > bestAcc {
+			bestN, bestAcc, bestModel = n, acc, h
+		}
+	}
+	if bestModel == nil {
+		bestModel = New(1, m)
+		bestAcc = 0
+	}
+	return bestN, bestModel, bestAcc
+}
+
+func argmax(p []float64) int {
+	best, arg := p[0], 0
+	for i, v := range p {
+		if v > best {
+			best, arg = v, i
+		}
+	}
+	return arg
+}

@@ -1,0 +1,152 @@
+// Package metrics provides a small streaming latency histogram with
+// exponential buckets — enough to report p50/p95/p99 per-item
+// recommendation latency without keeping every sample (the tail behaviour
+// matters for the Fig. 10 efficiency story: an index with good average but
+// bad p99 would be useless at stream rates).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// numBuckets covers 1ns .. ~18s with ~7% resolution (ratio 2^(1/10)).
+const (
+	numBuckets = 340
+	growth     = 1.0717734625362931 // 2^(1/10)
+)
+
+// Histogram accumulates duration samples into exponential buckets.
+// The zero value is ready to use. Not safe for concurrent use.
+type Histogram struct {
+	buckets [numBuckets]uint64
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+	min     time.Duration
+}
+
+func bucketFor(d time.Duration) int {
+	if d < 1 {
+		return 0
+	}
+	b := int(math.Log(float64(d)) / math.Log(growth))
+	if b < 0 {
+		b = 0
+	}
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.buckets[bucketFor(d)]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average sample (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max and Min return the extreme samples (0 when empty).
+func (h *Histogram) Max() time.Duration { return h.max }
+func (h *Histogram) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Percentile returns the approximate p-th percentile (p in [0,100]):
+// the upper bound of the bucket containing the p-th sample. Empty
+// histograms return 0.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for b := 0; b < numBuckets; b++ {
+		seen += h.buckets[b]
+		if seen >= rank {
+			upper := math.Pow(growth, float64(b+1))
+			d := time.Duration(upper)
+			if d > h.max && h.max > 0 {
+				d = h.max
+			}
+			return d
+		}
+	}
+	return h.max
+}
+
+// Snapshot is a fixed view of the headline statistics.
+type Snapshot struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot captures the current statistics.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.count,
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P95:   h.Percentile(95),
+		P99:   h.Percentile(99),
+		Max:   h.max,
+	}
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}
+
+// Merge adds other's samples into h (bucket-wise; min/max/sum combined).
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	if other.count > 0 {
+		if h.count == 0 || other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+	h.count += other.count
+	h.sum += other.sum
+}

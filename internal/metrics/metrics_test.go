@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(99) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not zero: %v", h.Snapshot())
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(100 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 100*time.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	p := h.Percentile(50)
+	if p < 90*time.Microsecond || p > 120*time.Microsecond {
+		t.Fatalf("p50 = %v, want ≈100µs", p)
+	}
+}
+
+func TestPercentilesApproximateExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	var samples []time.Duration
+	for i := 0; i < 20000; i++ {
+		// Log-uniform between 1µs and 10ms.
+		d := time.Duration(float64(time.Microsecond) * rand.ExpFloat64() * 100)
+		if d < 1 {
+			d = 1
+		}
+		samples = append(samples, d)
+		h.Record(d)
+		_ = rng
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, p := range []float64{50, 90, 95, 99} {
+		exact := samples[int(p/100*float64(len(samples)))-1]
+		got := h.Percentile(p)
+		ratio := float64(got) / float64(exact)
+		if ratio < 0.85 || ratio > 1.20 {
+			t.Errorf("p%.0f = %v, exact %v (ratio %.2f)", p, got, exact, ratio)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{50, 10, 90, 30} {
+		h.Record(d * time.Millisecond)
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 90*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestPercentileClamping(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	if h.Percentile(-5) == 0 || h.Percentile(200) == 0 {
+		t.Fatal("clamped percentiles returned 0")
+	}
+	if h.Percentile(100) > h.Max() {
+		t.Fatal("p100 exceeds max")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	b.Record(5 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 5*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	if got, want := a.Mean(), 3*time.Millisecond; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	s := h.Snapshot().String()
+	if s == "" || len(s) < 10 {
+		t.Fatalf("snapshot string %q", s)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by [Min, Max].
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Record(time.Duration(v+1) * time.Microsecond)
+		}
+		prev := time.Duration(0)
+		for _, p := range []float64{1, 25, 50, 75, 90, 99, 100} {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return h.Percentile(100) <= h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i%1000) * time.Microsecond)
+	}
+}

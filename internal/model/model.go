@@ -1,0 +1,44 @@
+// Package model defines the shared data types of the ssRec reproduction:
+// social items v = ⟨c, up, E⟩ and user–item interactions, matching the
+// notation table (Table I) of Zhou et al., ICDE 2019.
+package model
+
+import "fmt"
+
+// Item is a social item v = ⟨c, up, E⟩: a category, the producer that
+// created it and the set of entities extracted from its description.
+type Item struct {
+	ID          string
+	Category    string
+	Producer    string   // up: the user that created the item
+	Entities    []string // E: extracted entities (repeats allowed)
+	Description string   // raw description the entities came from
+	Timestamp   int64    // creation time (unix seconds in generated data)
+}
+
+func (v Item) String() string {
+	return fmt.Sprintf("item(%s c=%s up=%s |E|=%d)", v.ID, v.Category, v.Producer, len(v.Entities))
+}
+
+// Interaction is one user–item interaction event on the interaction stream:
+// consumer UserID browsed ItemID at Timestamp.
+type Interaction struct {
+	UserID    string
+	ItemID    string
+	Timestamp int64
+}
+
+// Recommendation is one entry of a top-k user list for an item.
+type Recommendation struct {
+	UserID string
+	Score  float64
+}
+
+// ByScoreDesc orders recommendations best-first with a deterministic
+// user-ID tie-break.
+func ByScoreDesc(a, b Recommendation) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.UserID < b.UserID
+}

@@ -1,0 +1,52 @@
+package model
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestItemString(t *testing.T) {
+	v := Item{ID: "v1", Category: "sports", Producer: "bbc", Entities: []string{"a", "b"}}
+	s := v.String()
+	for _, want := range []string{"v1", "sports", "bbc", "2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestByScoreDescOrdering(t *testing.T) {
+	recs := []Recommendation{
+		{UserID: "c", Score: 1},
+		{UserID: "a", Score: 2},
+		{UserID: "b", Score: 1},
+	}
+	sort.Slice(recs, func(i, j int) bool { return ByScoreDesc(recs[i], recs[j]) })
+	want := []string{"a", "b", "c"} // highest score first, ties by user ID
+	for i, w := range want {
+		if recs[i].UserID != w {
+			t.Errorf("rank %d = %s, want %s", i, recs[i].UserID, w)
+		}
+	}
+}
+
+// Property: ByScoreDesc is a strict weak ordering — irreflexive and
+// asymmetric — which sort.Slice requires.
+func TestByScoreDescStrictWeakOrdering(t *testing.T) {
+	f := func(aScore, bScore float64, aID, bID string) bool {
+		a := Recommendation{UserID: aID, Score: aScore}
+		b := Recommendation{UserID: bID, Score: bScore}
+		if ByScoreDesc(a, a) || ByScoreDesc(b, b) {
+			return false // irreflexive
+		}
+		if ByScoreDesc(a, b) && ByScoreDesc(b, a) {
+			return false // asymmetric
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package ranking implements the entity-based item–user relevance function
+// of Zhou et al. (ICDE 2019, §IV-C), equations (1)–(4):
+//
+//	Rℓ(v,u) = log p(c|u) + log p̂(up|u) + log Σ_{e ∈ E∪E'} w_e·p̂(e|u)   (2)
+//	Rs(v,u) = log ps(c|u)                                              (4)
+//	R(v,u)  = (1−λs)·Rℓ(v,u) + λs·Rs(v,u)                              (3)
+//
+// p(c|u) and ps(c|u) are the BiHMM long-term and short-term next-category
+// probabilities (computed by the caller); p̂(up|u) and p̂(e|u) are
+// Dirichlet-smoothed MLEs from the user profile; w_e is 1 for original
+// entities and the proximity expansion weight for expanded ones.
+package ranking
+
+import (
+	"math"
+
+	"ssrec/internal/entity"
+	"ssrec/internal/model"
+	"ssrec/internal/profile"
+)
+
+// WeightedEntity is one entity of the query with its weight w_e.
+type WeightedEntity struct {
+	Name   string
+	Weight float64
+}
+
+// ItemQuery is an incoming item prepared for scoring: its category and
+// producer plus the combined entity list E ∪ E' with weights.
+type ItemQuery struct {
+	ItemID   string
+	Category string
+	Producer string
+	Entities []WeightedEntity
+}
+
+// BuildQuery converts an item into a query. If expander is non-nil the
+// item's entity set is expanded (diversity, §IV-C); original entities get
+// weight 1, expanded ones their proximity weight.
+func BuildQuery(v model.Item, expander *entity.Expander) ItemQuery {
+	q := ItemQuery{ItemID: v.ID, Category: v.Category, Producer: v.Producer}
+	q.Entities = make([]WeightedEntity, 0, len(v.Entities))
+	for _, e := range v.Entities {
+		q.Entities = append(q.Entities, WeightedEntity{Name: e, Weight: 1})
+	}
+	if expander != nil {
+		for _, x := range expander.Expand(v.Category, v.Entities) {
+			q.Entities = append(q.Entities, WeightedEntity{Name: x.Entity, Weight: x.Weight})
+		}
+	}
+	return q
+}
+
+// Scorer evaluates the relevance function against user profiles.
+type Scorer struct {
+	// LambdaS balances short- vs long-term interest (Eq. 3); the paper's
+	// tuned optima are 0.4 (YTube) and 0.3 (MLens).
+	LambdaS float64
+	// Background supplies the Dirichlet smoothing reference.
+	Background *profile.Background
+}
+
+// NewScorer returns a scorer with the given balance parameter.
+func NewScorer(lambdaS float64, bg *profile.Background) *Scorer {
+	return &Scorer{LambdaS: lambdaS, Background: bg}
+}
+
+// logFloor avoids -Inf when a probability underflows to zero.
+const logFloor = 1e-12
+
+func safeLog(v float64) float64 {
+	if v < logFloor {
+		v = logFloor
+	}
+	return math.Log(v)
+}
+
+// LongTerm computes Rℓ(v,u) per Eq. (2). pCat is the BiHMM long-term
+// probability p(c|u) of the item's category.
+func (s *Scorer) LongTerm(q ItemQuery, p *profile.Profile, pCat float64) float64 {
+	score := safeLog(pCat)
+	score += safeLog(p.ProducerMLE(q.Producer, s.Background))
+	var entSum float64
+	for _, we := range q.Entities {
+		entSum += we.Weight * p.EntityMLE(q.Category, we.Name, s.Background)
+	}
+	score += safeLog(entSum)
+	return score
+}
+
+// ShortTerm computes Rs(v,u) per Eq. (4): only the BiHMM prediction over
+// the short-term window contributes (MLE over a handful of window items
+// would be too noisy — paper §IV-C).
+func (s *Scorer) ShortTerm(pCatShort float64) float64 {
+	return safeLog(pCatShort)
+}
+
+// Score computes the final R(v,u) per Eq. (3).
+func (s *Scorer) Score(q ItemQuery, p *profile.Profile, pCatLong, pCatShort float64) float64 {
+	return (1-s.LambdaS)*s.LongTerm(q, p, pCatLong) + s.LambdaS*s.ShortTerm(pCatShort)
+}
+
+// Recommendation re-exports the shared result type for convenience.
+type Recommendation = model.Recommendation
+
+// TopK maintains the k best user scores with deterministic tie-breaking
+// (min-heap semantics via simple insertion; k is small in practice).
+type TopK struct {
+	K     int
+	items []Recommendation
+}
+
+// NewTopK returns an accumulator for the best k recommendations.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{K: k}
+}
+
+// Offer inserts a candidate, evicting the current worst if full.
+func (t *TopK) Offer(userID string, score float64) {
+	r := Recommendation{UserID: userID, Score: score}
+	if len(t.items) < t.K {
+		t.items = append(t.items, r)
+		t.bubbleUp()
+		return
+	}
+	if !model.ByScoreDesc(r, t.items[0]) {
+		return // not better than current worst
+	}
+	t.items[0] = r
+	t.sink()
+}
+
+// WorstScore returns the score of the k-th best entry, or -Inf while the
+// accumulator is not yet full. This is the LB of Algorithm 1.
+func (t *TopK) WorstScore() float64 {
+	if len(t.items) < t.K {
+		return math.Inf(-1)
+	}
+	return t.items[0].Score
+}
+
+// Len returns the current number of entries.
+func (t *TopK) Len() int { return len(t.items) }
+
+// Sorted returns the accumulated recommendations best-first.
+func (t *TopK) Sorted() []Recommendation {
+	out := append([]Recommendation(nil), t.items...)
+	// Simple insertion sort — k ≤ 30 in all experiments.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && model.ByScoreDesc(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// min-heap on "worst first": items[0] is the entry that would lose to any
+// other (lowest score, ties to later user IDs).
+func worseThan(a, b Recommendation) bool { return model.ByScoreDesc(b, a) }
+
+func (t *TopK) bubbleUp() {
+	i := len(t.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worseThan(t.items[i], t.items[parent]) {
+			break
+		}
+		t.items[i], t.items[parent] = t.items[parent], t.items[i]
+		i = parent
+	}
+}
+
+func (t *TopK) sink() {
+	i := 0
+	n := len(t.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && worseThan(t.items[l], t.items[smallest]) {
+			smallest = l
+		}
+		if r < n && worseThan(t.items[r], t.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		t.items[i], t.items[smallest] = t.items[smallest], t.items[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,262 @@
+package ranking
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ssrec/internal/entity"
+	"ssrec/internal/model"
+	"ssrec/internal/profile"
+)
+
+func fixtureBackground() *profile.Background {
+	items := []model.Item{
+		{ID: "v1", Category: "sports", Producer: "bbc", Entities: []string{"Messi", "worldcup"}},
+		{ID: "v2", Category: "sports", Producer: "espn", Entities: []string{"Nadal", "Federer"}},
+		{ID: "v3", Category: "music", Producer: "mtv", Entities: []string{"Adele"}},
+	}
+	return profile.NewBackground(items, 10)
+}
+
+func fanProfile() *profile.Profile {
+	p := profile.New("fan", 5)
+	for i := 0; i < 30; i++ {
+		p.ObserveLongTerm(profile.Event{Category: "sports", Producer: "bbc", Entities: []string{"Messi", "worldcup"}})
+	}
+	return p
+}
+
+func neutralProfile() *profile.Profile {
+	p := profile.New("neutral", 5)
+	for i := 0; i < 30; i++ {
+		p.ObserveLongTerm(profile.Event{Category: "music", Producer: "mtv", Entities: []string{"Adele"}})
+	}
+	return p
+}
+
+func TestBuildQueryNoExpansion(t *testing.T) {
+	v := model.Item{ID: "x", Category: "sports", Producer: "bbc", Entities: []string{"Messi", "Messi"}}
+	q := BuildQuery(v, nil)
+	if q.Category != "sports" || q.Producer != "bbc" || len(q.Entities) != 2 {
+		t.Fatalf("query = %+v", q)
+	}
+	for _, e := range q.Entities {
+		if e.Weight != 1 {
+			t.Errorf("original entity weight %v, want 1", e.Weight)
+		}
+	}
+}
+
+func TestBuildQueryWithExpansion(t *testing.T) {
+	x := entity.NewExpander(5, 3)
+	for i := 0; i < 5; i++ {
+		x.Observe("sports", []string{"Messi", "worldcup"})
+	}
+	v := model.Item{ID: "x", Category: "sports", Producer: "bbc", Entities: []string{"Messi"}}
+	q := BuildQuery(v, x)
+	if len(q.Entities) != 2 {
+		t.Fatalf("expected expansion, got %+v", q.Entities)
+	}
+	if q.Entities[1].Name != "worldcup" || q.Entities[1].Weight <= 0 || q.Entities[1].Weight > 1 {
+		t.Errorf("expanded entity = %+v", q.Entities[1])
+	}
+}
+
+func TestLongTermPrefersMatchingUser(t *testing.T) {
+	bg := fixtureBackground()
+	s := NewScorer(0.4, bg)
+	v := model.Item{ID: "x", Category: "sports", Producer: "bbc", Entities: []string{"Messi"}}
+	q := BuildQuery(v, nil)
+	fan, neutral := fanProfile(), neutralProfile()
+	// Same category probability for both isolates producer/entity terms.
+	if s.LongTerm(q, fan, 0.5) <= s.LongTerm(q, neutral, 0.5) {
+		t.Errorf("fan not preferred: %v vs %v", s.LongTerm(q, fan, 0.5), s.LongTerm(q, neutral, 0.5))
+	}
+}
+
+func TestLongTermMonotoneInCategoryProb(t *testing.T) {
+	bg := fixtureBackground()
+	s := NewScorer(0.4, bg)
+	q := BuildQuery(model.Item{Category: "sports", Producer: "bbc", Entities: []string{"Messi"}}, nil)
+	fan := fanProfile()
+	if s.LongTerm(q, fan, 0.9) <= s.LongTerm(q, fan, 0.1) {
+		t.Errorf("score not monotone in p(c|u)")
+	}
+}
+
+func TestScoreCombinesPerLambda(t *testing.T) {
+	bg := fixtureBackground()
+	q := BuildQuery(model.Item{Category: "sports", Producer: "bbc", Entities: []string{"Messi"}}, nil)
+	fan := fanProfile()
+	for _, lam := range []float64{0, 0.3, 0.7, 1} {
+		s := NewScorer(lam, bg)
+		got := s.Score(q, fan, 0.5, 0.25)
+		want := (1-lam)*s.LongTerm(q, fan, 0.5) + lam*s.ShortTerm(0.25)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("λ=%v: Score=%v want %v", lam, got, want)
+		}
+	}
+}
+
+func TestLambdaExtremes(t *testing.T) {
+	bg := fixtureBackground()
+	q := BuildQuery(model.Item{Category: "sports", Producer: "bbc", Entities: []string{"Messi"}}, nil)
+	fan := fanProfile()
+	s0 := NewScorer(0, bg) // pure long-term: short prob must not matter
+	if s0.Score(q, fan, 0.5, 0.1) != s0.Score(q, fan, 0.5, 0.9) {
+		t.Error("λ=0 but short-term prob changes score")
+	}
+	s1 := NewScorer(1, bg) // pure short-term: long side must not matter
+	if s1.Score(q, fan, 0.1, 0.5) != s1.Score(q, fan, 0.9, 0.5) {
+		t.Error("λ=1 but long-term prob changes score")
+	}
+}
+
+func TestScoreNeverInf(t *testing.T) {
+	bg := fixtureBackground()
+	s := NewScorer(0.4, bg)
+	// Item whose producer and entities the user has never seen.
+	q := BuildQuery(model.Item{Category: "never", Producer: "ghost", Entities: []string{"unknown"}}, nil)
+	p := profile.New("empty", 5)
+	got := s.Score(q, p, 0, 0)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("score = %v", got)
+	}
+}
+
+func TestExpansionLiftsRelatedItemScore(t *testing.T) {
+	// A user who watched Nadal items should score a Federer item higher
+	// when expansion links the two entities — the diversity mechanism.
+	bg := fixtureBackground()
+	x := entity.NewExpander(5, 3)
+	for i := 0; i < 10; i++ {
+		x.Observe("sports", []string{"Nadal", "Federer"})
+	}
+	p := profile.New("tennisfan", 5)
+	for i := 0; i < 20; i++ {
+		p.ObserveLongTerm(profile.Event{Category: "sports", Producer: "espn", Entities: []string{"Nadal"}})
+	}
+	v := model.Item{ID: "fedclip", Category: "sports", Producer: "espn", Entities: []string{"Federer"}}
+	s := NewScorer(0.0, bg)
+	with := s.LongTerm(BuildQuery(v, x), p, 0.5)
+	without := s.LongTerm(BuildQuery(v, nil), p, 0.5)
+	if with <= without {
+		t.Errorf("expansion did not lift score: with=%v without=%v", with, without)
+	}
+}
+
+func TestTopKBasic(t *testing.T) {
+	tk := NewTopK(3)
+	scores := map[string]float64{"a": 1, "b": 5, "c": 3, "d": 4, "e": 2}
+	for u, s := range scores {
+		tk.Offer(u, s)
+	}
+	got := tk.Sorted()
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	wantOrder := []string{"b", "d", "c"}
+	for i, w := range wantOrder {
+		if got[i].UserID != w {
+			t.Errorf("rank %d = %s, want %s", i, got[i].UserID, w)
+		}
+	}
+	if tk.WorstScore() != 3 {
+		t.Errorf("WorstScore = %v", tk.WorstScore())
+	}
+}
+
+func TestTopKNotFullWorstIsMinusInf(t *testing.T) {
+	tk := NewTopK(5)
+	tk.Offer("a", 10)
+	if !math.IsInf(tk.WorstScore(), -1) {
+		t.Errorf("WorstScore = %v, want -Inf", tk.WorstScore())
+	}
+}
+
+func TestTopKTieBreakByUserID(t *testing.T) {
+	tk := NewTopK(2)
+	tk.Offer("zed", 1)
+	tk.Offer("amy", 1)
+	tk.Offer("bob", 1)
+	got := tk.Sorted()
+	if got[0].UserID != "amy" || got[1].UserID != "bob" {
+		t.Errorf("tie order = %v", got)
+	}
+}
+
+func TestTopKMinK(t *testing.T) {
+	tk := NewTopK(0)
+	tk.Offer("a", 1)
+	tk.Offer("b", 2)
+	got := tk.Sorted()
+	if len(got) != 1 || got[0].UserID != "b" {
+		t.Errorf("k=0 coerced: %v", got)
+	}
+}
+
+// Property: TopK returns exactly the k best of any offered population, in
+// the same order a full sort would produce.
+func TestTopKMatchesFullSortProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%10) + 1
+		rng := rand.New(rand.NewSource(seed))
+		n := 50
+		all := make([]model.Recommendation, n)
+		tk := NewTopK(k)
+		for i := 0; i < n; i++ {
+			u := fmt.Sprintf("u%02d", i)
+			s := math.Floor(rng.Float64()*10) / 2 // force score ties
+			all[i] = model.Recommendation{UserID: u, Score: s}
+			tk.Offer(u, s)
+		}
+		sort.Slice(all, func(i, j int) bool { return model.ByScoreDesc(all[i], all[j]) })
+		want := all[:k]
+		got := tk.Sorted()
+		if len(got) != k {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScore(b *testing.B) {
+	bg := fixtureBackground()
+	s := NewScorer(0.4, bg)
+	q := BuildQuery(model.Item{Category: "sports", Producer: "bbc",
+		Entities: []string{"Messi", "worldcup", "Nadal"}}, nil)
+	fan := fanProfile()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Score(q, fan, 0.5, 0.3)
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	scores := make([]float64, 10000)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk := NewTopK(30)
+		for j, s := range scores {
+			tk.Offer(fmt.Sprintf("u%d", j), s)
+		}
+	}
+}

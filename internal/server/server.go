@@ -1,0 +1,192 @@
+// Package server exposes a trained ssRec engine over a small JSON HTTP
+// API — the adoption path for systems that want stream recommendation as a
+// sidecar service rather than an embedded library.
+//
+// Endpoints:
+//
+//	POST /v1/recommend   {"item": {...}, "k": 10}      → ranked user list
+//	POST /v1/observe     {"user_id": "...", "item": {...}, "timestamp": ...}
+//	POST /v1/items       {"item": {...}}               → register a new item
+//	GET  /v1/stats                                      → index statistics
+//	GET  /healthz                                       → liveness
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"ssrec/internal/core"
+	"ssrec/internal/model"
+)
+
+// Server wraps a SafeEngine with an http.Handler.
+type Server struct {
+	eng *core.SafeEngine
+	mux *http.ServeMux
+	// MaxK caps the per-request k to bound response sizes. Default 100.
+	MaxK int
+}
+
+// New builds a server around a (trained) engine.
+func New(eng *core.SafeEngine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux(), MaxK: 100}
+	s.mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
+	s.mux.HandleFunc("POST /v1/observe", s.handleObserve)
+	s.mux.HandleFunc("POST /v1/items", s.handleItem)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// itemJSON is the wire form of a social item.
+type itemJSON struct {
+	ID          string   `json:"id"`
+	Category    string   `json:"category"`
+	Producer    string   `json:"producer"`
+	Entities    []string `json:"entities"`
+	Description string   `json:"description,omitempty"`
+	Timestamp   int64    `json:"timestamp"`
+}
+
+func (it itemJSON) model() model.Item {
+	return model.Item{
+		ID: it.ID, Category: it.Category, Producer: it.Producer,
+		Entities: it.Entities, Description: it.Description, Timestamp: it.Timestamp,
+	}
+}
+
+func (it itemJSON) validate() error {
+	if it.ID == "" {
+		return fmt.Errorf("item.id is required")
+	}
+	if it.Category == "" {
+		return fmt.Errorf("item.category is required")
+	}
+	return nil
+}
+
+type recommendRequest struct {
+	Item itemJSON `json:"item"`
+	K    int      `json:"k"`
+}
+
+type recommendationJSON struct {
+	UserID string  `json:"user_id"`
+	Score  float64 `json:"score"`
+}
+
+type recommendResponse struct {
+	ItemID          string               `json:"item_id"`
+	Recommendations []recommendationJSON `json:"recommendations"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req recommendRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := req.Item.validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.K > s.MaxK {
+		req.K = s.MaxK
+	}
+	recs := s.eng.Recommend(req.Item.model(), req.K)
+	resp := recommendResponse{ItemID: req.Item.ID, Recommendations: make([]recommendationJSON, 0, len(recs))}
+	for _, rec := range recs {
+		resp.Recommendations = append(resp.Recommendations, recommendationJSON{UserID: rec.UserID, Score: rec.Score})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type observeRequest struct {
+	UserID    string   `json:"user_id"`
+	Item      itemJSON `json:"item"`
+	Timestamp int64    `json:"timestamp"`
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req observeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.UserID == "" {
+		httpError(w, http.StatusBadRequest, "user_id is required")
+		return
+	}
+	if err := req.Item.validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ir := model.Interaction{UserID: req.UserID, ItemID: req.Item.ID, Timestamp: req.Timestamp}
+	s.eng.Observe(ir, req.Item.model())
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type itemRequest struct {
+	Item itemJSON `json:"item"`
+}
+
+func (s *Server) handleItem(w http.ResponseWriter, r *http.Request) {
+	var req itemRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := req.Item.validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.eng.RegisterItem(req.Item.model())
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type statsResponse struct {
+	Users    int `json:"users"`
+	Blocks   int `json:"blocks"`
+	Trees    int `json:"trees"`
+	HashKeys int `json:"hash_keys"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.IndexStats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Users: st.Users, Blocks: st.Blocks, Trees: st.Trees, HashKeys: st.HashKeys,
+	})
+}
+
+// ---- plumbing ----
+
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // response already committed
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -1,0 +1,231 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ssrec/internal/core"
+	"ssrec/internal/dataset"
+	"ssrec/internal/evalx"
+	"ssrec/internal/model"
+)
+
+func testServer(t *testing.T) (*Server, *dataset.Dataset) {
+	t.Helper()
+	cfg := dataset.YTubeConfig(0.2)
+	cfg.Seed = 31
+	ds := dataset.Generate(cfg)
+	safe := core.NewSafe(core.Config{Categories: ds.Categories, TrainMaxIter: 5, Restarts: 1})
+	// Train via the harness (batch path) on the leading third.
+	if err := evalx.Train(asTrainer{safe}, ds, evalx.Setup{}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	return New(safe), ds
+}
+
+// asTrainer adapts SafeEngine to the harness interfaces.
+type asTrainer struct{ *core.SafeEngine }
+
+func (a asTrainer) Name() string                               { return a.SafeEngine.Name() }
+func (a asTrainer) Observe(ir model.Interaction, v model.Item) { a.SafeEngine.Observe(ir, v) }
+func (a asTrainer) Recommend(v model.Item, k int) []model.Recommendation {
+	return a.SafeEngine.Recommend(v, k)
+}
+func (a asTrainer) Train(items []model.Item, irs []model.Interaction, resolve func(string) (model.Item, bool)) error {
+	return a.SafeEngine.Train(items, irs, resolve)
+}
+
+func post(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b))
+	req.Header.Set("Content-Type", "application/json")
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+	return rr
+}
+
+func itemBody(v model.Item) map[string]any {
+	return map[string]any{
+		"id": v.ID, "category": v.Category, "producer": v.Producer,
+		"entities": v.Entities, "timestamp": v.Timestamp,
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := testServer(t)
+	rr := get(t, s.Handler(), "/healthz")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rr.Code)
+	}
+}
+
+func TestRecommendEndpoint(t *testing.T) {
+	s, ds := testServer(t)
+	v := ds.Items[len(ds.Items)-1]
+	rr := post(t, s.Handler(), "/v1/recommend", map[string]any{"item": itemBody(v), "k": 5})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body)
+	}
+	var resp struct {
+		ItemID          string `json:"item_id"`
+		Recommendations []struct {
+			UserID string  `json:"user_id"`
+			Score  float64 `json:"score"`
+		} `json:"recommendations"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if resp.ItemID != v.ID {
+		t.Errorf("item_id = %s", resp.ItemID)
+	}
+	if len(resp.Recommendations) == 0 || len(resp.Recommendations) > 5 {
+		t.Errorf("got %d recommendations", len(resp.Recommendations))
+	}
+	for i := 1; i < len(resp.Recommendations); i++ {
+		if resp.Recommendations[i].Score > resp.Recommendations[i-1].Score {
+			t.Error("unsorted recommendations")
+		}
+	}
+}
+
+func TestRecommendDefaultsAndCaps(t *testing.T) {
+	s, ds := testServer(t)
+	s.MaxK = 3
+	v := ds.Items[len(ds.Items)-1]
+	rr := post(t, s.Handler(), "/v1/recommend", map[string]any{"item": itemBody(v), "k": 50})
+	var resp struct {
+		Recommendations []json.RawMessage `json:"recommendations"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Recommendations) > 3 {
+		t.Errorf("MaxK not enforced: %d", len(resp.Recommendations))
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	s, _ := testServer(t)
+	cases := []map[string]any{
+		{"item": map[string]any{"category": "x"}},       // missing id
+		{"item": map[string]any{"id": "a"}},             // missing category
+		{"item": map[string]any{}, "unknown_field": 12}, // unknown field
+	}
+	for i, body := range cases {
+		rr := post(t, s.Handler(), "/v1/recommend", body)
+		if rr.Code != http.StatusBadRequest {
+			t.Errorf("case %d: status %d", i, rr.Code)
+		}
+	}
+}
+
+func TestObserveEndpoint(t *testing.T) {
+	s, ds := testServer(t)
+	before := s.eng.Users()
+	v := ds.Items[0]
+	rr := post(t, s.Handler(), "/v1/observe", map[string]any{
+		"user_id": "http-user", "item": itemBody(v), "timestamp": v.Timestamp + 9,
+	})
+	if rr.Code != http.StatusNoContent {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body)
+	}
+	if s.eng.Users() != before+1 {
+		t.Errorf("user count %d, want %d", s.eng.Users(), before+1)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	s, ds := testServer(t)
+	v := ds.Items[0]
+	rr := post(t, s.Handler(), "/v1/observe", map[string]any{"item": itemBody(v)})
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("missing user_id accepted: %d", rr.Code)
+	}
+}
+
+func TestItemEndpoint(t *testing.T) {
+	s, ds := testServer(t)
+	v := model.Item{ID: "fresh-http-item", Category: ds.Categories[0], Producer: "up0000",
+		Entities: []string{"x"}, Timestamp: 99}
+	rr := post(t, s.Handler(), "/v1/items", map[string]any{"item": itemBody(v)})
+	if rr.Code != http.StatusNoContent {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rr := get(t, s.Handler(), "/v1/stats")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d", rr.Code)
+	}
+	var resp struct {
+		Users  int `json:"users"`
+		Blocks int `json:"blocks"`
+		Trees  int `json:"trees"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Users == 0 || resp.Trees == 0 {
+		t.Errorf("degenerate stats: %+v", resp)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	s, _ := testServer(t)
+	rr := get(t, s.Handler(), "/v1/recommend")
+	if rr.Code != http.StatusMethodNotAllowed && rr.Code != http.StatusNotFound {
+		t.Errorf("GET /v1/recommend = %d", rr.Code)
+	}
+}
+
+func TestInvalidJSON(t *testing.T) {
+	s, _ := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/v1/recommend", bytes.NewReader([]byte("{nope")))
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("status %d", rr.Code)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	s, ds := testServer(t)
+	done := make(chan bool)
+	for g := 0; g < 6; g++ {
+		go func(g int) {
+			defer func() { done <- true }()
+			for i := 0; i < 25; i++ {
+				v := ds.Items[(g*25+i)%len(ds.Items)]
+				if g%2 == 0 {
+					post(t, s.Handler(), "/v1/recommend", map[string]any{"item": itemBody(v), "k": 5})
+				} else {
+					post(t, s.Handler(), "/v1/observe", map[string]any{
+						"user_id": fmt.Sprintf("load-user-%d", g), "item": itemBody(v),
+						"timestamp": v.Timestamp + int64(i),
+					})
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 6; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,251 @@
+package shx
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	h := NewHasher()
+	if h.Hash("sports\x1fBeckham") != h.Hash("sports\x1fBeckham") {
+		t.Fatal("hash not deterministic")
+	}
+	if h.Hash("a") == h.Hash("b") {
+		t.Fatal("trivially colliding hash")
+	}
+}
+
+func TestHashSeedMatters(t *testing.T) {
+	a := Hasher{Seed: 1, L: 5, R: 2}
+	b := Hasher{Seed: 2, L: 5, R: 2}
+	same := 0
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if a.Hash(k) == b.Hash(k) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds agree on %d/100 keys", same)
+	}
+}
+
+func TestHashModInRange(t *testing.T) {
+	h := NewHasher()
+	for i := 0; i < 1000; i++ {
+		v := h.HashMod(fmt.Sprintf("k%d", i), 97)
+		if v >= 97 {
+			t.Fatalf("HashMod out of range: %d", v)
+		}
+	}
+}
+
+func TestHashModPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHasher().HashMod("x", 0)
+}
+
+func TestPairKeyUnambiguous(t *testing.T) {
+	if PairKey("ab", "c") == PairKey("a", "bc") {
+		t.Fatal("PairKey is ambiguous")
+	}
+	if PairKey("sports", "Messi") == PairKey("sports", "Nadal") {
+		t.Fatal("PairKey ignores entity")
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// The paper picks shift-add-xor for uniformity; check that over a
+	// realistic key set no bucket is grossly overloaded.
+	tab := NewTable(256)
+	for c := 0; c < 20; c++ {
+		for e := 0; e < 200; e++ {
+			tab.Insert(PairKey(fmt.Sprintf("cat%d", c), fmt.Sprintf("entity-%d", e)), nil)
+		}
+	}
+	s := tab.Stats()
+	if s.Keys != 4000 {
+		t.Fatalf("keys = %d", s.Keys)
+	}
+	// Expected load is ~15.6 per bucket; a max chain over 3x that would
+	// signal poor mixing.
+	if s.MaxChain > 3*16 {
+		t.Errorf("max chain %d too long for %d keys / %d buckets", s.MaxChain, s.Keys, s.Buckets)
+	}
+}
+
+func TestInsertLookupRoundTrip(t *testing.T) {
+	tab := NewTable(16)
+	type tree struct{ id int }
+	t1, t2 := &tree{1}, &tree{2}
+	tab.Insert("k1", t1)
+	tab.Insert("k1", t2)
+	tab.Insert("k2", t1)
+
+	got := tab.Lookup("k1")
+	if len(got) != 2 || got[0] != t1 || got[1] != t2 {
+		t.Fatalf("Lookup(k1) = %v", got)
+	}
+	if got := tab.Lookup("k2"); len(got) != 1 || got[0] != t1 {
+		t.Fatalf("Lookup(k2) = %v", got)
+	}
+	if tab.Lookup("absent") != nil {
+		t.Fatal("Lookup(absent) != nil")
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tab := NewTable(4) // small table forces chains
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, k := range keys {
+		tab.Insert(k, k)
+	}
+	if !tab.Delete("c") {
+		t.Fatal("Delete(c) = false")
+	}
+	if tab.Delete("c") {
+		t.Fatal("double Delete(c) = true")
+	}
+	if tab.Contains("c") {
+		t.Fatal("deleted key still present")
+	}
+	for _, k := range keys {
+		if k == "c" {
+			continue
+		}
+		if !tab.Contains(k) {
+			t.Fatalf("key %q lost after deleting c", k)
+		}
+	}
+	if tab.Len() != len(keys)-1 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}
+
+func TestRange(t *testing.T) {
+	tab := NewTable(8)
+	want := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("k%d", i)
+		tab.Insert(k, i)
+		want[k] = true
+	}
+	seen := map[string]bool{}
+	tab.Range(func(key string, ptrs []any) bool {
+		seen[key] = true
+		return true
+	})
+	if len(seen) != len(want) {
+		t.Fatalf("Range visited %d keys, want %d", len(seen), len(want))
+	}
+	// Early termination.
+	n := 0
+	tab.Range(func(string, []any) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("Range did not stop early: n=%d", n)
+	}
+}
+
+func TestTableMinimumOneBucket(t *testing.T) {
+	tab := NewTable(0)
+	tab.Insert("x", 1)
+	if !tab.Contains("x") {
+		t.Fatal("single-bucket table broken")
+	}
+}
+
+// Property: any inserted key is found with its pointers; absent keys are not.
+func TestLookupProperty(t *testing.T) {
+	f := func(keys []string, probe string) bool {
+		tab := NewTable(32)
+		inserted := map[string]bool{}
+		for _, k := range keys {
+			tab.Insert(k, k)
+			inserted[k] = true
+		}
+		for k := range inserted {
+			if !tab.Contains(k) {
+				return false
+			}
+		}
+		return tab.Contains(probe) == inserted[probe]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Delete removes exactly the requested key.
+func TestDeleteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := NewTable(8)
+		keys := make([]string, 30)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("key-%d", i)
+			tab.Insert(keys[i], i)
+		}
+		victim := keys[rng.Intn(len(keys))]
+		tab.Delete(victim)
+		for _, k := range keys {
+			if k == victim {
+				if tab.Contains(k) {
+					return false
+				}
+			} else if !tab.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	h := NewHasher()
+	key := PairKey("sports", "Australian Open")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Hash(key)
+	}
+}
+
+func BenchmarkTableLookup(b *testing.B) {
+	tab := NewTable(1 << 12)
+	keys := make([]string, 10000)
+	for i := range keys {
+		keys[i] = PairKey(fmt.Sprintf("cat%d", i%20), fmt.Sprintf("e%d", i))
+		tab.Insert(keys[i], i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Lookup(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkGoMapLookup(b *testing.B) {
+	// Reference point for the AblationHash comparison.
+	m := make(map[string][]any)
+	keys := make([]string, 10000)
+	for i := range keys {
+		keys[i] = PairKey(fmt.Sprintf("cat%d", i%20), fmt.Sprintf("e%d", i))
+		m[keys[i]] = append(m[keys[i]], i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m[keys[i%len(keys)]]
+	}
+}

@@ -1,0 +1,669 @@
+// Package sigtree implements the extended signature trees of the
+// CPPse-index (Zhou et al., ICDE 2019, §V): one tree per ⟨user block,
+// category⟩ pair, holding an impact-encoded leaf entry (LEntry) per user
+// and max/min-aggregated internal entries (IEntry) that upper-bound the
+// relevance of every descendant (Lemmas 1–2), enabling the branch-and-bound
+// KNN of Algorithm 1.
+//
+// # Signature encoding
+//
+// The paper stores impact lists of smoothed probabilities. This
+// implementation stores the exact sufficient statistics instead — raw
+// producer/entity counts plus their totals — and folds Dirichlet smoothing
+// into the scoring function:
+//
+//	p̂(x|u) = (count(x) + μ·bg(x)) / (total + μ)
+//
+// which is monotone increasing in count(x) and decreasing in total. An
+// internal entry therefore aggregates counts with max() and totals with
+// min(), making R(IEntry, v) a true upper bound of R(LEntry, v) for every
+// descendant — the exact analogue of Lemma 1, but tight even for
+// producers/entities outside the block universe (their background term is
+// carried on the query). See DESIGN.md.
+package sigtree
+
+import (
+	"container/heap"
+	"math"
+
+	"ssrec/internal/model"
+)
+
+// Universe is an append-only name→index mapping shared by signatures and
+// queries. Following the paper's maintenance rule, a fifth of extra
+// capacity is reserved at construction so early growth does not reallocate
+// ("we reserve 20% space of each entry").
+type Universe struct {
+	names []string
+	idx   map[string]int
+}
+
+// NewUniverse builds a universe over the initial names (deduplicated,
+// insertion order preserved).
+func NewUniverse(names []string) *Universe {
+	u := &Universe{
+		names: make([]string, 0, len(names)+len(names)/5+1),
+		idx:   make(map[string]int, len(names)),
+	}
+	for _, n := range names {
+		u.Add(n)
+	}
+	return u
+}
+
+// Index returns the index of name and whether it is present.
+func (u *Universe) Index(name string) (int, bool) {
+	i, ok := u.idx[name]
+	return i, ok
+}
+
+// Add returns the index of name, appending it if new.
+func (u *Universe) Add(name string) int {
+	if i, ok := u.idx[name]; ok {
+		return i
+	}
+	i := len(u.names)
+	u.names = append(u.names, name)
+	u.idx[name] = i
+	return i
+}
+
+// Len returns the number of names.
+func (u *Universe) Len() int { return len(u.names) }
+
+// Names returns the backing name slice (do not mutate).
+func (u *Universe) Names() []string { return u.names }
+
+// Signature is the impact encoding of one leaf entry (a user's long- and
+// short-term statistics under the tree's category) or the max/min
+// aggregation of an internal entry.
+type Signature struct {
+	Pl float64 // cached long-term BiHMM probability p(c|u)
+	Ps float64 // cached short-term BiHMM probability ps(c|u)
+
+	ProdCounts []float64 // raw browse counts over the block's producer universe
+	ProdTotal  float64   // Σ producer counts of the user (min over children for IEntry)
+
+	EntCounts []float64 // raw entity counts (this category) over the tree's entity universe
+	EntTotal  float64   // Σ entity counts of the user in this category (min for IEntry)
+}
+
+// Clone deep-copies the signature.
+func (s *Signature) Clone() Signature {
+	c := *s
+	c.ProdCounts = append([]float64(nil), s.ProdCounts...)
+	c.EntCounts = append([]float64(nil), s.EntCounts...)
+	return c
+}
+
+// foldInto widens dst to dominate src: max of Pl/Ps and count vectors,
+// min of totals.
+func foldInto(dst, src *Signature) {
+	if src.Pl > dst.Pl {
+		dst.Pl = src.Pl
+	}
+	if src.Ps > dst.Ps {
+		dst.Ps = src.Ps
+	}
+	if src.ProdTotal < dst.ProdTotal {
+		dst.ProdTotal = src.ProdTotal
+	}
+	if src.EntTotal < dst.EntTotal {
+		dst.EntTotal = src.EntTotal
+	}
+	dst.ProdCounts = foldMax(dst.ProdCounts, src.ProdCounts)
+	dst.EntCounts = foldMax(dst.EntCounts, src.EntCounts)
+}
+
+func foldMax(dst, src []float64) []float64 {
+	if len(src) > len(dst) {
+		grown := make([]float64, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+	return dst
+}
+
+// emptyAgg is the identity element for foldInto.
+func emptyAgg() Signature {
+	return Signature{ProdTotal: math.Inf(1), EntTotal: math.Inf(1)}
+}
+
+// WeightedIdx is one sparse query entity: universe index and accumulated
+// weight (frequency × expansion weight).
+type WeightedIdx struct {
+	Idx int
+	W   float64
+}
+
+// Query is the pseudo-query encoding of an incoming item against one tree
+// (the paper's Example 1): the producer one-hot collapses to ProdIdx, the
+// entity frequency/weight vectors to the sparse Ents list, and the
+// user-independent smoothing mass is precomputed in BgProd/BgEnt.
+type Query struct {
+	ProdIdx int     // index of the item's producer in the block universe, -1 if absent
+	BgProd  float64 // background probability of the item's producer
+	Ents    []WeightedIdx
+	BgEnt   float64 // Σ_e freq_e·w_e·bg(e) over all query entities
+	Mu      float64 // Dirichlet pseudo-count
+	LambdaS float64 // Eq. 3 balance
+}
+
+const logFloor = 1e-12
+
+func safeLog(v float64) float64 {
+	if v < logFloor {
+		v = logFloor
+	}
+	return math.Log(v)
+}
+
+// Score evaluates R(entry, v) per Definition 2 / Eq. 3 against a signature
+// (leaf or internal). For internal entries this is the Recommendation
+// Upper Bound.
+func Score(sig *Signature, q *Query) float64 {
+	var prodCount float64
+	if q.ProdIdx >= 0 && q.ProdIdx < len(sig.ProdCounts) {
+		prodCount = sig.ProdCounts[q.ProdIdx]
+	}
+	prodTerm := (prodCount + q.Mu*q.BgProd) / (sig.ProdTotal + q.Mu)
+
+	var entDot float64
+	for _, we := range q.Ents {
+		if we.Idx >= 0 && we.Idx < len(sig.EntCounts) {
+			entDot += we.W * sig.EntCounts[we.Idx]
+		}
+	}
+	entTerm := (entDot + q.Mu*q.BgEnt) / (sig.EntTotal + q.Mu)
+
+	longTerm := safeLog(sig.Pl) + safeLog(prodTerm) + safeLog(entTerm)
+	return (1-q.LambdaS)*longTerm + q.LambdaS*safeLog(sig.Ps)
+}
+
+// LeafEntry is an LEntry: one user's signature plus its location.
+type LeafEntry struct {
+	UserID string
+	Sig    Signature
+	parent *node
+}
+
+type node struct {
+	leaf     bool
+	entries  []*LeafEntry // when leaf
+	children []*node      // when internal
+	sig      Signature    // aggregate (IEntry signature)
+	parent   *node
+}
+
+func (n *node) recomputeSig() {
+	agg := emptyAgg()
+	if n.leaf {
+		for _, e := range n.entries {
+			foldInto(&agg, &e.Sig)
+		}
+	} else {
+		for _, c := range n.children {
+			foldInto(&agg, &c.sig)
+		}
+	}
+	n.sig = agg
+}
+
+// Tree is one extended signature tree for a ⟨block, category⟩ pair.
+type Tree struct {
+	BlockID  int
+	Category string
+	Prod     *Universe // producer universe, shared across the block's trees
+	Ent      *Universe // entity universe of this tree
+
+	root   *node
+	fanout int
+	byUser map[string]*LeafEntry
+}
+
+// DefaultFanout is used when New is called with fanout < 2.
+const DefaultFanout = 8
+
+// New creates an empty tree.
+func New(blockID int, category string, prod, ent *Universe, fanout int) *Tree {
+	if fanout < 2 {
+		fanout = DefaultFanout
+	}
+	return &Tree{
+		BlockID:  blockID,
+		Category: category,
+		Prod:     prod,
+		Ent:      ent,
+		root:     &node{leaf: true, sig: emptyAgg()},
+		fanout:   fanout,
+		byUser:   make(map[string]*LeafEntry),
+	}
+}
+
+// Len returns the number of leaf entries (users).
+func (t *Tree) Len() int { return len(t.byUser) }
+
+// Get returns the signature stored for userID.
+func (t *Tree) Get(userID string) (Signature, bool) {
+	e := t.byUser[userID]
+	if e == nil {
+		return Signature{}, false
+	}
+	return e.Sig, true
+}
+
+// Has reports whether the user has a leaf entry.
+func (t *Tree) Has(userID string) bool { return t.byUser[userID] != nil }
+
+// Users returns the user IDs present (unspecified order).
+func (t *Tree) Users() []string {
+	out := make([]string, 0, len(t.byUser))
+	for u := range t.byUser {
+		out = append(out, u)
+	}
+	return out
+}
+
+// Insert adds a new leaf entry. Inserting an existing user updates it
+// instead.
+func (t *Tree) Insert(userID string, sig Signature) {
+	if e := t.byUser[userID]; e != nil {
+		t.updateEntry(e, sig)
+		return
+	}
+	// Descend along the child whose aggregate signature expands least to
+	// absorb the new entry (R-tree ChooseSubtree analogue): similar users
+	// end up co-located, which is what keeps internal upper bounds tight.
+	n := t.root
+	for !n.leaf {
+		best, bestCost := n.children[0], expansionCost(&n.children[0].sig, &sig)
+		for _, c := range n.children[1:] {
+			if cost := expansionCost(&c.sig, &sig); cost < bestCost ||
+				(cost == bestCost && subtreeSize(c) < subtreeSize(best)) {
+				best, bestCost = c, cost
+			}
+		}
+		n = best
+	}
+	e := &LeafEntry{UserID: userID, Sig: sig, parent: n}
+	n.entries = append(n.entries, e)
+	t.byUser[userID] = e
+	t.propagateUp(n)
+	if len(n.entries) > t.fanout {
+		t.splitLeaf(n)
+	}
+}
+
+// Update replaces a user's signature and refreshes ancestor aggregates.
+// Returns false if the user is absent.
+func (t *Tree) Update(userID string, sig Signature) bool {
+	e := t.byUser[userID]
+	if e == nil {
+		return false
+	}
+	t.updateEntry(e, sig)
+	return true
+}
+
+func (t *Tree) updateEntry(e *LeafEntry, sig Signature) {
+	e.Sig = sig
+	t.propagateUp(e.parent)
+}
+
+func (t *Tree) propagateUp(n *node) {
+	for ; n != nil; n = n.parent {
+		n.recomputeSig()
+	}
+}
+
+// expansionCost estimates how much agg must widen to dominate sig: the sum
+// of count increases plus (heavily weighted) probability increases and
+// total decreases. Lower cost = better fit.
+func expansionCost(agg, sig *Signature) float64 {
+	var cost float64
+	for i, v := range sig.ProdCounts {
+		var cur float64
+		if i < len(agg.ProdCounts) {
+			cur = agg.ProdCounts[i]
+		}
+		if v > cur {
+			cost += v - cur
+		}
+	}
+	for i, v := range sig.EntCounts {
+		var cur float64
+		if i < len(agg.EntCounts) {
+			cur = agg.EntCounts[i]
+		}
+		if v > cur {
+			cost += v - cur
+		}
+	}
+	if sig.Pl > agg.Pl {
+		cost += 50 * (sig.Pl - agg.Pl)
+	}
+	if sig.Ps > agg.Ps {
+		cost += 50 * (sig.Ps - agg.Ps)
+	}
+	if sig.ProdTotal < agg.ProdTotal {
+		cost += agg.ProdTotal - sig.ProdTotal
+	}
+	if sig.EntTotal < agg.EntTotal {
+		cost += agg.EntTotal - sig.EntTotal
+	}
+	return cost
+}
+
+func subtreeSize(n *node) int {
+	if n.leaf {
+		return len(n.entries)
+	}
+	s := 0
+	for _, c := range n.children {
+		s += subtreeSize(c)
+	}
+	return s
+}
+
+func (t *Tree) splitLeaf(n *node) {
+	half := len(n.entries) / 2
+	left := &node{leaf: true, entries: n.entries[:half:half], parent: n.parent}
+	right := &node{leaf: true, entries: append([]*LeafEntry(nil), n.entries[half:]...), parent: n.parent}
+	for _, e := range left.entries {
+		e.parent = left
+	}
+	for _, e := range right.entries {
+		e.parent = right
+	}
+	left.recomputeSig()
+	right.recomputeSig()
+	t.replaceChild(n, left, right)
+}
+
+func (t *Tree) splitInternal(n *node) {
+	half := len(n.children) / 2
+	left := &node{children: n.children[:half:half], parent: n.parent}
+	right := &node{children: append([]*node(nil), n.children[half:]...), parent: n.parent}
+	for _, c := range left.children {
+		c.parent = left
+	}
+	for _, c := range right.children {
+		c.parent = right
+	}
+	left.recomputeSig()
+	right.recomputeSig()
+	t.replaceChild(n, left, right)
+}
+
+// replaceChild swaps n for (left, right) under n's parent, growing a new
+// root if n was the root, and splits the parent if it overflows.
+func (t *Tree) replaceChild(n, left, right *node) {
+	p := n.parent
+	if p == nil {
+		newRoot := &node{children: []*node{left, right}}
+		left.parent, right.parent = newRoot, newRoot
+		newRoot.recomputeSig()
+		t.root = newRoot
+		return
+	}
+	pos := -1
+	for i, c := range p.children {
+		if c == n {
+			pos = i
+			break
+		}
+	}
+	rebuilt := make([]*node, 0, len(p.children)+1)
+	rebuilt = append(rebuilt, p.children[:pos]...)
+	rebuilt = append(rebuilt, left, right)
+	rebuilt = append(rebuilt, p.children[pos+1:]...)
+	p.children = rebuilt
+	t.propagateUp(p)
+	if len(p.children) > t.fanout {
+		t.splitInternal(p)
+	}
+}
+
+// Delete removes a user's leaf entry and refreshes ancestor aggregates.
+// Empty leaf nodes are left in place (they are cheap and splits stay
+// balanced); their aggregates become the fold identity. Returns false if
+// the user is absent.
+func (t *Tree) Delete(userID string) bool {
+	e := t.byUser[userID]
+	if e == nil {
+		return false
+	}
+	n := e.parent
+	for i, cur := range n.entries {
+		if cur == e {
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			break
+		}
+	}
+	delete(t.byUser, userID)
+	t.propagateUp(n)
+	return true
+}
+
+// RootScore returns the upper-bound score of the whole tree for a query —
+// the priority of the tree's root in Algorithm 1.
+func (t *Tree) RootScore(q *Query) float64 {
+	if t.Len() == 0 {
+		return math.Inf(-1)
+	}
+	return Score(&t.root.sig, q)
+}
+
+// Depth returns the height of the tree (1 = single leaf node).
+func (t *Tree) Depth() int {
+	d := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		d++
+	}
+	return d
+}
+
+// ---- Algorithm 1: KNN over multiple trees ----
+
+// TreeQuery pairs a tree with the pseudo-query encoded for it.
+type TreeQuery struct {
+	Tree  *Tree
+	Query *Query
+}
+
+// pqItem is one priority-queue element: an internal node or a leaf entry.
+type pqItem struct {
+	score float64
+	node  *node      // nil for leaf entries
+	entry *LeafEntry // nil for nodes
+	q     *Query
+	seq   int // FIFO tie-break for determinism
+}
+
+type pqueue []*pqItem
+
+func (p pqueue) Len() int { return len(p) }
+func (p pqueue) Less(i, j int) bool {
+	if p[i].score != p[j].score {
+		return p[i].score > p[j].score
+	}
+	return p[i].seq < p[j].seq
+}
+func (p pqueue) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
+func (p *pqueue) Push(x any)   { *p = append(*p, x.(*pqItem)) }
+func (p *pqueue) Pop() any {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*p = old[:n-1]
+	return it
+}
+
+// SearchStats reports pruning effectiveness for one search.
+type SearchStats struct {
+	NodesVisited   int // internal/leaf nodes expanded
+	EntriesScored  int // leaf entries whose exact score was computed
+	EntriesSkipped int // pruned by the upper bound (never scored)
+}
+
+// Search runs the KNN of Algorithm 1 across the matched trees and returns
+// the top-k users by R(v, u), best first. It never returns a user whose
+// exact score is below a pruned candidate's true score (no false pruning:
+// Lemmas 1–2).
+func Search(tqs []TreeQuery, k int) ([]model.Recommendation, SearchStats) {
+	var stats SearchStats
+	topk := newTopK(k)
+	pq := &pqueue{}
+	seq := 0
+	push := func(it *pqItem) {
+		it.seq = seq
+		seq++
+		heap.Push(pq, it)
+	}
+	for _, tq := range tqs {
+		if tq.Tree.Len() == 0 {
+			continue
+		}
+		push(&pqItem{score: Score(&tq.Tree.root.sig, tq.Query), node: tq.Tree.root, q: tq.Query})
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(*pqItem)
+		lb := topk.WorstScore()
+		// Strictly-below candidates can never enter the top-k; score ties
+		// are still expanded so user-ID tie-breaking matches a sequential
+		// scan exactly.
+		if it.score < lb && topk.Full() {
+			// Max-ordered queue: nothing left can beat the current top-k.
+			stats.EntriesSkipped += remainingEntries(*pq)
+			break
+		}
+		if it.entry != nil {
+			topk.Offer(it.entry.UserID, it.score)
+			continue
+		}
+		n := it.node
+		stats.NodesVisited++
+		if n.leaf {
+			for _, e := range n.entries {
+				s := Score(&e.Sig, it.q)
+				stats.EntriesScored++
+				if s >= topk.WorstScore() || !topk.Full() {
+					push(&pqItem{score: s, entry: e, q: it.q})
+				}
+			}
+			continue
+		}
+		for _, c := range n.children {
+			s := Score(&c.sig, it.q)
+			if s >= topk.WorstScore() || !topk.Full() {
+				push(&pqItem{score: s, node: c, q: it.q})
+			} else {
+				stats.EntriesSkipped += subtreeSize(c)
+			}
+		}
+	}
+	return topk.Sorted(), stats
+}
+
+func remainingEntries(pq pqueue) int {
+	n := 0
+	for _, it := range pq {
+		if it.entry != nil {
+			n++
+		} else {
+			n += subtreeSize(it.node)
+		}
+	}
+	return n
+}
+
+// SequentialScan scores every leaf entry of every tree directly — the
+// reference implementation used to verify the index returns identical
+// results, and the no-pruning arm of the AblationPruning benchmark.
+func SequentialScan(tqs []TreeQuery, k int) []model.Recommendation {
+	topk := newTopK(k)
+	for _, tq := range tqs {
+		for _, e := range tq.Tree.byUser {
+			topk.Offer(e.UserID, Score(&e.Sig, tq.Query))
+		}
+	}
+	return topk.Sorted()
+}
+
+// ---- top-k accumulator (worst-first min-heap) ----
+
+type topK struct {
+	k     int
+	items []model.Recommendation
+}
+
+func newTopK(k int) *topK {
+	if k < 1 {
+		k = 1
+	}
+	return &topK{k: k}
+}
+
+func (t *topK) Full() bool { return len(t.items) >= t.k }
+
+func (t *topK) WorstScore() float64 {
+	if !t.Full() {
+		return math.Inf(-1)
+	}
+	return t.items[0].Score
+}
+
+func (t *topK) Offer(userID string, score float64) {
+	r := model.Recommendation{UserID: userID, Score: score}
+	if len(t.items) < t.k {
+		t.items = append(t.items, r)
+		i := len(t.items) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !worse(t.items[i], t.items[parent]) {
+				break
+			}
+			t.items[i], t.items[parent] = t.items[parent], t.items[i]
+			i = parent
+		}
+		return
+	}
+	if !model.ByScoreDesc(r, t.items[0]) {
+		return
+	}
+	t.items[0] = r
+	i, n := 0, len(t.items)
+	for {
+		l, r2 := 2*i+1, 2*i+2
+		m := i
+		if l < n && worse(t.items[l], t.items[m]) {
+			m = l
+		}
+		if r2 < n && worse(t.items[r2], t.items[m]) {
+			m = r2
+		}
+		if m == i {
+			return
+		}
+		t.items[i], t.items[m] = t.items[m], t.items[i]
+		i = m
+	}
+}
+
+func worse(a, b model.Recommendation) bool { return model.ByScoreDesc(b, a) }
+
+func (t *topK) Sorted() []model.Recommendation {
+	out := append([]model.Recommendation(nil), t.items...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && model.ByScoreDesc(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,397 @@
+// Package stream is a small Storm-like stream processing engine: spouts
+// emit tuples, bolts consume and may emit further tuples, and a topology
+// wires them with shuffle / fields / broadcast / global groupings over
+// goroutines and channels.
+//
+// The paper (Zhou et al., ICDE 2019, §VI-D) runs the ssRec recommendation
+// over Apache Storm with one bolt per item category; this package is the
+// self-contained substitute (see DESIGN.md). It supports per-instance
+// metrics, bounded retry on bolt errors and failure injection for tests.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tuple is one unit of data flowing through a topology. Key is used by
+// fields grouping; Value carries the payload.
+type Tuple struct {
+	Key   string
+	Value any
+	Ts    int64
+}
+
+// Spout produces tuples. Next returns the next tuple and true, or a zero
+// tuple and false when exhausted. Spouts are pulled from a single goroutine
+// per spout instance, so implementations need no internal locking.
+type Spout interface {
+	Next() (Tuple, bool)
+}
+
+// SpoutFunc adapts a function to a Spout.
+type SpoutFunc func() (Tuple, bool)
+
+// Next implements Spout.
+func (f SpoutFunc) Next() (Tuple, bool) { return f() }
+
+// SliceSpout emits a fixed slice of tuples.
+type SliceSpout struct {
+	Tuples []Tuple
+	pos    int
+}
+
+// Next implements Spout.
+func (s *SliceSpout) Next() (Tuple, bool) {
+	if s.pos >= len(s.Tuples) {
+		return Tuple{}, false
+	}
+	t := s.Tuples[s.pos]
+	s.pos++
+	return t, true
+}
+
+// Bolt processes tuples. Process may call emit any number of times to send
+// tuples downstream. Returning an error triggers the topology's retry
+// policy. A bolt instance is driven by exactly one goroutine.
+type Bolt interface {
+	Process(t Tuple, emit func(Tuple)) error
+}
+
+// BoltFunc adapts a function to a Bolt.
+type BoltFunc func(t Tuple, emit func(Tuple)) error
+
+// Process implements Bolt.
+func (f BoltFunc) Process(t Tuple, emit func(Tuple)) error { return f(t, emit) }
+
+// Closer is optionally implemented by bolts that need teardown after their
+// input is exhausted.
+type Closer interface {
+	Close() error
+}
+
+// Grouping selects how tuples are distributed over a bolt's instances.
+type Grouping int
+
+const (
+	// Shuffle distributes round-robin.
+	Shuffle Grouping = iota
+	// Fields routes by hash of Tuple.Key: equal keys always reach the
+	// same instance.
+	Fields
+	// Broadcast delivers every tuple to every instance.
+	Broadcast
+	// Global delivers every tuple to instance 0.
+	Global
+)
+
+func (g Grouping) String() string {
+	switch g {
+	case Shuffle:
+		return "shuffle"
+	case Fields:
+		return "fields"
+	case Broadcast:
+		return "broadcast"
+	case Global:
+		return "global"
+	}
+	return fmt.Sprintf("grouping(%d)", int(g))
+}
+
+// InstanceMetrics are the per-bolt-instance counters.
+type InstanceMetrics struct {
+	Processed uint64
+	Emitted   uint64
+	Errors    uint64 // Process invocations that returned an error
+	Dropped   uint64 // tuples abandoned after exhausting retries
+	BusyNanos int64  // cumulative time spent inside Process
+}
+
+// Metrics aggregates a component's instances.
+type Metrics struct {
+	Component string
+	Instances []InstanceMetrics
+}
+
+// Totals sums the instance counters.
+func (m Metrics) Totals() InstanceMetrics {
+	var t InstanceMetrics
+	for _, im := range m.Instances {
+		t.Processed += im.Processed
+		t.Emitted += im.Emitted
+		t.Errors += im.Errors
+		t.Dropped += im.Dropped
+		t.BusyNanos += im.BusyNanos
+	}
+	return t
+}
+
+// Options tunes topology execution.
+type Options struct {
+	// BufferSize is the channel capacity per bolt instance. Default 256.
+	BufferSize int
+	// MaxRetries is how many times a failing Process call is retried
+	// before the tuple is dropped. Default 0 (drop immediately after the
+	// first failure is recorded).
+	MaxRetries int
+}
+
+func (o *Options) fill() {
+	if o.BufferSize <= 0 {
+		o.BufferSize = 256
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+}
+
+type edge struct {
+	from     string
+	grouping Grouping
+}
+
+type boltDecl struct {
+	name        string
+	parallelism int
+	factory     func(instance int) Bolt
+	inputs      []edge
+}
+
+type spoutDecl struct {
+	name  string
+	spout Spout
+}
+
+// Topology is a DAG of spouts and bolts. Build it with AddSpout/AddBolt,
+// then call Run, which blocks until every spout is exhausted and every
+// in-flight tuple has been fully processed.
+type Topology struct {
+	name   string
+	spouts []spoutDecl
+	bolts  []boltDecl
+	byName map[string]bool
+}
+
+// NewTopology creates an empty topology.
+func NewTopology(name string) *Topology {
+	return &Topology{name: name, byName: make(map[string]bool)}
+}
+
+// AddSpout registers a tuple source under the given component name.
+func (tp *Topology) AddSpout(name string, s Spout) *Topology {
+	tp.mustFresh(name)
+	tp.spouts = append(tp.spouts, spoutDecl{name: name, spout: s})
+	return tp
+}
+
+// BoltBuilder configures a bolt's subscriptions.
+type BoltBuilder struct {
+	tp   *Topology
+	decl *boltDecl
+}
+
+// AddBolt registers a bolt component with the given parallelism. factory is
+// invoked once per instance so instances never share state accidentally.
+func (tp *Topology) AddBolt(name string, parallelism int, factory func(instance int) Bolt) *BoltBuilder {
+	tp.mustFresh(name)
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	tp.bolts = append(tp.bolts, boltDecl{name: name, parallelism: parallelism, factory: factory})
+	return &BoltBuilder{tp: tp, decl: &tp.bolts[len(tp.bolts)-1]}
+}
+
+// Grouping subscribes the bolt to a component's output with the given
+// grouping.
+func (b *BoltBuilder) Grouping(from string, g Grouping) *BoltBuilder {
+	b.decl.inputs = append(b.decl.inputs, edge{from: from, grouping: g})
+	return b
+}
+
+// Shuffle, FieldsBy, BroadcastFrom and GlobalFrom are grouping shorthands.
+func (b *BoltBuilder) Shuffle(from string) *BoltBuilder       { return b.Grouping(from, Shuffle) }
+func (b *BoltBuilder) FieldsBy(from string) *BoltBuilder      { return b.Grouping(from, Fields) }
+func (b *BoltBuilder) BroadcastFrom(from string) *BoltBuilder { return b.Grouping(from, Broadcast) }
+func (b *BoltBuilder) GlobalFrom(from string) *BoltBuilder    { return b.Grouping(from, Global) }
+
+func (tp *Topology) mustFresh(name string) {
+	if tp.byName[name] {
+		panic(fmt.Sprintf("stream: duplicate component %q", name))
+	}
+	tp.byName[name] = true
+}
+
+// runtime wiring -------------------------------------------------------
+
+type boltInstance struct {
+	in      chan Tuple
+	metrics InstanceMetrics
+}
+
+type runtimeBolt struct {
+	decl      boltDecl
+	instances []*boltInstance
+	rr        uint64 // round-robin counter for shuffle
+	pending   int32  // upstream writers still open
+}
+
+// dispatch routes one tuple to the component under grouping g.
+func (rb *runtimeBolt) dispatch(t Tuple, g Grouping) {
+	n := len(rb.instances)
+	switch g {
+	case Shuffle:
+		i := atomic.AddUint64(&rb.rr, 1)
+		rb.instances[int(i)%n].in <- t
+	case Fields:
+		h := fnv.New32a()
+		h.Write([]byte(t.Key))
+		rb.instances[int(h.Sum32())%n].in <- t
+	case Broadcast:
+		for _, inst := range rb.instances {
+			inst.in <- t
+		}
+	case Global:
+		rb.instances[0].in <- t
+	}
+}
+
+// Run executes the topology to completion and returns the collected
+// metrics keyed by component name. It is an error to run a topology with a
+// subscription to an unknown component, or with no spouts.
+func (tp *Topology) Run(opts Options) (map[string]Metrics, error) {
+	opts.fill()
+	if len(tp.spouts) == 0 {
+		return nil, errors.New("stream: topology has no spouts")
+	}
+	producers := map[string]bool{}
+	for _, s := range tp.spouts {
+		producers[s.name] = true
+	}
+	for _, b := range tp.bolts {
+		producers[b.name] = true
+	}
+	for _, b := range tp.bolts {
+		for _, e := range b.inputs {
+			if !producers[e.from] {
+				return nil, fmt.Errorf("stream: bolt %q subscribes to unknown component %q", b.name, e.from)
+			}
+		}
+	}
+
+	// Materialise bolt instances.
+	rbolts := make(map[string]*runtimeBolt, len(tp.bolts))
+	for _, decl := range tp.bolts {
+		rb := &runtimeBolt{decl: decl}
+		for i := 0; i < decl.parallelism; i++ {
+			rb.instances = append(rb.instances, &boltInstance{in: make(chan Tuple, opts.BufferSize)})
+		}
+		rbolts[decl.name] = rb
+	}
+
+	// subscribers[component] = list of (bolt, grouping) fed by it.
+	type sub struct {
+		rb *runtimeBolt
+		g  Grouping
+	}
+	subscribers := map[string][]sub{}
+	for _, decl := range tp.bolts {
+		for _, e := range decl.inputs {
+			subscribers[e.from] = append(subscribers[e.from], sub{rb: rbolts[decl.name], g: e.grouping})
+		}
+	}
+
+	// Writer accounting: a bolt's inputs close when all upstream writer
+	// goroutines (spout instances and upstream bolt instances) are done.
+	for _, decl := range tp.bolts {
+		rb := rbolts[decl.name]
+		for _, e := range decl.inputs {
+			if up, ok := rbolts[e.from]; ok {
+				rb.pending += int32(len(up.instances))
+			} else {
+				rb.pending++ // spout: one writer goroutine
+			}
+		}
+	}
+	writerDone := func(downstreamOf string) {
+		for _, s := range subscribers[downstreamOf] {
+			if atomic.AddInt32(&s.rb.pending, -1) == 0 {
+				for _, inst := range s.rb.instances {
+					close(inst.in)
+				}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	// Spout goroutines.
+	for _, sd := range tp.spouts {
+		wg.Add(1)
+		go func(sd spoutDecl) {
+			defer wg.Done()
+			for {
+				t, ok := sd.spout.Next()
+				if !ok {
+					break
+				}
+				for _, s := range subscribers[sd.name] {
+					s.rb.dispatch(t, s.g)
+				}
+			}
+			writerDone(sd.name)
+		}(sd)
+	}
+
+	// Bolt goroutines.
+	for _, decl := range tp.bolts {
+		rb := rbolts[decl.name]
+		for i, inst := range rb.instances {
+			wg.Add(1)
+			go func(decl boltDecl, i int, inst *boltInstance) {
+				defer wg.Done()
+				bolt := decl.factory(i)
+				emit := func(t Tuple) {
+					inst.metrics.Emitted++
+					for _, s := range subscribers[decl.name] {
+						s.rb.dispatch(t, s.g)
+					}
+				}
+				for t := range inst.in {
+					start := time.Now()
+					err := bolt.Process(t, emit)
+					for retry := 0; err != nil && retry < opts.MaxRetries; retry++ {
+						inst.metrics.Errors++
+						err = bolt.Process(t, emit)
+					}
+					inst.metrics.BusyNanos += time.Since(start).Nanoseconds()
+					if err != nil {
+						inst.metrics.Errors++
+						inst.metrics.Dropped++
+					} else {
+						inst.metrics.Processed++
+					}
+				}
+				if c, ok := bolt.(Closer); ok {
+					c.Close() //nolint:errcheck // teardown best-effort
+				}
+				writerDone(decl.name)
+			}(decl, i, inst)
+		}
+	}
+
+	wg.Wait()
+
+	out := make(map[string]Metrics, len(tp.bolts))
+	for name, rb := range rbolts {
+		m := Metrics{Component: name}
+		for _, inst := range rb.instances {
+			m.Instances = append(m.Instances, inst.metrics)
+		}
+		out[name] = m
+	}
+	return out, nil
+}

@@ -1,0 +1,367 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func tuples(n int) []Tuple {
+	out := make([]Tuple, n)
+	for i := range out {
+		out[i] = Tuple{Key: fmt.Sprintf("k%d", i%7), Value: i, Ts: int64(i)}
+	}
+	return out
+}
+
+// collector is a terminal bolt recording everything it sees.
+type collector struct {
+	mu   sync.Mutex
+	seen []Tuple
+}
+
+func (c *collector) Process(t Tuple, emit func(Tuple)) error {
+	c.mu.Lock()
+	c.seen = append(c.seen, t)
+	c.mu.Unlock()
+	return nil
+}
+
+func TestShuffleDeliversEachTupleOnce(t *testing.T) {
+	in := tuples(1000)
+	col := &collector{}
+	tp := NewTopology("t")
+	tp.AddSpout("src", &SliceSpout{Tuples: in})
+	tp.AddBolt("work", 4, func(int) Bolt {
+		return BoltFunc(func(tu Tuple, emit func(Tuple)) error { emit(tu); return nil })
+	}).Shuffle("src")
+	tp.AddBolt("sink", 1, func(int) Bolt { return col }).Shuffle("work")
+
+	m, err := tp.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.seen) != len(in) {
+		t.Fatalf("sink saw %d tuples, want %d", len(col.seen), len(in))
+	}
+	counts := map[int]int{}
+	for _, tu := range col.seen {
+		counts[tu.Value.(int)]++
+	}
+	for i := range in {
+		if counts[i] != 1 {
+			t.Fatalf("tuple %d delivered %d times", i, counts[i])
+		}
+	}
+	if got := m["work"].Totals().Processed; got != 1000 {
+		t.Errorf("work processed %d", got)
+	}
+}
+
+func TestFieldsGroupingKeyAffinity(t *testing.T) {
+	in := tuples(500)
+	var mu sync.Mutex
+	keyToInstance := map[string]map[int]bool{}
+	tp := NewTopology("t")
+	tp.AddSpout("src", &SliceSpout{Tuples: in})
+	tp.AddBolt("work", 5, func(inst int) Bolt {
+		return BoltFunc(func(tu Tuple, emit func(Tuple)) error {
+			mu.Lock()
+			m := keyToInstance[tu.Key]
+			if m == nil {
+				m = map[int]bool{}
+				keyToInstance[tu.Key] = m
+			}
+			m[inst] = true
+			mu.Unlock()
+			return nil
+		})
+	}).FieldsBy("src")
+	if _, err := tp.Run(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for k, insts := range keyToInstance {
+		if len(insts) != 1 {
+			t.Errorf("key %q processed by %d instances", k, len(insts))
+		}
+	}
+	if len(keyToInstance) != 7 {
+		t.Errorf("saw %d distinct keys, want 7", len(keyToInstance))
+	}
+}
+
+func TestBroadcastDeliversToAllInstances(t *testing.T) {
+	in := tuples(100)
+	var processed [3]uint64
+	tp := NewTopology("t")
+	tp.AddSpout("src", &SliceSpout{Tuples: in})
+	tp.AddBolt("work", 3, func(inst int) Bolt {
+		return BoltFunc(func(tu Tuple, emit func(Tuple)) error {
+			atomic.AddUint64(&processed[inst], 1)
+			return nil
+		})
+	}).BroadcastFrom("src")
+	if _, err := tp.Run(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range processed {
+		if p != 100 {
+			t.Errorf("instance %d processed %d, want 100", i, p)
+		}
+	}
+}
+
+func TestGlobalGroupingOnlyInstanceZero(t *testing.T) {
+	in := tuples(50)
+	var processed [4]uint64
+	tp := NewTopology("t")
+	tp.AddSpout("src", &SliceSpout{Tuples: in})
+	tp.AddBolt("work", 4, func(inst int) Bolt {
+		return BoltFunc(func(tu Tuple, emit func(Tuple)) error {
+			atomic.AddUint64(&processed[inst], 1)
+			return nil
+		})
+	}).GlobalFrom("src")
+	if _, err := tp.Run(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if processed[0] != 50 {
+		t.Errorf("instance 0 processed %d", processed[0])
+	}
+	for i := 1; i < 4; i++ {
+		if processed[i] != 0 {
+			t.Errorf("instance %d processed %d, want 0", i, processed[i])
+		}
+	}
+}
+
+func TestMultiStageTopology(t *testing.T) {
+	// src -> double -> sink; double emits each tuple twice.
+	in := tuples(200)
+	col := &collector{}
+	tp := NewTopology("t")
+	tp.AddSpout("src", &SliceSpout{Tuples: in})
+	tp.AddBolt("double", 3, func(int) Bolt {
+		return BoltFunc(func(tu Tuple, emit func(Tuple)) error {
+			emit(tu)
+			emit(tu)
+			return nil
+		})
+	}).Shuffle("src")
+	tp.AddBolt("sink", 2, func(int) Bolt { return col }).Shuffle("double")
+	m, err := tp.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.seen) != 400 {
+		t.Fatalf("sink saw %d, want 400", len(col.seen))
+	}
+	if got := m["double"].Totals().Emitted; got != 400 {
+		t.Errorf("double emitted %d", got)
+	}
+}
+
+func TestMultipleSpouts(t *testing.T) {
+	col := &collector{}
+	tp := NewTopology("t")
+	tp.AddSpout("a", &SliceSpout{Tuples: tuples(30)})
+	tp.AddSpout("b", &SliceSpout{Tuples: tuples(20)})
+	bb := tp.AddBolt("sink", 2, func(int) Bolt { return col })
+	bb.Shuffle("a")
+	bb.Shuffle("b")
+	if _, err := tp.Run(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.seen) != 50 {
+		t.Fatalf("sink saw %d, want 50", len(col.seen))
+	}
+}
+
+func TestFailureInjectionRetrySucceeds(t *testing.T) {
+	// Bolt fails on first attempt for every tuple, succeeds on retry.
+	in := tuples(40)
+	attempts := map[int]int{}
+	var mu sync.Mutex
+	tp := NewTopology("t")
+	tp.AddSpout("src", &SliceSpout{Tuples: in})
+	tp.AddBolt("flaky", 1, func(int) Bolt {
+		return BoltFunc(func(tu Tuple, emit func(Tuple)) error {
+			mu.Lock()
+			defer mu.Unlock()
+			attempts[tu.Value.(int)]++
+			if attempts[tu.Value.(int)] == 1 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	}).Shuffle("src")
+	m, err := tp.Run(Options{MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := m["flaky"].Totals()
+	if tot.Processed != 40 {
+		t.Errorf("processed %d, want 40", tot.Processed)
+	}
+	if tot.Dropped != 0 {
+		t.Errorf("dropped %d, want 0", tot.Dropped)
+	}
+	if tot.Errors != 40 {
+		t.Errorf("errors %d, want 40 (one transient per tuple)", tot.Errors)
+	}
+}
+
+func TestFailureInjectionPermanentDrops(t *testing.T) {
+	in := tuples(10)
+	tp := NewTopology("t")
+	tp.AddSpout("src", &SliceSpout{Tuples: in})
+	tp.AddBolt("dead", 1, func(int) Bolt {
+		return BoltFunc(func(Tuple, func(Tuple)) error { return errors.New("permanent") })
+	}).Shuffle("src")
+	m, err := tp.Run(Options{MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := m["dead"].Totals()
+	if tot.Dropped != 10 {
+		t.Errorf("dropped %d, want 10", tot.Dropped)
+	}
+	if tot.Processed != 0 {
+		t.Errorf("processed %d, want 0", tot.Processed)
+	}
+}
+
+type closingBolt struct {
+	closed *atomic.Bool
+}
+
+func (c closingBolt) Process(Tuple, func(Tuple)) error { return nil }
+func (c closingBolt) Close() error                     { c.closed.Store(true); return nil }
+
+func TestBoltCloseCalled(t *testing.T) {
+	var closed atomic.Bool
+	tp := NewTopology("t")
+	tp.AddSpout("src", &SliceSpout{Tuples: tuples(5)})
+	tp.AddBolt("c", 1, func(int) Bolt { return closingBolt{closed: &closed} }).Shuffle("src")
+	if _, err := tp.Run(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !closed.Load() {
+		t.Error("Close was not called")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tp := NewTopology("t")
+	if _, err := tp.Run(Options{}); err == nil {
+		t.Error("no-spout topology accepted")
+	}
+	tp2 := NewTopology("t2")
+	tp2.AddSpout("src", &SliceSpout{})
+	tp2.AddBolt("b", 1, func(int) Bolt { return &collector{} }).Shuffle("ghost")
+	if _, err := tp2.Run(Options{}); err == nil {
+		t.Error("unknown subscription accepted")
+	}
+}
+
+func TestDuplicateComponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tp := NewTopology("t")
+	tp.AddSpout("x", &SliceSpout{})
+	tp.AddSpout("x", &SliceSpout{})
+}
+
+func TestSpoutFunc(t *testing.T) {
+	n := 0
+	s := SpoutFunc(func() (Tuple, bool) {
+		if n >= 3 {
+			return Tuple{}, false
+		}
+		n++
+		return Tuple{Value: n}, true
+	})
+	col := &collector{}
+	tp := NewTopology("t")
+	tp.AddSpout("src", s)
+	tp.AddBolt("sink", 1, func(int) Bolt { return col }).Shuffle("src")
+	if _, err := tp.Run(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.seen) != 3 {
+		t.Fatalf("saw %d, want 3", len(col.seen))
+	}
+}
+
+func TestBackpressureSmallBuffers(t *testing.T) {
+	// Tiny buffers with a slow sink must still deliver everything.
+	in := tuples(500)
+	col := &collector{}
+	tp := NewTopology("t")
+	tp.AddSpout("src", &SliceSpout{Tuples: in})
+	tp.AddBolt("sink", 1, func(int) Bolt { return col }).Shuffle("src")
+	if _, err := tp.Run(Options{BufferSize: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.seen) != 500 {
+		t.Fatalf("saw %d, want 500", len(col.seen))
+	}
+}
+
+func TestGroupingString(t *testing.T) {
+	for g, want := range map[Grouping]string{
+		Shuffle: "shuffle", Fields: "fields", Broadcast: "broadcast", Global: "global",
+	} {
+		if g.String() != want {
+			t.Errorf("String(%d) = %q", g, g.String())
+		}
+	}
+	if Grouping(99).String() == "" {
+		t.Error("unknown grouping has empty String")
+	}
+}
+
+func TestMetricsBusyNanos(t *testing.T) {
+	tp := NewTopology("t")
+	tp.AddSpout("src", &SliceSpout{Tuples: tuples(100)})
+	tp.AddBolt("work", 2, func(int) Bolt {
+		return BoltFunc(func(tu Tuple, emit func(Tuple)) error {
+			// trivial work
+			s := 0
+			for i := 0; i < 100; i++ {
+				s += i
+			}
+			_ = s
+			return nil
+		})
+	}).Shuffle("src")
+	m, err := tp.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["work"].Totals().BusyNanos <= 0 {
+		t.Error("BusyNanos not recorded")
+	}
+}
+
+func BenchmarkTopologyThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tp := NewTopology("bench")
+		tp.AddSpout("src", &SliceSpout{Tuples: tuples(10000)})
+		tp.AddBolt("work", 4, func(int) Bolt {
+			return BoltFunc(func(tu Tuple, emit func(Tuple)) error { emit(tu); return nil })
+		}).FieldsBy("src")
+		tp.AddBolt("sink", 1, func(int) Bolt {
+			return BoltFunc(func(Tuple, func(Tuple)) error { return nil })
+		}).Shuffle("work")
+		if _, err := tp.Run(Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package ssrec is a Go implementation of the social stream recommendation
+// framework of Zhou, Qin, Lu, Chen and Zhang, "Online Social Media
+// Recommendation over Streams" (ICDE 2019, arXiv:1901.01003).
+//
+// Given a stream of social items (videos, posts — anything with a
+// category, a producer and a set of description entities) and a stream of
+// user–item interactions, a Recommender continuously answers: which k
+// users should this new item be delivered to?
+//
+// The pipeline is the paper's:
+//
+//   - a Bi-Layer Hidden Markov Model (BiHMM) predicts each user's next
+//     interesting category from their own trajectory and the hidden states
+//     of the producers they follow (long-term and short-term interests);
+//   - an entity-based matching function scores item–user relevance with
+//     Dirichlet-smoothed MLEs and proximity-driven entity expansion for
+//     diversity;
+//   - the CPPse-index (chained shift-add-xor hash table over
+//     category–entity pairs + extended signature trees per user block)
+//     serves top-k queries with upper-bound pruning and supports dynamic
+//     maintenance as profiles evolve.
+//
+// # Quick start
+//
+//	ds := ssrec.GenerateYTubeLike(0.25, 42)          // or bring your own data
+//	rec := ssrec.New(ssrec.Config{Categories: ds.Categories()})
+//	_ = rec.TrainDataset(ds, 2.0/6)                  // bootstrap on the first third
+//	for _, v := range newItems {
+//	    top := rec.Recommend(v, 10)                  // deliver v to these users
+//	    ...
+//	    rec.Observe(interaction, v)                  // stream maintenance
+//	}
+//
+// See the examples/ directory for runnable scenarios and DESIGN.md for the
+// system inventory.
+package ssrec
+
+import (
+	"fmt"
+
+	"ssrec/internal/core"
+	"ssrec/internal/dataset"
+	"ssrec/internal/evalx"
+	"ssrec/internal/model"
+)
+
+// Core data types, shared with the internal packages.
+type (
+	// Item is a social item v = ⟨category, producer, entities⟩.
+	Item = model.Item
+	// Interaction is one user-item interaction event.
+	Interaction = model.Interaction
+	// Recommendation is one entry of a top-k user list.
+	Recommendation = model.Recommendation
+	// Config parameterises the recommender; zero values take the paper's
+	// defaults (|W|=5, λs=0.4, 3+3 hidden states, expansion on).
+	Config = core.Config
+)
+
+// Recommender is the assembled ssRec system.
+type Recommender struct {
+	*core.Engine
+}
+
+// New creates a recommender. Config.Categories is required.
+func New(cfg Config) *Recommender {
+	return &Recommender{Engine: core.New(cfg)}
+}
+
+// TrainDataset bootstraps the recommender on the leading fraction of a
+// dataset's interaction stream (the paper trains on the first 2 of 6
+// partitions, i.e. fraction 1/3).
+func (r *Recommender) TrainDataset(ds *Dataset, fraction float64) error {
+	if fraction <= 0 || fraction > 1 {
+		return fmt.Errorf("ssrec: fraction %v out of (0,1]", fraction)
+	}
+	n := int(float64(len(ds.d.Interactions)) * fraction)
+	return r.Engine.Train(ds.d.Items, ds.d.Interactions[:n], ds.d.Item)
+}
+
+// Evaluate runs the paper's stream-simulation protocol (6 timestamp
+// partitions, train on 2, test on 4) against this recommender's fresh
+// configuration and returns precision/latency metrics.
+func Evaluate(cfg Config, ds *Dataset, ks []int) (EvalResult, error) {
+	res, err := evalx.Run(core.New(cfg), ds.d, evalx.Setup{}, ks)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	return EvalResult{
+		System:             res.System,
+		PAtK:               res.PAtK,
+		ItemsTested:        res.ItemsTested,
+		RecommendLatencyNs: res.RecommendLatency.Nanoseconds(),
+		UpdateLatencyNs:    res.UpdateLatency.Nanoseconds(),
+	}, nil
+}
+
+// EvalResult summarises one evaluation run.
+type EvalResult struct {
+	System             string
+	PAtK               map[int]float64
+	ItemsTested        int
+	RecommendLatencyNs int64
+	UpdateLatencyNs    int64
+}
+
+// Dataset is a collection of items and time-ordered interactions.
+type Dataset struct {
+	d *dataset.Dataset
+}
+
+// GenerateYTubeLike builds a synthetic dataset with the shape of the
+// paper's YTube crawl (19 categories, many items, producer-driven
+// consumer behavior). scale 1.0 ≈ laptop default; seed fixes the run.
+func GenerateYTubeLike(scale float64, seed int64) *Dataset {
+	cfg := dataset.YTubeConfig(scale)
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	return &Dataset{d: dataset.Generate(cfg)}
+}
+
+// GenerateMLensLike builds a synthetic dataset with the shape of the
+// paper's derived MovieLens collection (15 categories, dense
+// interactions per item).
+func GenerateMLensLike(scale float64, seed int64) *Dataset {
+	cfg := dataset.MLensConfig(scale)
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	return &Dataset{d: dataset.Generate(cfg)}
+}
+
+// Replicate produces a synthpop-style synthetic twin of a dataset
+// (the paper's SynYTube/SynMLens construction).
+func Replicate(src *Dataset, name string, seed int64) *Dataset {
+	return &Dataset{d: dataset.Replicate(src.d, name, seed)}
+}
+
+// Name returns the dataset's name.
+func (ds *Dataset) Name() string { return ds.d.Name }
+
+// Categories returns the category universe.
+func (ds *Dataset) Categories() []string { return append([]string(nil), ds.d.Categories...) }
+
+// Items returns the items in timestamp order.
+func (ds *Dataset) Items() []Item { return ds.d.Items }
+
+// Interactions returns the interactions in timestamp order.
+func (ds *Dataset) Interactions() []Interaction { return ds.d.Interactions }
+
+// Item resolves an item by ID.
+func (ds *Dataset) Item(id string) (Item, bool) { return ds.d.Item(id) }
+
+// Summary returns the Table III row for the dataset.
+func (ds *Dataset) Summary() string { return ds.d.ComputeStats().String() }
+
+// SaveFile / LoadFile persist datasets as gzip-compressed gob.
+func (ds *Dataset) SaveFile(path string) error { return ds.d.SaveFile(path) }
+
+// LoadDataset reads a dataset written by SaveFile.
+func LoadDataset(path string) (*Dataset, error) {
+	d, err := dataset.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{d: d}, nil
+}

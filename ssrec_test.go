@@ -1,0 +1,95 @@
+package ssrec
+
+import (
+	"testing"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	ds := GenerateYTubeLike(0.2, 9)
+	rec := New(Config{Categories: ds.Categories(), TrainMaxIter: 5, Restarts: 1})
+	if err := rec.TrainDataset(ds, 1.0/3); err != nil {
+		t.Fatalf("TrainDataset: %v", err)
+	}
+	items := ds.Items()
+	v := items[len(items)-1]
+	recs := rec.Recommend(v, 10)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations for latest item")
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Score > recs[i-1].Score {
+			t.Fatal("results unsorted")
+		}
+	}
+	// Streaming maintenance.
+	ir := Interaction{UserID: recs[0].UserID, ItemID: v.ID, Timestamp: v.Timestamp + 5}
+	rec.Observe(ir, v)
+}
+
+func TestTrainDatasetFractionValidation(t *testing.T) {
+	ds := GenerateYTubeLike(0.15, 3)
+	rec := New(Config{Categories: ds.Categories()})
+	if err := rec.TrainDataset(ds, 0); err == nil {
+		t.Error("fraction 0 accepted")
+	}
+	if err := rec.TrainDataset(ds, 1.5); err == nil {
+		t.Error("fraction 1.5 accepted")
+	}
+}
+
+func TestEvaluatePublic(t *testing.T) {
+	ds := GenerateYTubeLike(0.15, 4)
+	res, err := Evaluate(Config{Categories: ds.Categories(), TrainMaxIter: 4, Restarts: 1}, ds, []int{5, 10})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if res.System != "ssRec" || res.ItemsTested == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	for _, k := range []int{5, 10} {
+		if p := res.PAtK[k]; p < 0 || p > 1 {
+			t.Errorf("P@%d = %v", k, p)
+		}
+	}
+}
+
+func TestDatasetAccessors(t *testing.T) {
+	ds := GenerateMLensLike(0.15, 5)
+	if ds.Name() != "MLens" {
+		t.Errorf("Name = %s", ds.Name())
+	}
+	if len(ds.Categories()) != 15 {
+		t.Errorf("categories = %d", len(ds.Categories()))
+	}
+	if len(ds.Items()) == 0 || len(ds.Interactions()) == 0 {
+		t.Fatal("empty dataset")
+	}
+	if _, ok := ds.Item(ds.Items()[0].ID); !ok {
+		t.Error("Item lookup broken")
+	}
+	if ds.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestReplicateAndPersistence(t *testing.T) {
+	src := GenerateYTubeLike(0.15, 6)
+	syn := Replicate(src, "SynTest", 7)
+	if syn.Name() != "SynTest" {
+		t.Errorf("Name = %s", syn.Name())
+	}
+	if len(syn.Items()) != len(src.Items()) {
+		t.Errorf("item count mismatch: %d vs %d", len(syn.Items()), len(src.Items()))
+	}
+	path := t.TempDir() + "/ds.bin"
+	if err := syn.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadDataset(path)
+	if err != nil {
+		t.Fatalf("LoadDataset: %v", err)
+	}
+	if len(got.Items()) != len(syn.Items()) {
+		t.Error("round-trip lost items")
+	}
+}
