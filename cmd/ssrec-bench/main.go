@@ -8,6 +8,12 @@
 //	ssrec-bench -exp fig8,fig10     # selected experiments
 //	ssrec-bench -scale 1.0          # larger datasets (slower, sharper shapes)
 //	ssrec-bench -quick              # coarse grids for a fast pass
+//
+// Throughput mode replays the post-training item stream as concurrent
+// Recommend requests and reports items/sec plus P50/P99 per-item latency
+// (optionally as JSON):
+//
+//	ssrec-bench -throughput -parallel 8 -partitions 4 -json out.json
 package main
 
 import (
@@ -27,8 +33,19 @@ func main() {
 		seed      = flag.Int64("seed", 42, "base random seed")
 		quick     = flag.Bool("quick", false, "coarse parameter grids and item caps")
 		fig67Data = flag.String("sweepdata", "YTube", "dataset for the fig6/fig7 sweeps (YTube or MLens)")
+
+		throughput = flag.Bool("throughput", false, "serving-throughput mode (items/sec, P50/P99 latency)")
+		parallel   = flag.Int("parallel", 1, "throughput mode: concurrent Recommend workers")
+		partitions = flag.Int("partitions", 1, "throughput mode: intra-query partitions (Config.Parallelism)")
+		topK       = flag.Int("k", 30, "throughput mode: recommendations per item")
+		jsonOut    = flag.String("json", "", "throughput mode: write the JSON report here")
 	)
 	flag.Parse()
+
+	if *throughput {
+		runThroughput(*scale, *seed, *parallel, *partitions, *topK, *jsonOut)
+		return
+	}
 
 	o := experiments.Options{Scale: *scale, Seed: *seed, Quick: *quick, Ks: []int{5, 10, 20, 30}}
 	want := map[string]bool{}

@@ -1,0 +1,156 @@
+// throughput.go is the serving-throughput mode of ssrec-bench: it trains
+// an engine on the leading third of a generated stream, then replays the
+// remaining items as concurrent Recommend requests against the RWMutex
+// engine, reporting items/sec and the per-item latency distribution.
+//
+//	ssrec-bench -throughput -parallel 8 -partitions 4 -json out.json
+//
+// -parallel   N  concurrent request workers (serving concurrency)
+// -partitions M  intra-query worker count (core.Config.Parallelism,
+//
+//	the paper's Fig 10 partition axis with real goroutines)
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssrec/internal/core"
+	"ssrec/internal/dataset"
+	"ssrec/internal/model"
+)
+
+// ThroughputResult is the JSON report of one throughput run.
+type ThroughputResult struct {
+	Bench       string  `json:"bench"`
+	Dataset     string  `json:"dataset"`
+	Scale       float64 `json:"scale"`
+	Seed        int64   `json:"seed"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	K           int     `json:"k"`
+	Parallel    int     `json:"parallel"`   // concurrent request workers
+	Partitions  int     `json:"partitions"` // intra-query parallelism
+	Items       int     `json:"items"`
+	TotalSec    float64 `json:"total_sec"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+	MeanUs      float64 `json:"mean_us"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	MaxUs       float64 `json:"max_us"`
+}
+
+func runThroughput(scale float64, seed int64, parallel, partitions, k int, jsonPath string) {
+	if parallel < 1 {
+		parallel = 1
+	}
+	cfg := dataset.YTubeConfig(scale)
+	cfg.Seed = seed
+	ds := dataset.Generate(cfg)
+	eng := core.New(core.Config{
+		Categories:  ds.Categories,
+		Parallelism: partitions,
+		Seed:        seed,
+	})
+	nTrain := len(ds.Interactions) / 3
+	if nTrain < 1 {
+		fmt.Fprintf(os.Stderr, "throughput: dataset too small at scale %v (%d interactions)\n",
+			scale, len(ds.Interactions))
+		os.Exit(1)
+	}
+	if err := eng.Train(ds.Items, ds.Interactions[:nTrain], ds.Item); err != nil {
+		fmt.Fprintf(os.Stderr, "throughput: train: %v\n", err)
+		os.Exit(1)
+	}
+	// Replay items newer than the training horizon as queries.
+	lastTS := ds.Interactions[nTrain-1].Timestamp
+	var queries []model.Item
+	for _, v := range ds.Items {
+		if v.Timestamp > lastTS {
+			queries = append(queries, v)
+		}
+	}
+	if len(queries) == 0 {
+		queries = ds.Items
+	}
+	if len(queries) == 0 {
+		fmt.Fprintln(os.Stderr, "throughput: no items to replay")
+		os.Exit(1)
+	}
+	// Register every item up front so the measured section stays on the
+	// read-locked path (registration is the write-lock upgrade).
+	for _, v := range queries {
+		eng.RegisterItem(v)
+	}
+
+	latencies := make([]time.Duration, len(queries))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				t0 := time.Now()
+				eng.Recommend(queries[i], k)
+				latencies[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	total := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	var sum time.Duration
+	for _, d := range latencies {
+		sum += d
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	res := ThroughputResult{
+		Bench:       "throughput",
+		Dataset:     ds.Name,
+		Scale:       scale,
+		Seed:        seed,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		K:           k,
+		Parallel:    parallel,
+		Partitions:  partitions,
+		Items:       len(queries),
+		TotalSec:    total.Seconds(),
+		ItemsPerSec: float64(len(queries)) / total.Seconds(),
+		MeanUs:      us(sum / time.Duration(len(latencies))),
+		P50Us:       us(pct(0.50)),
+		P99Us:       us(pct(0.99)),
+		MaxUs:       us(latencies[len(latencies)-1]),
+	}
+	fmt.Printf("throughput: %d items, %d workers, %d partitions: %.0f items/sec  p50=%.0fµs p99=%.0fµs\n",
+		res.Items, res.Parallel, res.Partitions, res.ItemsPerSec, res.P50Us, res.P99Us)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "throughput: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "throughput: encode: %v\n", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	}
+}

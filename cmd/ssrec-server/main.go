@@ -36,8 +36,17 @@ func main() {
 		demo  = flag.Bool("demo", false, "bootstrap a demo engine on generated data")
 		scale = flag.Float64("scale", 0.3, "demo dataset scale")
 		seed  = flag.Int64("seed", 42, "demo dataset seed")
+
+		partitions = flag.Int("partitions", 1, "intra-query search partitions (Config.Parallelism); overrides a loaded model's setting")
+		save       = flag.String("save", "", "after -demo training, save the engine here (core.SaveFile format)")
 	)
 	flag.Parse()
+	partitionsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "partitions" {
+			partitionsSet = true
+		}
+	})
 
 	var eng *core.Engine
 	switch {
@@ -47,16 +56,25 @@ func main() {
 			log.Fatalf("load model: %v", err)
 		}
 		eng = loaded
+		if partitionsSet {
+			eng.SetParallelism(*partitions) // explicit flag overrides the snapshot's value
+		}
 		log.Printf("loaded engine from %s (%d users)", *model, eng.Store().Len())
 	case *demo:
 		cfg := dataset.YTubeConfig(*scale)
 		cfg.Seed = *seed
 		ds := dataset.Generate(cfg)
-		eng = core.New(core.Config{Categories: ds.Categories, Seed: *seed})
+		eng = core.New(core.Config{Categories: ds.Categories, Seed: *seed, Parallelism: *partitions})
 		if err := evalx.Train(eng, ds, evalx.Setup{}); err != nil {
 			log.Fatalf("train demo engine: %v", err)
 		}
 		log.Printf("demo engine trained: %s", ds.ComputeStats())
+		if *save != "" {
+			if err := eng.SaveFile(*save); err != nil {
+				log.Fatalf("save model: %v", err)
+			}
+			log.Printf("saved engine to %s", *save)
+		}
 	default:
 		log.Fatal("either -model or -demo is required")
 	}

@@ -1,0 +1,3 @@
+module ssrec
+
+go 1.24

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ssrec/internal/dataset"
+	"ssrec/internal/model"
+)
+
+// streamEngine bootstraps a small engine on a generated stream and
+// returns it together with the held-out items/interactions for replay.
+func streamEngine(t testing.TB, cfg Config) (*Engine, []model.Item, []model.Interaction) {
+	t.Helper()
+	ds := dataset.Generate(dataset.YTubeConfig(0.1))
+	cfg.Categories = ds.Categories
+	if cfg.TrainMaxIter == 0 {
+		cfg.TrainMaxIter = 3
+	}
+	if cfg.Restarts == 0 {
+		cfg.Restarts = 1
+	}
+	e := New(cfg)
+	n := len(ds.Interactions) / 3
+	if err := e.Train(ds.Items, ds.Interactions[:n], ds.Item); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return e, ds.Items, ds.Interactions[n:]
+}
+
+// TestConcurrentRecommendObserve hammers overlapping Recommend calls
+// against a concurrent Observe/FlushUpdates writer — the contract the
+// RWMutex serves. Run with -race.
+func TestConcurrentRecommendObserve(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		t.Run(fmt.Sprintf("parallelism=%d", parallelism), func(t *testing.T) {
+			e, items, irs := streamEngine(t, Config{UpdateBatch: 4, Parallelism: parallelism})
+			byID := make(map[string]model.Item, len(items))
+			for _, v := range items {
+				byID[v.ID] = v
+			}
+			const readers = 6
+			var wg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := r; i < len(items); i += readers {
+						recs := e.Recommend(items[i], 10)
+						for j := 1; j < len(recs); j++ {
+							if model.ByScoreDesc(recs[j], recs[j-1]) {
+								t.Errorf("unsorted result under concurrency: %v", recs)
+								return
+							}
+						}
+					}
+				}(r)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i, ir := range irs {
+					if v, ok := byID[ir.ItemID]; ok {
+						e.Observe(ir, v)
+					}
+					if i%50 == 0 {
+						e.FlushUpdates()
+						e.Users()
+						e.IndexStats()
+					}
+				}
+			}()
+			wg.Wait()
+		})
+	}
+}
+
+// TestParallelismConfigEquivalence runs the identical stream through a
+// sequential and a parallel engine: every recommendation list must be
+// bit-identical (the engine-level statement of the SearchParallel
+// determinism contract).
+func TestParallelismConfigEquivalence(t *testing.T) {
+	seqEng, items, irs := streamEngine(t, Config{})
+	parEng, _, _ := streamEngine(t, Config{Parallelism: 4})
+	byID := make(map[string]model.Item, len(items))
+	for _, v := range items {
+		byID[v.ID] = v
+	}
+	checked := 0
+	for i, ir := range irs {
+		v, ok := byID[ir.ItemID]
+		if !ok {
+			continue
+		}
+		if i%7 == 0 {
+			seq := seqEng.Recommend(v, 10)
+			par := parEng.Recommend(v, 10)
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("item %s: sequential and parallel engines diverged\n seq %v\n par %v", v.ID, seq, par)
+			}
+			checked++
+		}
+		seqEng.Observe(ir, v)
+		parEng.Observe(ir, v)
+	}
+	if checked == 0 {
+		t.Fatal("no items checked")
+	}
+}

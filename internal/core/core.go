@@ -18,6 +18,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ssrec/internal/bihmm"
 	"ssrec/internal/cppse"
@@ -82,6 +83,12 @@ type Config struct {
 	Fanout       int
 	HashBuckets  int
 
+	// Parallelism is the worker count of the partitioned parallel top-k
+	// search (sigtree.SearchParallel): candidate trees fan out to that
+	// many goroutines per query, pruning against a shared lower bound.
+	// 0 or 1 keeps the sequential path; results are bit-identical.
+	Parallelism int
+
 	Seed int64
 }
 
@@ -128,7 +135,21 @@ func (c *Config) fill() {
 }
 
 // Engine is the assembled ssRec recommender.
+//
+// # Locking contract
+//
+// Engine is safe for concurrent use across its streaming surface: the
+// recommend path (Recommend, RecommendStats, RecommendScan, BuildQuery)
+// runs under a read lock so overlapping queries execute in parallel,
+// while the mutating path (Train, Observe, RegisterItem, FlushUpdates,
+// RebuildIndex, SaveTo) takes the write lock. A query that must first
+// register an unseen item or flush batched maintenance briefly upgrades
+// to the write lock before re-acquiring the read side. The direct
+// component accessors (Store, Index, Expander, ProducerLayer) return
+// interior state and are for single-threaded callers (experiments,
+// tests) only. See DESIGN.md, "Concurrency".
 type Engine struct {
+	mu     sync.RWMutex
 	cfg    Config
 	catIdx map[string]int
 
@@ -205,6 +226,8 @@ func (e *Engine) Name() string {
 // contain more — only items up to the last training timestamp contribute
 // to the background).
 func (e *Engine) Train(items []model.Item, interactions []model.Interaction, resolve func(string) (model.Item, bool)) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if len(e.cfg.Categories) == 0 {
 		return fmt.Errorf("core: no categories configured")
 	}
@@ -318,6 +341,7 @@ func buildIndex(e *Engine) (*cppse.Index, error) {
 		FixedBlocks:  e.cfg.FixedBlocks,
 		Fanout:       e.cfg.Fanout,
 		HashBuckets:  e.cfg.HashBuckets,
+		Parallelism:  e.cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: index build: %w", err)
@@ -344,6 +368,12 @@ func (e *Engine) obsFor(v model.Item) bihmm.Obs {
 // are disabled, the expander absorbs its entity co-occurrences. Recommend
 // calls this implicitly for unseen items.
 func (e *Engine) RegisterItem(v model.Item) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.registerItemLocked(v)
+}
+
+func (e *Engine) registerItemLocked(v model.Item) {
 	if _, known := e.itemZ[v.ID]; known {
 		return
 	}
@@ -372,7 +402,9 @@ func (e *Engine) Observe(ir model.Interaction, v model.Item) {
 	if e.cfg.DisableUpdates {
 		return
 	}
-	e.RegisterItem(v)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.registerItemLocked(v)
 	p := e.store.Get(ir.UserID)
 	p.Observe(profile.EventFromItem(v, ir.Timestamp))
 	e.consumerObs[ir.UserID] = append(e.consumerObs[ir.UserID], e.obsFor(v))
@@ -387,13 +419,19 @@ func (e *Engine) Observe(ir model.Interaction, v model.Item) {
 	e.dirty[ir.UserID] = true
 	e.sinceFlush++
 	if e.sinceFlush >= e.cfg.UpdateBatch {
-		e.FlushUpdates()
+		e.flushUpdatesLocked()
 	}
 }
 
 // FlushUpdates applies all pending batched index maintenance (Algorithm 2)
 // and returns how many users were refreshed.
 func (e *Engine) FlushUpdates() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.flushUpdatesLocked()
+}
+
+func (e *Engine) flushUpdatesLocked() int {
 	if e.index == nil || len(e.dirty) == 0 {
 		e.sinceFlush = 0
 		return 0
@@ -420,30 +458,67 @@ func (e *Engine) Recommend(v model.Item, k int) []model.Recommendation {
 }
 
 // RecommendStats additionally reports the index search statistics.
+//
+// Overlapping calls run concurrently under the read lock; the call
+// briefly upgrades to the write lock when the item is unseen (it must be
+// registered) or batched maintenance is pending (stale entries must not
+// be served).
 func (e *Engine) RecommendStats(v model.Item, k int) ([]model.Recommendation, sigtree.SearchStats) {
-	if !e.trained {
+	if !e.queryPrologue(v) {
 		return nil, sigtree.SearchStats{}
 	}
-	e.FlushUpdates() // batched maintenance must not serve stale entries
-	e.RegisterItem(v)
-	q := e.BuildQuery(v)
+	defer e.mu.RUnlock()
+	q := e.buildQueryLocked(v)
 	return e.index.Recommend(q, k)
 }
 
 // RecommendScan is the pruning-free arm (AblationPruning): identical
 // candidates and scores, every leaf scored.
 func (e *Engine) RecommendScan(v model.Item, k int) []model.Recommendation {
-	if !e.trained {
+	if !e.queryPrologue(v) {
 		return nil
 	}
-	e.FlushUpdates()
-	e.RegisterItem(v)
-	return e.index.RecommendScan(e.BuildQuery(v), k)
+	defer e.mu.RUnlock()
+	return e.index.RecommendScan(e.buildQueryLocked(v), k)
+}
+
+// queryPrologue prepares a query: it leaves the engine read-locked and
+// ready to serve (returning true), or unlocked (returning false) when the
+// engine is untrained. Unseen items and pending batched maintenance are
+// handled under a transient write lock before the read lock is
+// re-acquired.
+func (e *Engine) queryPrologue(v model.Item) bool {
+	e.mu.RLock()
+	for {
+		if !e.trained {
+			e.mu.RUnlock()
+			return false
+		}
+		_, known := e.itemZ[v.ID]
+		if known && len(e.dirty) == 0 {
+			return true
+		}
+		// Upgrade. A writer may slip in between Unlock and RLock and
+		// re-dirty the index, so loop until the read-locked check holds —
+		// stale entries must never be served.
+		e.mu.RUnlock()
+		e.mu.Lock()
+		e.flushUpdatesLocked()
+		e.registerItemLocked(v)
+		e.mu.Unlock()
+		e.mu.RLock()
+	}
 }
 
 // BuildQuery prepares the weighted entity query for an item, applying
 // expansion unless disabled.
 func (e *Engine) BuildQuery(v model.Item) ranking.ItemQuery {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.buildQueryLocked(v)
+}
+
+func (e *Engine) buildQueryLocked(v model.Item) ranking.ItemQuery {
 	x := e.expander
 	if e.cfg.DisableExpansion {
 		x = nil
@@ -515,6 +590,35 @@ func (e *Engine) refreshPrediction(userID string, obs []bihmm.Obs) *predEntry {
 	ce.short = m.PredictNextMarginal(shortObs, nil)
 	e.predCache[userID] = ce
 	return ce
+}
+
+// SetParallelism changes the parallel-search worker count at runtime —
+// e.g. to override the value restored from a snapshot by LoadFrom.
+func (e *Engine) SetParallelism(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.Parallelism = n
+	if e.index != nil {
+		e.index.SetParallelism(n)
+	}
+}
+
+// Users returns the number of known profiles (concurrency-safe).
+func (e *Engine) Users() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.Len()
+}
+
+// IndexStats snapshots the CPPse-index statistics (concurrency-safe).
+// ok is false before Train.
+func (e *Engine) IndexStats() (stats cppse.IndexStats, ok bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.index == nil {
+		return stats, false
+	}
+	return e.index.Stats(), true
 }
 
 // Store exposes the profile store (read-mostly; used by experiments).

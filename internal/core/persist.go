@@ -33,10 +33,12 @@ type engineSnapshot struct {
 // SaveTo serialises the trained engine as gzip-compressed gob. It returns
 // an error if the engine has not been trained.
 func (e *Engine) SaveTo(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if !e.trained {
 		return fmt.Errorf("core: cannot save an untrained engine")
 	}
-	e.FlushUpdates()
+	e.flushUpdatesLocked()
 	snap := engineSnapshot{
 		Config:      e.cfg,
 		Background:  e.bg.Snapshot(),
@@ -123,10 +125,12 @@ func (e *Engine) rebuildIndex() error {
 // periodic maintenance for when incremental block assignment has drifted
 // far from the one-pass clustering optimum.
 func (e *Engine) RebuildIndex() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if !e.trained {
 		return fmt.Errorf("core: engine not trained")
 	}
-	e.FlushUpdates()
+	e.flushUpdatesLocked()
 	return e.rebuildIndex()
 }
 

@@ -1,19 +1,17 @@
 package core
 
 import (
-	"sync"
-
 	"ssrec/internal/model"
 	"ssrec/internal/sigtree"
 )
 
-// SafeEngine is a mutex-guarded wrapper around Engine for concurrent
-// callers (e.g. the HTTP server or a multi-goroutine topology). Engine
-// itself is deliberately single-threaded — queries mutate shared state
-// (item registration, batched maintenance, prediction caches), so a single
-// exclusive lock is the honest concurrency contract.
+// SafeEngine is a compatibility wrapper from when Engine was
+// single-threaded. Engine now carries its own RWMutex — overlapping
+// Recommend calls run concurrently under the read lock while
+// Observe/FlushUpdates/Train serialize on the write lock (see the Engine
+// locking contract) — so SafeEngine is a thin delegate kept for callers
+// like the HTTP server that were built against it.
 type SafeEngine struct {
-	mu  sync.Mutex
 	eng *Engine
 }
 
@@ -22,75 +20,56 @@ func NewSafe(cfg Config) *SafeEngine {
 	return &SafeEngine{eng: New(cfg)}
 }
 
-// WrapSafe wraps an existing Engine. The caller must stop using the inner
-// engine directly afterwards.
+// WrapSafe wraps an existing Engine. Unlike before, the caller may keep
+// using the inner engine's synchronized surface (Train, Observe,
+// Recommend, ...) directly — both views share the same lock. The raw
+// component accessors (Store, Index, Expander, ProducerLayer) remain
+// unsynchronized and must not race with serving; see the Engine locking
+// contract.
 func WrapSafe(e *Engine) *SafeEngine { return &SafeEngine{eng: e} }
 
 // Name implements the Recommender interface.
-func (s *SafeEngine) Name() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.Name()
-}
+func (s *SafeEngine) Name() string { return s.eng.Name() }
 
 // Train bootstraps the inner engine.
 func (s *SafeEngine) Train(items []model.Item, interactions []model.Interaction, resolve func(string) (model.Item, bool)) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.eng.Train(items, interactions, resolve)
 }
 
 // Observe implements the Recommender interface.
 func (s *SafeEngine) Observe(ir model.Interaction, v model.Item) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.eng.Observe(ir, v)
 }
 
 // Recommend implements the Recommender interface.
 func (s *SafeEngine) Recommend(v model.Item, k int) []model.Recommendation {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.eng.Recommend(v, k)
 }
 
 // RecommendStats mirrors Engine.RecommendStats.
 func (s *SafeEngine) RecommendStats(v model.Item, k int) ([]model.Recommendation, sigtree.SearchStats) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.eng.RecommendStats(v, k)
 }
 
 // RegisterItem mirrors Engine.RegisterItem.
 func (s *SafeEngine) RegisterItem(v model.Item) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.eng.RegisterItem(v)
 }
 
 // FlushUpdates mirrors Engine.FlushUpdates.
 func (s *SafeEngine) FlushUpdates() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.eng.FlushUpdates()
 }
 
 // Users returns the number of known profiles.
-func (s *SafeEngine) Users() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.Store().Len()
-}
+func (s *SafeEngine) Users() int { return s.eng.Users() }
 
 // IndexStats snapshots the index statistics (zero value before Train).
 func (s *SafeEngine) IndexStats() (stats IndexStatsView) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ix := s.eng.Index()
-	if ix == nil {
+	st, ok := s.eng.IndexStats()
+	if !ok {
 		return stats
 	}
-	st := ix.Stats()
 	return IndexStatsView{
 		Blocks:   st.Blocks,
 		Trees:    st.Trees,

@@ -40,6 +40,13 @@ type Config struct {
 	Fanout int
 	// HashBuckets of the chained table. Default 1 << 12.
 	HashBuckets int
+	// Parallelism is the worker count of the partitioned parallel query
+	// path (sigtree.SearchParallel): candidate trees are spread over that
+	// many goroutines which prune against a shared lower bound. 0 or 1
+	// keeps the sequential path; results are bit-identical at every
+	// level. The index itself must not be mutated during a parallel
+	// query — the engine's RWMutex enforces this.
+	Parallelism int
 }
 
 func (c *Config) fill() {
@@ -262,15 +269,21 @@ func (ix *Index) leafSignature(p *profile.Profile, block int, cat string) sigtre
 
 // Recommend returns the top-k users for the prepared item query, plus the
 // pruning statistics of the search. The query should be built with
-// ranking.BuildQuery (expansion included when desired).
+// ranking.BuildQuery (expansion included when desired). With
+// Config.Parallelism > 1 the candidate trees are searched by a worker
+// pool (sigtree.SearchParallel); results are bit-identical either way.
 func (ix *Index) Recommend(q ranking.ItemQuery, k int) ([]model.Recommendation, sigtree.SearchStats) {
-	trees := ix.lookupTrees(q)
-	tqs := make([]sigtree.TreeQuery, 0, len(trees))
-	for _, tr := range trees {
-		tqs = append(tqs, sigtree.TreeQuery{Tree: tr, Query: ix.encodeQuery(q, tr)})
-	}
-	return sigtree.Search(tqs, k)
+	sc := getScratch()
+	defer putScratch(sc)
+	tqs := ix.encodeAll(sc, q)
+	return sigtree.SearchParallel(tqs, k, ix.cfg.Parallelism)
 }
+
+// SetParallelism adjusts the query worker count (Config.Parallelism) of a
+// built index, e.g. to override the value a snapshot was saved with. Not
+// safe to call concurrently with Recommend — the engine holds its write
+// lock around it.
+func (ix *Index) SetParallelism(n int) { ix.cfg.Parallelism = n }
 
 // CandidateUsers returns the users reachable for a query — the candidate
 // set a sequential scan over the same trees would consider. Used by
@@ -286,71 +299,20 @@ func (ix *Index) CandidateUsers(q ranking.ItemQuery) []string {
 // RecommendScan is the no-pruning arm: identical candidate trees and
 // scoring, but every leaf entry is scored (AblationPruning).
 func (ix *Index) RecommendScan(q ranking.ItemQuery, k int) []model.Recommendation {
-	trees := ix.lookupTrees(q)
-	tqs := make([]sigtree.TreeQuery, 0, len(trees))
-	for _, tr := range trees {
-		tqs = append(tqs, sigtree.TreeQuery{Tree: tr, Query: ix.encodeQuery(q, tr)})
-	}
+	sc := getScratch()
+	defer putScratch(sc)
+	tqs := ix.encodeAll(sc, q)
 	return sigtree.SequentialScan(tqs, k)
 }
 
-// lookupTrees locates candidate trees for a query. The primary path is the
-// paper's: the chained hash table over the query's ⟨category, entity⟩
-// pairs. It is complemented by producer routing — trees of the item's
-// category whose block has browsed the item's producer — because the
-// ranking function (Eq. 2) scores producer affinity as strongly as entity
-// affinity, and at laptop-scale vocabularies the entity hash alone would
-// spuriously skip whole blocks that the paper's 54k-entity vocabulary
-// would always match (see DESIGN.md, implementation refinements).
+// lookupTrees returns the candidate trees of a query as a fresh slice —
+// the cold-path wrapper around lookupTreesInto for tests and ablations.
 func (ix *Index) lookupTrees(q ranking.ItemQuery) []*sigtree.Tree {
-	seen := map[*sigtree.Tree]bool{}
-	var out []*sigtree.Tree
-	add := func(tr *sigtree.Tree) {
-		if !seen[tr] {
-			seen[tr] = true
-			out = append(out, tr)
-		}
-	}
-	for _, we := range q.Entities {
-		for _, ptr := range ix.hash.Lookup(shx.PairKey(q.Category, we.Name)) {
-			add(ptr.(*sigtree.Tree))
-		}
-	}
-	for _, tr := range ix.treesByCat[q.Category] {
-		if _, ok := tr.Prod.Index(q.Producer); ok {
-			add(tr)
-		}
-	}
-	return out
-}
-
-// encodeQuery produces the pseudo-query of the paper's Example 1 for one
-// tree: producer one-hot collapsed to an index, sparse entity weights over
-// the tree's universe, and the user-independent background mass.
-func (ix *Index) encodeQuery(q ranking.ItemQuery, tr *sigtree.Tree) *sigtree.Query {
-	sq := &sigtree.Query{
-		ProdIdx: -1,
-		BgProd:  ix.bg.ProducerProb(q.Producer),
-		Mu:      ix.cfg.Mu,
-		LambdaS: ix.cfg.LambdaS,
-	}
-	if i, ok := tr.Prod.Index(q.Producer); ok {
-		sq.ProdIdx = i
-	}
-	acc := map[int]float64{}
-	for _, we := range q.Entities {
-		sq.BgEnt += we.Weight * ix.bg.EntityProb(q.Category, we.Name)
-		if i, ok := tr.Ent.Index(we.Name); ok {
-			acc[i] += we.Weight
-		}
-	}
-	for i, w := range acc {
-		sq.Ents = append(sq.Ents, sigtree.WeightedIdx{Idx: i, W: w})
-	}
-	// Deterministic summation order so repeated encodings of the same item
-	// produce bit-identical scores.
-	sort.Slice(sq.Ents, func(a, b int) bool { return sq.Ents[a].Idx < sq.Ents[b].Idx })
-	return sq
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.reset()
+	ix.lookupTreesInto(sc, q)
+	return append([]*sigtree.Tree(nil), sc.trees...)
 }
 
 // UpdateUser refreshes (or creates) the index entries of one user from the

@@ -1,0 +1,105 @@
+package cppse
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ssrec/internal/model"
+	"ssrec/internal/profile"
+	"ssrec/internal/ranking"
+)
+
+// TestRecommendParallelEquivalence asserts the index returns bit-identical
+// top-k lists (users, scores, tie-break order) at every parallelism level,
+// and that both match the no-pruning sequential scan over the same
+// candidate trees.
+func TestRecommendParallelEquivalence(t *testing.T) {
+	seq, _, _ := buildIndex(t, 20, Config{})
+	queries := []model.Item{
+		sportsItem(0),
+		sportsItem(3),
+		{ID: "m", Category: "music", Producer: "music-up1",
+			Entities: []string{"music-e0", "music-e4"}},
+		{ID: "n", Category: "news", Producer: "sports-up2",
+			Entities: []string{"news-e2", "sports-e3"}},
+	}
+	for _, p := range []int{1, 2, 8} {
+		par, _, _ := buildIndex(t, 20, Config{Parallelism: p})
+		for qi, v := range queries {
+			q := ranking.BuildQuery(v, nil)
+			for _, k := range []int{1, 5, 30, 500} {
+				want, _ := seq.Recommend(q, k)
+				scan := seq.RecommendScan(q, k)
+				if !reflect.DeepEqual(want, scan) {
+					t.Fatalf("query %d k=%d: sequential Recommend != RecommendScan", qi, k)
+				}
+				got, _ := par.Recommend(q, k)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("query %d k=%d parallelism=%d:\n got %v\nwant %v", qi, k, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRecommendEncoderReuse hammers one index with distinct interleaved
+// queries so the pooled scratch encoder is exercised across shapes: every
+// repetition of the same query must give bit-identical results.
+func TestRecommendEncoderReuse(t *testing.T) {
+	ix, _, _ := buildIndex(t, 15, Config{})
+	type ref struct {
+		q    ranking.ItemQuery
+		want []model.Recommendation
+	}
+	var refs []ref
+	for i := 0; i < 6; i++ {
+		cat := []string{"sports", "music", "news"}[i%3]
+		v := model.Item{ID: fmt.Sprintf("q%d", i), Category: cat,
+			Producer: fmt.Sprintf("%s-up%d", cat, i%3),
+			Entities: []string{fmt.Sprintf("%s-e%d", cat, i%6), fmt.Sprintf("%s-e%d", cat, (i+2)%6)}}
+		q := ranking.BuildQuery(v, nil)
+		want, _ := ix.Recommend(q, 10)
+		refs = append(refs, ref{q, want})
+	}
+	for round := 0; round < 20; round++ {
+		r := refs[round%len(refs)]
+		got, _ := ix.Recommend(r.q, 10)
+		if !reflect.DeepEqual(got, r.want) {
+			t.Fatalf("round %d: scratch reuse changed results\n got %v\nwant %v", round, got, r.want)
+		}
+	}
+}
+
+// TestRecommendAfterUpdateParallel checks the maintenance path (Algorithm
+// 2) composes with the parallel query path: post-update results match the
+// sequential scan reference.
+func TestRecommendAfterUpdateParallel(t *testing.T) {
+	ix, store, _ := buildIndex(t, 10, Config{Parallelism: 4})
+	p := store.Get("newbie")
+	for i := 0; i < 8; i++ {
+		p.Observe(profile.Event{Category: "sports", Producer: fmt.Sprintf("sports-up%d", i%3),
+			Entities: []string{fmt.Sprintf("sports-e%d", i%6)}})
+	}
+	if err := ix.UpdateUser("newbie"); err != nil {
+		t.Fatalf("UpdateUser: %v", err)
+	}
+	q := ranking.BuildQuery(sportsItem(1), nil)
+	got, _ := ix.Recommend(q, 10)
+	want := ix.RecommendScan(q, 10)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-update parallel mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+// BenchmarkRecommendAllocs pins the allocation profile of the full index
+// hot path (lookup + encode + search).
+func BenchmarkRecommendAllocs(b *testing.B) {
+	ix, _, _ := buildIndex(b, 200, Config{})
+	q := ranking.BuildQuery(sportsItem(0), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Recommend(q, 30)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package sigtree
+
+const raceEnabled = false

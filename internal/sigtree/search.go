@@ -1,0 +1,386 @@
+// search.go implements Algorithm 1 — branch-and-bound top-k over the
+// extended signature trees — as a reusable, allocation-free Searcher plus
+// a partitioned parallel front-end (SearchParallel). See DESIGN.md,
+// "Parallel partitioned search".
+//
+// The query core is deliberately zero-allocation in steady state: the
+// priority queue stores pqItem values in a reusable slab (no per-node
+// heap boxing), the top-k accumulator recycles its backing array, and
+// whole Searchers are pooled via sync.Pool. The only allocation a search
+// performs is the result slice handed to the caller.
+package sigtree
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"ssrec/internal/model"
+)
+
+// TreeQuery pairs a tree with the pseudo-query encoded for it.
+type TreeQuery struct {
+	Tree  *Tree
+	Query *Query
+}
+
+// SearchStats reports pruning effectiveness for one search. For
+// SearchParallel the counters are summed over all partitions.
+type SearchStats struct {
+	NodesVisited   int // internal/leaf nodes expanded
+	EntriesScored  int // leaf entries whose exact score was computed
+	EntriesSkipped int // pruned by the upper bound (never scored)
+	Partitions     int // worker partitions used (0 = sequential path)
+}
+
+func (s *SearchStats) add(o SearchStats) {
+	s.NodesVisited += o.NodesVisited
+	s.EntriesScored += o.EntriesScored
+	s.EntriesSkipped += o.EntriesSkipped
+}
+
+// pqItem is one priority-queue element: an internal or leaf node of a
+// tree, with the query it was scored against. Leaf entries are offered to
+// the top-k accumulator directly and never enter the queue, so items are
+// plain values and the queue is a flat slab.
+type pqItem struct {
+	score float64
+	seq   int // FIFO tie-break for deterministic traversal
+	node  *node
+	q     *Query
+}
+
+// pqLess orders the max-heap: higher score first, earlier push on ties.
+func pqLess(a, b *pqItem) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.seq < b.seq
+}
+
+// Searcher owns the scratch state of one branch-and-bound run: the value
+// slab of the priority queue and the top-k accumulator. A zero Searcher
+// is ready to use; Search and SearchParallel draw them from an internal
+// pool so steady-state queries do not allocate.
+type Searcher struct {
+	pq    []pqItem
+	seq   int
+	topk  topK
+	stats SearchStats
+}
+
+var searcherPool = sync.Pool{New: func() any { return new(Searcher) }}
+
+// NewSearcher returns a fresh standalone Searcher (callers that want to
+// manage reuse themselves; Search/SearchParallel pool internally).
+func NewSearcher() *Searcher { return new(Searcher) }
+
+func (s *Searcher) reset(k int) {
+	s.pq = s.pq[:0]
+	s.seq = 0
+	s.stats = SearchStats{}
+	s.topk.reset(k)
+}
+
+// push inserts a value item into the max-heap slab.
+func (s *Searcher) push(it pqItem) {
+	it.seq = s.seq
+	s.seq++
+	s.pq = append(s.pq, it)
+	i := len(s.pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !pqLess(&s.pq[i], &s.pq[parent]) {
+			break
+		}
+		s.pq[i], s.pq[parent] = s.pq[parent], s.pq[i]
+		i = parent
+	}
+}
+
+// pop removes the best item.
+func (s *Searcher) pop() pqItem {
+	top := s.pq[0]
+	n := len(s.pq) - 1
+	s.pq[0] = s.pq[n]
+	s.pq[n] = pqItem{} // release node pointer
+	s.pq = s.pq[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && pqLess(&s.pq[l], &s.pq[best]) {
+			best = l
+		}
+		if r < n && pqLess(&s.pq[r], &s.pq[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		s.pq[i], s.pq[best] = s.pq[best], s.pq[i]
+		i = best
+	}
+	return top
+}
+
+// lowerBound is the effective pruning bound: the worst score of the local
+// top-k once full, raised further by the shared cross-partition bound
+// when one is attached.
+func (s *Searcher) lowerBound(shared *atomicLB) float64 {
+	lb := s.topk.WorstScore()
+	if shared != nil {
+		if g := shared.load(); g > lb {
+			lb = g
+		}
+	}
+	return lb
+}
+
+// Run executes Algorithm 1 over the given trees, pruning against the
+// optional shared lower bound, and returns the local top-k best-first.
+//
+// Correctness under a shared bound: the bound is the maximum over
+// partitions of each partition's current k-th best exact score, which is
+// a monotone lower bound on the *global* k-th best exact score (the
+// global candidate pool is a superset of every partition's). Pruning is
+// strict (<), so an entry at exactly the final k-th score is always
+// expanded and user-ID tie-breaking stays identical to the sequential
+// path.
+func (s *Searcher) Run(tqs []TreeQuery, k int, shared *atomicLB) ([]model.Recommendation, SearchStats) {
+	s.reset(k)
+	for _, tq := range tqs {
+		if tq.Tree.Len() == 0 {
+			continue
+		}
+		s.push(pqItem{score: Score(&tq.Tree.root.sig, tq.Query), node: tq.Tree.root, q: tq.Query})
+	}
+	for len(s.pq) > 0 {
+		it := s.pop()
+		lb := s.lowerBound(shared)
+		if it.score < lb {
+			// Max-ordered queue: nothing left can beat the bound.
+			s.stats.EntriesSkipped += subtreeSize(it.node) + s.remainingEntries()
+			break
+		}
+		n := it.node
+		s.stats.NodesVisited++
+		if n.leaf {
+			for i := range n.entries {
+				e := n.entries[i]
+				s.topk.Offer(e.UserID, Score(&e.Sig, it.q))
+				s.stats.EntriesScored++
+			}
+			if shared != nil && s.topk.Full() {
+				shared.raise(s.topk.WorstScore())
+			}
+			continue
+		}
+		for _, c := range n.children {
+			cs := Score(&c.sig, it.q)
+			// Score ties with the bound are still expanded so user-ID
+			// tie-breaking matches a sequential scan exactly.
+			if cs >= lb {
+				s.push(pqItem{score: cs, node: c, q: it.q})
+			} else {
+				s.stats.EntriesSkipped += subtreeSize(c)
+			}
+		}
+	}
+	s.stats.Partitions = 0
+	// Drop node references left by an early break so pooled Searchers
+	// don't pin replaced index structures.
+	s.pq = s.pq[:cap(s.pq)]
+	clear(s.pq)
+	s.pq = s.pq[:0]
+	return s.topk.Sorted(), s.stats
+}
+
+func (s *Searcher) remainingEntries() int {
+	n := 0
+	for i := range s.pq {
+		n += subtreeSize(s.pq[i].node)
+	}
+	return n
+}
+
+// Search runs the KNN of Algorithm 1 across the matched trees and returns
+// the top-k users by R(v, u), best first. It never returns a user whose
+// exact score is below a pruned candidate's true score (no false pruning:
+// Lemmas 1–2).
+func Search(tqs []TreeQuery, k int) ([]model.Recommendation, SearchStats) {
+	s := searcherPool.Get().(*Searcher)
+	recs, stats := s.Run(tqs, k, nil)
+	searcherPool.Put(s)
+	return recs, stats
+}
+
+// atomicLB is a monotonically increasing float64 shared by the partitions
+// of one parallel search: the best global lower bound on the final k-th
+// score published so far.
+type atomicLB struct{ bits atomic.Uint64 }
+
+func newAtomicLB() *atomicLB {
+	lb := &atomicLB{}
+	lb.bits.Store(math.Float64bits(math.Inf(-1)))
+	return lb
+}
+
+func (l *atomicLB) load() float64 { return math.Float64frombits(l.bits.Load()) }
+
+// raise lifts the bound to v if v is higher (lock-free monotone max).
+func (l *atomicLB) raise(v float64) {
+	for {
+		old := l.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if l.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// SearchParallel is the partitioned Algorithm 1: candidate trees are
+// dealt round-robin to `parallelism` workers, each running the same
+// branch-and-bound as Search over its partition while pruning against a
+// shared atomic lower bound (each partition's k-th best raises the bound
+// for all others), and the per-partition top-k heaps are merged with the
+// global comparator. Results — users, scores and tie-break order — are
+// bit-identical to Search and SequentialScan for every parallelism level.
+//
+// parallelism <= 1 (or fewer than two candidate trees) falls back to the
+// sequential path.
+func SearchParallel(tqs []TreeQuery, k, parallelism int) ([]model.Recommendation, SearchStats) {
+	if parallelism > len(tqs) {
+		parallelism = len(tqs)
+	}
+	if parallelism <= 1 || len(tqs) < 2 {
+		return Search(tqs, k)
+	}
+	parts := make([][]TreeQuery, parallelism)
+	for i, tq := range tqs {
+		w := i % parallelism
+		parts[w] = append(parts[w], tq)
+	}
+	shared := newAtomicLB()
+	partRecs := make([][]model.Recommendation, parallelism)
+	partStats := make([]SearchStats, parallelism)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := searcherPool.Get().(*Searcher)
+			partRecs[w], partStats[w] = s.Run(parts[w], k, shared)
+			searcherPool.Put(s)
+		}(w)
+	}
+	wg.Wait()
+	// Deterministic merge: each partition's top-k is already exact for its
+	// candidate subset, and the Offer comparator (score desc, user-ID asc)
+	// is order-independent, so folding partitions in index order yields
+	// the global top-k with sequential tie-breaking.
+	merged := newTopK(k)
+	var stats SearchStats
+	for w := 0; w < parallelism; w++ {
+		for _, r := range partRecs[w] {
+			merged.Offer(r.UserID, r.Score)
+		}
+		stats.add(partStats[w])
+	}
+	stats.Partitions = parallelism
+	return merged.Sorted(), stats
+}
+
+// SequentialScan scores every leaf entry of every tree directly — the
+// reference implementation used to verify the index returns identical
+// results, and the no-pruning arm of the AblationPruning benchmark.
+func SequentialScan(tqs []TreeQuery, k int) []model.Recommendation {
+	topk := newTopK(k)
+	for _, tq := range tqs {
+		for _, e := range tq.Tree.byUser {
+			topk.Offer(e.UserID, Score(&e.Sig, tq.Query))
+		}
+	}
+	return topk.Sorted()
+}
+
+// ---- top-k accumulator (worst-first min-heap) ----
+
+type topK struct {
+	k     int
+	items []model.Recommendation
+}
+
+func newTopK(k int) *topK {
+	t := &topK{}
+	t.reset(k)
+	return t
+}
+
+func (t *topK) reset(k int) {
+	if k < 1 {
+		k = 1
+	}
+	t.k = k
+	t.items = t.items[:0]
+}
+
+func (t *topK) Full() bool { return len(t.items) >= t.k }
+
+func (t *topK) WorstScore() float64 {
+	if !t.Full() {
+		return math.Inf(-1)
+	}
+	return t.items[0].Score
+}
+
+func (t *topK) Offer(userID string, score float64) {
+	r := model.Recommendation{UserID: userID, Score: score}
+	if len(t.items) < t.k {
+		t.items = append(t.items, r)
+		i := len(t.items) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !worse(t.items[i], t.items[parent]) {
+				break
+			}
+			t.items[i], t.items[parent] = t.items[parent], t.items[i]
+			i = parent
+		}
+		return
+	}
+	if !model.ByScoreDesc(r, t.items[0]) {
+		return
+	}
+	t.items[0] = r
+	i, n := 0, len(t.items)
+	for {
+		l, r2 := 2*i+1, 2*i+2
+		m := i
+		if l < n && worse(t.items[l], t.items[m]) {
+			m = l
+		}
+		if r2 < n && worse(t.items[r2], t.items[m]) {
+			m = r2
+		}
+		if m == i {
+			return
+		}
+		t.items[i], t.items[m] = t.items[m], t.items[i]
+		i = m
+	}
+}
+
+func worse(a, b model.Recommendation) bool { return model.ByScoreDesc(b, a) }
+
+func (t *topK) Sorted() []model.Recommendation {
+	out := append([]model.Recommendation(nil), t.items...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && model.ByScoreDesc(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package sigtree
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// buildForest builds nTrees trees of nUsers each with per-tree queries —
+// the multi-partition workload SearchParallel fans out over.
+func buildForest(t testing.TB, nTrees, nUsers int, seed int64) []TreeQuery {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var tqs []TreeQuery
+	for b := 0; b < nTrees; b++ {
+		prod := NewUniverse([]string{"p0", "p1", "p2", "p3"})
+		ent := NewUniverse([]string{"e0", "e1", "e2", "e3", "e4", "e5"})
+		tr := New(b, "c", prod, ent, 6)
+		for i := 0; i < nUsers; i++ {
+			tr.Insert(fmt.Sprintf("b%02du%04d", b, i), randomSignature(4, 6, rng))
+		}
+		tqs = append(tqs, TreeQuery{Tree: tr, Query: randomQuery(4, 6, rng)})
+	}
+	return tqs
+}
+
+// TestSearchParallelEquivalence is the core determinism contract: for
+// seeded random forests, SearchParallel must return bit-identical users,
+// scores and tie-break order to Search and SequentialScan at every
+// parallelism level.
+func TestSearchParallelEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23, 99} {
+		tqs := buildForest(t, 7, 60, seed)
+		for _, k := range []int{1, 5, 10, 30, 1000} {
+			want, _ := Search(tqs, k)
+			scan := SequentialScan(tqs, k)
+			if !reflect.DeepEqual(want, scan) {
+				t.Fatalf("seed %d k=%d: Search != SequentialScan", seed, k)
+			}
+			for _, p := range []int{1, 2, 8} {
+				got, stats := SearchParallel(tqs, k, p)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d k=%d parallelism=%d:\n got %v\nwant %v", seed, k, p, got, want)
+				}
+				if p > 1 && len(tqs) >= 2 && stats.Partitions == 0 {
+					t.Fatalf("seed %d k=%d parallelism=%d: expected parallel path", seed, k, p)
+				}
+			}
+		}
+	}
+}
+
+// Ties in score must break identically across paths. Duplicate the same
+// signature under different user IDs across trees to force exact ties.
+func TestSearchParallelTieBreaking(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	shared := randomSignature(4, 6, rng)
+	q := randomQuery(4, 6, rng)
+	var tqs []TreeQuery
+	for b := 0; b < 4; b++ {
+		prod := NewUniverse([]string{"p0", "p1", "p2", "p3"})
+		ent := NewUniverse([]string{"e0", "e1", "e2", "e3", "e4", "e5"})
+		tr := New(b, "c", prod, ent, 4)
+		for i := 0; i < 12; i++ {
+			tr.Insert(fmt.Sprintf("t%02du%02d", b, i), shared.Clone())
+		}
+		tqs = append(tqs, TreeQuery{Tree: tr, Query: q})
+	}
+	want, _ := Search(tqs, 10)
+	for _, p := range []int{2, 4, 8} {
+		got, _ := SearchParallel(tqs, 10, p)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallelism=%d tie-break mismatch:\n got %v\nwant %v", p, got, want)
+		}
+	}
+	// All scores tie, so the order must be pure user-ID ascending.
+	for i := 1; i < len(want); i++ {
+		if want[i-1].UserID >= want[i].UserID {
+			t.Fatalf("tie order not user-ID ascending: %v", want)
+		}
+	}
+}
+
+func TestSearchParallelDegenerate(t *testing.T) {
+	// Empty input, empty trees, parallelism larger than tree count.
+	if got, _ := SearchParallel(nil, 5, 4); len(got) != 0 {
+		t.Fatalf("results from empty input: %v", got)
+	}
+	prod, ent := NewUniverse(nil), NewUniverse(nil)
+	empty := New(0, "c", prod, ent, 4)
+	tqs := []TreeQuery{{Tree: empty, Query: &Query{Mu: 10, ProdIdx: -1}}}
+	if got, _ := SearchParallel(tqs, 5, 8); len(got) != 0 {
+		t.Fatalf("results from empty tree: %v", got)
+	}
+	full := buildForest(t, 3, 20, 11)
+	want, _ := Search(full, 5)
+	got, _ := SearchParallel(full, 5, 64) // clamped to len(tqs)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("oversubscribed parallelism mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestSearchZeroAlloc pins the zero-allocation contract of the sequential
+// query core: steady-state Search allocates only the result slice.
+func TestSearchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	tqs := buildForest(t, 4, 200, 13)
+	Search(tqs, 10) // warm the pool
+	allocs := testing.AllocsPerRun(50, func() {
+		Search(tqs, 10)
+	})
+	if allocs > 2 {
+		t.Fatalf("Search allocates %.1f objects/op, want <= 2 (result slice only)", allocs)
+	}
+}
+
+func TestSearcherReuse(t *testing.T) {
+	// One Searcher across differently-shaped runs must match fresh runs.
+	s := NewSearcher()
+	for _, seed := range []int64{3, 4} {
+		tqs := buildForest(t, 5, 40, seed)
+		for _, k := range []int{3, 17} {
+			got, _ := s.Run(tqs, k, nil)
+			want, _ := Search(tqs, k)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d k=%d: reused Searcher diverged", seed, k)
+			}
+		}
+	}
+}
+
+func BenchmarkSearchParallel(b *testing.B) {
+	tqs := buildForest(b, 16, 2000, 17)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				SearchParallel(tqs, 30, p)
+			}
+		})
+	}
+}

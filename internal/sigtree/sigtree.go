@@ -23,10 +23,7 @@
 package sigtree
 
 import (
-	"container/heap"
 	"math"
-
-	"ssrec/internal/model"
 )
 
 // Universe is an append-only name→index mapping shared by signatures and
@@ -466,204 +463,4 @@ func (t *Tree) Depth() int {
 		d++
 	}
 	return d
-}
-
-// ---- Algorithm 1: KNN over multiple trees ----
-
-// TreeQuery pairs a tree with the pseudo-query encoded for it.
-type TreeQuery struct {
-	Tree  *Tree
-	Query *Query
-}
-
-// pqItem is one priority-queue element: an internal node or a leaf entry.
-type pqItem struct {
-	score float64
-	node  *node      // nil for leaf entries
-	entry *LeafEntry // nil for nodes
-	q     *Query
-	seq   int // FIFO tie-break for determinism
-}
-
-type pqueue []*pqItem
-
-func (p pqueue) Len() int { return len(p) }
-func (p pqueue) Less(i, j int) bool {
-	if p[i].score != p[j].score {
-		return p[i].score > p[j].score
-	}
-	return p[i].seq < p[j].seq
-}
-func (p pqueue) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
-func (p *pqueue) Push(x any)   { *p = append(*p, x.(*pqItem)) }
-func (p *pqueue) Pop() any {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*p = old[:n-1]
-	return it
-}
-
-// SearchStats reports pruning effectiveness for one search.
-type SearchStats struct {
-	NodesVisited   int // internal/leaf nodes expanded
-	EntriesScored  int // leaf entries whose exact score was computed
-	EntriesSkipped int // pruned by the upper bound (never scored)
-}
-
-// Search runs the KNN of Algorithm 1 across the matched trees and returns
-// the top-k users by R(v, u), best first. It never returns a user whose
-// exact score is below a pruned candidate's true score (no false pruning:
-// Lemmas 1–2).
-func Search(tqs []TreeQuery, k int) ([]model.Recommendation, SearchStats) {
-	var stats SearchStats
-	topk := newTopK(k)
-	pq := &pqueue{}
-	seq := 0
-	push := func(it *pqItem) {
-		it.seq = seq
-		seq++
-		heap.Push(pq, it)
-	}
-	for _, tq := range tqs {
-		if tq.Tree.Len() == 0 {
-			continue
-		}
-		push(&pqItem{score: Score(&tq.Tree.root.sig, tq.Query), node: tq.Tree.root, q: tq.Query})
-	}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(*pqItem)
-		lb := topk.WorstScore()
-		// Strictly-below candidates can never enter the top-k; score ties
-		// are still expanded so user-ID tie-breaking matches a sequential
-		// scan exactly.
-		if it.score < lb && topk.Full() {
-			// Max-ordered queue: nothing left can beat the current top-k.
-			stats.EntriesSkipped += remainingEntries(*pq)
-			break
-		}
-		if it.entry != nil {
-			topk.Offer(it.entry.UserID, it.score)
-			continue
-		}
-		n := it.node
-		stats.NodesVisited++
-		if n.leaf {
-			for _, e := range n.entries {
-				s := Score(&e.Sig, it.q)
-				stats.EntriesScored++
-				if s >= topk.WorstScore() || !topk.Full() {
-					push(&pqItem{score: s, entry: e, q: it.q})
-				}
-			}
-			continue
-		}
-		for _, c := range n.children {
-			s := Score(&c.sig, it.q)
-			if s >= topk.WorstScore() || !topk.Full() {
-				push(&pqItem{score: s, node: c, q: it.q})
-			} else {
-				stats.EntriesSkipped += subtreeSize(c)
-			}
-		}
-	}
-	return topk.Sorted(), stats
-}
-
-func remainingEntries(pq pqueue) int {
-	n := 0
-	for _, it := range pq {
-		if it.entry != nil {
-			n++
-		} else {
-			n += subtreeSize(it.node)
-		}
-	}
-	return n
-}
-
-// SequentialScan scores every leaf entry of every tree directly — the
-// reference implementation used to verify the index returns identical
-// results, and the no-pruning arm of the AblationPruning benchmark.
-func SequentialScan(tqs []TreeQuery, k int) []model.Recommendation {
-	topk := newTopK(k)
-	for _, tq := range tqs {
-		for _, e := range tq.Tree.byUser {
-			topk.Offer(e.UserID, Score(&e.Sig, tq.Query))
-		}
-	}
-	return topk.Sorted()
-}
-
-// ---- top-k accumulator (worst-first min-heap) ----
-
-type topK struct {
-	k     int
-	items []model.Recommendation
-}
-
-func newTopK(k int) *topK {
-	if k < 1 {
-		k = 1
-	}
-	return &topK{k: k}
-}
-
-func (t *topK) Full() bool { return len(t.items) >= t.k }
-
-func (t *topK) WorstScore() float64 {
-	if !t.Full() {
-		return math.Inf(-1)
-	}
-	return t.items[0].Score
-}
-
-func (t *topK) Offer(userID string, score float64) {
-	r := model.Recommendation{UserID: userID, Score: score}
-	if len(t.items) < t.k {
-		t.items = append(t.items, r)
-		i := len(t.items) - 1
-		for i > 0 {
-			parent := (i - 1) / 2
-			if !worse(t.items[i], t.items[parent]) {
-				break
-			}
-			t.items[i], t.items[parent] = t.items[parent], t.items[i]
-			i = parent
-		}
-		return
-	}
-	if !model.ByScoreDesc(r, t.items[0]) {
-		return
-	}
-	t.items[0] = r
-	i, n := 0, len(t.items)
-	for {
-		l, r2 := 2*i+1, 2*i+2
-		m := i
-		if l < n && worse(t.items[l], t.items[m]) {
-			m = l
-		}
-		if r2 < n && worse(t.items[r2], t.items[m]) {
-			m = r2
-		}
-		if m == i {
-			return
-		}
-		t.items[i], t.items[m] = t.items[m], t.items[i]
-		i = m
-	}
-}
-
-func worse(a, b model.Recommendation) bool { return model.ByScoreDesc(b, a) }
-
-func (t *topK) Sorted() []model.Recommendation {
-	out := append([]model.Recommendation(nil), t.items...)
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && model.ByScoreDesc(out[j], out[j-1]); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
 }
