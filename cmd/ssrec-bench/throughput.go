@@ -1,17 +1,26 @@
 // throughput.go is the serving-throughput mode of ssrec-bench: it trains
 // an engine on the leading third of a generated stream, then replays the
 // remaining items as concurrent Recommend requests against the RWMutex
-// engine, reporting items/sec and the per-item latency distribution.
+// engine — optionally with concurrent writers ingesting the post-training
+// interaction stream through ObserveBatch — reporting reader and writer
+// throughput plus the per-item latency distribution.
 //
-//	ssrec-bench -throughput -parallel 8 -partitions 4 -json out.json
+//	ssrec-bench -throughput -parallel 8 -partitions 4 -writers 2 -batch 64 -json out.json
 //
 // -parallel   N  concurrent request workers (serving concurrency)
 // -partitions M  intra-query worker count (core.Config.Parallelism,
 //
 //	the paper's Fig 10 partition axis with real goroutines)
+//
+// -writers    W  concurrent ingestion workers (0 = read-only replay)
+// -batch      B  observe micro-batch size: B interactions per write-lock
+//
+//	acquisition + index flush (ObserveBatch); B <= 1 replays
+//	the v1 per-interaction Observe path for comparison
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -43,11 +52,25 @@ type ThroughputResult struct {
 	P50Us       float64 `json:"p50_us"`
 	P99Us       float64 `json:"p99_us"`
 	MaxUs       float64 `json:"max_us"`
+
+	// Writer-side numbers (zero when -writers 0).
+	Writers             int     `json:"writers,omitempty"`
+	Batch               int     `json:"batch,omitempty"`
+	WriterItems         int     `json:"writer_items,omitempty"`
+	WriterSec           float64 `json:"writer_sec,omitempty"`
+	WriterItemsPerSec   float64 `json:"writer_items_per_sec,omitempty"`
+	WriterFlushedUsers  int     `json:"writer_flushed_users,omitempty"`
+	WriterLockAcquires  int     `json:"writer_lock_acquires,omitempty"`
+	WriterObservePath   string  `json:"writer_observe_path,omitempty"` // "observe" (v1) or "observe_batch" (v2)
+	WriterMeanBatchSize float64 `json:"writer_mean_batch_size,omitempty"`
 }
 
-func runThroughput(scale float64, seed int64, parallel, partitions, k int, jsonPath string) {
+func runThroughput(scale float64, seed int64, parallel, partitions, writers, batch, k int, jsonPath string) {
 	if parallel < 1 {
 		parallel = 1
+	}
+	if batch < 1 {
+		batch = 1
 	}
 	cfg := dataset.YTubeConfig(scale)
 	cfg.Seed = seed
@@ -88,6 +111,18 @@ func runThroughput(scale float64, seed int64, parallel, partitions, k int, jsonP
 		eng.RegisterItem(v)
 	}
 
+	// Writer stream: the post-training interactions, resolved to items.
+	var obs []core.Observation
+	if writers > 0 {
+		for _, ir := range ds.Interactions[nTrain:] {
+			v, ok := ds.Item(ir.ItemID)
+			if !ok {
+				continue
+			}
+			obs = append(obs, core.Observation{UserID: ir.UserID, Item: v, Timestamp: ir.Timestamp})
+		}
+	}
+
 	latencies := make([]time.Duration, len(queries))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -107,8 +142,61 @@ func runThroughput(scale float64, seed int64, parallel, partitions, k int, jsonP
 			}
 		}()
 	}
+
+	// Concurrent writers: contiguous shards of the interaction stream,
+	// ingested in micro-batches of `batch` (one write lock + one index
+	// flush per micro-batch). batch <= 1 replays the v1 per-interaction
+	// Observe path as the amortisation baseline.
+	var (
+		writerWG sync.WaitGroup
+		// writerEndNs is the elapsed-since-start time of the last writer
+		// to finish (atomic max): writers start with the readers, so this
+		// is the writer-side wall clock even when readers run longer.
+		writerEndNs   atomic.Int64
+		flushedUsers  atomic.Int64
+		lockAcquires  atomic.Int64
+		writerApplied atomic.Int64
+	)
+	if writers > 0 && len(obs) > 0 {
+		shard := (len(obs) + writers - 1) / writers
+		for w := 0; w < writers; w++ {
+			lo := w * shard
+			hi := min(lo+shard, len(obs))
+			if lo >= hi {
+				continue
+			}
+			writerWG.Add(1)
+			go func(chunk []core.Observation) {
+				defer writerWG.Done()
+				for len(chunk) > 0 {
+					n := min(batch, len(chunk))
+					if batch <= 1 {
+						o := chunk[0]
+						eng.Observe(model.Interaction{UserID: o.UserID, ItemID: o.Item.ID, Timestamp: o.Timestamp}, o.Item)
+						writerApplied.Add(1)
+					} else {
+						rep, _ := eng.ObserveBatch(context.Background(), chunk[:n])
+						writerApplied.Add(int64(rep.Applied))
+						flushedUsers.Add(int64(rep.Flushed))
+					}
+					lockAcquires.Add(1)
+					chunk = chunk[n:]
+				}
+				end := time.Since(start).Nanoseconds()
+				for {
+					old := writerEndNs.Load()
+					if end <= old || writerEndNs.CompareAndSwap(old, end) {
+						break
+					}
+				}
+			}(obs[lo:hi])
+		}
+	}
+
 	wg.Wait()
 	total := time.Since(start)
+	writerWG.Wait()
+	writerWall := time.Duration(writerEndNs.Load())
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
@@ -139,6 +227,24 @@ func runThroughput(scale float64, seed int64, parallel, partitions, k int, jsonP
 	}
 	fmt.Printf("throughput: %d items, %d workers, %d partitions: %.0f items/sec  p50=%.0fµs p99=%.0fµs\n",
 		res.Items, res.Parallel, res.Partitions, res.ItemsPerSec, res.P50Us, res.P99Us)
+	if writers > 0 && writerWall > 0 {
+		res.Writers = writers
+		res.Batch = batch
+		res.WriterItems = int(writerApplied.Load())
+		res.WriterSec = writerWall.Seconds()
+		res.WriterItemsPerSec = float64(writerApplied.Load()) / writerWall.Seconds()
+		res.WriterFlushedUsers = int(flushedUsers.Load())
+		res.WriterLockAcquires = int(lockAcquires.Load())
+		res.WriterObservePath = "observe_batch"
+		if batch <= 1 {
+			res.WriterObservePath = "observe"
+		}
+		if n := lockAcquires.Load(); n > 0 {
+			res.WriterMeanBatchSize = float64(writerApplied.Load()) / float64(n)
+		}
+		fmt.Printf("ingest:     %d interactions, %d writers, batch=%d (%s): %.0f interactions/sec, %d lock acquisitions\n",
+			res.WriterItems, res.Writers, res.Batch, res.WriterObservePath, res.WriterItemsPerSec, res.WriterLockAcquires)
+	}
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)
 		if err != nil {

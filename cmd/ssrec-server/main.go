@@ -1,5 +1,5 @@
 // Command ssrec-server serves a trained ssRec engine over the JSON HTTP
-// API of internal/server.
+// API of internal/server (v2 batch-first protocol + deprecated v1).
 //
 // Either load a model saved with the library's persistence support:
 //
@@ -11,16 +11,25 @@
 //
 // Then:
 //
-//	curl -s localhost:8080/v1/stats
-//	curl -s -X POST localhost:8080/v1/recommend \
-//	  -d '{"item":{"id":"x","category":"cat02","producer":"up0003","entities":["c02e001"]},"k":5}'
+//	curl -s localhost:8080/v2/stats
+//	curl -s -X POST localhost:8080/v2/recommend \
+//	  -d '{"items":[{"id":"x","category":"cat02","producer":"up0003","entities":["c02e001"]}],"k":5}'
+//	printf '%s\n' '{"user_id":"u1","item":{"id":"x","category":"cat02"},"timestamp":1}' |
+//	  curl -s -X POST --data-binary @- localhost:8080/v2/observe
+//
+// The server drains gracefully on SIGINT/SIGTERM: in-flight requests get
+// -drain-timeout to finish before the listener is torn down.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ssrec/internal/core"
@@ -39,6 +48,13 @@ func main() {
 
 		partitions = flag.Int("partitions", 1, "intra-query search partitions (Config.Parallelism); overrides a loaded model's setting")
 		save       = flag.String("save", "", "after -demo training, save the engine here (core.SaveFile format)")
+
+		maxK         = flag.Int("max-k", 100, "cap on per-request k")
+		maxBatch     = flag.Int("max-batch", 256, "cap on items per /v2/recommend call")
+		batchSize    = flag.Int("batch-size", 64, "observe micro-batch: NDJSON lines per ObserveBatch call")
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "HTTP read timeout (bulk NDJSON ingests count against it)")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window after SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	partitionsSet := false
@@ -80,12 +96,37 @@ func main() {
 	}
 
 	srv := server.New(core.WrapSafe(eng))
+	srv.MaxK = *maxK
+	srv.MaxBatch = *maxBatch
+	srv.BatchSize = *batchSize
 	httpSrv := &http.Server{
 		Addr:         *addr,
 		Handler:      srv.Handler(),
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 10 * time.Second,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Printf("ssrec-server listening on %s\n", *addr)
-	log.Fatal(httpSrv.ListenAndServe())
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills immediately
+		log.Printf("shutdown signal received; draining for up to %v", *drainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+			httpSrv.Close() //nolint:errcheck // force-close remaining connections
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+		log.Printf("server stopped")
+	}
 }

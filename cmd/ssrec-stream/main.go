@@ -2,21 +2,26 @@
 // paper's deployment shape (one recommendation bolt per item category over
 // Apache Storm, §VI-D) on the package stream substitute.
 //
-// A spout replays the item stream; items are fields-grouped by category
-// onto recommendation bolts, each owning an independently trained ssRec
-// engine; a sink prints the top-k users per item and final throughput
-// numbers.
+// A spout replays the merged item + interaction stream in timestamp
+// order; tuples are fields-grouped by category onto recommendation bolts,
+// each owning an independently trained ssRec engine. Items trigger top-k
+// queries; interactions accumulate into per-bolt micro-batches that are
+// ingested through Engine.ObserveBatch — one write lock + one index flush
+// per batch (-batch), the v2 amortised write path. A sink prints the
+// top-k users per item and final throughput numbers.
 //
 // Usage:
 //
-//	ssrec-stream -scale 0.3 -k 5 -items 40 -v
+//	ssrec-stream -scale 0.3 -k 5 -items 40 -batch 64 -v
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"ssrec/internal/core"
@@ -26,11 +31,69 @@ import (
 	"ssrec/internal/stream"
 )
 
+// ingestTotals aggregates ObserveBatch activity across all bolt instances.
+var ingestTotals struct {
+	applied atomic.Int64
+	flushed atomic.Int64
+	batches atomic.Int64
+}
+
+// recommendBolt is one per-category bolt: it answers item tuples with
+// top-k users and micro-batches observation tuples into ObserveBatch.
+type recommendBolt struct {
+	eng   *core.Engine
+	k     int
+	batch int
+	buf   []core.Observation
+}
+
+type result struct {
+	item model.Item
+	recs []model.Recommendation
+	took time.Duration
+}
+
+func (b *recommendBolt) Process(t stream.Tuple, emit func(stream.Tuple)) error {
+	switch v := t.Value.(type) {
+	case model.Item:
+		t0 := time.Now()
+		res, err := b.eng.RecommendCtx(context.Background(), v, core.WithK(b.k))
+		if err != nil {
+			return err
+		}
+		emit(stream.Tuple{Key: v.Category, Value: result{item: v, recs: res.Recommendations, took: time.Since(t0)}})
+	case core.Observation:
+		b.buf = append(b.buf, v)
+		if len(b.buf) >= b.batch {
+			return b.flush()
+		}
+	}
+	return nil
+}
+
+// flush ingests the buffered observations in one ObserveBatch call.
+func (b *recommendBolt) flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	rep, err := b.eng.ObserveBatch(context.Background(), b.buf)
+	ingestTotals.applied.Add(int64(rep.Applied))
+	ingestTotals.flushed.Add(int64(rep.Flushed))
+	ingestTotals.batches.Add(1)
+	b.buf = b.buf[:0]
+	return err
+}
+
+// Close drains the partial trailing micro-batch when the stream ends.
+func (b *recommendBolt) Close() error { return b.flush() }
+
 func main() {
 	var (
 		scale   = flag.Float64("scale", 0.3, "dataset scale factor")
 		k       = flag.Int("k", 5, "recommendations per item")
 		nItems  = flag.Int("items", 30, "number of streamed items to print (0 = all)")
+		nObs    = flag.Int("obs", 0, "number of streamed interactions to ingest (0 = all)")
+		batch   = flag.Int("batch", 64, "observe micro-batch size per bolt (ObserveBatch)")
 		seed    = flag.Int64("seed", 42, "random seed")
 		verbose = flag.Bool("v", false, "print each recommendation")
 	)
@@ -41,7 +104,8 @@ func main() {
 	ds := dataset.Generate(cfg)
 	fmt.Printf("dataset: %s\n", ds.ComputeStats())
 
-	// The test stream: items first appearing after the training prefix.
+	// The test stream: items and interactions first appearing after the
+	// training prefix, merged in timestamp order.
 	parts := ds.Partition(6)
 	trainEnd := parts[1][len(parts[1])-1].Timestamp
 	var testItems []model.Item
@@ -53,22 +117,32 @@ func main() {
 	if *nItems > 0 && len(testItems) > *nItems {
 		testItems = testItems[:*nItems]
 	}
-	fmt.Printf("streaming %d items across %d category bolts (k=%d)\n\n",
-		len(testItems), len(ds.Categories), *k)
-
-	tuples := make([]stream.Tuple, len(testItems))
-	for i, v := range testItems {
-		tuples[i] = stream.Tuple{Key: v.Category, Value: v, Ts: v.Timestamp}
+	var testObs []core.Observation
+	for _, ir := range ds.Interactions {
+		if ir.Timestamp <= trainEnd {
+			continue
+		}
+		if v, ok := ds.Item(ir.ItemID); ok {
+			testObs = append(testObs, core.Observation{UserID: ir.UserID, Item: v, Timestamp: ir.Timestamp})
+		}
 	}
-
-	type result struct {
-		item model.Item
-		recs []model.Recommendation
-		took time.Duration
+	if *nObs > 0 && len(testObs) > *nObs {
+		testObs = testObs[:*nObs]
 	}
+	fmt.Printf("streaming %d items + %d interactions across %d category bolts (k=%d, batch=%d)\n\n",
+		len(testItems), len(testObs), len(ds.Categories), *k, *batch)
+
+	tuples := make([]stream.Tuple, 0, len(testItems)+len(testObs))
+	for _, v := range testItems {
+		tuples = append(tuples, stream.Tuple{Key: v.Category, Value: v, Ts: v.Timestamp})
+	}
+	for _, o := range testObs {
+		tuples = append(tuples, stream.Tuple{Key: o.Item.Category, Value: o, Ts: o.Timestamp})
+	}
+	sort.SliceStable(tuples, func(i, j int) bool { return tuples[i].Ts < tuples[j].Ts })
 
 	tp := stream.NewTopology("ssrec-stream")
-	tp.AddSpout("items", &stream.SliceSpout{Tuples: tuples})
+	tp.AddSpout("events", &stream.SliceSpout{Tuples: tuples})
 	// One bolt instance per category (fields grouping keeps each category
 	// on one instance), each with its own trained engine.
 	tp.AddBolt("recommend", len(ds.Categories), func(instance int) stream.Bolt {
@@ -76,14 +150,8 @@ func main() {
 		if err := evalx.Train(eng, ds, evalx.Setup{}); err != nil {
 			log.Fatalf("bolt %d train: %v", instance, err)
 		}
-		return stream.BoltFunc(func(t stream.Tuple, emit func(stream.Tuple)) error {
-			v := t.Value.(model.Item)
-			t0 := time.Now()
-			recs := eng.Recommend(v, *k)
-			emit(stream.Tuple{Key: v.Category, Value: result{item: v, recs: recs, took: time.Since(t0)}})
-			return nil
-		})
-	}).FieldsBy("items")
+		return &recommendBolt{eng: eng, k: *k, batch: *batch}
+	}).FieldsBy("events")
 	tp.AddBolt("sink", 1, func(int) stream.Bolt {
 		return stream.BoltFunc(func(t stream.Tuple, emit func(stream.Tuple)) error {
 			r := t.Value.(result)
@@ -120,7 +188,9 @@ func main() {
 		fmt.Printf("  bolt %-10s processed=%-6d emitted=%-6d errors=%d busy=%v\n",
 			name, tot.Processed, tot.Emitted, tot.Errors, time.Duration(tot.BusyNanos).Round(time.Microsecond))
 	}
-	if n := len(testItems); n > 0 {
-		fmt.Printf("  throughput: %.0f items/s\n", float64(n)/wall.Seconds())
+	fmt.Printf("  ingest: %d interactions applied in %d micro-batches (%d index user refreshes)\n",
+		ingestTotals.applied.Load(), ingestTotals.batches.Load(), ingestTotals.flushed.Load())
+	if n := len(testItems) + len(testObs); n > 0 {
+		fmt.Printf("  throughput: %.0f tuples/s\n", float64(n)/wall.Seconds())
 	}
 }

@@ -1,13 +1,16 @@
 package ssrec_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"ssrec"
 )
 
-// The canonical usage loop: train on history, then for each incoming item
-// ask for its top-k users and feed observed interactions back.
+// The canonical v2 usage loop: train on history, then for each incoming
+// item ask for its top-k users and feed observed interactions back in
+// micro-batches.
 func Example() {
 	ds := ssrec.GenerateYTubeLike(0.2, 7)
 	rec := ssrec.New(ssrec.Config{Categories: ds.Categories()})
@@ -15,17 +18,55 @@ func Example() {
 		panic(err)
 	}
 
+	ctx := context.Background()
 	items := ds.Items()
 	incoming := items[len(items)-1]
-	top := rec.Recommend(incoming, 3)
-	fmt.Println("deliveries:", len(top) > 0)
+	res, err := rec.RecommendCtx(ctx, incoming, ssrec.WithK(3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("deliveries:", len(res.Recommendations) > 0)
 
-	// Streaming maintenance keeps short-term windows and the index fresh.
-	rec.Observe(ssrec.Interaction{
-		UserID: top[0].UserID, ItemID: incoming.ID, Timestamp: incoming.Timestamp + 1,
-	}, incoming)
-	// Output: deliveries: true
+	// Streaming maintenance: batched ingestion takes one write lock and
+	// runs one index flush per micro-batch.
+	report, err := rec.ObserveBatch(ctx, []ssrec.Observation{{
+		UserID: res.Recommendations[0].UserID, Item: incoming, Timestamp: incoming.Timestamp + 1,
+	}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("applied:", report.Applied)
+	// Output:
+	// deliveries: true
+	// applied: 1
 }
+
+// RecommendBatch answers many items in one call; per-item failures are
+// reported item-scoped instead of failing the batch.
+func ExampleRecommender_RecommendBatch() {
+	ds := ssrec.GenerateYTubeLike(0.2, 7)
+	rec := ssrec.New(ssrec.Config{Categories: ds.Categories()})
+	if err := rec.TrainDataset(ds, 1.0/3); err != nil {
+		panic(err)
+	}
+
+	items := ds.Items()
+	batch := []ssrec.Item{
+		items[len(items)-1],
+		{ID: "odd-one-out", Category: "not-a-category"},
+	}
+	results, err := rec.RecommendBatch(context.Background(), batch, ssrec.WithK(3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("first ok:", results[0].Err == nil)
+	fmt.Println("second rejected:", errorsIsUnknownCategory(results[1].Err))
+	// Output:
+	// first ok: true
+	// second rejected: true
+}
+
+func errorsIsUnknownCategory(err error) bool { return errors.Is(err, ssrec.ErrUnknownCategory) }
 
 // Items are plain values; bring your own catalog instead of the generator.
 func ExampleRecommender_Train() {

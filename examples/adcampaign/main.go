@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,18 +43,14 @@ func main() {
 			"derek", "evan")
 	}
 
-	train := func(expansion bool) *ssrec.Recommender {
-		rec := ssrec.New(ssrec.Config{
-			Categories:       []string{catFood},
-			DisableExpansion: !expansion,
-		})
-		if err := rec.Train(items, irs, func(id string) (ssrec.Item, bool) {
-			v, ok := byID[id]
-			return v, ok
-		}); err != nil {
-			log.Fatal(err)
-		}
-		return rec
+	// One engine serves both arms: the v2 WithoutExpansion option toggles
+	// expansion per call, so no second training run is needed.
+	rec := ssrec.New(ssrec.Config{Categories: []string{catFood}})
+	if err := rec.Train(items, irs, func(id string) (ssrec.Item, bool) {
+		v, ok := byID[id]
+		return v, ok
+	}); err != nil {
+		log.Fatal(err)
 	}
 
 	// The campaign item mentions a brand-new dessert. Nobody has seen
@@ -61,11 +58,18 @@ func main() {
 	ad := ssrec.Item{ID: "campaign", Category: catFood, Producer: "kfc",
 		Entities: []string{"choco-lava", "dessert"}, Timestamp: tick()}
 
+	ctx := context.Background()
 	for _, expansion := range []bool{false, true} {
-		rec := train(expansion)
-		top := rec.Recommend(ad, 3)
+		opts := []ssrec.Option{ssrec.WithK(3)}
+		if !expansion {
+			opts = append(opts, ssrec.WithoutExpansion())
+		}
+		res, err := rec.RecommendCtx(ctx, ad, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("\ntargeting with expansion=%v:\n", expansion)
-		for i, r := range top {
+		for i, r := range res.Recommendations {
 			fmt.Printf("  %d. %s (score %.2f)\n", i+1, r.UserID, r.Score)
 		}
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,19 +51,28 @@ func main() {
 		log.Fatal(err)
 	}
 
-	show := func(v ssrec.Item) {
-		fmt.Printf("\n%s %v:\n", v.ID, v.Entities)
-		for i, r := range rec.Recommend(v, 3) {
-			fmt.Printf("  %d. %s (score %.2f)\n", i+1, r.UserID, r.Score)
-		}
-	}
-
 	// The near-duplicate: yet another Nadal clip. John still ranks high —
 	// relevance — but the interesting case is the Federer clip: John has
 	// never watched one, yet expansion ranks him as a target, giving his
-	// feed diversity instead of the hundredth Nadal repeat.
-	show(ssrec.Item{ID: "nadal-again", Category: catTennis, Producer: "atp-channel",
-		Entities: []string{"Nadal", "claycourt"}, Timestamp: tick()})
-	show(ssrec.Item{ID: "federer-special", Category: catTennis, Producer: "atp-channel",
-		Entities: []string{"Federer"}, Timestamp: tick()})
+	// feed diversity instead of the hundredth Nadal repeat. Both incoming
+	// clips are answered in one RecommendBatch call (the v2 batch path).
+	batch := []ssrec.Item{
+		{ID: "nadal-again", Category: catTennis, Producer: "atp-channel",
+			Entities: []string{"Nadal", "claycourt"}, Timestamp: tick()},
+		{ID: "federer-special", Category: catTennis, Producer: "atp-channel",
+			Entities: []string{"Federer"}, Timestamp: tick()},
+	}
+	results, err := rec.RecommendBatch(context.Background(), batch, ssrec.WithK(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		fmt.Printf("\n%s %v:\n", res.ItemID, batch[i].Entities)
+		for j, r := range res.Recommendations {
+			fmt.Printf("  %d. %s (score %.2f)\n", j+1, r.UserID, r.Score)
+		}
+	}
 }

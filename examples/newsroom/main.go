@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,8 +65,13 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	rank := func(v ssrec.Item, user string) int {
-		for i, r := range rec.Recommend(v, 10) {
+		res, err := rec.RecommendCtx(ctx, v, ssrec.WithK(10))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, r := range res.Recommendations {
 			if r.UserID == user {
 				return i + 1
 			}
@@ -79,11 +85,16 @@ func main() {
 		rank(breaking, "john"))
 
 	// The burst: John follows the crisis coverage — five interactions
-	// fill his short-term window with news.
+	// fill his short-term window with news, ingested as one micro-batch
+	// (one write lock, one index flush).
+	var burst []ssrec.Observation
 	for i := 0; i < 5; i++ {
 		v := item(fmt.Sprintf("crisis%02d", i+1), catNews, "frontline", "crisis", "frontline-report")
 		byID[v.ID] = v
-		rec.Observe(ssrec.Interaction{UserID: "john", ItemID: v.ID, Timestamp: v.Timestamp + 5}, v)
+		burst = append(burst, ssrec.Observation{UserID: "john", Item: v, Timestamp: v.Timestamp + 5})
+	}
+	if _, err := rec.ObserveBatch(ctx, burst); err != nil {
+		log.Fatal(err)
 	}
 
 	followUp := item("crisis99", catNews, "frontline", "crisis", "frontline-report")

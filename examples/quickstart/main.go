@@ -1,10 +1,12 @@
 // Quickstart: generate a social-media workload, train an ssRec recommender
 // on the leading third of the interaction stream, then replay the rest —
-// recommending every new item to its top-5 users and feeding interactions
-// back for streaming maintenance.
+// recommending every new item to its top-5 users (RecommendCtx) and
+// feeding interactions back in micro-batches (ObserveBatch) for streaming
+// maintenance.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,35 +29,57 @@ func main() {
 	interactions := ds.Interactions()
 	cut := interactions[len(interactions)/3].Timestamp
 
+	ctx := context.Background()
 	streamed, recommended := 0, 0
 	for _, v := range items {
 		if v.Timestamp <= cut || streamed >= 10 {
 			continue
 		}
 		streamed++
-		top := rec.Recommend(v, 5)
-		if len(top) == 0 {
+		res, err := rec.RecommendCtx(ctx, v, ssrec.WithK(5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res.Recommendations) == 0 {
 			continue
 		}
 		recommended++
 		fmt.Printf("\nitem %s (%s by %s):\n", v.ID, v.Category, v.Producer)
-		for i, r := range top {
+		for i, r := range res.Recommendations {
 			fmt.Printf("  %d. deliver to %s (score %.2f)\n", i+1, r.UserID, r.Score)
 		}
 	}
 
 	// Streaming maintenance: interactions keep profiles and the index
-	// fresh (short-term windows, producer regimes, new entities).
-	fed := 0
+	// fresh (short-term windows, producer regimes, new entities). Batched
+	// ingestion takes one write lock + one index flush per micro-batch of
+	// 64 instead of per event.
+	var batch []ssrec.Observation
+	fed, batches := 0, 0
+	ingest := func() {
+		if len(batch) == 0 {
+			return
+		}
+		report, err := rec.ObserveBatch(ctx, batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fed += report.Applied
+		batches++
+		batch = batch[:0]
+	}
 	for _, ir := range interactions {
-		if ir.Timestamp <= cut || fed >= 500 {
+		if ir.Timestamp <= cut || fed+len(batch) >= 500 {
 			continue
 		}
 		if v, ok := ds.Item(ir.ItemID); ok {
-			rec.Observe(ir, v)
-			fed++
+			batch = append(batch, ssrec.Observation{UserID: ir.UserID, Item: v, Timestamp: ir.Timestamp})
+			if len(batch) == 64 {
+				ingest()
+			}
 		}
 	}
-	fmt.Printf("\nstreamed %d items, recommended %d, fed %d interactions back\n",
-		streamed, recommended, fed)
+	ingest()
+	fmt.Printf("\nstreamed %d items, recommended %d, fed %d interactions back in %d micro-batches\n",
+		streamed, recommended, fed, batches)
 }

@@ -173,6 +173,7 @@ type Engine struct {
 
 	// dirty users await batched index maintenance (Config.UpdateBatch).
 	dirty      map[string]bool
+	flushIDs   []string // reusable scratch for flushUpdatesLocked
 	sinceFlush int
 	trained    bool
 }
@@ -404,6 +405,22 @@ func (e *Engine) Observe(ir model.Interaction, v model.Item) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.observeLocked(ir, v)
+	if e.index == nil {
+		return
+	}
+	if e.cfg.UpdateBatch <= 1 || e.sinceFlush >= e.cfg.UpdateBatch {
+		e.flushUpdatesLocked()
+	}
+}
+
+// observeLocked applies one interaction to the profile, observation and
+// prediction state and marks the user for index maintenance. The caller
+// decides when the dirty set is flushed: per interaction (Observe with
+// UpdateBatch <= 1), per UpdateBatch interactions, or once per micro-batch
+// (ObserveBatch) — flushing is idempotent on the final profile state, so
+// every policy converges to the same index.
+func (e *Engine) observeLocked(ir model.Interaction, v model.Item) {
 	e.registerItemLocked(v)
 	p := e.store.Get(ir.UserID)
 	p.Observe(profile.EventFromItem(v, ir.Timestamp))
@@ -412,15 +429,8 @@ func (e *Engine) Observe(ir model.Interaction, v model.Item) {
 	if e.index == nil {
 		return
 	}
-	if e.cfg.UpdateBatch <= 1 {
-		_ = e.index.UpdateUser(ir.UserID) // user guaranteed to exist: created above
-		return
-	}
 	e.dirty[ir.UserID] = true
 	e.sinceFlush++
-	if e.sinceFlush >= e.cfg.UpdateBatch {
-		e.flushUpdatesLocked()
-	}
 }
 
 // FlushUpdates applies all pending batched index maintenance (Algorithm 2)
@@ -436,7 +446,7 @@ func (e *Engine) flushUpdatesLocked() int {
 		e.sinceFlush = 0
 		return 0
 	}
-	ids := make([]string, 0, len(e.dirty))
+	ids := e.flushIDs[:0]
 	for id := range e.dirty {
 		ids = append(ids, id)
 	}
@@ -445,7 +455,9 @@ func (e *Engine) flushUpdatesLocked() int {
 		_ = e.index.UpdateUser(id)
 	}
 	n := len(ids)
-	e.dirty = make(map[string]bool)
+	clear(e.dirty)
+	clear(ids)
+	e.flushIDs = ids[:0]
 	e.sinceFlush = 0
 	return n
 }
@@ -468,7 +480,9 @@ func (e *Engine) RecommendStats(v model.Item, k int) ([]model.Recommendation, si
 		return nil, sigtree.SearchStats{}
 	}
 	defer e.mu.RUnlock()
-	q := e.buildQueryLocked(v)
+	sc := ranking.GetQueryScratch()
+	defer ranking.PutQueryScratch(sc)
+	q := e.buildQueryScratch(sc, v, false)
 	return e.index.Recommend(q, k)
 }
 
@@ -479,7 +493,9 @@ func (e *Engine) RecommendScan(v model.Item, k int) []model.Recommendation {
 		return nil
 	}
 	defer e.mu.RUnlock()
-	return e.index.RecommendScan(e.buildQueryLocked(v), k)
+	sc := ranking.GetQueryScratch()
+	defer ranking.PutQueryScratch(sc)
+	return e.index.RecommendScan(e.buildQueryScratch(sc, v, false), k)
 }
 
 // queryPrologue prepares a query: it leaves the engine read-locked and
@@ -524,6 +540,17 @@ func (e *Engine) buildQueryLocked(v model.Item) ranking.ItemQuery {
 		x = nil
 	}
 	return ranking.BuildQuery(v, x)
+}
+
+// buildQueryScratch builds the query into pooled scratch storage (the
+// allocation-free hot path). The returned query aliases sc and must be
+// consumed before the scratch is released.
+func (e *Engine) buildQueryScratch(sc *ranking.QueryScratch, v model.Item, noExpansion bool) ranking.ItemQuery {
+	x := e.expander
+	if e.cfg.DisableExpansion || noExpansion {
+		x = nil
+	}
+	return sc.BuildQuery(v, x)
 }
 
 // probs returns the cppse.Probs implementation backed by the BiHMM layers.
@@ -601,6 +628,14 @@ func (e *Engine) SetParallelism(n int) {
 	if e.index != nil {
 		e.index.SetParallelism(n)
 	}
+}
+
+// Parallelism reports the configured parallel-search worker count
+// (concurrency-safe).
+func (e *Engine) Parallelism() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cfg.Parallelism
 }
 
 // Users returns the number of known profiles (concurrency-safe).

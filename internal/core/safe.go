@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"ssrec/internal/model"
 	"ssrec/internal/sigtree"
 )
@@ -50,6 +52,24 @@ func (s *SafeEngine) Recommend(v model.Item, k int) []model.Recommendation {
 func (s *SafeEngine) RecommendStats(v model.Item, k int) ([]model.Recommendation, sigtree.SearchStats) {
 	return s.eng.RecommendStats(v, k)
 }
+
+// RecommendCtx mirrors Engine.RecommendCtx (v2 single-item query).
+func (s *SafeEngine) RecommendCtx(ctx context.Context, v model.Item, opts ...Option) (Result, error) {
+	return s.eng.RecommendCtx(ctx, v, opts...)
+}
+
+// RecommendBatch mirrors Engine.RecommendBatch (v2 multi-item query).
+func (s *SafeEngine) RecommendBatch(ctx context.Context, items []model.Item, opts ...Option) ([]Result, error) {
+	return s.eng.RecommendBatch(ctx, items, opts...)
+}
+
+// ObserveBatch mirrors Engine.ObserveBatch (v2 micro-batched ingestion).
+func (s *SafeEngine) ObserveBatch(ctx context.Context, batch []Observation) (BatchReport, error) {
+	return s.eng.ObserveBatch(ctx, batch)
+}
+
+// Parallelism mirrors Engine.Parallelism.
+func (s *SafeEngine) Parallelism() int { return s.eng.Parallelism() }
 
 // RegisterItem mirrors Engine.RegisterItem.
 func (s *SafeEngine) RegisterItem(v model.Item) {

@@ -11,6 +11,7 @@
 package cppse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -273,10 +274,23 @@ func (ix *Index) leafSignature(p *profile.Profile, block int, cat string) sigtre
 // Config.Parallelism > 1 the candidate trees are searched by a worker
 // pool (sigtree.SearchParallel); results are bit-identical either way.
 func (ix *Index) Recommend(q ranking.ItemQuery, k int) ([]model.Recommendation, sigtree.SearchStats) {
+	recs, stats, _ := ix.RecommendCtx(nil, q, k, 0)
+	return recs, stats
+}
+
+// RecommendCtx is Recommend with cooperative cancellation and a per-call
+// parallelism override: the search loop polls ctx (sigtree.RunCtx) and
+// returns ctx.Err() when it fires; parallelism > 0 overrides
+// Config.Parallelism for this query only, 0 keeps the configured value.
+// Results are bit-identical to Recommend when the context never fires.
+func (ix *Index) RecommendCtx(ctx context.Context, q ranking.ItemQuery, k, parallelism int) ([]model.Recommendation, sigtree.SearchStats, error) {
+	if parallelism <= 0 {
+		parallelism = ix.cfg.Parallelism
+	}
 	sc := getScratch()
 	defer putScratch(sc)
 	tqs := ix.encodeAll(sc, q)
-	return sigtree.SearchParallel(tqs, k, ix.cfg.Parallelism)
+	return sigtree.SearchParallelCtx(ctx, tqs, k, parallelism)
 }
 
 // SetParallelism adjusts the query worker count (Config.Parallelism) of a

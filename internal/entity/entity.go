@@ -15,8 +15,10 @@
 package entity
 
 import (
+	"slices"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Extractor maps free-text descriptions to entity sets by greedy
@@ -193,58 +195,82 @@ func (x *Expander) bump(cat map[string]map[string]float64, category, a, b string
 // normalised weights, excluding entities already present in the item.
 // Results are sorted by weight descending, then name, for determinism.
 func (x *Expander) Expand(category string, entities []string) []Expansion {
+	return x.ExpandAppend(nil, category, entities)
+}
+
+// expandScratch holds the reusable buffers of one ExpandAppend call: the
+// present-entity and best-weight sets plus the per-source candidate list.
+// Instances are pooled so steady-state expansion allocates nothing.
+type expandScratch struct {
+	present map[string]bool
+	best    map[string]float64
+	cands   []Expansion
+}
+
+var expandPool = sync.Pool{New: func() any {
+	return &expandScratch{present: make(map[string]bool), best: make(map[string]float64)}
+}}
+
+// ExpandAppend is Expand with caller-owned result storage: the expansion
+// set is appended to dst (which may be nil or a recycled buffer) and the
+// grown slice returned. Content and order are identical to Expand; the
+// internal maps and candidate slices come from a pool, so a caller that
+// recycles dst performs zero steady-state allocations per item.
+func (x *Expander) ExpandAppend(dst []Expansion, category string, entities []string) []Expansion {
 	cat := x.prox[category]
 	if cat == nil || x.maxProx[category] == 0 {
-		return nil
+		return dst
 	}
-	present := make(map[string]bool, len(entities))
+	sc := expandPool.Get().(*expandScratch)
 	for _, e := range entities {
-		present[e] = true
+		sc.present[e] = true
 	}
 	norm := x.maxProx[category]
-	best := make(map[string]float64)
 	for _, e := range entities {
 		related := cat[e]
 		if len(related) == 0 {
 			continue
 		}
-		type cand struct {
-			name string
-			w    float64
-		}
-		cands := make([]cand, 0, len(related))
+		sc.cands = sc.cands[:0]
 		for name, mass := range related {
-			if present[name] {
+			if sc.present[name] {
 				continue
 			}
-			cands = append(cands, cand{name, mass / norm})
+			sc.cands = append(sc.cands, Expansion{Entity: name, Weight: mass / norm})
 		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].w != cands[j].w {
-				return cands[i].w > cands[j].w
-			}
-			return cands[i].name < cands[j].name
-		})
+		slices.SortFunc(sc.cands, compareExpansion)
+		cands := sc.cands
 		if len(cands) > x.TopK {
 			cands = cands[:x.TopK]
 		}
 		for _, c := range cands {
-			if c.w > best[c.name] {
-				best[c.name] = c.w
+			if c.Weight > sc.best[c.Entity] {
+				sc.best[c.Entity] = c.Weight
 			}
 		}
 	}
-	out := make([]Expansion, 0, len(best))
-	for name, w := range best {
-		out = append(out, Expansion{Entity: name, Weight: w})
+	start := len(dst)
+	for name, w := range sc.best {
+		dst = append(dst, Expansion{Entity: name, Weight: w})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Weight != out[j].Weight {
-			return out[i].Weight > out[j].Weight
+	slices.SortFunc(dst[start:], compareExpansion)
+	clear(sc.present)
+	clear(sc.best)
+	sc.cands = sc.cands[:0]
+	expandPool.Put(sc)
+	return dst
+}
+
+// compareExpansion orders by weight descending, then entity name — the
+// deterministic order both Expand and ExpandAppend guarantee.
+func compareExpansion(a, b Expansion) int {
+	if a.Weight != b.Weight {
+		if a.Weight > b.Weight {
+			return -1
 		}
-		return out[i].Entity < out[j].Entity
-	})
-	return out
+		return 1
+	}
+	return strings.Compare(a.Entity, b.Entity)
 }
 
 // Weight returns the normalised proximity weight between two entities in a

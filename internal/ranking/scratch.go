@@ -1,0 +1,63 @@
+// scratch.go pools the entity slices of ItemQuery the way
+// cppse.queryScratch pools query encodings: one QueryScratch per
+// in-flight recommend call owns the WeightedEntity backing array and the
+// expansion buffer, so steady-state query building performs zero
+// allocations (the ROADMAP's "allocation-free BuildQuery" item).
+package ranking
+
+import (
+	"sync"
+
+	"ssrec/internal/entity"
+	"ssrec/internal/model"
+)
+
+// QueryScratch carries the reusable buffers of one query build: the
+// combined E ∪ E' entity list an ItemQuery points into and the expansion
+// staging buffer. A zero QueryScratch is ready to use; GetQueryScratch /
+// PutQueryScratch bracket pooled use.
+//
+// The ItemQuery returned by BuildQuery aliases the scratch's backing
+// array: it is valid only until the scratch is released or reused, so
+// callers must finish scoring (or copy the query) before PutQueryScratch.
+type QueryScratch struct {
+	ents []WeightedEntity
+	exp  []entity.Expansion
+}
+
+var queryScratchPool = sync.Pool{New: func() any { return new(QueryScratch) }}
+
+// GetQueryScratch draws a scratch from the pool.
+func GetQueryScratch() *QueryScratch { return queryScratchPool.Get().(*QueryScratch) }
+
+// PutQueryScratch returns a scratch to the pool. The buffers keep their
+// capacity but drop their string references — query entities can come
+// from request-decoded items, and an idle pooled scratch must not pin
+// the last caller's data.
+func PutQueryScratch(s *QueryScratch) {
+	s.ents = s.ents[:cap(s.ents)]
+	clear(s.ents)
+	s.ents = s.ents[:0]
+	s.exp = s.exp[:cap(s.exp)]
+	clear(s.exp)
+	s.exp = s.exp[:0]
+	queryScratchPool.Put(s)
+}
+
+// BuildQuery is the pooled equivalent of the package-level BuildQuery:
+// identical content and entity order, but the query's Entities slice is
+// carved from the scratch's recycled backing array instead of freshly
+// allocated.
+func (s *QueryScratch) BuildQuery(v model.Item, expander *entity.Expander) ItemQuery {
+	s.ents = s.ents[:0]
+	for _, e := range v.Entities {
+		s.ents = append(s.ents, WeightedEntity{Name: e, Weight: 1})
+	}
+	if expander != nil {
+		s.exp = expander.ExpandAppend(s.exp[:0], v.Category, v.Entities)
+		for _, x := range s.exp {
+			s.ents = append(s.ents, WeightedEntity{Name: x.Entity, Weight: x.Weight})
+		}
+	}
+	return ItemQuery{ItemID: v.ID, Category: v.Category, Producer: v.Producer, Entities: s.ents}
+}

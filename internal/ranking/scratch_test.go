@@ -1,0 +1,94 @@
+package ranking
+
+import (
+	"fmt"
+	"testing"
+
+	"ssrec/internal/entity"
+	"ssrec/internal/model"
+)
+
+// richExpander builds an expander with enough co-occurrence structure that
+// expansion actually fires for the bench item.
+func richExpander() *entity.Expander {
+	x := entity.NewExpander(5, 3)
+	for i := 0; i < 20; i++ {
+		x.Observe("sports", []string{"Messi", "worldcup", "Ronaldo", "qatar"})
+		x.Observe("sports", []string{"Messi", "psg", "Mbappe"})
+		x.Observe("sports", []string{"Nadal", "Federer", "wimbledon"})
+	}
+	return x
+}
+
+func TestQueryScratchEquivalence(t *testing.T) {
+	x := richExpander()
+	items := []model.Item{
+		{ID: "a", Category: "sports", Producer: "bbc", Entities: []string{"Messi", "worldcup"}},
+		{ID: "b", Category: "sports", Producer: "espn", Entities: []string{"Nadal"}},
+		{ID: "c", Category: "music", Producer: "mtv", Entities: []string{"Adele"}},
+		{ID: "d", Category: "sports", Producer: "bbc", Entities: nil},
+	}
+	sc := GetQueryScratch()
+	defer PutQueryScratch(sc)
+	for _, v := range items {
+		for _, exp := range []*entity.Expander{nil, x} {
+			want := BuildQuery(v, exp)
+			got := sc.BuildQuery(v, exp)
+			if got.ItemID != want.ItemID || got.Category != want.Category || got.Producer != want.Producer {
+				t.Fatalf("item %s: header mismatch: got %+v want %+v", v.ID, got, want)
+			}
+			if len(got.Entities) != len(want.Entities) {
+				t.Fatalf("item %s: %d entities, want %d", v.ID, len(got.Entities), len(want.Entities))
+			}
+			for i := range want.Entities {
+				if got.Entities[i] != want.Entities[i] {
+					t.Fatalf("item %s entity %d: got %+v want %+v", v.ID, i, got.Entities[i], want.Entities[i])
+				}
+			}
+		}
+	}
+}
+
+// TestQueryScratchAllocFree pins the ROADMAP regression target: building a
+// query through pooled scratch must not allocate in steady state (the seed
+// path allocated ~28 objects per item with expansion).
+func TestQueryScratchAllocFree(t *testing.T) {
+	x := richExpander()
+	v := model.Item{ID: "a", Category: "sports", Producer: "bbc", Entities: []string{"Messi", "worldcup", "Nadal"}}
+	sc := GetQueryScratch()
+	defer PutQueryScratch(sc)
+	sc.BuildQuery(v, x) // warm the buffers
+	allocs := testing.AllocsPerRun(200, func() {
+		q := sc.BuildQuery(v, x)
+		if len(q.Entities) == 0 {
+			t.Fatal("no entities")
+		}
+	})
+	if allocs > 0.5 {
+		t.Errorf("scratch BuildQuery allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkBuildQueryAllocs is the allocs/op regression benchmark of the
+// satellite task: -benchmem shows the naive path's per-item allocations vs
+// the pooled scratch's zero.
+func BenchmarkBuildQueryAllocs(b *testing.B) {
+	x := richExpander()
+	v := model.Item{ID: "a", Category: "sports", Producer: "bbc", Entities: []string{"Messi", "worldcup", "Nadal"}}
+	for _, mode := range []string{"naive", "scratch"} {
+		b.Run(fmt.Sprintf("mode=%s", mode), func(b *testing.B) {
+			b.ReportAllocs()
+			if mode == "naive" {
+				for i := 0; i < b.N; i++ {
+					BuildQuery(v, x)
+				}
+				return
+			}
+			sc := GetQueryScratch()
+			defer PutQueryScratch(sc)
+			for i := 0; i < b.N; i++ {
+				sc.BuildQuery(v, x)
+			}
+		})
+	}
+}

@@ -1,0 +1,157 @@
+// middleware.go instruments every request of the v1/v2 API: a request ID
+// (accepted from X-Request-ID or generated) is echoed on the response, the
+// per-route latency/error counters behind /v2/stats are recorded, and v1
+// routes are stamped with deprecation headers pointing at their v2
+// successors.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// requestIDHeader carries the caller-supplied or generated request ID.
+const requestIDHeader = "X-Request-ID"
+
+var (
+	reqCounter atomic.Int64
+	procEpoch  = time.Now().UnixNano()
+)
+
+// nextRequestID generates a process-unique request ID.
+func nextRequestID() string {
+	return fmt.Sprintf("req-%x-%x", procEpoch, reqCounter.Add(1))
+}
+
+// v1Successor maps each deprecated v1 route to its v2 replacement.
+var v1Successor = map[string]string{
+	"/v1/recommend": "/v2/recommend",
+	"/v1/observe":   "/v2/observe",
+	"/v1/items":     "/v2/observe",
+	"/v1/stats":     "/v2/stats",
+}
+
+// statusRecorder captures the response status for the latency counters
+// while passing Flush through (the NDJSON observe stream needs it).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.ResponseController reach Flush/deadline support on the
+// underlying writer.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// instrument wraps the mux with request-ID, deprecation and latency
+// middleware.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if id == "" {
+			id = nextRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		if succ, ok := v1Successor[r.URL.Path]; ok {
+			// RFC 8594-style deprecation signalling; the v1 wire protocol
+			// stays available but new integrations should target v2.
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", succ))
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		route := r.Pattern // set by the mux match; empty on 404s
+		if route == "" {
+			route = "unmatched"
+		}
+		s.metrics.record(route, rec.status, time.Since(start))
+	})
+}
+
+// routeMetrics are the lock-free per-route counters.
+type routeMetrics struct {
+	count   atomic.Int64
+	errors  atomic.Int64 // responses with status >= 400
+	totalNs atomic.Int64
+	maxNs   atomic.Int64
+}
+
+// apiMetrics aggregates routeMetrics by route pattern.
+type apiMetrics struct {
+	mu     sync.Mutex
+	routes map[string]*routeMetrics
+}
+
+func newAPIMetrics() *apiMetrics {
+	return &apiMetrics{routes: make(map[string]*routeMetrics)}
+}
+
+func (m *apiMetrics) route(pattern string) *routeMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rm := m.routes[pattern]
+	if rm == nil {
+		rm = &routeMetrics{}
+		m.routes[pattern] = rm
+	}
+	return rm
+}
+
+func (m *apiMetrics) record(pattern string, status int, d time.Duration) {
+	rm := m.route(pattern)
+	rm.count.Add(1)
+	if status >= 400 {
+		rm.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	rm.totalNs.Add(ns)
+	for {
+		old := rm.maxNs.Load()
+		if ns <= old || rm.maxNs.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+// RouteStats is the wire form of one route's counters.
+type RouteStats struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	MeanUs float64 `json:"mean_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+func (m *apiMetrics) snapshot() map[string]RouteStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]RouteStats, len(m.routes))
+	for pattern, rm := range m.routes {
+		n := rm.count.Load()
+		st := RouteStats{
+			Count:  n,
+			Errors: rm.errors.Load(),
+			MaxUs:  float64(rm.maxNs.Load()) / 1e3,
+		}
+		if n > 0 {
+			st.MeanUs = float64(rm.totalNs.Load()) / float64(n) / 1e3
+		}
+		out[strings.TrimSpace(pattern)] = st
+	}
+	return out
+}

@@ -1,14 +1,24 @@
-// Package server exposes a trained ssRec engine over a small JSON HTTP
-// API — the adoption path for systems that want stream recommendation as a
-// sidecar service rather than an embedded library.
+// Package server exposes a trained ssRec engine over a JSON HTTP API — the
+// adoption path for systems that want stream recommendation as a sidecar
+// service rather than an embedded library.
 //
-// Endpoints:
+// The batch-first v2 protocol (see v2.go) is the primary surface:
+//
+//	POST /v2/recommend   {"items":[{...}...], "k":10}  → per-item results
+//	POST /v2/observe     NDJSON bulk ingest            → streamed statuses
+//	GET  /v2/stats                                     → index + serving stats
+//
+// The one-item-per-request v1 protocol remains served for existing
+// clients, with Deprecation/Link successor headers:
 //
 //	POST /v1/recommend   {"item": {...}, "k": 10}      → ranked user list
 //	POST /v1/observe     {"user_id": "...", "item": {...}, "timestamp": ...}
 //	POST /v1/items       {"item": {...}}               → register a new item
 //	GET  /v1/stats                                      → index statistics
 //	GET  /healthz                                       → liveness
+//
+// Every response carries an X-Request-ID (caller-supplied or generated)
+// and feeds the per-route latency counters reported by /v2/stats.
 package server
 
 import (
@@ -22,19 +32,41 @@ import (
 
 // Server wraps a SafeEngine with an http.Handler.
 type Server struct {
-	eng *core.SafeEngine
-	mux *http.ServeMux
+	eng     *core.SafeEngine
+	mux     *http.ServeMux
+	metrics *apiMetrics
+
 	// MaxK caps the per-request k to bound response sizes. Default 100.
 	MaxK int
+	// MaxBatch caps the items of one /v2/recommend call. Default 256.
+	MaxBatch int
+	// BatchSize is the observe micro-batch: how many NDJSON lines
+	// /v2/observe groups into one Engine.ObserveBatch call (one write
+	// lock + one index flush per group). Default 64.
+	BatchSize int
+	// MaxBodyBytes bounds request bodies. Default 1<<20 for v1 JSON
+	// bodies; /v2/observe streams and uses 64 MiB more.
+	MaxBodyBytes int64
 }
 
 // New builds a server around a (trained) engine.
 func New(eng *core.SafeEngine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux(), MaxK: 100}
+	s := &Server{
+		eng:          eng,
+		mux:          http.NewServeMux(),
+		metrics:      newAPIMetrics(),
+		MaxK:         100,
+		MaxBatch:     256,
+		BatchSize:    64,
+		MaxBodyBytes: 64 << 20,
+	}
 	s.mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
 	s.mux.HandleFunc("POST /v1/observe", s.handleObserve)
 	s.mux.HandleFunc("POST /v1/items", s.handleItem)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v2/recommend", s.handleRecommendV2)
+	s.mux.HandleFunc("POST /v2/observe", s.handleObserveV2)
+	s.mux.HandleFunc("GET /v2/stats", s.handleStatsV2)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -42,8 +74,9 @@ func New(eng *core.SafeEngine) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the instrumented HTTP handler (request IDs, deprecation
+// headers, latency counters).
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
 
 // itemJSON is the wire form of a social item.
 type itemJSON struct {
@@ -168,7 +201,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // ---- plumbing ----
 
 func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	return decodeLimit(w, r, dst, 1<<20)
+}
+
+func decodeLimit(w http.ResponseWriter, r *http.Request, dst any, limit int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())

@@ -1,0 +1,301 @@
+// v2.go implements the batch-first wire protocol over the engine's v2 API:
+//
+//	POST /v2/recommend  {"items":[{...}...], "k":10, "parallelism":0,
+//	                     "expansion":true}
+//	                    → {"results":[{item_id, recommendations} |
+//	                                  {item_id, error:{code,message}}]}
+//	POST /v2/observe    NDJSON bulk ingest: one observation per line
+//	                    {"user_id":..., "item":{...}, "timestamp":...};
+//	                    lines are micro-batched into Engine.ObserveBatch
+//	                    (BatchSize per write-lock acquisition) and the
+//	                    response streams one NDJSON status line per input
+//	                    line plus a trailing summary. Statuses arrive in
+//	                    processing order (decode failures immediately,
+//	                    batched entries at their flush); the "line" field
+//	                    keys them back to input order.
+//	GET  /v2/stats      index statistics + serving configuration +
+//	                    per-route latency counters.
+//
+// Per-item failures never fail the request: they surface as error objects
+// in item order so clients can retry selectively. v1 remains served; see
+// DESIGN.md for the migration table and deprecation path.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"ssrec/internal/core"
+	"ssrec/internal/model"
+)
+
+// errorJSON is the structured per-item / per-line error object.
+type errorJSON struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errCode maps engine sentinel errors to stable wire codes.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, core.ErrNotTrained):
+		return "not_trained"
+	case errors.Is(err, core.ErrUnknownCategory):
+		return "unknown_category"
+	case errors.Is(err, core.ErrInvalidObservation):
+		return "invalid_observation"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "cancelled"
+	}
+	return "internal"
+}
+
+func toErrorJSON(err error) *errorJSON {
+	return &errorJSON{Code: errCode(err), Message: err.Error()}
+}
+
+// ---- POST /v2/recommend ----
+
+type recommendV2Request struct {
+	Items []itemJSON `json:"items"`
+	// K is the per-item result size (default 10, capped at MaxK).
+	K int `json:"k"`
+	// Parallelism overrides the engine's partitioned-search worker count
+	// for this request when > 0.
+	Parallelism int `json:"parallelism"`
+	// Expansion disables entity expansion when explicitly false.
+	Expansion *bool `json:"expansion"`
+}
+
+type resultV2JSON struct {
+	ItemID          string               `json:"item_id"`
+	Recommendations []recommendationJSON `json:"recommendations,omitempty"`
+	Error           *errorJSON           `json:"error,omitempty"`
+}
+
+type recommendV2Response struct {
+	Results []resultV2JSON `json:"results"`
+}
+
+func (s *Server) handleRecommendV2(w http.ResponseWriter, r *http.Request) {
+	var req recommendV2Request
+	if !decodeLimit(w, r, &req, s.MaxBodyBytes) {
+		return
+	}
+	if len(req.Items) == 0 {
+		httpError(w, http.StatusBadRequest, "items is required")
+		return
+	}
+	if len(req.Items) > s.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds the %d-item limit", len(req.Items), s.MaxBatch))
+		return
+	}
+	// Validation-failed items never reach the engine (registering them
+	// would pollute the producer layer and the expander with bogus
+	// observations, as v1 also guards against); valid items are compacted
+	// into the engine batch and results merged back by position.
+	items := make([]model.Item, len(req.Items))
+	precheck := make([]*errorJSON, len(req.Items))
+	valid := make([]model.Item, 0, len(req.Items))
+	validIdx := make([]int, 0, len(req.Items))
+	for i, it := range req.Items {
+		items[i] = it.model()
+		if err := it.validate(); err != nil {
+			precheck[i] = &errorJSON{Code: "invalid_item", Message: err.Error()}
+			continue
+		}
+		valid = append(valid, items[i])
+		validIdx = append(validIdx, i)
+	}
+	if req.K <= 0 {
+		req.K = core.DefaultK
+	}
+	if req.K > s.MaxK {
+		req.K = s.MaxK
+	}
+	opts := []core.Option{core.WithK(req.K), core.WithParallelism(req.Parallelism)}
+	if req.Expansion != nil && !*req.Expansion {
+		opts = append(opts, core.WithoutExpansion())
+	}
+	results, err := s.eng.RecommendBatch(r.Context(), valid, opts...)
+	if err != nil && errors.Is(err, core.ErrNotTrained) {
+		httpError(w, http.StatusServiceUnavailable, "engine not trained")
+		return
+	}
+	// Request-scoped cancellation: the client is gone, so the status code
+	// is best-effort; per-item errors below still describe the partial
+	// batch truthfully.
+	resp := recommendV2Response{Results: make([]resultV2JSON, len(items))}
+	for i := range items {
+		resp.Results[i] = resultV2JSON{ItemID: items[i].ID, Error: precheck[i]}
+	}
+	for j, res := range results {
+		out := &resp.Results[validIdx[j]]
+		if res.Err != nil {
+			out.Error = toErrorJSON(res.Err)
+			continue
+		}
+		out.Recommendations = make([]recommendationJSON, 0, len(res.Recommendations))
+		for _, rec := range res.Recommendations {
+			out.Recommendations = append(out.Recommendations, recommendationJSON{UserID: rec.UserID, Score: rec.Score})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- POST /v2/observe (NDJSON bulk ingest) ----
+
+// observeLineJSON is one NDJSON input line.
+type observeLineJSON struct {
+	UserID    string   `json:"user_id"`
+	Item      itemJSON `json:"item"`
+	Timestamp int64    `json:"timestamp"`
+}
+
+// observeStatusJSON is one NDJSON response line: per-line status in input
+// order.
+type observeStatusJSON struct {
+	Line   int        `json:"line,omitempty"`
+	Status string     `json:"status"`
+	Error  *errorJSON `json:"error,omitempty"`
+}
+
+// observeSummaryJSON is the trailing NDJSON summary line (status "done").
+type observeSummaryJSON struct {
+	Status  string `json:"status"`
+	Applied int    `json:"applied"`
+	Invalid int    `json:"invalid"`
+	Flushed int    `json:"flushed"`
+	Batches int    `json:"batches"`
+}
+
+// maxNDJSONLine bounds one observation line (1 MiB, matching the v1 body
+// cap).
+const maxNDJSONLine = 1 << 20
+
+func (s *Server) handleObserveV2(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	rc := http.NewResponseController(w)
+	emit := func(st observeStatusJSON) {
+		enc.Encode(st) //nolint:errcheck // response already streaming
+	}
+
+	var (
+		batch    []core.Observation
+		lines    []int // input line number of each batch entry
+		applied  int
+		invalid  int
+		flushed  int
+		batches  int
+		lineNo   int
+		overload bool
+	)
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		rep, err := s.eng.ObserveBatch(r.Context(), batch)
+		applied += rep.Applied
+		invalid += rep.Rejected
+		flushed += rep.Flushed
+		batches++
+		// Per-entry outcomes, in input order: rejected entries carry their
+		// validation error, the rest of the applied prefix is ok, entries
+		// after a cancellation point are reported as cancelled.
+		rejected := make(map[int]error, len(rep.Errors))
+		for _, oe := range rep.Errors {
+			rejected[oe.Index] = oe.Err
+		}
+		seen := rep.Applied + rep.Rejected
+		for i, ln := range lines {
+			switch {
+			case rejected[i] != nil:
+				emit(observeStatusJSON{Line: ln, Status: "error", Error: toErrorJSON(rejected[i])})
+			case i < seen || err == nil:
+				emit(observeStatusJSON{Line: ln, Status: "ok"})
+			default:
+				emit(observeStatusJSON{Line: ln, Status: "error", Error: toErrorJSON(err)})
+			}
+		}
+		batch, lines = batch[:0], lines[:0]
+		rc.Flush() //nolint:errcheck // best-effort streaming
+		return err == nil
+	}
+
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
+	sc.Buffer(make([]byte, 0, 64*1024), maxNDJSONLine)
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line observeLineJSON
+		if err := json.Unmarshal(raw, &line); err != nil {
+			invalid++
+			emit(observeStatusJSON{Line: lineNo, Status: "error",
+				Error: &errorJSON{Code: "bad_json", Message: err.Error()}})
+			continue
+		}
+		batch = append(batch, core.Observation{
+			UserID:    line.UserID,
+			Item:      line.Item.model(),
+			Timestamp: line.Timestamp,
+		})
+		lines = append(lines, lineNo)
+		if len(batch) >= s.BatchSize {
+			if !flush() {
+				overload = true
+				break
+			}
+		}
+	}
+	if !overload {
+		if err := sc.Err(); err != nil {
+			invalid++
+			emit(observeStatusJSON{Line: lineNo + 1, Status: "error",
+				Error: &errorJSON{Code: "bad_stream", Message: err.Error()}})
+		}
+		flush()
+	}
+	enc.Encode(observeSummaryJSON{Status: "done", //nolint:errcheck // response already streaming
+		Applied: applied, Invalid: invalid, Flushed: flushed, Batches: batches})
+}
+
+// ---- GET /v2/stats ----
+
+type statsV2Response struct {
+	Users    int `json:"users"`
+	Blocks   int `json:"blocks"`
+	Trees    int `json:"trees"`
+	HashKeys int `json:"hash_keys"`
+
+	Parallelism int `json:"parallelism"`
+	BatchSize   int `json:"batch_size"`
+	MaxBatch    int `json:"max_batch"`
+	MaxK        int `json:"max_k"`
+
+	Requests map[string]RouteStats `json:"requests"`
+}
+
+func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.IndexStats()
+	writeJSON(w, http.StatusOK, statsV2Response{
+		Users:       st.Users,
+		Blocks:      st.Blocks,
+		Trees:       st.Trees,
+		HashKeys:    st.HashKeys,
+		Parallelism: s.eng.Parallelism(),
+		BatchSize:   s.BatchSize,
+		MaxBatch:    s.MaxBatch,
+		MaxK:        s.MaxK,
+		Requests:    s.metrics.snapshot(),
+	})
+}

@@ -1,0 +1,41 @@
+package sigtree
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestSearchCtxNilEquivalence: a nil or never-cancelled context changes
+// nothing — results stay bit-identical to Search at every parallelism.
+func TestSearchCtxNilEquivalence(t *testing.T) {
+	tqs := buildForest(t, 7, 60, 11)
+	ctx := context.Background()
+	for _, k := range []int{1, 10, 50} {
+		want, _ := Search(tqs, k)
+		for _, p := range []int{0, 2, 8} {
+			got, _, err := SearchParallelCtx(ctx, tqs, k, p)
+			if err != nil {
+				t.Fatalf("k=%d p=%d: %v", k, p, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("k=%d p=%d: ctx path diverged", k, p)
+			}
+		}
+	}
+}
+
+// TestSearchCtxCancelled: a cancelled context aborts the traversal with
+// context.Canceled on both the sequential and the partitioned path.
+func TestSearchCtxCancelled(t *testing.T) {
+	tqs := buildForest(t, 7, 400, 13)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, p := range []int{0, 4} {
+		_, _, err := SearchParallelCtx(ctx, tqs, 10, p)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: err = %v, want context.Canceled", p, err)
+		}
+	}
+}

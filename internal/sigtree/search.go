@@ -11,6 +11,7 @@
 package sigtree
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -148,6 +149,21 @@ func (s *Searcher) lowerBound(shared *atomicLB) float64 {
 // expanded and user-ID tie-breaking stays identical to the sequential
 // path.
 func (s *Searcher) Run(tqs []TreeQuery, k int, shared *atomicLB) ([]model.Recommendation, SearchStats) {
+	recs, stats, _ := s.RunCtx(nil, tqs, k, shared)
+	return recs, stats
+}
+
+// ctxCheckEvery is how many priority-queue pops pass between context
+// checks: frequent enough that cancellation lands within microseconds,
+// rare enough that ctx.Err's mutex never shows up in profiles.
+const ctxCheckEvery = 64
+
+// RunCtx is Run with cooperative cancellation: the search loop polls
+// ctx every ctxCheckEvery node expansions and, when the context is
+// done, abandons the traversal and returns ctx.Err() with whatever the
+// accumulator held (partial, best-effort results). A nil ctx disables
+// the checks and is exactly Run.
+func (s *Searcher) RunCtx(ctx context.Context, tqs []TreeQuery, k int, shared *atomicLB) ([]model.Recommendation, SearchStats, error) {
 	s.reset(k)
 	for _, tq := range tqs {
 		if tq.Tree.Len() == 0 {
@@ -155,7 +171,17 @@ func (s *Searcher) Run(tqs []TreeQuery, k int, shared *atomicLB) ([]model.Recomm
 		}
 		s.push(pqItem{score: Score(&tq.Tree.root.sig, tq.Query), node: tq.Tree.root, q: tq.Query})
 	}
+	var err error
+	pops := 0
 	for len(s.pq) > 0 {
+		if ctx != nil {
+			if pops%ctxCheckEvery == 0 {
+				if err = ctx.Err(); err != nil {
+					break
+				}
+			}
+			pops++
+		}
 		it := s.pop()
 		lb := s.lowerBound(shared)
 		if it.score < lb {
@@ -193,7 +219,7 @@ func (s *Searcher) Run(tqs []TreeQuery, k int, shared *atomicLB) ([]model.Recomm
 	s.pq = s.pq[:cap(s.pq)]
 	clear(s.pq)
 	s.pq = s.pq[:0]
-	return s.topk.Sorted(), s.stats
+	return s.topk.Sorted(), s.stats, err
 }
 
 func (s *Searcher) remainingEntries() int {
@@ -209,10 +235,17 @@ func (s *Searcher) remainingEntries() int {
 // exact score is below a pruned candidate's true score (no false pruning:
 // Lemmas 1–2).
 func Search(tqs []TreeQuery, k int) ([]model.Recommendation, SearchStats) {
-	s := searcherPool.Get().(*Searcher)
-	recs, stats := s.Run(tqs, k, nil)
-	searcherPool.Put(s)
+	recs, stats, _ := SearchCtx(nil, tqs, k)
 	return recs, stats
+}
+
+// SearchCtx is Search with cooperative cancellation (see Searcher.RunCtx);
+// on cancellation it returns ctx.Err() along with partial results.
+func SearchCtx(ctx context.Context, tqs []TreeQuery, k int) ([]model.Recommendation, SearchStats, error) {
+	s := searcherPool.Get().(*Searcher)
+	recs, stats, err := s.RunCtx(ctx, tqs, k, nil)
+	searcherPool.Put(s)
+	return recs, stats, err
 }
 
 // atomicLB is a monotonically increasing float64 shared by the partitions
@@ -252,11 +285,20 @@ func (l *atomicLB) raise(v float64) {
 // parallelism <= 1 (or fewer than two candidate trees) falls back to the
 // sequential path.
 func SearchParallel(tqs []TreeQuery, k, parallelism int) ([]model.Recommendation, SearchStats) {
+	recs, stats, _ := SearchParallelCtx(nil, tqs, k, parallelism)
+	return recs, stats
+}
+
+// SearchParallelCtx is SearchParallel with cooperative cancellation: every
+// partition worker polls the context (see Searcher.RunCtx) and bails out
+// early when it is done, after which the call reports ctx.Err() and the
+// merged partial results must not be served as exact.
+func SearchParallelCtx(ctx context.Context, tqs []TreeQuery, k, parallelism int) ([]model.Recommendation, SearchStats, error) {
 	if parallelism > len(tqs) {
 		parallelism = len(tqs)
 	}
 	if parallelism <= 1 || len(tqs) < 2 {
-		return Search(tqs, k)
+		return SearchCtx(ctx, tqs, k)
 	}
 	parts := make([][]TreeQuery, parallelism)
 	for i, tq := range tqs {
@@ -266,13 +308,14 @@ func SearchParallel(tqs []TreeQuery, k, parallelism int) ([]model.Recommendation
 	shared := newAtomicLB()
 	partRecs := make([][]model.Recommendation, parallelism)
 	partStats := make([]SearchStats, parallelism)
+	partErrs := make([]error, parallelism)
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			s := searcherPool.Get().(*Searcher)
-			partRecs[w], partStats[w] = s.Run(parts[w], k, shared)
+			partRecs[w], partStats[w], partErrs[w] = s.RunCtx(ctx, parts[w], k, shared)
 			searcherPool.Put(s)
 		}(w)
 	}
@@ -283,14 +326,18 @@ func SearchParallel(tqs []TreeQuery, k, parallelism int) ([]model.Recommendation
 	// the global top-k with sequential tie-breaking.
 	merged := newTopK(k)
 	var stats SearchStats
+	var err error
 	for w := 0; w < parallelism; w++ {
 		for _, r := range partRecs[w] {
 			merged.Offer(r.UserID, r.Score)
 		}
 		stats.add(partStats[w])
+		if err == nil && partErrs[w] != nil {
+			err = partErrs[w]
+		}
 	}
 	stats.Partitions = parallelism
-	return merged.Sorted(), stats
+	return merged.Sorted(), stats, err
 }
 
 // SequentialScan scores every leaf entry of every tree directly — the

@@ -20,19 +20,30 @@
 //     serves top-k queries with upper-bound pruning and supports dynamic
 //     maintenance as profiles evolve.
 //
-// # Quick start
+// # Quick start (API v2)
 //
 //	ds := ssrec.GenerateYTubeLike(0.25, 42)          // or bring your own data
 //	rec := ssrec.New(ssrec.Config{Categories: ds.Categories()})
 //	_ = rec.TrainDataset(ds, 2.0/6)                  // bootstrap on the first third
+//	ctx := context.Background()
 //	for _, v := range newItems {
-//	    top := rec.Recommend(v, 10)                  // deliver v to these users
-//	    ...
-//	    rec.Observe(interaction, v)                  // stream maintenance
+//	    res, err := rec.RecommendCtx(ctx, v, ssrec.WithK(10))
+//	    ...                                          // deliver v to res.Recommendations
 //	}
+//	// Stream maintenance: micro-batch interactions so the engine takes
+//	// one write lock + one index flush per batch, not per event.
+//	report, err := rec.ObserveBatch(ctx, observations)
+//
+// The batch-first calls (RecommendBatch, ObserveBatch) are the throughput
+// path; the v1 per-item methods (Recommend, Observe) remain as thin
+// equivalents without error reporting. Per-call behavior is tuned with
+// functional options (WithK, WithParallelism, WithoutExpansion);
+// failures surface as wrapped sentinel errors (ErrNotTrained,
+// ErrUnknownCategory, ErrInvalidObservation) and honor context
+// cancellation down to the index search loop.
 //
 // See the examples/ directory for runnable scenarios and DESIGN.md for the
-// system inventory.
+// system inventory and the v1→v2 migration table.
 package ssrec
 
 import (
@@ -56,6 +67,44 @@ type (
 	// defaults (|W|=5, λs=0.4, 3+3 hidden states, expansion on).
 	Config = core.Config
 )
+
+// API v2 types: the batch-first, context-aware query and ingestion surface.
+type (
+	// Result is one item's answer from RecommendCtx/RecommendBatch.
+	Result = core.Result
+	// Observation is one interaction prepared for ObserveBatch.
+	Observation = core.Observation
+	// BatchReport summarises one ObserveBatch call.
+	BatchReport = core.BatchReport
+	// ObservationError details one rejected ObserveBatch entry.
+	ObservationError = core.ObservationError
+	// Option is a per-call query option (WithK, WithParallelism,
+	// WithoutExpansion).
+	Option = core.Option
+	// QueryOptions is the resolved option set an Option mutates.
+	QueryOptions = core.QueryOptions
+)
+
+// Sentinel errors of the v2 API; match with errors.Is.
+var (
+	// ErrNotTrained is returned when a query arrives before training.
+	ErrNotTrained = core.ErrNotTrained
+	// ErrUnknownCategory marks an item outside the configured category
+	// universe.
+	ErrUnknownCategory = core.ErrUnknownCategory
+	// ErrInvalidObservation marks a rejected ObserveBatch entry.
+	ErrInvalidObservation = core.ErrInvalidObservation
+)
+
+// WithK sets the number of users a query returns (default core.DefaultK).
+func WithK(k int) Option { return core.WithK(k) }
+
+// WithParallelism overrides the partitioned-search worker count for one
+// call; n <= 0 keeps the engine's configured value.
+func WithParallelism(n int) Option { return core.WithParallelism(n) }
+
+// WithoutExpansion disables proximity entity expansion for one call.
+func WithoutExpansion() Option { return core.WithoutExpansion() }
 
 // Recommender is the assembled ssRec system.
 type Recommender struct {

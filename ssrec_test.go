@@ -1,8 +1,59 @@
 package ssrec
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 )
+
+// TestPublicV2Flow exercises the batch-first v2 surface end to end through
+// the public package: options, sentinel errors, batch ingestion, and
+// v1/v2 equivalence.
+func TestPublicV2Flow(t *testing.T) {
+	ds := GenerateYTubeLike(0.2, 9)
+	rec := New(Config{Categories: ds.Categories(), TrainMaxIter: 5, Restarts: 1})
+	if err := rec.TrainDataset(ds, 1.0/3); err != nil {
+		t.Fatalf("TrainDataset: %v", err)
+	}
+	ctx := context.Background()
+	items := ds.Items()
+	v := items[len(items)-1]
+
+	res, err := rec.RecommendCtx(ctx, v, WithK(10))
+	if err != nil {
+		t.Fatalf("RecommendCtx: %v", err)
+	}
+	if !reflect.DeepEqual(res.Recommendations, rec.Recommend(v, 10)) {
+		t.Fatal("RecommendCtx diverged from Recommend")
+	}
+
+	if _, err := rec.RecommendCtx(ctx, Item{ID: "x", Category: "nope"}); !errors.Is(err, ErrUnknownCategory) {
+		t.Fatalf("err = %v, want ErrUnknownCategory", err)
+	}
+
+	results, err := rec.RecommendBatch(ctx, items[len(items)-4:], WithK(5), WithParallelism(2))
+	if err != nil {
+		t.Fatalf("RecommendBatch: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d results, want 4", len(results))
+	}
+
+	report, err := rec.ObserveBatch(ctx, []Observation{
+		{UserID: res.Recommendations[0].UserID, Item: v, Timestamp: v.Timestamp + 5},
+		{UserID: "", Item: v, Timestamp: v.Timestamp + 6}, // rejected
+	})
+	if err != nil {
+		t.Fatalf("ObserveBatch: %v", err)
+	}
+	if report.Applied != 1 || report.Rejected != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	if !errors.Is(report.Errors[0].Err, ErrInvalidObservation) {
+		t.Fatalf("rejection error = %v", report.Errors[0].Err)
+	}
+}
 
 func TestPublicQuickstartFlow(t *testing.T) {
 	ds := GenerateYTubeLike(0.2, 9)
