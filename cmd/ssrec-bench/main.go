@@ -37,6 +37,7 @@ func main() {
 		throughput = flag.Bool("throughput", false, "serving-throughput mode (items/sec, P50/P99 latency)")
 		parallel   = flag.Int("parallel", 1, "throughput mode: concurrent Recommend workers")
 		partitions = flag.Int("partitions", 1, "throughput mode: intra-query partitions (Config.Parallelism)")
+		shards     = flag.Int("shards", 1, "throughput mode: serve through an N-shard scatter-gather deployment")
 		writers    = flag.Int("writers", 0, "throughput mode: concurrent ObserveBatch ingestion workers (0 = read-only)")
 		batch      = flag.Int("batch", 64, "throughput mode: observe micro-batch size (<=1 replays per-item Observe)")
 		topK       = flag.Int("k", 30, "throughput mode: recommendations per item")
@@ -45,7 +46,7 @@ func main() {
 	flag.Parse()
 
 	if *throughput {
-		runThroughput(*scale, *seed, *parallel, *partitions, *writers, *batch, *topK, *jsonOut)
+		runThroughput(*scale, *seed, *parallel, *partitions, *shards, *writers, *batch, *topK, *jsonOut)
 		return
 	}
 

@@ -17,9 +17,16 @@
 //
 //	acquisition + index flush (ObserveBatch); B <= 1 replays
 //	the v1 per-interaction Observe path for comparison
+//
+// -shards     N  replay through an N-shard scatter-gather deployment
+//
+//	(internal/shard) booted from the trained engine's snapshot;
+//	reader latency then includes the fan-out/merge and writers
+//	measure the broadcast ingest with sharded leaf refreshes
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -33,7 +40,17 @@ import (
 	"ssrec/internal/core"
 	"ssrec/internal/dataset"
 	"ssrec/internal/model"
+	"ssrec/internal/shard"
 )
+
+// benchBackend is the serving surface the replay drives — one engine or a
+// sharded router, interchangeably.
+type benchBackend interface {
+	Recommend(v model.Item, k int) []model.Recommendation
+	Observe(ir model.Interaction, v model.Item)
+	ObserveBatch(ctx context.Context, batch []core.Observation) (core.BatchReport, error)
+	RegisterItem(v model.Item)
+}
 
 // ThroughputResult is the JSON report of one throughput run.
 type ThroughputResult struct {
@@ -45,6 +62,7 @@ type ThroughputResult struct {
 	K           int     `json:"k"`
 	Parallel    int     `json:"parallel"`   // concurrent request workers
 	Partitions  int     `json:"partitions"` // intra-query parallelism
+	Shards      int     `json:"shards"`     // scatter-gather deployment width (1 = single engine)
 	Items       int     `json:"items"`
 	TotalSec    float64 `json:"total_sec"`
 	ItemsPerSec float64 `json:"items_per_sec"`
@@ -65,12 +83,15 @@ type ThroughputResult struct {
 	WriterMeanBatchSize float64 `json:"writer_mean_batch_size,omitempty"`
 }
 
-func runThroughput(scale float64, seed int64, parallel, partitions, writers, batch, k int, jsonPath string) {
+func runThroughput(scale float64, seed int64, parallel, partitions, shards, writers, batch, k int, jsonPath string) {
 	if parallel < 1 {
 		parallel = 1
 	}
 	if batch < 1 {
 		batch = 1
+	}
+	if shards < 1 {
+		shards = 1
 	}
 	cfg := dataset.YTubeConfig(scale)
 	cfg.Seed = seed
@@ -105,10 +126,27 @@ func runThroughput(scale float64, seed int64, parallel, partitions, writers, bat
 		fmt.Fprintln(os.Stderr, "throughput: no items to replay")
 		os.Exit(1)
 	}
+	// Sharded serving: boot an N-shard deployment from the trained
+	// engine's snapshot and replay through the scatter-gather router.
+	var backend benchBackend = eng
+	if shards > 1 {
+		var buf bytes.Buffer
+		if err := eng.SaveTo(&buf); err != nil {
+			fmt.Fprintf(os.Stderr, "throughput: snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		router, err := shard.FromSnapshot(buf.Bytes(), shards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "throughput: boot shards: %v\n", err)
+			os.Exit(1)
+		}
+		backend = router
+	}
+
 	// Register every item up front so the measured section stays on the
 	// read-locked path (registration is the write-lock upgrade).
 	for _, v := range queries {
-		eng.RegisterItem(v)
+		backend.RegisterItem(v)
 	}
 
 	// Writer stream: the post-training interactions, resolved to items.
@@ -137,7 +175,7 @@ func runThroughput(scale float64, seed int64, parallel, partitions, writers, bat
 					return
 				}
 				t0 := time.Now()
-				eng.Recommend(queries[i], k)
+				backend.Recommend(queries[i], k)
 				latencies[i] = time.Since(t0)
 			}
 		}()
@@ -172,10 +210,10 @@ func runThroughput(scale float64, seed int64, parallel, partitions, writers, bat
 					n := min(batch, len(chunk))
 					if batch <= 1 {
 						o := chunk[0]
-						eng.Observe(model.Interaction{UserID: o.UserID, ItemID: o.Item.ID, Timestamp: o.Timestamp}, o.Item)
+						backend.Observe(model.Interaction{UserID: o.UserID, ItemID: o.Item.ID, Timestamp: o.Timestamp}, o.Item)
 						writerApplied.Add(1)
 					} else {
-						rep, _ := eng.ObserveBatch(context.Background(), chunk[:n])
+						rep, _ := backend.ObserveBatch(context.Background(), chunk[:n])
 						writerApplied.Add(int64(rep.Applied))
 						flushedUsers.Add(int64(rep.Flushed))
 					}
@@ -217,6 +255,7 @@ func runThroughput(scale float64, seed int64, parallel, partitions, writers, bat
 		K:           k,
 		Parallel:    parallel,
 		Partitions:  partitions,
+		Shards:      shards,
 		Items:       len(queries),
 		TotalSec:    total.Seconds(),
 		ItemsPerSec: float64(len(queries)) / total.Seconds(),
@@ -225,8 +264,8 @@ func runThroughput(scale float64, seed int64, parallel, partitions, writers, bat
 		P99Us:       us(pct(0.99)),
 		MaxUs:       us(latencies[len(latencies)-1]),
 	}
-	fmt.Printf("throughput: %d items, %d workers, %d partitions: %.0f items/sec  p50=%.0fµs p99=%.0fµs\n",
-		res.Items, res.Parallel, res.Partitions, res.ItemsPerSec, res.P50Us, res.P99Us)
+	fmt.Printf("throughput: %d items, %d workers, %d partitions, %d shards: %.0f items/sec  p50=%.0fµs p99=%.0fµs\n",
+		res.Items, res.Parallel, res.Partitions, res.Shards, res.ItemsPerSec, res.P50Us, res.P99Us)
 	if writers > 0 && writerWall > 0 {
 		res.Writers = writers
 		res.Batch = batch

@@ -9,6 +9,12 @@
 //
 //	ssrec-server -demo -scale 0.3 -addr :8080
 //
+// Either way, -shards N serves the same snapshot as an N-shard
+// scatter-gather deployment (internal/shard): identical wire responses,
+// with per-shard entries in /v2/stats:
+//
+//	ssrec-server -demo -shards 4 -addr :8080
+//
 // Then:
 //
 //	curl -s localhost:8080/v2/stats
@@ -22,12 +28,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -36,6 +44,7 @@ import (
 	"ssrec/internal/dataset"
 	"ssrec/internal/evalx"
 	"ssrec/internal/server"
+	"ssrec/internal/shard"
 )
 
 func main() {
@@ -47,6 +56,7 @@ func main() {
 		seed  = flag.Int64("seed", 42, "demo dataset seed")
 
 		partitions = flag.Int("partitions", 1, "intra-query search partitions (Config.Parallelism); overrides a loaded model's setting")
+		shards     = flag.Int("shards", 1, "serve an N-shard scatter-gather deployment (every shard boots from the same model/demo snapshot)")
 		save       = flag.String("save", "", "after -demo training, save the engine here (core.SaveFile format)")
 
 		maxK         = flag.Int("max-k", 100, "cap on per-request k")
@@ -64,18 +74,28 @@ func main() {
 		}
 	})
 
-	var eng *core.Engine
+	// Resolve the serving state: a saved model file or a freshly trained
+	// demo engine. With -shards > 1 a snapshot boots every shard of a
+	// scatter-gather deployment; a single-engine server keeps the
+	// trained/loaded engine directly (no snapshot round-trip).
+	var (
+		eng      *core.Engine
+		snapshot []byte
+	)
 	switch {
 	case *model != "":
-		loaded, err := core.LoadFile(*model)
+		data, err := os.ReadFile(*model)
 		if err != nil {
 			log.Fatalf("load model: %v", err)
 		}
-		eng = loaded
-		if partitionsSet {
-			eng.SetParallelism(*partitions) // explicit flag overrides the snapshot's value
+		snapshot = data
+		log.Printf("loaded model snapshot from %s (%d bytes)", *model, len(snapshot))
+		if *shards <= 1 {
+			if eng, err = core.LoadFrom(bytes.NewReader(snapshot)); err != nil {
+				log.Fatalf("boot engine: %v", err)
+			}
+			log.Printf("engine ready (%d users)", eng.Users())
 		}
-		log.Printf("loaded engine from %s (%d users)", *model, eng.Store().Len())
 	case *demo:
 		cfg := dataset.YTubeConfig(*scale)
 		cfg.Seed = *seed
@@ -85,8 +105,15 @@ func main() {
 			log.Fatalf("train demo engine: %v", err)
 		}
 		log.Printf("demo engine trained: %s", ds.ComputeStats())
+		if *save != "" || *shards > 1 {
+			var buf bytes.Buffer
+			if err := eng.SaveTo(&buf); err != nil {
+				log.Fatalf("snapshot demo engine: %v", err)
+			}
+			snapshot = buf.Bytes()
+		}
 		if *save != "" {
-			if err := eng.SaveFile(*save); err != nil {
+			if err := os.WriteFile(*save, snapshot, 0o644); err != nil {
 				log.Fatalf("save model: %v", err)
 			}
 			log.Printf("saved engine to %s", *save)
@@ -95,7 +122,27 @@ func main() {
 		log.Fatal("either -model or -demo is required")
 	}
 
-	srv := server.New(core.WrapSafe(eng))
+	var backend server.Backend
+	if *shards > 1 {
+		router, err := shard.FromSnapshot(snapshot, *shards)
+		if err != nil {
+			log.Fatalf("boot %d-shard deployment: %v", *shards, err)
+		}
+		if partitionsSet {
+			router.SetParallelism(*partitions)
+		}
+		for _, st := range router.ShardStats() {
+			log.Printf("shard %d: %d/%d owned users, %d leaves", st.Shard, st.OwnedUsers, st.Users, st.Leaves)
+		}
+		backend = router
+	} else {
+		if partitionsSet {
+			eng.SetParallelism(*partitions) // explicit flag overrides the snapshot's value
+		}
+		backend = core.WrapSafe(eng)
+	}
+
+	srv := server.NewBackend(backend)
 	srv.MaxK = *maxK
 	srv.MaxBatch = *maxBatch
 	srv.BatchSize = *batchSize

@@ -80,6 +80,12 @@ func applyOptions(opts []Option) QueryOptions {
 	return o
 }
 
+// ResolveOptions folds Option values into the concrete QueryOptions an
+// engine call would use (defaults applied). The shard router resolves
+// options once and forwards the plain struct to every shard — QueryOptions
+// is wire-encodable, a []Option is not.
+func ResolveOptions(opts ...Option) QueryOptions { return applyOptions(opts) }
+
 // Result is one item's answer from the v2 query surface.
 type Result struct {
 	ItemID          string
@@ -98,10 +104,23 @@ type Result struct {
 // category and a never-cancelled context.
 func (e *Engine) RecommendCtx(ctx context.Context, v model.Item, opts ...Option) (Result, error) {
 	o := applyOptions(opts)
-	return e.recommendOne(ctx, v, o)
+	return e.recommendOne(ctx, v, o, nil)
 }
 
-func (e *Engine) recommendOne(ctx context.Context, v model.Item, o QueryOptions) (Result, error) {
+// RecommendBound is the shard-local leg of a scatter-gather query: the
+// same search as RecommendCtx, but pruning against — and raising — the
+// deployment-wide bound shared by every shard answering this item. The
+// returned list covers only the users this engine's index owns; the
+// router merges the per-shard lists (sigtree.MergeTopK). K must already
+// be resolved in o (use ResolveOptions).
+func (e *Engine) RecommendBound(ctx context.Context, v model.Item, o QueryOptions, b *sigtree.Bound) (Result, error) {
+	if o.K <= 0 {
+		o.K = DefaultK
+	}
+	return e.recommendOne(ctx, v, o, b)
+}
+
+func (e *Engine) recommendOne(ctx context.Context, v model.Item, o QueryOptions, b *sigtree.Bound) (Result, error) {
 	res := Result{ItemID: v.ID}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
@@ -118,7 +137,7 @@ func (e *Engine) recommendOne(ctx context.Context, v model.Item, o QueryOptions)
 	sc := ranking.GetQueryScratch()
 	defer ranking.PutQueryScratch(sc)
 	q := e.buildQueryScratch(sc, v, o.NoExpansion)
-	recs, stats, err := e.index.RecommendCtx(ctx, q, o.K, o.Parallelism)
+	recs, stats, err := e.index.RecommendBound(ctx, q, o.K, o.Parallelism, b)
 	res.Recommendations, res.Stats = recs, stats
 	return res, err
 }
@@ -137,38 +156,18 @@ func (e *Engine) RecommendBatch(ctx context.Context, items []model.Item, opts ..
 	if len(items) == 0 {
 		return results, nil
 	}
-	// Amortised prologue: when any item is unseen or maintenance is
-	// pending, ONE write-lock upgrade registers everything and flushes,
-	// so the per-item queryPrologue stays on its read-locked fast path.
-	// A fully warmed batch skips the exclusive lock entirely (mirroring
-	// queryPrologue); a writer slipping in after the check only makes
-	// individual prologues upgrade themselves — correctness is theirs.
-	e.mu.RLock()
-	trained := e.trained
-	needsPrep := len(e.dirty) > 0
-	if !needsPrep {
-		for _, v := range items {
-			if _, known := e.itemZ[v.ID]; !known {
-				needsPrep = true
-				break
-			}
-		}
-	}
-	e.mu.RUnlock()
-	if !trained {
+	if !e.Trained() {
 		for i := range results {
 			results[i] = Result{ItemID: items[i].ID, Err: ErrNotTrained}
 		}
 		return results, ErrNotTrained
 	}
-	if needsPrep {
-		e.mu.Lock()
-		for _, v := range items {
-			e.registerItemLocked(v)
-		}
-		e.flushUpdatesLocked()
-		e.mu.Unlock()
-	}
+	// Amortised prologue: ONE write-lock upgrade registers every unseen
+	// item (in batch order) and flushes pending maintenance, so the
+	// per-item queryPrologue stays on its read-locked fast path. The shard
+	// router broadcasts this same prologue; both paths share
+	// RegisterItemBatch so their semantics cannot drift.
+	e.RegisterItemBatch(items)
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(items) {
@@ -185,7 +184,7 @@ func (e *Engine) RecommendBatch(ctx context.Context, items []model.Item, opts ..
 				if i >= len(items) {
 					return
 				}
-				res, err := e.recommendOne(ctx, items[i], o)
+				res, err := e.recommendOne(ctx, items[i], o, nil)
 				if err != nil {
 					res.Err = err
 				}
@@ -200,6 +199,36 @@ func (e *Engine) RecommendBatch(ctx context.Context, items []model.Item, opts ..
 		}
 	}
 	return results, nil
+}
+
+// RegisterItemBatch registers many items under ONE write lock, in batch
+// order, then flushes pending index maintenance — the deterministic batch
+// prologue of RecommendBatch, exposed so the shard router can broadcast it
+// to every shard before scattering a query batch (concurrent per-item
+// registration would advance the producer layer in nondeterministic order
+// and the shards would drift apart). A fully warmed batch takes only the
+// read lock.
+func (e *Engine) RegisterItemBatch(items []model.Item) {
+	e.mu.RLock()
+	needs := len(e.dirty) > 0
+	if !needs {
+		for _, v := range items {
+			if _, known := e.itemZ[v.ID]; !known {
+				needs = true
+				break
+			}
+		}
+	}
+	e.mu.RUnlock()
+	if !needs {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, v := range items {
+		e.registerItemLocked(v)
+	}
+	e.flushUpdatesLocked()
 }
 
 // Observation is one user-item interaction prepared for batched ingestion.

@@ -89,7 +89,24 @@ type Config struct {
 	// 0 or 1 keeps the sequential path; results are bit-identical.
 	Parallelism int
 
+	// ShardIndex / ShardCount make this engine one shard of an N-way
+	// deployment (internal/shard): the engine materialises index leaves —
+	// and pays the BiHMM signature-refresh cost — only for users that
+	// model.ShardOf assigns to ShardIndex, while every dictionary the
+	// shards must agree on (profiles, block assignment, universes, the
+	// hash table, the trained models) is maintained identically everywhere.
+	// ShardCount <= 1 is the ordinary unsharded engine. Plain ints rather
+	// than a predicate so the setting survives SaveTo/LoadFrom snapshots.
+	ShardIndex int
+	ShardCount int
+
 	Seed int64
+}
+
+// ownsUser is the deployment-wide ownership rule: which shard materialises
+// a user's index leaves. Unsharded engines own everyone.
+func (c *Config) ownsUser(userID string) bool {
+	return c.ShardCount <= 1 || model.ShardOf(userID, c.ShardCount) == c.ShardIndex
 }
 
 func (c *Config) fill() {
@@ -333,6 +350,10 @@ func (e *Engine) Train(items []model.Item, interactions []model.Interaction, res
 
 // buildIndex constructs the CPPse-index from the engine's current state.
 func buildIndex(e *Engine) (*cppse.Index, error) {
+	var owns func(string) bool
+	if e.cfg.ShardCount > 1 {
+		owns = e.cfg.ownsUser
+	}
 	ix, err := cppse.Build(e.store, e.bg, e.probs(), cppse.Config{
 		Categories:   e.cfg.Categories,
 		LambdaS:      e.cfg.LambdaS,
@@ -343,6 +364,7 @@ func buildIndex(e *Engine) (*cppse.Index, error) {
 		Fanout:       e.cfg.Fanout,
 		HashBuckets:  e.cfg.HashBuckets,
 		Parallelism:  e.cfg.Parallelism,
+		Owns:         owns,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: index build: %w", err)
@@ -451,10 +473,18 @@ func (e *Engine) flushUpdatesLocked() int {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	// Every dirty user runs UpdateUser — the routing metadata (block
+	// assignment, universes, hash) must advance on every shard — but only
+	// owned users count as refreshed: they are the ones whose signatures
+	// were recomputed, and summing the count across shards must equal the
+	// single-engine figure.
+	n := 0
 	for _, id := range ids {
 		_ = e.index.UpdateUser(id)
+		if e.cfg.ownsUser(id) {
+			n++
+		}
 	}
-	n := len(ids)
 	clear(e.dirty)
 	clear(ids)
 	e.flushIDs = ids[:0]
@@ -636,6 +666,42 @@ func (e *Engine) Parallelism() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.cfg.Parallelism
+}
+
+// Trained reports whether Train has completed (concurrency-safe).
+func (e *Engine) Trained() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.trained
+}
+
+// SetShard re-scopes a trained engine as shard idx of an n-way deployment
+// and rebuilds the index so leaves cover only the owned user block — how a
+// shard boots from a shared snapshot (shard.FromSnapshot, ssrec-server
+// -model -shards). n <= 1 restores the unsharded engine.
+func (e *Engine) SetShard(idx, n int) error {
+	if n > 1 && (idx < 0 || idx >= n) {
+		return fmt.Errorf("core: shard index %d out of range [0,%d)", idx, n)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.ShardIndex, e.cfg.ShardCount = idx, n
+	if !e.trained {
+		return nil
+	}
+	e.flushUpdatesLocked()
+	return e.rebuildIndex()
+}
+
+// Shard reports the engine's position in its deployment (idx of n;
+// 0 of 1 when unsharded). Concurrency-safe.
+func (e *Engine) Shard() (idx, n int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.cfg.ShardCount <= 1 {
+		return 0, 1
+	}
+	return e.cfg.ShardIndex, e.cfg.ShardCount
 }
 
 // Users returns the number of known profiles (concurrency-safe).

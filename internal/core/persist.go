@@ -66,6 +66,22 @@ func (e *Engine) SaveTo(w io.Writer) error {
 // LoadFrom deserialises an engine previously written by SaveTo and rebuilds
 // the CPPse-index, returning a ready-to-serve engine.
 func LoadFrom(r io.Reader) (*Engine, error) {
+	return loadFrom(r, func(*Config) {})
+}
+
+// LoadShardFrom deserialises a snapshot as shard idx of an n-way
+// deployment: identical restored state, but the rebuilt index materialises
+// leaves only for the owned user block. This is how every shard of a local
+// or remote deployment boots from ONE shared snapshot (shard.FromSnapshot)
+// without paying the index build twice.
+func LoadShardFrom(r io.Reader, idx, n int) (*Engine, error) {
+	if n > 1 && (idx < 0 || idx >= n) {
+		return nil, fmt.Errorf("core: shard index %d out of range [0,%d)", idx, n)
+	}
+	return loadFrom(r, func(c *Config) { c.ShardIndex, c.ShardCount = idx, n })
+}
+
+func loadFrom(r io.Reader, reconfig func(*Config)) (*Engine, error) {
 	gz, err := gzip.NewReader(r)
 	if err != nil {
 		return nil, fmt.Errorf("core: gzip open: %w", err)
@@ -75,6 +91,7 @@ func LoadFrom(r io.Reader) (*Engine, error) {
 	if err := gob.NewDecoder(gz).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: decode engine: %w", err)
 	}
+	reconfig(&snap.Config)
 
 	e := New(snap.Config)
 	e.bg = profile.BackgroundFromSnapshot(snap.Background)

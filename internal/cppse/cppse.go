@@ -48,6 +48,16 @@ type Config struct {
 	// level. The index itself must not be mutated during a parallel
 	// query — the engine's RWMutex enforces this.
 	Parallelism int
+
+	// Owns gates which users this index materialises leaf entries for —
+	// the sharding hook of internal/shard. nil owns everyone (the single-
+	// engine case). A sharded index still tracks every user's block
+	// assignment and keeps the tree/producer/entity universes and the hash
+	// table identical to an unsharded index (they are cheap, and candidate
+	// routing must agree across shards), but only owned users get the
+	// expensive part: the signature leaves and their BiHMM-backed
+	// refreshes. See DESIGN.md, "Sharding".
+	Owns func(userID string) bool
 }
 
 func (c *Config) fill() {
@@ -213,7 +223,9 @@ func Build(store *profile.Store, bg *profile.Background, probs Probs, cfg Config
 			ix.trees[treeKey{c.ID, cat}] = tr // register before leafSignature reads tr.Ent
 			ix.treesByCat[cat] = append(ix.treesByCat[cat], tr)
 			for _, p := range members {
-				tr.Insert(p.UserID, ix.leafSignature(p, c.ID, cat))
+				if ix.owns(p.UserID) {
+					tr.Insert(p.UserID, ix.leafSignature(p, c.ID, cat))
+				}
 			}
 			for _, e := range ents.Names() {
 				ix.hash.Insert(shx.PairKey(cat, e), tr)
@@ -221,6 +233,12 @@ func Build(store *profile.Store, bg *profile.Background, probs Probs, cfg Config
 		}
 	}
 	return ix, nil
+}
+
+// owns reports whether this index materialises leaves for a user
+// (Config.Owns; nil owns everyone).
+func (ix *Index) owns(userID string) bool {
+	return ix.cfg.Owns == nil || ix.cfg.Owns(userID)
 }
 
 // userInterested reports whether a user belongs in the tree of cat: any
@@ -284,13 +302,23 @@ func (ix *Index) Recommend(q ranking.ItemQuery, k int) ([]model.Recommendation, 
 // Config.Parallelism for this query only, 0 keeps the configured value.
 // Results are bit-identical to Recommend when the context never fires.
 func (ix *Index) RecommendCtx(ctx context.Context, q ranking.ItemQuery, k, parallelism int) ([]model.Recommendation, sigtree.SearchStats, error) {
+	return ix.RecommendBound(ctx, q, k, parallelism, nil)
+}
+
+// RecommendBound is RecommendCtx pruning against (and raising) a
+// caller-supplied cross-shard bound: the shard-local leg of the router's
+// scatter-gather query. The returned list covers only the users this index
+// owns; the router merges the per-shard lists with sigtree.MergeTopK. A
+// nil bound is the single-process case and behaves exactly like
+// RecommendCtx.
+func (ix *Index) RecommendBound(ctx context.Context, q ranking.ItemQuery, k, parallelism int, b *sigtree.Bound) ([]model.Recommendation, sigtree.SearchStats, error) {
 	if parallelism <= 0 {
 		parallelism = ix.cfg.Parallelism
 	}
 	sc := getScratch()
 	defer putScratch(sc)
 	tqs := ix.encodeAll(sc, q)
-	return sigtree.SearchParallelCtx(ctx, tqs, k, parallelism)
+	return sigtree.SearchParallelBoundCtx(ctx, tqs, k, parallelism, b)
 }
 
 // SetParallelism adjusts the query worker count (Config.Parallelism) of a
@@ -333,6 +361,12 @@ func (ix *Index) lookupTrees(q ranking.ItemQuery) []*sigtree.Tree {
 // current state of its profile — the per-user body of Algorithm 2. New
 // users are assigned to the nearest block centroid; unseen entities extend
 // the tree universe and the hash table.
+//
+// Sharding split (Config.Owns): block assignment, universe growth and hash
+// insertion always run — every shard must route candidates identically —
+// but the signature recomputation (the BiHMM forward passes behind
+// leafSignature) and the tree write happen only for owned users. That is
+// the maintenance cost a sharded deployment divides N ways.
 func (ix *Index) UpdateUser(userID string) error {
 	p, ok := ix.store.Lookup(userID)
 	if !ok {
@@ -368,6 +402,9 @@ func (ix *Index) UpdateUser(userID string) error {
 				tr.Ent.Add(e)
 				ix.hash.Insert(shx.PairKey(cat, e), tr)
 			}
+		}
+		if !ix.owns(userID) {
+			continue
 		}
 		sig := ix.leafSignature(p, block, cat)
 		if !tr.Update(userID, sig) {
@@ -416,7 +453,8 @@ func (ix *Index) nearestBlock(p *profile.Profile) int {
 type IndexStats struct {
 	Blocks          int
 	Trees           int
-	Users           int
+	Users           int // users with a block assignment (all users, even sharded)
+	OwnedUsers      int // users whose leaves this index materialises (= Users unsharded)
 	MaxEntityUni    int // largest per-tree entity universe
 	MaxProducerUni  int // largest per-block producer universe
 	HashKeys        int
@@ -429,6 +467,15 @@ type IndexStats struct {
 // Stats computes the index summary.
 func (ix *Index) Stats() IndexStats {
 	s := IndexStats{Blocks: len(ix.blocks.Clusters), Trees: len(ix.trees), Users: len(ix.userBlock)}
+	if ix.cfg.Owns == nil {
+		s.OwnedUsers = s.Users
+	} else {
+		for id := range ix.userBlock {
+			if ix.cfg.Owns(id) {
+				s.OwnedUsers++
+			}
+		}
+	}
 	for _, u := range ix.prodUni {
 		if u.Len() > s.MaxProducerUni {
 			s.MaxProducerUni = u.Len()

@@ -42,3 +42,23 @@ func ByScoreDesc(a, b Recommendation) bool {
 	}
 	return a.UserID < b.UserID
 }
+
+// ShardOf assigns a user to one of n shards by FNV-1a hash of the user ID.
+// It is THE ownership rule of a sharded deployment: the router, every
+// engine shard and any future RPC shard must agree on it, so it lives in
+// the leaf package everyone already imports. n <= 1 always maps to 0.
+func ShardOf(userID string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(userID); i++ {
+		h ^= uint64(userID[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}

@@ -1,0 +1,144 @@
+// golden_test.go pins the wire format against drift: the /v2/stats
+// response shape (single-engine and sharded) and the v1 deprecation
+// headers are compared against golden files in testdata/. A renamed JSON
+// field, a dropped header or an accidentally-added key fails CI.
+//
+// Regenerate after an INTENTIONAL wire change with
+//
+//	go test ./internal/server -run Golden -update
+package server
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// canonicalize replaces every scalar with a type placeholder so the golden
+// captures the SHAPE of the payload (keys, nesting, arity) rather than
+// run-dependent values.
+func canonicalize(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, val := range x {
+			out[k] = canonicalize(val)
+		}
+		return out
+	case []any:
+		out := make([]any, len(x))
+		for i := range x {
+			out[i] = canonicalize(x[i])
+		}
+		return out
+	case float64:
+		return "<number>"
+	case string:
+		return "<string>"
+	case bool:
+		return "<bool>"
+	case nil:
+		return "<null>"
+	default:
+		return fmt.Sprintf("<%T>", v)
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("wire format drifted from %s.\n--- got ---\n%s\n--- want ---\n%s\nIf intentional, regenerate with: go test ./internal/server -run Golden -update",
+			path, got, want)
+	}
+}
+
+// statsShape fetches /v2/stats after one deterministic recommend call and
+// canonicalizes the response shape.
+func statsShape(t *testing.T, s *Server, item map[string]any) []byte {
+	t.Helper()
+	h := s.Handler()
+	post(t, h, "/v2/recommend", map[string]any{"items": []map[string]any{item}, "k": 3})
+	rr := get(t, h, "/v2/stats")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rr.Code)
+	}
+	var payload any
+	if err := json.Unmarshal(rr.Body.Bytes(), &payload); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	out, err := json.MarshalIndent(canonicalize(payload), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+func TestGoldenStatsV2Shape(t *testing.T) {
+	s, ds := testServer(t)
+	checkGolden(t, "v2_stats_shape.golden", statsShape(t, s, itemBody(ds.Items[0])))
+}
+
+func TestGoldenStatsV2ShardedShape(t *testing.T) {
+	s, ds := testShardedServer(t, 2)
+	checkGolden(t, "v2_stats_sharded_shape.golden", statsShape(t, s, itemBody(ds.Items[0])))
+}
+
+// TestGoldenV1DeprecationHeaders pins the RFC 8594-style sunset signalling
+// of every v1 route (and its absence on v2/health routes).
+func TestGoldenV1DeprecationHeaders(t *testing.T) {
+	s, ds := testServer(t)
+	h := s.Handler()
+	probes := []struct {
+		method, path string
+		body         map[string]any
+	}{
+		{http.MethodPost, "/v1/recommend", map[string]any{"item": itemBody(ds.Items[0]), "k": 1}},
+		{http.MethodPost, "/v1/observe", map[string]any{"user_id": "gold", "item": itemBody(ds.Items[0]), "timestamp": 1}},
+		{http.MethodPost, "/v1/items", map[string]any{"item": itemBody(ds.Items[0])}},
+		{http.MethodGet, "/v1/stats", nil},
+		{http.MethodPost, "/v2/recommend", map[string]any{"items": []map[string]any{itemBody(ds.Items[0])}}},
+		{http.MethodGet, "/v2/stats", nil},
+		{http.MethodGet, "/healthz", nil},
+	}
+	var b strings.Builder
+	for _, p := range probes {
+		var rr interface {
+			Header() http.Header
+		}
+		if p.method == http.MethodGet {
+			rr = get(t, h, p.path)
+		} else {
+			rr = post(t, h, p.path, p.body)
+		}
+		keys := []string{"Deprecation", "Link"}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "%s %s\n", p.method, p.path)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %s: %s\n", k, rr.Header().Get(k))
+		}
+	}
+	checkGolden(t, "v1_deprecation_headers.golden", []byte(b.String()))
+}

@@ -22,17 +22,49 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 
 	"ssrec/internal/core"
 	"ssrec/internal/model"
+	"ssrec/internal/shard"
 )
 
-// Server wraps a SafeEngine with an http.Handler.
+// Backend is the engine surface the server serves. Two implementations
+// ship: *core.SafeEngine (one in-process engine) and *shard.Router (an
+// N-shard scatter-gather deployment) — the wire protocol is identical
+// either way, which the conformance suite in internal/shard guarantees.
+// A backend that additionally implements ShardStats() []shard.Stats gets
+// per-shard entries in /v2/stats.
+type Backend interface {
+	Recommend(v model.Item, k int) []model.Recommendation
+	Observe(ir model.Interaction, v model.Item)
+	RegisterItem(v model.Item)
+	RecommendBatch(ctx context.Context, items []model.Item, opts ...core.Option) ([]core.Result, error)
+	ObserveBatch(ctx context.Context, batch []core.Observation) (core.BatchReport, error)
+	Users() int
+	Parallelism() int
+	IndexStats() core.IndexStatsView
+}
+
+// shardStatser is the optional Backend extension behind the per-shard
+// /v2/stats entries.
+type shardStatser interface {
+	ShardStats() []shard.Stats
+}
+
+// Compile-time checks: both shipped backends satisfy the interface.
+var (
+	_ Backend      = (*core.SafeEngine)(nil)
+	_ Backend      = (*shard.Router)(nil)
+	_ shardStatser = (*shard.Router)(nil)
+)
+
+// Server wraps a Backend with an http.Handler.
 type Server struct {
-	eng     *core.SafeEngine
+	eng     Backend
 	mux     *http.ServeMux
 	metrics *apiMetrics
 
@@ -49,10 +81,14 @@ type Server struct {
 	MaxBodyBytes int64
 }
 
-// New builds a server around a (trained) engine.
-func New(eng *core.SafeEngine) *Server {
+// New builds a server around a (trained) single engine.
+func New(eng *core.SafeEngine) *Server { return NewBackend(eng) }
+
+// NewBackend builds a server around any Backend — the entry point for a
+// sharded deployment (*shard.Router).
+func NewBackend(b Backend) *Server {
 	s := &Server{
-		eng:          eng,
+		eng:          b,
 		mux:          http.NewServeMux(),
 		metrics:      newAPIMetrics(),
 		MaxK:         100,

@@ -282,12 +282,28 @@ type statsV2Response struct {
 	MaxBatch    int `json:"max_batch"`
 	MaxK        int `json:"max_k"`
 
-	Requests map[string]RouteStats `json:"requests"`
+	// ShardCount/Shards describe a sharded deployment (absent for a
+	// single engine).
+	ShardCount int                   `json:"shard_count,omitempty"`
+	Shards     []shardStatsJSON      `json:"shards,omitempty"`
+	Requests   map[string]RouteStats `json:"requests"`
+}
+
+// shardStatsJSON is the wire form of one shard's statistics.
+type shardStatsJSON struct {
+	Shard      int  `json:"shard"`
+	Trained    bool `json:"trained"`
+	Users      int  `json:"users"`
+	OwnedUsers int  `json:"owned_users"`
+	Leaves     int  `json:"leaves"`
+	Blocks     int  `json:"blocks"`
+	Trees      int  `json:"trees"`
+	HashKeys   int  `json:"hash_keys"`
 }
 
 func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.IndexStats()
-	writeJSON(w, http.StatusOK, statsV2Response{
+	resp := statsV2Response{
 		Users:       st.Users,
 		Blocks:      st.Blocks,
 		Trees:       st.Trees,
@@ -297,5 +313,21 @@ func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 		MaxBatch:    s.MaxBatch,
 		MaxK:        s.MaxK,
 		Requests:    s.metrics.snapshot(),
-	})
+	}
+	if ss, ok := s.eng.(shardStatser); ok {
+		for _, sh := range ss.ShardStats() {
+			resp.Shards = append(resp.Shards, shardStatsJSON{
+				Shard:      sh.Shard,
+				Trained:    sh.Trained,
+				Users:      sh.Users,
+				OwnedUsers: sh.OwnedUsers,
+				Leaves:     sh.Leaves,
+				Blocks:     sh.Blocks,
+				Trees:      sh.Trees,
+				HashKeys:   sh.HashKeys,
+			})
+		}
+		resp.ShardCount = len(resp.Shards)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,261 @@
+// conformance_test.go is the deterministic stream-replay conformance
+// suite: it replays one seeded interaction stream — interleaved with
+// recommendation batches — into a single engine and into sharded
+// deployments, and asserts the deployments are OBSERVABLY EQUIVALENT:
+// identical ranked results (IDs, scores, order), identical per-item
+// errors and identical ingest reports, at every cell of the
+// shards × parallelism matrix.
+//
+//	shards      ∈ {1, 2, 8}
+//	parallelism ∈ {1, 4}   (intra-shard partitioned search)
+//
+// Every deployment boots from the SAME trained-engine snapshot, so the
+// only variable is the sharding itself. The replayed stream carries at
+// least 10k post-training interactions (the acceptance floor).
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ssrec/internal/core"
+	"ssrec/internal/dataset"
+	"ssrec/internal/model"
+	"ssrec/internal/sigtree"
+)
+
+// deployment is the surface the replay drives — satisfied by both
+// *core.Engine (the reference) and *Router (the system under test).
+type deployment interface {
+	ObserveBatch(ctx context.Context, batch []core.Observation) (core.BatchReport, error)
+	RecommendBatch(ctx context.Context, items []model.Item, opts ...core.Option) ([]core.Result, error)
+}
+
+// replayFixture is the shared deterministic workload: one snapshot every
+// deployment boots from, the post-training observation stream, and the
+// query schedule interleaved between micro-batches.
+type replayFixture struct {
+	snapshot []byte
+	obs      []core.Observation
+	queries  []model.Item
+}
+
+const (
+	replayBatch    = 128 // observations per ObserveBatch micro-batch
+	replayQueryLen = 6   // items recommended between micro-batches
+	replayK        = 10
+)
+
+var fixtureCache *replayFixture
+
+// fixture builds (once) the seeded dataset, trains the reference engine on
+// the leading third and snapshots it.
+func fixture(t testing.TB) *replayFixture {
+	t.Helper()
+	if fixtureCache != nil {
+		return fixtureCache
+	}
+	cfg := dataset.YTubeConfig(0.5)
+	cfg.Seed = 17
+	ds := dataset.Generate(cfg)
+	eng := core.New(core.Config{Categories: ds.Categories, TrainMaxIter: 3, Restarts: 1, Seed: 17})
+	nTrain := len(ds.Interactions) / 3
+	if err := eng.Train(ds.Items, ds.Interactions[:nTrain], ds.Item); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveTo(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	fx := &replayFixture{snapshot: buf.Bytes()}
+	lastTS := ds.Interactions[nTrain-1].Timestamp
+	for _, ir := range ds.Interactions[nTrain:] {
+		if v, ok := ds.Item(ir.ItemID); ok {
+			fx.obs = append(fx.obs, core.Observation{UserID: ir.UserID, Item: v, Timestamp: ir.Timestamp})
+		}
+	}
+	for _, v := range ds.Items {
+		if v.Timestamp > lastTS {
+			fx.queries = append(fx.queries, v)
+		}
+	}
+	if len(fx.obs) < 10000 {
+		t.Fatalf("replay stream has %d interactions, conformance floor is 10k", len(fx.obs))
+	}
+	if len(fx.queries) < replayQueryLen {
+		t.Fatalf("only %d query items", len(fx.queries))
+	}
+	fixtureCache = fx
+	return fx
+}
+
+// transcript is everything a deployment exposes during one replay.
+type transcript struct {
+	reports []core.BatchReport
+	results [][]core.Result
+}
+
+// replay drives the deterministic schedule: micro-batches of observations,
+// each followed by a rotating recommendation batch over future items.
+func (fx *replayFixture) replay(t testing.TB, d deployment, maxBatches int) *transcript {
+	t.Helper()
+	ctx := context.Background()
+	tr := &transcript{}
+	batchIdx := 0
+	for lo := 0; lo < len(fx.obs); lo += replayBatch {
+		hi := min(lo+replayBatch, len(fx.obs))
+		rep, err := d.ObserveBatch(ctx, fx.obs[lo:hi])
+		if err != nil {
+			t.Fatalf("batch %d: ObserveBatch: %v", batchIdx, err)
+		}
+		rep.Errors = nil // compared separately via Rejected
+		tr.reports = append(tr.reports, rep)
+		q := queryWindow(fx.queries, batchIdx)
+		results, err := d.RecommendBatch(ctx, q, core.WithK(replayK))
+		if err != nil {
+			t.Fatalf("batch %d: RecommendBatch: %v", batchIdx, err)
+		}
+		for i := range results {
+			// Pruning counters legitimately differ across shardings (each
+			// deployment prunes with different bound timing); observable
+			// equivalence is about results, not traversal effort.
+			results[i].Stats = sigtree.SearchStats{}
+		}
+		tr.results = append(tr.results, results)
+		batchIdx++
+		if maxBatches > 0 && batchIdx >= maxBatches {
+			break
+		}
+	}
+	return tr
+}
+
+// queryWindow rotates deterministically through the future-item list.
+func queryWindow(items []model.Item, batchIdx int) []model.Item {
+	out := make([]model.Item, 0, replayQueryLen)
+	for i := 0; i < replayQueryLen; i++ {
+		out = append(out, items[(batchIdx*replayQueryLen+i)%len(items)])
+	}
+	return out
+}
+
+// diffTranscripts asserts two replays are observably identical.
+func diffTranscripts(t *testing.T, want, got *transcript, label string) {
+	t.Helper()
+	if len(want.reports) != len(got.reports) {
+		t.Fatalf("%s: %d reports vs %d", label, len(got.reports), len(want.reports))
+	}
+	for i := range want.reports {
+		w, g := want.reports[i], got.reports[i]
+		if w.Applied != g.Applied || w.Rejected != g.Rejected || w.Flushed != g.Flushed {
+			t.Errorf("%s: batch %d report = %+v, want %+v", label, i, g, w)
+		}
+	}
+	for i := range want.results {
+		for j := range want.results[i] {
+			w, g := want.results[i][j], got.results[i][j]
+			if w.ItemID != g.ItemID {
+				t.Fatalf("%s: batch %d item %d: id %q vs %q", label, i, j, g.ItemID, w.ItemID)
+			}
+			if (w.Err == nil) != (g.Err == nil) {
+				t.Fatalf("%s: batch %d item %s: err %v vs %v", label, i, w.ItemID, g.Err, w.Err)
+			}
+			if !reflect.DeepEqual(w.Recommendations, g.Recommendations) {
+				t.Fatalf("%s: batch %d item %s: ranked results diverged\n got %v\nwant %v",
+					label, i, w.ItemID, g.Recommendations, w.Recommendations)
+			}
+		}
+	}
+}
+
+// TestConformanceStreamReplay is the acceptance gate: every cell of the
+// shards × parallelism matrix replays the full seeded stream and must be
+// observably equivalent to the single reference engine.
+func TestConformanceStreamReplay(t *testing.T) {
+	fx := fixture(t)
+	maxBatches := 0 // full stream
+	shardCounts := []int{1, 2, 8}
+	parallelisms := []int{1, 4}
+	if testing.Short() {
+		maxBatches = 12
+		shardCounts = []int{1, 2}
+		parallelisms = []int{1}
+	}
+
+	reference, err := core.LoadFrom(bytes.NewReader(fx.snapshot))
+	if err != nil {
+		t.Fatalf("boot reference: %v", err)
+	}
+	want := fx.replay(t, reference, maxBatches)
+	t.Logf("reference transcript: %d micro-batches, %d interactions, %d queries",
+		len(want.reports), len(fx.obs), len(want.results)*replayQueryLen)
+
+	for _, n := range shardCounts {
+		for _, p := range parallelisms {
+			t.Run(fmt.Sprintf("shards=%d/parallelism=%d", n, p), func(t *testing.T) {
+				r, err := FromSnapshot(fx.snapshot, n)
+				if err != nil {
+					t.Fatalf("boot: %v", err)
+				}
+				r.SetParallelism(p)
+				got := fx.replay(t, r, maxBatches)
+				diffTranscripts(t, want, got, fmt.Sprintf("shards=%d p=%d", n, p))
+			})
+		}
+	}
+}
+
+// TestConformanceShardStats sanity-checks the partition itself: every user
+// is owned by exactly one shard, leaf counts sum to the single-engine
+// figure, and the replicated routing structures agree across shards.
+func TestConformanceShardStats(t *testing.T) {
+	fx := fixture(t)
+	reference, err := core.LoadFrom(bytes.NewReader(fx.snapshot))
+	if err != nil {
+		t.Fatalf("boot reference: %v", err)
+	}
+	refStats, ok := reference.IndexStats()
+	if !ok {
+		t.Fatal("reference engine reports no index")
+	}
+	r, err := FromSnapshot(fx.snapshot, 4)
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	stats := r.ShardStats()
+	owned, leaves := 0, 0
+	for i, st := range stats {
+		if st.Shard != i {
+			t.Errorf("shard %d reports index %d", i, st.Shard)
+		}
+		if !st.Trained {
+			t.Errorf("shard %d untrained", i)
+		}
+		if st.Users != refStats.Users {
+			t.Errorf("shard %d tracks %d users, reference %d (dictionaries must be replicated)", i, st.Users, refStats.Users)
+		}
+		if st.Blocks != refStats.Blocks || st.Trees != refStats.Trees || st.HashKeys != refStats.HashKeys {
+			t.Errorf("shard %d routing structures diverge: %+v vs reference %+v", i, st, refStats)
+		}
+		owned += st.OwnedUsers
+		leaves += st.Leaves
+	}
+	if owned != refStats.Users {
+		t.Errorf("owned users sum to %d, want %d (exact partition)", owned, refStats.Users)
+	}
+	if leaves != refStats.TotalLeafCount {
+		t.Errorf("leaves sum to %d, want single-engine %d", leaves, refStats.TotalLeafCount)
+	}
+	for _, id := range []string{"uc0001", "uc0042", "anyone"} {
+		own := r.Owner(id)
+		if own < 0 || own >= r.Shards() {
+			t.Errorf("Owner(%q) = %d out of range", id, own)
+		}
+		if own != model.ShardOf(id, r.Shards()) {
+			t.Errorf("router and model disagree on owner of %q", id)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// router.go is the scatter-gather front of a sharded deployment: it owns
+// the user→shard hash, broadcasts the write path (observations, item
+// registration) so the replicated dictionaries never drift, scatters each
+// query to every shard under one shared score bound, and gathers the
+// per-shard top-k heaps into the final ranking. Its surface mirrors
+// core.Engine / core.SafeEngine so the HTTP server and the bench harness
+// can serve either interchangeably.
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ssrec/internal/core"
+	"ssrec/internal/model"
+	"ssrec/internal/sigtree"
+)
+
+// Router fans the engine API out over the shards of one deployment.
+type Router struct {
+	shards []Shard
+	// locals holds the wrapped engines when the deployment is in-process
+	// (New / FromSnapshot) — Train and SetParallelism need them; a mixed
+	// or RPC deployment leaves the slice nil and bootstraps out-of-band.
+	locals []*core.Engine
+	// isTrained latches once the deployment reports trained, so the
+	// per-request readiness check stops paying a full Stats snapshot
+	// (training is one-way: engines never untrain).
+	isTrained atomic.Bool
+}
+
+// trained reports deployment readiness, caching the first positive answer.
+func (r *Router) trained() bool {
+	if r.isTrained.Load() {
+		return true
+	}
+	if r.shards[0].Stats().Trained {
+		r.isTrained.Store(true)
+		return true
+	}
+	return false
+}
+
+// NewRouter assembles a router over pre-built shards (the RPC-deployment
+// entry point). Shards must be passed in index order.
+func NewRouter(shards ...Shard) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: router needs at least one shard")
+	}
+	for i, s := range shards {
+		if s.Index() != i {
+			return nil, fmt.Errorf("shard: shard at position %d reports index %d", i, s.Index())
+		}
+	}
+	return &Router{shards: shards}, nil
+}
+
+// New builds an n-shard in-process deployment from one engine Config. The
+// config's ShardIndex/ShardCount are overridden per shard; n <= 1 degrades
+// to a single-engine deployment behind the same Router surface.
+func New(cfg core.Config, n int) *Router {
+	if n < 1 {
+		n = 1
+	}
+	r := &Router{shards: make([]Shard, n), locals: make([]*core.Engine, n)}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.ShardIndex, c.ShardCount = i, n
+		r.locals[i] = core.New(c)
+		r.shards[i] = NewLocal(i, r.locals[i])
+	}
+	return r
+}
+
+// FromSnapshot boots an n-shard in-process deployment from ONE trained
+// engine snapshot (core.SaveTo bytes): every shard restores the same
+// replicated state and rebuilds only its own leaf partition. This is the
+// cheap way to stand up a deployment — one training or one -save run, N
+// boots — and the model ssrec-server -model -shards uses.
+func FromSnapshot(data []byte, n int) (*Router, error) {
+	if n < 1 {
+		n = 1
+	}
+	r := &Router{shards: make([]Shard, n), locals: make([]*core.Engine, n)}
+	for i := 0; i < n; i++ {
+		e, err := core.LoadShardFrom(bytes.NewReader(data), i, n)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		r.locals[i] = e
+		r.shards[i] = NewLocal(i, e)
+	}
+	return r, nil
+}
+
+// Shards reports the deployment width.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// ShardStats snapshots every shard, in index order.
+func (r *Router) ShardStats() []Stats {
+	out := make([]Stats, len(r.shards))
+	for i, s := range r.shards {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// Owner returns the shard index that materialises a user's leaves.
+func (r *Router) Owner(userID string) int {
+	return model.ShardOf(userID, len(r.shards))
+}
+
+// Train bootstraps an in-process deployment: shard 0 trains once on the
+// full stream, then every other shard boots from its snapshot
+// (LoadShardFrom) — identical replicated state, own leaf partition — so
+// an n-shard deployment costs ONE training, not n.
+func (r *Router) Train(items []model.Item, interactions []model.Interaction, resolve func(string) (model.Item, bool)) error {
+	if r.locals == nil {
+		return fmt.Errorf("shard: Train requires an in-process deployment (New or FromSnapshot)")
+	}
+	if err := r.locals[0].Train(items, interactions, resolve); err != nil {
+		return err
+	}
+	if len(r.locals) == 1 {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := r.locals[0].SaveTo(&buf); err != nil {
+		return fmt.Errorf("shard: snapshot shard 0: %w", err)
+	}
+	data := buf.Bytes()
+	for i := 1; i < len(r.locals); i++ {
+		e, err := core.LoadShardFrom(bytes.NewReader(data), i, len(r.locals))
+		if err != nil {
+			return fmt.Errorf("shard %d: boot from snapshot: %w", i, err)
+		}
+		r.locals[i] = e
+		r.shards[i] = NewLocal(i, e)
+	}
+	return nil
+}
+
+// SetParallelism adjusts the intra-query worker count of every in-process
+// shard (no-op entries for non-local shards).
+func (r *Router) SetParallelism(n int) {
+	for _, e := range r.locals {
+		if e != nil {
+			e.SetParallelism(n)
+		}
+	}
+}
+
+// detach strips cancellation for the broadcast legs: a micro-batch (or a
+// registration batch) is the atomic replication unit — if half the shards
+// applied it and half refused on a cancelled context, the replicated
+// dictionaries would drift apart permanently. Cancellation therefore
+// applies BETWEEN batches (checked at entry), never inside one.
+func detach(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return context.WithoutCancel(ctx)
+}
+
+// ObserveBatch ingests one micro-batch of the interaction stream: the SAME
+// batch is broadcast to every shard in parallel (each maintains the
+// replicated dictionaries for all users and refreshes leaves only for the
+// ones it owns). The merged report matches the single-engine call:
+// Applied/Rejected/Errors are identical on every shard (validation is
+// deterministic), and Flushed sums the per-shard owned refreshes —
+// exactly the users a single engine would have refreshed, divided N ways.
+func (r *Router) ObserveBatch(ctx context.Context, batch []core.Observation) (core.BatchReport, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return core.BatchReport{}, err
+		}
+	}
+	if len(batch) == 0 {
+		return core.BatchReport{}, nil
+	}
+	bctx := detach(ctx)
+	reps := make([]core.BatchReport, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func(i int, s Shard) {
+			defer wg.Done()
+			reps[i], errs[i] = s.ObserveBatch(bctx, batch)
+		}(i, s)
+	}
+	wg.Wait()
+	rep := reps[0]
+	rep.Flushed = 0
+	for i := range reps {
+		rep.Flushed += reps[i].Flushed
+		if errs[i] != nil {
+			return rep, fmt.Errorf("shard %d: %w", i, errs[i])
+		}
+	}
+	return rep, nil
+}
+
+// registerBroadcast runs the deterministic batch prologue on every shard
+// in parallel. Uncancellable for the same drift reason as ObserveBatch.
+func (r *Router) registerBroadcast(ctx context.Context, items []model.Item) error {
+	bctx := detach(ctx)
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func(i int, s Shard) {
+			defer wg.Done()
+			errs[i] = s.RegisterItems(bctx, items)
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// recommendOne scatters one item to every shard under one shared bound and
+// gathers the per-shard heaps into the global top-k. Stats are summed;
+// Partitions accumulates the workers used across shards.
+func (r *Router) recommendOne(ctx context.Context, v model.Item, o core.QueryOptions) (core.Result, error) {
+	if len(r.shards) == 1 {
+		return r.shards[0].Recommend(ctx, v, o, nil)
+	}
+	b := sigtree.NewBound()
+	parts := make([]core.Result, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func(i int, s Shard) {
+			defer wg.Done()
+			parts[i], errs[i] = s.Recommend(ctx, v, o, b)
+		}(i, s)
+	}
+	wg.Wait()
+	res := core.Result{ItemID: v.ID}
+	lists := make([][]model.Recommendation, len(parts))
+	var firstErr error
+	for i := range parts {
+		lists[i] = parts[i].Recommendations
+		res.Stats.Add(parts[i].Stats)
+		res.Stats.Partitions += parts[i].Stats.Partitions
+		if firstErr == nil && errs[i] != nil {
+			firstErr = errs[i]
+		}
+	}
+	res.Recommendations = sigtree.MergeTopK(o.K, lists...)
+	return res, firstErr
+}
+
+// RecommendCtx mirrors Engine.RecommendCtx over the deployment: register
+// the item everywhere (deterministically), then scatter-gather the query.
+func (r *Router) RecommendCtx(ctx context.Context, v model.Item, opts ...core.Option) (core.Result, error) {
+	o := core.ResolveOptions(opts...)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return core.Result{ItemID: v.ID}, err
+		}
+	}
+	if err := r.registerBroadcast(ctx, []model.Item{v}); err != nil {
+		return core.Result{ItemID: v.ID}, err
+	}
+	return r.recommendOne(ctx, v, o)
+}
+
+// RecommendBatch mirrors Engine.RecommendBatch over the deployment:
+// results[i] answers items[i]; item-scoped failures land in
+// results[i].Err while the call-scoped error reports cancellation or an
+// untrained deployment. The registration prologue is broadcast ONCE in
+// batch order — per-item registration under the worker pool would advance
+// the shards' producer layers in nondeterministic order.
+func (r *Router) RecommendBatch(ctx context.Context, items []model.Item, opts ...core.Option) ([]core.Result, error) {
+	o := core.ResolveOptions(opts...)
+	results := make([]core.Result, len(items))
+	if len(items) == 0 {
+		return results, nil
+	}
+	if !r.trained() {
+		for i := range results {
+			results[i] = core.Result{ItemID: items[i].ID, Err: core.ErrNotTrained}
+		}
+		return results, core.ErrNotTrained
+	}
+	// Registration runs BEFORE the cancellation check, mirroring
+	// Engine.RecommendBatch exactly: a cancelled batch still registers its
+	// items there, so the sharded deployment must too or the producer
+	// layers would drift apart from the single engine's.
+	if err := r.registerBroadcast(ctx, items); err != nil {
+		return results, err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			for i := range results {
+				results[i] = core.Result{ItemID: items[i].ID, Err: err}
+			}
+			return results, err
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				res, err := r.recommendOne(ctx, items[i], o)
+				if err != nil {
+					res.Err = err
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// ---- v1-parity surface (server Backend, bench harness) ----
+
+// Recommend is the v1 query over the deployment. Unlike the single
+// engine's v1 path it reports nothing on failure (nil); the v2 calls carry
+// the errors.
+func (r *Router) Recommend(v model.Item, k int) []model.Recommendation {
+	res, err := r.RecommendCtx(context.Background(), v, core.WithK(k))
+	if err != nil {
+		return nil
+	}
+	return res.Recommendations
+}
+
+// Observe is the v1 single-interaction ingest: a one-entry broadcast.
+func (r *Router) Observe(ir model.Interaction, v model.Item) {
+	_, _ = r.ObserveBatch(context.Background(), []core.Observation{
+		{UserID: ir.UserID, Item: v, Timestamp: ir.Timestamp},
+	})
+}
+
+// RegisterItem broadcasts one item registration.
+func (r *Router) RegisterItem(v model.Item) {
+	_ = r.registerBroadcast(context.Background(), []model.Item{v})
+}
+
+// Users counts tracked profiles (replicated — shard 0's figure is the
+// deployment's).
+func (r *Router) Users() int { return r.shards[0].Stats().Users }
+
+// Parallelism reports the intra-query worker count of shard 0.
+func (r *Router) Parallelism() int { return r.shards[0].Stats().Parallelism }
+
+// IndexStats reports the deployment-level index view: the routing
+// structures are replicated, so shard 0's block/tree/hash figures are the
+// deployment's, and Users covers every assigned user.
+func (r *Router) IndexStats() core.IndexStatsView {
+	st := r.shards[0].Stats()
+	return core.IndexStatsView{
+		Blocks:   st.Blocks,
+		Trees:    st.Trees,
+		Users:    st.Users,
+		HashKeys: st.HashKeys,
+	}
+}

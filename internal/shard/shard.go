@@ -1,0 +1,155 @@
+// Package shard scales the ssRec engine horizontally: user blocks are
+// partitioned across N core.Engine shards behind a scatter-gather Router
+// that is observably equivalent to one big engine — same IDs, same scores,
+// same order, proven by the stream-replay conformance suite in this
+// package.
+//
+// # What is sharded, what is replicated
+//
+// Exact equivalence pins down the split. Candidate routing (the block
+// clustering, the per-tree entity/producer universes and the chained hash
+// table) and the per-user prediction state (profiles, BiHMM models) must
+// agree on every shard, or shards would route and score candidates
+// differently than a single engine; they are cheap — O(1) map/window work
+// per event — and are maintained identically everywhere by broadcasting
+// the observation stream. The expensive state is divided: each shard
+// materialises signature-tree leaves only for its owned users, so both the
+// branch-and-bound search work (the paper's Fig 10 axis) and the dominant
+// maintenance cost (the BiHMM forward passes behind every leaf refresh —
+// the ROADMAP's "batched ingestion tail") split N ways.
+//
+// # The cross-shard protocol
+//
+// A query fans out to every shard with ONE shared sigtree.Bound: as soon
+// as any shard's local top-k fills, its k-th exact score raises the bound
+// and prunes every other shard's traversal. The per-shard top-k heaps are
+// folded with sigtree.MergeTopK. Correctness is the SearchParallel
+// argument lifted over the shard boundary: each shard's k-th best exact
+// score lower-bounds the global k-th best, pruning is strict, ties are
+// expanded — so results stay bit-identical at every shard count.
+//
+// # The RPC seam
+//
+// Shard is a narrow interface (RegisterItems / ObserveBatch / Recommend /
+// Stats) with wire-encodable argument types; Local adapts an in-process
+// engine, and a network-backed implementation can slot in without touching
+// the Router. The Bound protocol tolerates delayed, duplicated or
+// reordered Raise deliveries (it is a monotone max), so an RPC shard can
+// stream bound updates asynchronously and lose only pruning, never
+// correctness.
+package shard
+
+import (
+	"context"
+
+	"ssrec/internal/core"
+	"ssrec/internal/model"
+	"ssrec/internal/sigtree"
+)
+
+// Stats snapshots one shard for /v2/stats and operational monitoring.
+type Stats struct {
+	// Shard is the shard's position in the deployment.
+	Shard int
+	// Trained reports whether the shard's engine has been bootstrapped.
+	Trained bool
+	// Users counts profiles tracked (the replicated dictionaries cover
+	// every user, so this matches the single-engine figure).
+	Users int
+	// OwnedUsers counts users whose index leaves this shard materialises.
+	OwnedUsers int
+	// Leaves counts signature-tree leaf entries held by this shard.
+	Leaves int
+	// Blocks / Trees / HashKeys describe the (replicated) routing
+	// structures.
+	Blocks   int
+	Trees    int
+	HashKeys int
+	// Parallelism is the shard's intra-query worker count.
+	Parallelism int
+}
+
+// Shard is one engine shard as the Router sees it. Local is the in-process
+// implementation; the method set is deliberately small and wire-encodable
+// (core.QueryOptions, not functional options) so an RPC-backed shard can
+// implement it later without changing the Router.
+type Shard interface {
+	// Index reports the shard's position in the deployment (0-based).
+	Index() int
+
+	// RegisterItems registers a batch of items in batch order under one
+	// lock — the deterministic prologue the Router broadcasts before a
+	// query batch so every shard's producer layer advances identically.
+	RegisterItems(ctx context.Context, items []model.Item) error
+
+	// ObserveBatch ingests one micro-batch of the interaction stream. The
+	// Router broadcasts the SAME batch to every shard: each maintains the
+	// replicated dictionaries for all users and refreshes index leaves
+	// only for the users it owns.
+	ObserveBatch(ctx context.Context, batch []core.Observation) (core.BatchReport, error)
+
+	// Recommend answers one item from this shard's owned users, pruning
+	// against — and raising — the deployment-wide bound shared by all
+	// shards answering the same item.
+	Recommend(ctx context.Context, v model.Item, o core.QueryOptions, b *sigtree.Bound) (core.Result, error)
+
+	// Stats snapshots the shard.
+	Stats() Stats
+}
+
+// Local is the in-process Shard: a thin adapter over one core.Engine whose
+// Config carries the matching ShardIndex/ShardCount.
+type Local struct {
+	idx int
+	eng *core.Engine
+}
+
+// NewLocal wraps an engine as shard idx of its deployment.
+func NewLocal(idx int, eng *core.Engine) *Local {
+	return &Local{idx: idx, eng: eng}
+}
+
+// Engine exposes the wrapped engine (tests, local administration).
+func (l *Local) Engine() *core.Engine { return l.eng }
+
+// Index implements Shard.
+func (l *Local) Index() int { return l.idx }
+
+// RegisterItems implements Shard.
+func (l *Local) RegisterItems(ctx context.Context, items []model.Item) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	l.eng.RegisterItemBatch(items)
+	return nil
+}
+
+// ObserveBatch implements Shard.
+func (l *Local) ObserveBatch(ctx context.Context, batch []core.Observation) (core.BatchReport, error) {
+	return l.eng.ObserveBatch(ctx, batch)
+}
+
+// Recommend implements Shard.
+func (l *Local) Recommend(ctx context.Context, v model.Item, o core.QueryOptions, b *sigtree.Bound) (core.Result, error) {
+	return l.eng.RecommendBound(ctx, v, o, b)
+}
+
+// Stats implements Shard.
+func (l *Local) Stats() Stats {
+	s := Stats{
+		Shard:       l.idx,
+		Trained:     l.eng.Trained(),
+		Users:       l.eng.Users(),
+		Parallelism: l.eng.Parallelism(),
+	}
+	if ist, ok := l.eng.IndexStats(); ok {
+		s.OwnedUsers = ist.OwnedUsers
+		s.Leaves = ist.TotalLeafCount
+		s.Blocks = ist.Blocks
+		s.Trees = ist.Trees
+		s.HashKeys = ist.HashKeys
+	}
+	return s
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 )
 
 // TestSearchCtxNilEquivalence: a nil or never-cancelled context changes
@@ -36,6 +38,86 @@ func TestSearchCtxCancelled(t *testing.T) {
 		_, _, err := SearchParallelCtx(ctx, tqs, 10, p)
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("parallelism %d: err = %v, want context.Canceled", p, err)
+		}
+	}
+}
+
+// TestSearchParallelCtxMidFlightCancel cancels while the partition workers
+// are live: every worker must observe the cancellation at its next poll,
+// the call must report ctx.Err(), and all workers must be joined — no
+// goroutine may outlive SearchParallelCtx (leak-checked against a
+// goroutine-count baseline). The deadline sweep makes at least one run
+// cancel mid-traversal rather than at the entry check.
+func TestSearchParallelCtxMidFlightCancel(t *testing.T) {
+	tqs := buildForest(t, 9, 800, 13)
+	base := runtime.NumGoroutine()
+	sawCancel, sawComplete := false, false
+	for _, timeout := range []time.Duration{time.Nanosecond, 10 * time.Microsecond, 200 * time.Microsecond, 5 * time.Millisecond, time.Second} {
+		for _, p := range []int{2, 8} {
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			recs, _, err := SearchParallelCtx(ctx, tqs, 20, p)
+			cancel()
+			if err != nil {
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Fatalf("timeout %v p=%d: err = %v", timeout, p, err)
+				}
+				sawCancel = true
+			} else {
+				sawComplete = true
+				if len(recs) == 0 {
+					t.Fatalf("timeout %v p=%d: completed with no results", timeout, p)
+				}
+			}
+		}
+	}
+	if !sawCancel || !sawComplete {
+		t.Fatalf("sweep did not cover both outcomes (cancelled=%v completed=%v)", sawCancel, sawComplete)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("search workers leaked: %d > %d\n%s", runtime.NumGoroutine(), base, buf)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSearchParallelBoundCtxExternal: an externally supplied bound behaves
+// exactly like the internal one (bit-identical results) at every
+// parallelism — the single-process statement of the cross-shard protocol —
+// and a pre-poisoned bound above the true k-th score must only ever prune,
+// never fabricate results.
+func TestSearchParallelBoundCtxExternal(t *testing.T) {
+	tqs := buildForest(t, 7, 120, 11)
+	ctx := context.Background()
+	for _, k := range []int{1, 10, 40} {
+		want, _ := Search(tqs, k)
+		for _, p := range []int{0, 1, 2, 8} {
+			got, _, err := SearchParallelBoundCtx(ctx, tqs, k, p, NewBound())
+			if err != nil {
+				t.Fatalf("k=%d p=%d: %v", k, p, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("k=%d p=%d: external bound diverged\n got %v\nwant %v", k, p, got, want)
+			}
+		}
+		// A bound pre-raised to the true best score prunes aggressively,
+		// but pruning is strict (<) and ties are expanded — so the best
+		// entry must still surface at rank 0. (Lower-ranked entries are
+		// legitimately pruned or kept depending on traversal timing; only
+		// the at-bound guarantee is part of the protocol.)
+		if len(want) > 0 {
+			poisoned := NewBound()
+			poisoned.Raise(want[0].Score)
+			got, _, err := SearchParallelBoundCtx(ctx, tqs, k, 4, poisoned)
+			if err != nil {
+				t.Fatalf("poisoned k=%d: %v", k, err)
+			}
+			if len(got) == 0 || got[0] != want[0] {
+				t.Fatalf("poisoned bound lost the at-bound best entry: got %v, want first %+v", got, want[0])
+			}
 		}
 	}
 }

@@ -34,7 +34,9 @@ type SearchStats struct {
 	Partitions     int // worker partitions used (0 = sequential path)
 }
 
-func (s *SearchStats) add(o SearchStats) {
+// Add accumulates another search's pruning counters (Partitions is a
+// configuration echo, not a counter, and is left to the caller).
+func (s *SearchStats) Add(o SearchStats) {
 	s.NodesVisited += o.NodesVisited
 	s.EntriesScored += o.EntriesScored
 	s.EntriesSkipped += o.EntriesSkipped
@@ -128,10 +130,10 @@ func (s *Searcher) pop() pqItem {
 // lowerBound is the effective pruning bound: the worst score of the local
 // top-k once full, raised further by the shared cross-partition bound
 // when one is attached.
-func (s *Searcher) lowerBound(shared *atomicLB) float64 {
+func (s *Searcher) lowerBound(shared *Bound) float64 {
 	lb := s.topk.WorstScore()
 	if shared != nil {
-		if g := shared.load(); g > lb {
+		if g := shared.Load(); g > lb {
 			lb = g
 		}
 	}
@@ -148,7 +150,7 @@ func (s *Searcher) lowerBound(shared *atomicLB) float64 {
 // strict (<), so an entry at exactly the final k-th score is always
 // expanded and user-ID tie-breaking stays identical to the sequential
 // path.
-func (s *Searcher) Run(tqs []TreeQuery, k int, shared *atomicLB) ([]model.Recommendation, SearchStats) {
+func (s *Searcher) Run(tqs []TreeQuery, k int, shared *Bound) ([]model.Recommendation, SearchStats) {
 	recs, stats, _ := s.RunCtx(nil, tqs, k, shared)
 	return recs, stats
 }
@@ -163,7 +165,7 @@ const ctxCheckEvery = 64
 // done, abandons the traversal and returns ctx.Err() with whatever the
 // accumulator held (partial, best-effort results). A nil ctx disables
 // the checks and is exactly Run.
-func (s *Searcher) RunCtx(ctx context.Context, tqs []TreeQuery, k int, shared *atomicLB) ([]model.Recommendation, SearchStats, error) {
+func (s *Searcher) RunCtx(ctx context.Context, tqs []TreeQuery, k int, shared *Bound) ([]model.Recommendation, SearchStats, error) {
 	s.reset(k)
 	for _, tq := range tqs {
 		if tq.Tree.Len() == 0 {
@@ -198,7 +200,7 @@ func (s *Searcher) RunCtx(ctx context.Context, tqs []TreeQuery, k int, shared *a
 				s.stats.EntriesScored++
 			}
 			if shared != nil && s.topk.Full() {
-				shared.raise(s.topk.WorstScore())
+				shared.Raise(s.topk.WorstScore())
 			}
 			continue
 		}
@@ -248,21 +250,32 @@ func SearchCtx(ctx context.Context, tqs []TreeQuery, k int) ([]model.Recommendat
 	return recs, stats, err
 }
 
-// atomicLB is a monotonically increasing float64 shared by the partitions
-// of one parallel search: the best global lower bound on the final k-th
-// score published so far.
-type atomicLB struct{ bits atomic.Uint64 }
+// Bound is a monotonically increasing float64 shared by the partitions of
+// one parallel search — and, through SearchParallelBoundCtx, by the shards
+// of one scatter-gather deployment: the best global lower bound on the
+// final k-th exact score published so far. Create with NewBound; the zero
+// value is NOT ready (the bound must start at -Inf).
+//
+// Bound is the wire protocol of cross-shard pruning: an RPC shard keeps a
+// local Bound that its searcher consults, and streams Raise values to and
+// from the router. Because Raise is a lock-free monotone max, updates may
+// be applied in any order, duplicated or delayed without affecting
+// correctness — a late bound only costs pruning opportunity, never
+// results.
+type Bound struct{ bits atomic.Uint64 }
 
-func newAtomicLB() *atomicLB {
-	lb := &atomicLB{}
+// NewBound returns a shared bound initialised to -Inf (nothing pruned yet).
+func NewBound() *Bound {
+	lb := &Bound{}
 	lb.bits.Store(math.Float64bits(math.Inf(-1)))
 	return lb
 }
 
-func (l *atomicLB) load() float64 { return math.Float64frombits(l.bits.Load()) }
+// Load returns the current bound.
+func (l *Bound) Load() float64 { return math.Float64frombits(l.bits.Load()) }
 
-// raise lifts the bound to v if v is higher (lock-free monotone max).
-func (l *atomicLB) raise(v float64) {
+// Raise lifts the bound to v if v is higher (lock-free monotone max).
+func (l *Bound) Raise(v float64) {
 	for {
 		old := l.bits.Load()
 		if math.Float64frombits(old) >= v {
@@ -294,18 +307,40 @@ func SearchParallel(tqs []TreeQuery, k, parallelism int) ([]model.Recommendation
 // early when it is done, after which the call reports ctx.Err() and the
 // merged partial results must not be served as exact.
 func SearchParallelCtx(ctx context.Context, tqs []TreeQuery, k, parallelism int) ([]model.Recommendation, SearchStats, error) {
+	return SearchParallelBoundCtx(ctx, tqs, k, parallelism, nil)
+}
+
+// SearchParallelBoundCtx is SearchParallelCtx pruning against (and
+// raising) a caller-supplied shared bound — the entry point of the
+// cross-shard protocol: every shard of a scatter-gather deployment runs
+// its partition of the candidate trees through here with the SAME Bound,
+// so one shard's k-th best exact score prunes every other shard's
+// traversal. A nil bound is created internally (the single-process case).
+//
+// The correctness argument is the same as SearchParallel's: each
+// participant's k-th best exact score is a monotone lower bound on the
+// global k-th best (the global candidate pool is a superset of every
+// participant's), pruning is strict, and ties at the bound are still
+// expanded — so the merged results are bit-identical to a sequential scan
+// no matter how participants are partitioned, locally or across shards.
+func SearchParallelBoundCtx(ctx context.Context, tqs []TreeQuery, k, parallelism int, shared *Bound) ([]model.Recommendation, SearchStats, error) {
 	if parallelism > len(tqs) {
 		parallelism = len(tqs)
 	}
 	if parallelism <= 1 || len(tqs) < 2 {
-		return SearchCtx(ctx, tqs, k)
+		s := searcherPool.Get().(*Searcher)
+		recs, stats, err := s.RunCtx(ctx, tqs, k, shared)
+		searcherPool.Put(s)
+		return recs, stats, err
 	}
 	parts := make([][]TreeQuery, parallelism)
 	for i, tq := range tqs {
 		w := i % parallelism
 		parts[w] = append(parts[w], tq)
 	}
-	shared := newAtomicLB()
+	if shared == nil {
+		shared = NewBound()
+	}
 	partRecs := make([][]model.Recommendation, parallelism)
 	partStats := make([]SearchStats, parallelism)
 	partErrs := make([]error, parallelism)
@@ -331,13 +366,29 @@ func SearchParallelCtx(ctx context.Context, tqs []TreeQuery, k, parallelism int)
 		for _, r := range partRecs[w] {
 			merged.Offer(r.UserID, r.Score)
 		}
-		stats.add(partStats[w])
+		stats.Add(partStats[w])
 		if err == nil && partErrs[w] != nil {
 			err = partErrs[w]
 		}
 	}
 	stats.Partitions = parallelism
 	return merged.Sorted(), stats, err
+}
+
+// MergeTopK folds several per-partition top-k lists into the global top-k
+// using the search comparator (score descending, user-ID ascending tie
+// break). Because the Offer comparator is order-independent and every
+// input list is exact for its own candidate subset, folding lists in any
+// order yields the global top-k with sequential tie-breaking — this is the
+// gather step of the sharded scatter-gather router.
+func MergeTopK(k int, lists ...[]model.Recommendation) []model.Recommendation {
+	merged := newTopK(k)
+	for _, l := range lists {
+		for _, r := range l {
+			merged.Offer(r.UserID, r.Score)
+		}
+	}
+	return merged.Sorted()
 }
 
 // SequentialScan scores every leaf entry of every tree directly — the

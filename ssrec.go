@@ -42,17 +42,29 @@
 // ErrUnknownCategory, ErrInvalidObservation) and honor context
 // cancellation down to the index search loop.
 //
+// # Scaling out
+//
+// Open with WithShards(n) serves the same API from an n-shard
+// scatter-gather deployment: user blocks are partitioned across n engine
+// shards, every query fans out under a shared score lower bound, and the
+// results are observably identical to the single engine (enforced by the
+// conformance suite in internal/shard):
+//
+//	rec := ssrec.Open(cfg, ssrec.WithShards(8))
+//
 // See the examples/ directory for runnable scenarios and DESIGN.md for the
 // system inventory and the v1→v2 migration table.
 package ssrec
 
 import (
+	"context"
 	"fmt"
 
 	"ssrec/internal/core"
 	"ssrec/internal/dataset"
 	"ssrec/internal/evalx"
 	"ssrec/internal/model"
+	"ssrec/internal/shard"
 )
 
 // Core data types, shared with the internal packages.
@@ -106,14 +118,83 @@ func WithParallelism(n int) Option { return core.WithParallelism(n) }
 // WithoutExpansion disables proximity entity expansion for one call.
 func WithoutExpansion() Option { return core.WithoutExpansion() }
 
-// Recommender is the assembled ssRec system.
+// Recommender is the assembled ssRec system: either one in-process engine
+// (New, or Open without options) or a sharded scatter-gather deployment
+// (Open with WithShards) behind the same method set. The two are
+// observably equivalent — identical rankings, scores and order — which the
+// conformance suite in internal/shard enforces.
 type Recommender struct {
-	*core.Engine
+	eng    *core.Engine  // single-engine deployment; nil when sharded
+	router *shard.Router // sharded deployment; nil when single-engine
 }
 
-// New creates a recommender. Config.Categories is required.
+// OpenOption configures Open.
+type OpenOption func(*openOptions)
+
+type openOptions struct {
+	shards int
+}
+
+// WithShards serves the recommender as an n-shard deployment: user blocks
+// are partitioned across n engine shards and every query is scattered to
+// all of them under a shared score bound (see internal/shard). n <= 1 is
+// the ordinary single engine.
+func WithShards(n int) OpenOption {
+	return func(o *openOptions) { o.shards = n }
+}
+
+// Open creates a recommender with deployment options. Open(cfg) is
+// equivalent to New(cfg).
+func Open(cfg Config, opts ...OpenOption) *Recommender {
+	var o openOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.shards > 1 {
+		return &Recommender{router: shard.New(cfg, o.shards)}
+	}
+	return &Recommender{eng: core.New(cfg)}
+}
+
+// New creates a single-engine recommender. Config.Categories is required.
 func New(cfg Config) *Recommender {
-	return &Recommender{Engine: core.New(cfg)}
+	return Open(cfg)
+}
+
+// Shards reports the deployment width (1 for a single engine).
+func (r *Recommender) Shards() int {
+	if r.router != nil {
+		return r.router.Shards()
+	}
+	return 1
+}
+
+// Engine exposes the underlying single engine for advanced use
+// (persistence, experiments). It is nil for a sharded deployment — the
+// shards are managed through the router and must not be mutated
+// individually.
+func (r *Recommender) Engine() *core.Engine { return r.eng }
+
+// Router exposes the shard router of a sharded deployment (nil for a
+// single engine).
+func (r *Recommender) Router() *shard.Router { return r.router }
+
+// Name identifies the configured system arm.
+func (r *Recommender) Name() string {
+	if r.router != nil {
+		return fmt.Sprintf("ssRec[%d shards]", r.router.Shards())
+	}
+	return r.eng.Name()
+}
+
+// Train bootstraps the recommender on a batch of items and interactions.
+// A sharded deployment trains once and boots every shard from the
+// resulting snapshot.
+func (r *Recommender) Train(items []Item, interactions []Interaction, resolve func(string) (Item, bool)) error {
+	if r.router != nil {
+		return r.router.Train(items, interactions, resolve)
+	}
+	return r.eng.Train(items, interactions, resolve)
 }
 
 // TrainDataset bootstraps the recommender on the leading fraction of a
@@ -124,7 +205,68 @@ func (r *Recommender) TrainDataset(ds *Dataset, fraction float64) error {
 		return fmt.Errorf("ssrec: fraction %v out of (0,1]", fraction)
 	}
 	n := int(float64(len(ds.d.Interactions)) * fraction)
-	return r.Engine.Train(ds.d.Items, ds.d.Interactions[:n], ds.d.Item)
+	return r.Train(ds.d.Items, ds.d.Interactions[:n], ds.d.Item)
+}
+
+// RecommendCtx is the v2 single-item query (see core.Engine.RecommendCtx).
+func (r *Recommender) RecommendCtx(ctx context.Context, v Item, opts ...Option) (Result, error) {
+	if r.router != nil {
+		return r.router.RecommendCtx(ctx, v, opts...)
+	}
+	return r.eng.RecommendCtx(ctx, v, opts...)
+}
+
+// RecommendBatch is the v2 multi-item query (see core.Engine.RecommendBatch).
+func (r *Recommender) RecommendBatch(ctx context.Context, items []Item, opts ...Option) ([]Result, error) {
+	if r.router != nil {
+		return r.router.RecommendBatch(ctx, items, opts...)
+	}
+	return r.eng.RecommendBatch(ctx, items, opts...)
+}
+
+// ObserveBatch is the v2 micro-batched stream ingest (see
+// core.Engine.ObserveBatch). On a sharded deployment the batch is the
+// atomic replication unit: it is broadcast to every shard uncancellably,
+// and cancellation applies between batches.
+func (r *Recommender) ObserveBatch(ctx context.Context, batch []Observation) (BatchReport, error) {
+	if r.router != nil {
+		return r.router.ObserveBatch(ctx, batch)
+	}
+	return r.eng.ObserveBatch(ctx, batch)
+}
+
+// Recommend is the v1 query: top-k users for an incoming item.
+func (r *Recommender) Recommend(v Item, k int) []Recommendation {
+	if r.router != nil {
+		return r.router.Recommend(v, k)
+	}
+	return r.eng.Recommend(v, k)
+}
+
+// Observe is the v1 single-interaction ingest.
+func (r *Recommender) Observe(ir Interaction, v Item) {
+	if r.router != nil {
+		r.router.Observe(ir, v)
+		return
+	}
+	r.eng.Observe(ir, v)
+}
+
+// RegisterItem tells the deployment about a newly arrived item.
+func (r *Recommender) RegisterItem(v Item) {
+	if r.router != nil {
+		r.router.RegisterItem(v)
+		return
+	}
+	r.eng.RegisterItem(v)
+}
+
+// Users reports the number of tracked profiles.
+func (r *Recommender) Users() int {
+	if r.router != nil {
+		return r.router.Users()
+	}
+	return r.eng.Users()
 }
 
 // Evaluate runs the paper's stream-simulation protocol (6 timestamp

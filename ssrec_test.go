@@ -55,6 +55,59 @@ func TestPublicV2Flow(t *testing.T) {
 	}
 }
 
+// TestPublicShardedFlow: Open(WithShards(n)) serves the same API and the
+// same answers as the single engine — the public-surface statement of the
+// internal/shard conformance contract.
+func TestPublicShardedFlow(t *testing.T) {
+	ds := GenerateYTubeLike(0.2, 9)
+	cfg := Config{Categories: ds.Categories(), TrainMaxIter: 5, Restarts: 1}
+	single := New(cfg)
+	sharded := Open(cfg, WithShards(3))
+	if single.Shards() != 1 || sharded.Shards() != 3 {
+		t.Fatalf("Shards() = %d / %d", single.Shards(), sharded.Shards())
+	}
+	if single.Engine() == nil || sharded.Engine() != nil {
+		t.Fatal("Engine accessor: single must expose one, sharded must not")
+	}
+	if sharded.Router() == nil {
+		t.Fatal("sharded deployment has no router")
+	}
+	for _, r := range []*Recommender{single, sharded} {
+		if err := r.TrainDataset(ds, 1.0/3); err != nil {
+			t.Fatalf("TrainDataset: %v", err)
+		}
+	}
+	if single.Users() != sharded.Users() {
+		t.Fatalf("Users: %d vs %d", single.Users(), sharded.Users())
+	}
+	ctx := context.Background()
+	items := ds.Items()
+	checked := 0
+	for i := len(items) - 8; i < len(items); i++ {
+		a, errA := single.RecommendCtx(ctx, items[i], WithK(10))
+		b, errB := sharded.RecommendCtx(ctx, items[i], WithK(10))
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("item %s: errs %v vs %v", items[i].ID, errA, errB)
+		}
+		if !reflect.DeepEqual(a.Recommendations, b.Recommendations) {
+			t.Fatalf("item %s: sharded deployment diverged\n single  %v\n sharded %v",
+				items[i].ID, a.Recommendations, b.Recommendations)
+		}
+		checked++
+		// Keep the streams in lockstep.
+		obs := []Observation{{UserID: "shard-flow-user", Item: items[i], Timestamp: items[i].Timestamp + 1}}
+		if _, err := single.ObserveBatch(ctx, obs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sharded.ObserveBatch(ctx, obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+}
+
 func TestPublicQuickstartFlow(t *testing.T) {
 	ds := GenerateYTubeLike(0.2, 9)
 	rec := New(Config{Categories: ds.Categories(), TrainMaxIter: 5, Restarts: 1})
