@@ -34,19 +34,20 @@ func main() {
 		quick     = flag.Bool("quick", false, "coarse parameter grids and item caps")
 		fig67Data = flag.String("sweepdata", "YTube", "dataset for the fig6/fig7 sweeps (YTube or MLens)")
 
-		throughput = flag.Bool("throughput", false, "serving-throughput mode (items/sec, P50/P99 latency)")
-		parallel   = flag.Int("parallel", 1, "throughput mode: concurrent Recommend workers")
-		partitions = flag.Int("partitions", 1, "throughput mode: intra-query partitions (Config.Parallelism)")
-		shards     = flag.Int("shards", 1, "throughput mode: serve through an N-shard scatter-gather deployment")
-		writers    = flag.Int("writers", 0, "throughput mode: concurrent ObserveBatch ingestion workers (0 = read-only)")
-		batch      = flag.Int("batch", 64, "throughput mode: observe micro-batch size (<=1 replays per-item Observe)")
-		topK       = flag.Int("k", 30, "throughput mode: recommendations per item")
-		jsonOut    = flag.String("json", "", "throughput mode: write the JSON report here")
+		throughput   = flag.Bool("throughput", false, "serving-throughput mode (items/sec, P50/P99 latency)")
+		parallel     = flag.Int("parallel", 1, "throughput mode: concurrent Recommend workers")
+		partitions   = flag.Int("partitions", 1, "throughput mode: intra-query partitions (Config.Parallelism)")
+		shards       = flag.Int("shards", 1, "throughput mode: serve through an N-shard scatter-gather deployment")
+		remoteShards = flag.String("remote-shards", "", "throughput mode: serve through REMOTE shardd endpoints — either \"N\" (spawn N loopback shards in-process) or comma-separated shardd addresses in shard-index order; the trained snapshot is pushed via the handoff protocol")
+		writers      = flag.Int("writers", 0, "throughput mode: concurrent ObserveBatch ingestion workers (0 = read-only)")
+		batch        = flag.Int("batch", 64, "throughput mode: observe micro-batch size (<=1 replays per-item Observe)")
+		topK         = flag.Int("k", 30, "throughput mode: recommendations per item")
+		jsonOut      = flag.String("json", "", "throughput mode: write the JSON report here")
 	)
 	flag.Parse()
 
 	if *throughput {
-		runThroughput(*scale, *seed, *parallel, *partitions, *shards, *writers, *batch, *topK, *jsonOut)
+		runThroughput(*scale, *seed, *parallel, *partitions, *shards, *remoteShards, *writers, *batch, *topK, *jsonOut)
 		return
 	}
 

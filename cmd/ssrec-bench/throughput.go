@@ -23,6 +23,16 @@
 //	(internal/shard) booted from the trained engine's snapshot;
 //	reader latency then includes the fan-out/merge and writers
 //	measure the broadcast ingest with sharded leaf refreshes
+//
+// -remote-shards X  replay through REMOTE shardd endpoints over the shard
+//
+//	RPC transport (internal/shardrpc): X is either "N" — spawn N
+//	loopback shards in-process (self-contained; still real TCP +
+//	HTTP/2 + the bound-streaming protocol) — or a comma-separated
+//	list of running ssrec-shardd addresses in shard-index order.
+//	Either way the trained snapshot is pushed to every shard via
+//	the handoff protocol before the replay; reader latency then
+//	includes the network scatter/gather round trip
 package main
 
 import (
@@ -30,9 +40,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,7 +54,58 @@ import (
 	"ssrec/internal/dataset"
 	"ssrec/internal/model"
 	"ssrec/internal/shard"
+	"ssrec/internal/shardrpc"
 )
+
+// bootRemoteShards stands up the -remote-shards deployment: a numeric
+// spec "N" spawns N loopback shard servers in-process (still real TCP,
+// HTTP/2 and the bound-streaming protocol — the self-contained way to
+// measure the RPC transport), anything else is a comma-separated list of
+// running ssrec-shardd addresses in shard-index order. Either way the
+// trained engine's snapshot is pushed to every shard over the handoff
+// protocol before the replay starts.
+func bootRemoteShards(eng *core.Engine, spec string) (*shard.Router, int) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "throughput: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveTo(&buf); err != nil {
+		fail("snapshot: %v", err)
+	}
+	var addrs []string
+	if n, err := strconv.Atoi(spec); err == nil {
+		if n < 1 {
+			fail("-remote-shards %q: need at least 1 shard", spec)
+		}
+		for i := 0; i < n; i++ {
+			srv, err := shardrpc.NewServer(i, n)
+			if err != nil {
+				fail("shard %d: %v", i, err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fail("shard %d: listen: %v", i, err)
+			}
+			go srv.NewHTTPServer(ln.Addr().String()).Serve(ln) //nolint:errcheck // lives for the process
+			addrs = append(addrs, ln.Addr().String())
+		}
+		fmt.Fprintf(os.Stderr, "spawned %d loopback shards: %s\n", n, strings.Join(addrs, ","))
+	} else {
+		addrs = shardrpc.SplitAddrs(spec)
+		if len(addrs) == 0 {
+			fail("-remote-shards %q: no addresses", spec)
+		}
+	}
+	router, err := shardrpc.DialRouter(addrs)
+	if err != nil {
+		fail("assemble remote deployment: %v", err)
+	}
+	if err := router.HandoffSnapshot(context.Background(), buf.Bytes()); err != nil {
+		fail("snapshot handoff: %v", err)
+	}
+	return router, len(addrs)
+}
 
 // benchBackend is the serving surface the replay drives — one engine or a
 // sharded router, interchangeably.
@@ -60,9 +124,10 @@ type ThroughputResult struct {
 	Seed        int64   `json:"seed"`
 	GoMaxProcs  int     `json:"gomaxprocs"`
 	K           int     `json:"k"`
-	Parallel    int     `json:"parallel"`   // concurrent request workers
-	Partitions  int     `json:"partitions"` // intra-query parallelism
-	Shards      int     `json:"shards"`     // scatter-gather deployment width (1 = single engine)
+	Parallel    int     `json:"parallel"`            // concurrent request workers
+	Partitions  int     `json:"partitions"`          // intra-query parallelism
+	Shards      int     `json:"shards"`              // scatter-gather deployment width (1 = single engine)
+	Transport   string  `json:"transport,omitempty"` // "rpc" when the shards are remote (loopback or external)
 	Items       int     `json:"items"`
 	TotalSec    float64 `json:"total_sec"`
 	ItemsPerSec float64 `json:"items_per_sec"`
@@ -83,7 +148,7 @@ type ThroughputResult struct {
 	WriterMeanBatchSize float64 `json:"writer_mean_batch_size,omitempty"`
 }
 
-func runThroughput(scale float64, seed int64, parallel, partitions, shards, writers, batch, k int, jsonPath string) {
+func runThroughput(scale float64, seed int64, parallel, partitions, shards int, remoteShards string, writers, batch, k int, jsonPath string) {
 	if parallel < 1 {
 		parallel = 1
 	}
@@ -127,9 +192,15 @@ func runThroughput(scale float64, seed int64, parallel, partitions, shards, writ
 		os.Exit(1)
 	}
 	// Sharded serving: boot an N-shard deployment from the trained
-	// engine's snapshot and replay through the scatter-gather router.
+	// engine's snapshot — in-process (-shards) or over the shard RPC
+	// transport (-remote-shards) — and replay through the scatter-gather
+	// router.
 	var backend benchBackend = eng
-	if shards > 1 {
+	transport := ""
+	if remoteShards != "" {
+		router, n := bootRemoteShards(eng, remoteShards)
+		backend, shards, transport = router, n, "rpc"
+	} else if shards > 1 {
 		var buf bytes.Buffer
 		if err := eng.SaveTo(&buf); err != nil {
 			fmt.Fprintf(os.Stderr, "throughput: snapshot: %v\n", err)
@@ -256,6 +327,7 @@ func runThroughput(scale float64, seed int64, parallel, partitions, shards, writ
 		Parallel:    parallel,
 		Partitions:  partitions,
 		Shards:      shards,
+		Transport:   transport,
 		Items:       len(queries),
 		TotalSec:    total.Seconds(),
 		ItemsPerSec: float64(len(queries)) / total.Seconds(),
@@ -264,8 +336,12 @@ func runThroughput(scale float64, seed int64, parallel, partitions, shards, writ
 		P99Us:       us(pct(0.99)),
 		MaxUs:       us(latencies[len(latencies)-1]),
 	}
-	fmt.Printf("throughput: %d items, %d workers, %d partitions, %d shards: %.0f items/sec  p50=%.0fµs p99=%.0fµs\n",
-		res.Items, res.Parallel, res.Partitions, res.Shards, res.ItemsPerSec, res.P50Us, res.P99Us)
+	shardsDesc := fmt.Sprintf("%d shards", res.Shards)
+	if res.Transport == "rpc" {
+		shardsDesc = fmt.Sprintf("%d remote shards", res.Shards)
+	}
+	fmt.Printf("throughput: %d items, %d workers, %d partitions, %s: %.0f items/sec  p50=%.0fµs p99=%.0fµs\n",
+		res.Items, res.Parallel, res.Partitions, shardsDesc, res.ItemsPerSec, res.P50Us, res.P99Us)
 	if writers > 0 && writerWall > 0 {
 		res.Writers = writers
 		res.Batch = batch

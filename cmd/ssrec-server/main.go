@@ -15,6 +15,15 @@
 //
 //	ssrec-server -demo -shards 4 -addr :8080
 //
+// and -shard-addrs serves it from REMOTE shardd processes
+// (cmd/ssrec-shardd) instead — the snapshot is pushed to every address
+// over the handoff protocol, then queries scatter-gather over HTTP/2 with
+// shared-lower-bound pruning and failover (see OPERATIONS.md):
+//
+//	ssrec-shardd -addr :9101 -index 0 -of 2 &
+//	ssrec-shardd -addr :9102 -index 1 -of 2 &
+//	ssrec-server -demo -shard-addrs 127.0.0.1:9101,127.0.0.1:9102 -addr :8080
+//
 // Then:
 //
 //	curl -s localhost:8080/v2/stats
@@ -45,6 +54,7 @@ import (
 	"ssrec/internal/evalx"
 	"ssrec/internal/server"
 	"ssrec/internal/shard"
+	"ssrec/internal/shardrpc"
 )
 
 func main() {
@@ -57,6 +67,7 @@ func main() {
 
 		partitions = flag.Int("partitions", 1, "intra-query search partitions (Config.Parallelism); overrides a loaded model's setting")
 		shards     = flag.Int("shards", 1, "serve an N-shard scatter-gather deployment (every shard boots from the same model/demo snapshot)")
+		shardAddrs = flag.String("shard-addrs", "", "comma-separated ssrec-shardd addresses (shard-index order); serve a remote deployment, pushing the model/demo snapshot to every shard")
 		save       = flag.String("save", "", "after -demo training, save the engine here (core.SaveFile format)")
 
 		maxK         = flag.Int("max-k", 100, "cap on per-request k")
@@ -76,8 +87,12 @@ func main() {
 
 	// Resolve the serving state: a saved model file or a freshly trained
 	// demo engine. With -shards > 1 a snapshot boots every shard of a
-	// scatter-gather deployment; a single-engine server keeps the
-	// trained/loaded engine directly (no snapshot round-trip).
+	// scatter-gather deployment, and with -shard-addrs it is pushed to
+	// every remote shardd over the handoff protocol; a single-engine
+	// server keeps the trained/loaded engine directly (no snapshot
+	// round-trip).
+	remote := shardrpc.SplitAddrs(*shardAddrs)
+	sharded := *shards > 1 || len(remote) > 0
 	var (
 		eng      *core.Engine
 		snapshot []byte
@@ -90,7 +105,7 @@ func main() {
 		}
 		snapshot = data
 		log.Printf("loaded model snapshot from %s (%d bytes)", *model, len(snapshot))
-		if *shards <= 1 {
+		if !sharded {
 			if eng, err = core.LoadFrom(bytes.NewReader(snapshot)); err != nil {
 				log.Fatalf("boot engine: %v", err)
 			}
@@ -105,7 +120,7 @@ func main() {
 			log.Fatalf("train demo engine: %v", err)
 		}
 		log.Printf("demo engine trained: %s", ds.ComputeStats())
-		if *save != "" || *shards > 1 {
+		if *save != "" || sharded {
 			var buf bytes.Buffer
 			if err := eng.SaveTo(&buf); err != nil {
 				log.Fatalf("snapshot demo engine: %v", err)
@@ -123,7 +138,26 @@ func main() {
 	}
 
 	var backend server.Backend
-	if *shards > 1 {
+	switch {
+	case len(remote) > 0:
+		router, err := shardrpc.DialRouter(remote)
+		if err != nil {
+			log.Fatalf("assemble remote deployment: %v", err)
+		}
+		if partitionsSet {
+			// Intra-query parallelism is a per-shardd setting on a remote
+			// deployment; SetParallelism cannot reach across the wire.
+			log.Printf("warning: -partitions is ignored with -shard-addrs; set it per shard with ssrec-shardd -partitions")
+		}
+		log.Printf("pushing snapshot to %d remote shard(s)...", len(remote))
+		if err := router.HandoffSnapshot(context.Background(), snapshot); err != nil {
+			log.Fatalf("snapshot handoff: %v", err)
+		}
+		for _, st := range router.ShardStats() {
+			log.Printf("shard %d @ %s: %d/%d owned users, %d leaves", st.Shard, remote[st.Shard], st.OwnedUsers, st.Users, st.Leaves)
+		}
+		backend = router
+	case *shards > 1:
 		router, err := shard.FromSnapshot(snapshot, *shards)
 		if err != nil {
 			log.Fatalf("boot %d-shard deployment: %v", *shards, err)
@@ -135,7 +169,7 @@ func main() {
 			log.Printf("shard %d: %d/%d owned users, %d leaves", st.Shard, st.OwnedUsers, st.Users, st.Leaves)
 		}
 		backend = router
-	} else {
+	default:
 		if partitionsSet {
 			eng.SetParallelism(*partitions) // explicit flag overrides the snapshot's value
 		}

@@ -1,0 +1,107 @@
+// Command ssrec-shardd serves ONE shard of a distributed ssRec deployment
+// over the shard RPC protocol (internal/shardrpc): HTTP/2 + NDJSON, with
+// the full-duplex bound-streaming recommend exchange, micro-batch
+// replication, per-shard stats and the snapshot boot/handoff endpoint.
+//
+// A shardd always knows its identity — shard -index of an -of-wide
+// deployment — and boots in one of two ways:
+//
+//	ssrec-shardd -addr :9101 -index 0 -of 2 -model engine.bin   # boot from a snapshot file
+//	ssrec-shardd -addr :9102 -index 1 -of 2                     # blank: await a snapshot handoff
+//
+// A blank shardd answers health checks (trained=false) and 503s every
+// serving endpoint until a router pushes a trained-engine snapshot to
+// POST /shard/v1/snapshot (shard.Router.HandoffSnapshot, ssrec-server
+// -shard-addrs, or ssrec.Open(..., ssrec.WithRemoteShards(...)).Train).
+// The same handoff is the RECOVERY path: a shardd that crashed or was
+// partitioned has missed replicated micro-batches and must be re-seeded
+// with a fresh snapshot before the router re-includes it. See
+// OPERATIONS.md for the runbook and deployment topologies.
+//
+// Probe it:
+//
+//	curl -s localhost:9101/shard/v1/health
+//	curl -s localhost:9101/shard/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ssrec/internal/core"
+	"ssrec/internal/shardrpc"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":9100", "listen address")
+		index = flag.Int("index", 0, "this shard's position in the deployment (0-based)")
+		of    = flag.Int("of", 1, "deployment width (total shard count)")
+		model = flag.String("model", "", "boot from a saved engine snapshot (core.SaveFile format); omit to await a snapshot handoff")
+
+		partitions = flag.Int("partitions", 0, "intra-query search partitions; > 0 overrides the snapshot's setting and applies to handoff boots")
+		boundFlush = flag.Duration("bound-flush", shardrpc.DefaultBoundFlush, "sampling interval of the bound-raise stream on the recommend exchange")
+
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window after SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	srv, err := shardrpc.NewServer(*index, *of)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Parallelism = *partitions
+	srv.BoundFlush = *boundFlush
+
+	if *model != "" {
+		f, err := os.Open(*model)
+		if err != nil {
+			log.Fatalf("open model: %v", err)
+		}
+		eng, err := core.LoadShardFrom(f, *index, *of)
+		f.Close()
+		if err != nil {
+			log.Fatalf("boot shard %d/%d from %s: %v", *index, *of, *model, err)
+		}
+		srv.Boot(eng)
+		if ist, ok := eng.IndexStats(); ok {
+			log.Printf("shard %d/%d booted from %s: %d/%d owned users, %d leaves",
+				*index, *of, *model, ist.OwnedUsers, eng.Users(), ist.TotalLeafCount)
+		}
+	} else {
+		log.Printf("shard %d/%d blank: awaiting snapshot handoff on POST /shard/v1/snapshot", *index, *of)
+	}
+
+	httpSrv := srv.NewHTTPServer(*addr)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("ssrec-shardd %d/%d listening on %s\n", *index, *of, *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills immediately
+		log.Printf("shutdown signal received; draining for up to %v", *drainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+			httpSrv.Close() //nolint:errcheck // force-close remaining connections
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+		log.Printf("shard stopped")
+	}
+}

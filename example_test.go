@@ -68,6 +68,76 @@ func ExampleRecommender_RecommendBatch() {
 
 func errorsIsUnknownCategory(err error) bool { return errors.Is(err, ssrec.ErrUnknownCategory) }
 
+// Open with WithShards serves the identical API from an n-shard
+// scatter-gather deployment — same rankings, same scores, same order as
+// the single engine (the conformance suite in internal/shard enforces
+// it), with index maintenance split across the shards.
+func ExampleOpen() {
+	ds := ssrec.GenerateYTubeLike(0.15, 11)
+	cfg := ssrec.Config{Categories: ds.Categories()}
+
+	single := ssrec.Open(cfg)
+	sharded := ssrec.Open(cfg, ssrec.WithShards(2))
+	if err := single.TrainDataset(ds, 1.0/3); err != nil {
+		panic(err)
+	}
+	if err := sharded.TrainDataset(ds, 1.0/3); err != nil {
+		panic(err)
+	}
+
+	items := ds.Items()
+	incoming := items[len(items)-1]
+	ctx := context.Background()
+	a, err := single.RecommendCtx(ctx, incoming, ssrec.WithK(5))
+	if err != nil {
+		panic(err)
+	}
+	b, err := sharded.RecommendCtx(ctx, incoming, ssrec.WithK(5))
+	if err != nil {
+		panic(err)
+	}
+	identical := len(a.Recommendations) == len(b.Recommendations)
+	for i := range a.Recommendations {
+		identical = identical && a.Recommendations[i] == b.Recommendations[i]
+	}
+	fmt.Println("shards:", sharded.Shards())
+	fmt.Println("identical rankings:", identical)
+	// Output:
+	// shards: 2
+	// identical rankings: true
+}
+
+// WithRemoteShards drives the same scatter-gather deployment over the
+// network: one ssrec-shardd process per shard, dialed lazily, booted by
+// the first Train (or Handoff) call, with failover while shards are
+// down. This example needs running shardd processes, so it is compiled
+// but not executed; start the fleet with
+//
+//	ssrec-shardd -addr :9101 -index 0 -of 2
+//	ssrec-shardd -addr :9102 -index 1 -of 2
+func ExampleWithRemoteShards() {
+	ds := ssrec.GenerateYTubeLike(0.15, 11)
+	rec := ssrec.Open(
+		ssrec.Config{Categories: ds.Categories()},
+		ssrec.WithRemoteShards("127.0.0.1:9101", "127.0.0.1:9102"),
+	)
+	// Train locally, snapshot, and hand the snapshot to every shardd.
+	if err := rec.TrainDataset(ds, 1.0/3); err != nil {
+		panic(err)
+	}
+
+	items := ds.Items()
+	res, err := rec.RecommendCtx(context.Background(), items[len(items)-1], ssrec.WithK(10))
+	if errors.Is(err, ssrec.ErrShardUnavailable) {
+		// Degraded mode: a shard is down. res still ranks the users the
+		// reachable shards own; recover with rec.Handoff(ctx, snapshot).
+		fmt.Println("partial:", len(res.Recommendations))
+	} else if err != nil {
+		panic(err)
+	}
+	fmt.Println("deliveries:", len(res.Recommendations))
+}
+
 // Items are plain values; bring your own catalog instead of the generator.
 func ExampleRecommender_Train() {
 	items := []ssrec.Item{

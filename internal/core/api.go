@@ -208,7 +208,13 @@ func (e *Engine) RecommendBatch(ctx context.Context, items []model.Item, opts ..
 // registration would advance the producer layer in nondeterministic order
 // and the shards would drift apart). A fully warmed batch takes only the
 // read lock.
-func (e *Engine) RegisterItemBatch(items []model.Item) {
+//
+// The return reports whether any PREVIOUSLY-UNSEEN item was registered —
+// i.e. whether the call advanced the replicated dictionaries. A warm
+// batch (and a dirty-flush-only call, which is shard-local maintenance)
+// reports false; the shard router uses this to decide whether an
+// excluded shard that skipped the broadcast actually fell behind.
+func (e *Engine) RegisterItemBatch(items []model.Item) bool {
 	e.mu.RLock()
 	needs := len(e.dirty) > 0
 	if !needs {
@@ -221,14 +227,19 @@ func (e *Engine) RegisterItemBatch(items []model.Item) {
 	}
 	e.mu.RUnlock()
 	if !needs {
-		return
+		return false
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	changed := false
 	for _, v := range items {
+		if _, known := e.itemZ[v.ID]; !known {
+			changed = true
+		}
 		e.registerItemLocked(v)
 	}
 	e.flushUpdatesLocked()
+	return changed
 }
 
 // Observation is one user-item interaction prepared for batched ingestion.

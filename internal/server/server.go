@@ -26,6 +26,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync/atomic"
+	"time"
 
 	"ssrec/internal/core"
 	"ssrec/internal/model"
@@ -79,6 +81,17 @@ type Server struct {
 	// MaxBodyBytes bounds request bodies. Default 1<<20 for v1 JSON
 	// bodies; /v2/observe streams and uses 64 MiB more.
 	MaxBodyBytes int64
+	// MaxInflightObserve caps concurrent /v2/observe streams. Excess
+	// requests are REJECTED up front with 503 + Retry-After instead of
+	// queueing on the engine's write lock — a saturated micro-batch queue
+	// must push back, not stall every connected client. Default 16;
+	// <= 0 disables the cap.
+	MaxInflightObserve int
+	// RetryAfter is the hint sent with 503 rejections. Default 1s.
+	RetryAfter time.Duration
+
+	// inflightObserve counts running /v2/observe streams.
+	inflightObserve atomic.Int64
 }
 
 // New builds a server around a (trained) single engine.
@@ -88,13 +101,15 @@ func New(eng *core.SafeEngine) *Server { return NewBackend(eng) }
 // sharded deployment (*shard.Router).
 func NewBackend(b Backend) *Server {
 	s := &Server{
-		eng:          b,
-		mux:          http.NewServeMux(),
-		metrics:      newAPIMetrics(),
-		MaxK:         100,
-		MaxBatch:     256,
-		BatchSize:    64,
-		MaxBodyBytes: 64 << 20,
+		eng:                b,
+		mux:                http.NewServeMux(),
+		metrics:            newAPIMetrics(),
+		MaxK:               100,
+		MaxBatch:           256,
+		BatchSize:          64,
+		MaxBodyBytes:       64 << 20,
+		MaxInflightObserve: 16,
+		RetryAfter:         time.Second,
 	}
 	s.mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
 	s.mux.HandleFunc("POST /v1/observe", s.handleObserve)

@@ -28,9 +28,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"ssrec/internal/core"
 	"ssrec/internal/model"
+	"ssrec/internal/shard"
 )
 
 // errorJSON is the structured per-item / per-line error object.
@@ -48,6 +51,11 @@ func errCode(err error) string {
 		return "unknown_category"
 	case errors.Is(err, core.ErrInvalidObservation):
 		return "invalid_observation"
+	case errors.Is(err, shard.ErrShardUnavailable):
+		// Degraded sharded deployment: the result is partial (results are
+		// still attached beside the error) or the ingest was not fully
+		// replicated. Clients may retry once the deployment recovers.
+		return "shard_unavailable"
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return "cancelled"
 	}
@@ -138,7 +146,14 @@ func (s *Server) handleRecommendV2(w http.ResponseWriter, r *http.Request) {
 		out := &resp.Results[validIdx[j]]
 		if res.Err != nil {
 			out.Error = toErrorJSON(res.Err)
-			continue
+			// Degraded-mode partial results ARE served beside the error:
+			// the rankings are exact for the users the reachable shards
+			// own, and the shard_unavailable code tells the client what is
+			// missing. Other errors (cancellation) return no list — a
+			// truncated search's partial answer is not exact for anyone.
+			if !errors.Is(res.Err, shard.ErrShardUnavailable) {
+				continue
+			}
 		}
 		out.Recommendations = make([]recommendationJSON, 0, len(res.Recommendations))
 		for _, rec := range res.Recommendations {
@@ -166,12 +181,17 @@ type observeStatusJSON struct {
 }
 
 // observeSummaryJSON is the trailing NDJSON summary line (status "done").
+// Error is set when the stream terminated on a call-scoped failure — for
+// a degraded sharded deployment (code "shard_unavailable") the applied
+// counts are real on the reachable shards, but the batches were NOT
+// replicated everywhere and the writer should back off until recovery.
 type observeSummaryJSON struct {
-	Status  string `json:"status"`
-	Applied int    `json:"applied"`
-	Invalid int    `json:"invalid"`
-	Flushed int    `json:"flushed"`
-	Batches int    `json:"batches"`
+	Status  string     `json:"status"`
+	Applied int        `json:"applied"`
+	Invalid int        `json:"invalid"`
+	Flushed int        `json:"flushed"`
+	Batches int        `json:"batches"`
+	Error   *errorJSON `json:"error,omitempty"`
 }
 
 // maxNDJSONLine bounds one observation line (1 MiB, matching the v1 body
@@ -179,6 +199,25 @@ type observeSummaryJSON struct {
 const maxNDJSONLine = 1 << 20
 
 func (s *Server) handleObserveV2(w http.ResponseWriter, r *http.Request) {
+	// Admission control: when the micro-batch queue is saturated (too many
+	// bulk streams already contending for the write lock), push back with
+	// 503 + Retry-After BEFORE committing to a streamed response — a
+	// rejected client can retry against another replica or back off,
+	// where a silently stalled one just holds its connection open.
+	if s.MaxInflightObserve > 0 {
+		if n := s.inflightObserve.Add(1); int(n) > s.MaxInflightObserve {
+			s.inflightObserve.Add(-1)
+			retry := s.RetryAfter
+			if retry <= 0 {
+				retry = time.Second
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+			httpError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("observe queue saturated (%d streams in flight); retry after %v", s.MaxInflightObserve, retry))
+			return
+		}
+		defer s.inflightObserve.Add(-1)
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -196,12 +235,14 @@ func (s *Server) handleObserveV2(w http.ResponseWriter, r *http.Request) {
 		batches  int
 		lineNo   int
 		overload bool
+		flushErr error // last call-scoped ObserveBatch failure, echoed on the summary
 	)
 	flush := func() bool {
 		if len(batch) == 0 {
 			return true
 		}
 		rep, err := s.eng.ObserveBatch(r.Context(), batch)
+		flushErr = err
 		applied += rep.Applied
 		invalid += rep.Rejected
 		flushed += rep.Flushed
@@ -265,8 +306,12 @@ func (s *Server) handleObserveV2(w http.ResponseWriter, r *http.Request) {
 		}
 		flush()
 	}
-	enc.Encode(observeSummaryJSON{Status: "done", //nolint:errcheck // response already streaming
-		Applied: applied, Invalid: invalid, Flushed: flushed, Batches: batches})
+	summary := observeSummaryJSON{Status: "done",
+		Applied: applied, Invalid: invalid, Flushed: flushed, Batches: batches}
+	if flushErr != nil {
+		summary.Error = toErrorJSON(flushErr)
+	}
+	enc.Encode(summary) //nolint:errcheck // response already streaming
 }
 
 // ---- GET /v2/stats ----
@@ -302,20 +347,20 @@ type shardStatsJSON struct {
 }
 
 func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.IndexStats()
 	resp := statsV2Response{
-		Users:       st.Users,
-		Blocks:      st.Blocks,
-		Trees:       st.Trees,
-		HashKeys:    st.HashKeys,
-		Parallelism: s.eng.Parallelism(),
-		BatchSize:   s.BatchSize,
-		MaxBatch:    s.MaxBatch,
-		MaxK:        s.MaxK,
-		Requests:    s.metrics.snapshot(),
+		BatchSize: s.BatchSize,
+		MaxBatch:  s.MaxBatch,
+		MaxK:      s.MaxK,
+		Requests:  s.metrics.snapshot(),
 	}
 	if ss, ok := s.eng.(shardStatser); ok {
-		for _, sh := range ss.ShardStats() {
+		// Sharded backend: ONE fan-out snapshot feeds both the per-shard
+		// entries and the deployment-level figures (the routing structures
+		// are replicated, so the first trained shard's numbers are the
+		// deployment's) — no extra per-field round trips to remote shards,
+		// and no hanging on a fully excluded fleet.
+		shardStats := ss.ShardStats()
+		for _, sh := range shardStats {
 			resp.Shards = append(resp.Shards, shardStatsJSON{
 				Shard:      sh.Shard,
 				Trained:    sh.Trained,
@@ -328,6 +373,17 @@ func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		resp.ShardCount = len(resp.Shards)
+		for _, sh := range shardStats {
+			if sh.Trained {
+				resp.Users, resp.Blocks, resp.Trees, resp.HashKeys = sh.Users, sh.Blocks, sh.Trees, sh.HashKeys
+				resp.Parallelism = sh.Parallelism
+				break
+			}
+		}
+	} else {
+		st := s.eng.IndexStats()
+		resp.Users, resp.Blocks, resp.Trees, resp.HashKeys = st.Users, st.Blocks, st.Trees, st.HashKeys
+		resp.Parallelism = s.eng.Parallelism()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -11,164 +11,29 @@
 //
 // Every deployment boots from the SAME trained-engine snapshot, so the
 // only variable is the sharding itself. The replayed stream carries at
-// least 10k post-training interactions (the acceptance floor).
+// least 10k post-training interactions (the acceptance floor). The
+// fixture, replay driver and transcript differ live in
+// internal/shardtest, shared with the network-transport suite in
+// internal/shardrpc (same workload, remote column).
 package shard
 
 import (
 	"bytes"
-	"context"
 	"fmt"
-	"reflect"
 	"testing"
 
 	"ssrec/internal/core"
-	"ssrec/internal/dataset"
 	"ssrec/internal/model"
-	"ssrec/internal/sigtree"
+	"ssrec/internal/shardtest"
 )
 
-// deployment is the surface the replay drives — satisfied by both
-// *core.Engine (the reference) and *Router (the system under test).
-type deployment interface {
-	ObserveBatch(ctx context.Context, batch []core.Observation) (core.BatchReport, error)
-	RecommendBatch(ctx context.Context, items []model.Item, opts ...core.Option) ([]core.Result, error)
-}
+// fixture aliases the shared harness for the older helpers in this
+// package's tests.
+func fixture(tb testing.TB) *shardtest.Fixture { return shardtest.Load(tb) }
 
-// replayFixture is the shared deterministic workload: one snapshot every
-// deployment boots from, the post-training observation stream, and the
-// query schedule interleaved between micro-batches.
-type replayFixture struct {
-	snapshot []byte
-	obs      []core.Observation
-	queries  []model.Item
-}
-
-const (
-	replayBatch    = 128 // observations per ObserveBatch micro-batch
-	replayQueryLen = 6   // items recommended between micro-batches
-	replayK        = 10
-)
-
-var fixtureCache *replayFixture
-
-// fixture builds (once) the seeded dataset, trains the reference engine on
-// the leading third and snapshots it.
-func fixture(t testing.TB) *replayFixture {
-	t.Helper()
-	if fixtureCache != nil {
-		return fixtureCache
-	}
-	cfg := dataset.YTubeConfig(0.5)
-	cfg.Seed = 17
-	ds := dataset.Generate(cfg)
-	eng := core.New(core.Config{Categories: ds.Categories, TrainMaxIter: 3, Restarts: 1, Seed: 17})
-	nTrain := len(ds.Interactions) / 3
-	if err := eng.Train(ds.Items, ds.Interactions[:nTrain], ds.Item); err != nil {
-		t.Fatalf("train: %v", err)
-	}
-	var buf bytes.Buffer
-	if err := eng.SaveTo(&buf); err != nil {
-		t.Fatalf("snapshot: %v", err)
-	}
-	fx := &replayFixture{snapshot: buf.Bytes()}
-	lastTS := ds.Interactions[nTrain-1].Timestamp
-	for _, ir := range ds.Interactions[nTrain:] {
-		if v, ok := ds.Item(ir.ItemID); ok {
-			fx.obs = append(fx.obs, core.Observation{UserID: ir.UserID, Item: v, Timestamp: ir.Timestamp})
-		}
-	}
-	for _, v := range ds.Items {
-		if v.Timestamp > lastTS {
-			fx.queries = append(fx.queries, v)
-		}
-	}
-	if len(fx.obs) < 10000 {
-		t.Fatalf("replay stream has %d interactions, conformance floor is 10k", len(fx.obs))
-	}
-	if len(fx.queries) < replayQueryLen {
-		t.Fatalf("only %d query items", len(fx.queries))
-	}
-	fixtureCache = fx
-	return fx
-}
-
-// transcript is everything a deployment exposes during one replay.
-type transcript struct {
-	reports []core.BatchReport
-	results [][]core.Result
-}
-
-// replay drives the deterministic schedule: micro-batches of observations,
-// each followed by a rotating recommendation batch over future items.
-func (fx *replayFixture) replay(t testing.TB, d deployment, maxBatches int) *transcript {
-	t.Helper()
-	ctx := context.Background()
-	tr := &transcript{}
-	batchIdx := 0
-	for lo := 0; lo < len(fx.obs); lo += replayBatch {
-		hi := min(lo+replayBatch, len(fx.obs))
-		rep, err := d.ObserveBatch(ctx, fx.obs[lo:hi])
-		if err != nil {
-			t.Fatalf("batch %d: ObserveBatch: %v", batchIdx, err)
-		}
-		rep.Errors = nil // compared separately via Rejected
-		tr.reports = append(tr.reports, rep)
-		q := queryWindow(fx.queries, batchIdx)
-		results, err := d.RecommendBatch(ctx, q, core.WithK(replayK))
-		if err != nil {
-			t.Fatalf("batch %d: RecommendBatch: %v", batchIdx, err)
-		}
-		for i := range results {
-			// Pruning counters legitimately differ across shardings (each
-			// deployment prunes with different bound timing); observable
-			// equivalence is about results, not traversal effort.
-			results[i].Stats = sigtree.SearchStats{}
-		}
-		tr.results = append(tr.results, results)
-		batchIdx++
-		if maxBatches > 0 && batchIdx >= maxBatches {
-			break
-		}
-	}
-	return tr
-}
-
-// queryWindow rotates deterministically through the future-item list.
+// queryWindow keeps the historical local name used by router_test.go.
 func queryWindow(items []model.Item, batchIdx int) []model.Item {
-	out := make([]model.Item, 0, replayQueryLen)
-	for i := 0; i < replayQueryLen; i++ {
-		out = append(out, items[(batchIdx*replayQueryLen+i)%len(items)])
-	}
-	return out
-}
-
-// diffTranscripts asserts two replays are observably identical.
-func diffTranscripts(t *testing.T, want, got *transcript, label string) {
-	t.Helper()
-	if len(want.reports) != len(got.reports) {
-		t.Fatalf("%s: %d reports vs %d", label, len(got.reports), len(want.reports))
-	}
-	for i := range want.reports {
-		w, g := want.reports[i], got.reports[i]
-		if w.Applied != g.Applied || w.Rejected != g.Rejected || w.Flushed != g.Flushed {
-			t.Errorf("%s: batch %d report = %+v, want %+v", label, i, g, w)
-		}
-	}
-	for i := range want.results {
-		for j := range want.results[i] {
-			w, g := want.results[i][j], got.results[i][j]
-			if w.ItemID != g.ItemID {
-				t.Fatalf("%s: batch %d item %d: id %q vs %q", label, i, j, g.ItemID, w.ItemID)
-			}
-			if (w.Err == nil) != (g.Err == nil) {
-				t.Fatalf("%s: batch %d item %s: err %v vs %v", label, i, w.ItemID, g.Err, w.Err)
-			}
-			if !reflect.DeepEqual(w.Recommendations, g.Recommendations) {
-				t.Fatalf("%s: batch %d item %s: ranked results diverged\n got %v\nwant %v",
-					label, i, w.ItemID, g.Recommendations, w.Recommendations)
-			}
-		}
-	}
+	return shardtest.QueryWindow(items, batchIdx)
 }
 
 // TestConformanceStreamReplay is the acceptance gate: every cell of the
@@ -185,24 +50,24 @@ func TestConformanceStreamReplay(t *testing.T) {
 		parallelisms = []int{1}
 	}
 
-	reference, err := core.LoadFrom(bytes.NewReader(fx.snapshot))
+	reference, err := core.LoadFrom(bytes.NewReader(fx.Snapshot))
 	if err != nil {
 		t.Fatalf("boot reference: %v", err)
 	}
-	want := fx.replay(t, reference, maxBatches)
+	want := fx.Replay(t, reference, maxBatches)
 	t.Logf("reference transcript: %d micro-batches, %d interactions, %d queries",
-		len(want.reports), len(fx.obs), len(want.results)*replayQueryLen)
+		len(want.Reports), len(fx.Obs), len(want.Results)*shardtest.ReplayQueryLen)
 
 	for _, n := range shardCounts {
 		for _, p := range parallelisms {
 			t.Run(fmt.Sprintf("shards=%d/parallelism=%d", n, p), func(t *testing.T) {
-				r, err := FromSnapshot(fx.snapshot, n)
+				r, err := FromSnapshot(fx.Snapshot, n)
 				if err != nil {
 					t.Fatalf("boot: %v", err)
 				}
 				r.SetParallelism(p)
-				got := fx.replay(t, r, maxBatches)
-				diffTranscripts(t, want, got, fmt.Sprintf("shards=%d p=%d", n, p))
+				got := fx.Replay(t, r, maxBatches)
+				shardtest.Diff(t, want, got, fmt.Sprintf("shards=%d p=%d", n, p))
 			})
 		}
 	}
@@ -213,7 +78,7 @@ func TestConformanceStreamReplay(t *testing.T) {
 // figure, and the replicated routing structures agree across shards.
 func TestConformanceShardStats(t *testing.T) {
 	fx := fixture(t)
-	reference, err := core.LoadFrom(bytes.NewReader(fx.snapshot))
+	reference, err := core.LoadFrom(bytes.NewReader(fx.Snapshot))
 	if err != nil {
 		t.Fatalf("boot reference: %v", err)
 	}
@@ -221,7 +86,7 @@ func TestConformanceShardStats(t *testing.T) {
 	if !ok {
 		t.Fatal("reference engine reports no index")
 	}
-	r, err := FromSnapshot(fx.snapshot, 4)
+	r, err := FromSnapshot(fx.Snapshot, 4)
 	if err != nil {
 		t.Fatalf("boot: %v", err)
 	}

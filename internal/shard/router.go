@@ -5,20 +5,43 @@
 // per-shard top-k heaps into the final ranking. Its surface mirrors
 // core.Engine / core.SafeEngine so the HTTP server and the bench harness
 // can serve either interchangeably.
+//
+// # Failover
+//
+// A shard whose call fails with ErrShardUnavailable (the transport-level
+// sentinel every RPC shard wraps) is EXCLUDED: the Router stops routing to
+// it and serves degraded — queries merge the remaining shards' exact
+// top-k lists and wrap ErrShardUnavailable so callers know the answer may
+// be missing the excluded shards' owned users, and write batches keep
+// replicating to the healthy shards (the excluded shard must re-boot from
+// a snapshot handoff before re-inclusion, because it has missed batches).
+// Excluded shards that implement Pinger are re-probed — lazily on the
+// query path (at most once per probe interval) or explicitly via Probe —
+// and re-included once they report healthy AND trained.
 package shard
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ssrec/internal/core"
 	"ssrec/internal/model"
 	"ssrec/internal/sigtree"
 )
+
+// DefaultProbeInterval is how often the query path re-probes excluded
+// shards (lazily, at most one in-flight probe at a time).
+const DefaultProbeInterval = 3 * time.Second
+
+// probeTimeout bounds one background health probe sweep.
+const probeTimeout = 2 * time.Second
 
 // Router fans the engine API out over the shards of one deployment.
 type Router struct {
@@ -31,22 +54,143 @@ type Router struct {
 	// per-request readiness check stops paying a full Stats snapshot
 	// (training is one-way: engines never untrain).
 	isTrained atomic.Bool
+
+	// down[i] marks shard i excluded after an ErrShardUnavailable failure;
+	// probeEvery/lastProbe throttle the lazy re-probe on the query path.
+	down       []atomic.Bool
+	probeEvery atomic.Int64 // nanoseconds
+	lastProbe  atomic.Int64 // unix nanoseconds of the last probe kick
+	// missedWrite[i] records that a replicated write landed on the
+	// deployment while shard i was excluded: its state has diverged, and
+	// a probe must NOT re-include it unless its boot epoch proves it was
+	// re-seeded since (see Probe). debtGen[i] counts recordings — a
+	// clearer (Probe, HandoffSnapshot) captures the generation before its
+	// decision and only wipes debt that decision actually covers, so a
+	// batch landing concurrently keeps the shard excluded.
+	missedWrite []atomic.Bool
+	debtGen     []atomic.Uint64
+	// epochMu guards lastEpoch, the most recent boot-epoch token observed
+	// per shard (from probes and post-handoff pings).
+	epochMu   sync.Mutex
+	lastEpoch []string
 }
 
-// trained reports deployment readiness, caching the first positive answer.
-func (r *Router) trained() bool {
+func newRouter(shards []Shard, locals []*core.Engine) *Router {
+	r := &Router{
+		shards:      shards,
+		locals:      locals,
+		down:        make([]atomic.Bool, len(shards)),
+		missedWrite: make([]atomic.Bool, len(shards)),
+		debtGen:     make([]atomic.Uint64, len(shards)),
+		lastEpoch:   make([]string, len(shards)),
+	}
+	r.probeEvery.Store(int64(DefaultProbeInterval))
+	return r
+}
+
+// recordDebt marks shard i as having missed a replicated write: it must
+// re-seed from a snapshot before rejoining. Down is (re-)asserted with
+// the debt so a concurrent Probe decision cannot leave the shard
+// serving one batch behind.
+func (r *Router) recordDebt(i int) {
+	r.missedWrite[i].Store(true)
+	r.debtGen[i].Add(1)
+	r.down[i].Store(true)
+}
+
+// clearDebtIfUnchanged wipes shard i's missed-write debt only when no
+// new debt was recorded since the caller captured gen: debt from a batch
+// that landed DURING a handoff push or probe decision postdates the
+// snapshot that decision was based on and must survive it.
+func (r *Router) clearDebtIfUnchanged(i int, gen uint64) {
+	if r.debtGen[i].Load() == gen {
+		r.missedWrite[i].Store(false)
+	}
+}
+
+// recordEpoch stores the latest observed boot epoch for a shard.
+func (r *Router) recordEpoch(i int, epoch string) {
+	if epoch == "" {
+		return
+	}
+	r.epochMu.Lock()
+	r.lastEpoch[i] = epoch
+	r.epochMu.Unlock()
+}
+
+func (r *Router) knownEpoch(i int) string {
+	r.epochMu.Lock()
+	defer r.epochMu.Unlock()
+	return r.lastEpoch[i]
+}
+
+// readyProbeTimeout bounds the readiness classification pings.
+const readyProbeTimeout = 2 * time.Second
+
+// ready reports deployment readiness for the batch query path, caching
+// the first positive answer. ANY non-excluded shard reporting trained
+// answers for the deployment (the trained flag is part of the replicated
+// state); the checks fan out in parallel so an unreachable remote shard
+// costs at most one timeout, not one per shard. When NO shard reports
+// trained the error distinguishes a genuinely untrained deployment
+// (ErrNotTrained — locals awaiting Train) from an unreachable or
+// blank-awaiting-handoff one (wrapped ErrShardUnavailable): probeable
+// shards that fail their ping are excluded on the spot, engaging the
+// lazy re-probe machinery even before the first successful query.
+func (r *Router) ready(ctx context.Context) error {
 	if r.isTrained.Load() {
-		return true
+		return nil
 	}
-	if r.shards[0].Stats().Trained {
-		r.isTrained.Store(true)
-		return true
+	// Kick the lazy probe here too: with every shard excluded this
+	// function short-circuits the serving path (where recommendOne would
+	// probe), and without a probe an all-down fleet could never rejoin.
+	r.maybeProbe()
+	type status struct{ trained, unavailable bool }
+	sts := make([]status, len(r.shards))
+	checked := 0
+	var wg sync.WaitGroup
+	for i := range r.shards {
+		if r.down[i].Load() {
+			continue
+		}
+		checked++
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sts[i].trained = r.shards[i].Stats().Trained
+			if sts[i].trained {
+				return
+			}
+			if p, ok := r.shards[i].(Pinger); ok {
+				pctx, cancel := context.WithTimeout(detach(ctx), readyProbeTimeout)
+				defer cancel()
+				if _, err := p.Ping(pctx); err != nil {
+					sts[i].unavailable = true
+				}
+			}
+		}(i)
 	}
-	return false
+	wg.Wait()
+	anyUnavailable := checked == 0 // everything already excluded
+	for i := range sts {
+		if sts[i].trained {
+			r.isTrained.Store(true)
+			return nil
+		}
+		if sts[i].unavailable {
+			r.markDown(i)
+			anyUnavailable = true
+		}
+	}
+	if anyUnavailable {
+		return fmt.Errorf("%w: no reachable trained shard", ErrShardUnavailable)
+	}
+	return core.ErrNotTrained
 }
 
-// NewRouter assembles a router over pre-built shards (the RPC-deployment
-// entry point). Shards must be passed in index order.
+// NewRouter assembles a router over pre-built shards — the entry point for
+// RPC and mixed local/remote deployments. Shards must be passed in index
+// order.
 func NewRouter(shards ...Shard) (*Router, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("shard: router needs at least one shard")
@@ -56,7 +200,7 @@ func NewRouter(shards ...Shard) (*Router, error) {
 			return nil, fmt.Errorf("shard: shard at position %d reports index %d", i, s.Index())
 		}
 	}
-	return &Router{shards: shards}, nil
+	return newRouter(shards, nil), nil
 }
 
 // New builds an n-shard in-process deployment from one engine Config. The
@@ -66,14 +210,15 @@ func New(cfg core.Config, n int) *Router {
 	if n < 1 {
 		n = 1
 	}
-	r := &Router{shards: make([]Shard, n), locals: make([]*core.Engine, n)}
+	shards := make([]Shard, n)
+	locals := make([]*core.Engine, n)
 	for i := 0; i < n; i++ {
 		c := cfg
 		c.ShardIndex, c.ShardCount = i, n
-		r.locals[i] = core.New(c)
-		r.shards[i] = NewLocal(i, r.locals[i])
+		locals[i] = core.New(c)
+		shards[i] = NewLocal(i, locals[i])
 	}
-	return r
+	return newRouter(shards, locals)
 }
 
 // FromSnapshot boots an n-shard in-process deployment from ONE trained
@@ -85,27 +230,41 @@ func FromSnapshot(data []byte, n int) (*Router, error) {
 	if n < 1 {
 		n = 1
 	}
-	r := &Router{shards: make([]Shard, n), locals: make([]*core.Engine, n)}
+	shards := make([]Shard, n)
+	locals := make([]*core.Engine, n)
 	for i := 0; i < n; i++ {
 		e, err := core.LoadShardFrom(bytes.NewReader(data), i, n)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		r.locals[i] = e
-		r.shards[i] = NewLocal(i, e)
+		locals[i] = e
+		shards[i] = NewLocal(i, e)
 	}
-	return r, nil
+	return newRouter(shards, locals), nil
 }
 
 // Shards reports the deployment width.
 func (r *Router) Shards() int { return len(r.shards) }
 
-// ShardStats snapshots every shard, in index order.
+// ShardStats snapshots every shard, in index order. The snapshots fan
+// out in parallel, and excluded shards report zero-valued stats without
+// a round trip — a monitoring poll must not pay a network timeout per
+// dead shard.
 func (r *Router) ShardStats() []Stats {
 	out := make([]Stats, len(r.shards))
+	var wg sync.WaitGroup
 	for i, s := range r.shards {
-		out[i] = s.Stats()
+		if r.down[i].Load() {
+			out[i] = Stats{Shard: s.Index()}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, s Shard) {
+			defer wg.Done()
+			out[i] = s.Stats()
+		}(i, s)
 	}
+	wg.Wait()
 	return out
 }
 
@@ -114,13 +273,153 @@ func (r *Router) Owner(userID string) int {
 	return model.ShardOf(userID, len(r.shards))
 }
 
+// Down lists the currently excluded shard indices, ascending.
+func (r *Router) Down() []int {
+	var out []int
+	for i := range r.down {
+		if r.down[i].Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// markDown excludes a shard after an unavailable failure.
+func (r *Router) markDown(i int) { r.down[i].Store(true) }
+
+// SetProbeInterval adjusts how often the query path re-probes excluded
+// shards; d <= 0 restores the default.
+func (r *Router) SetProbeInterval(d time.Duration) {
+	if d <= 0 {
+		d = DefaultProbeInterval
+	}
+	r.probeEvery.Store(int64(d))
+}
+
+// Probe synchronously re-checks every excluded shard and re-includes the
+// ones that pass. A shard implementing Pinger must report healthy,
+// identity-correct and trained — and, when replicated writes landed
+// while it was out (missedWrite), its boot epoch must have CHANGED since
+// last observed, proving it was re-seeded from a snapshot rather than
+// left running pre-exclusion state; a merely-reachable stale shard would
+// silently serve rankings missing every batch it skipped. Shards without
+// a probe surface (in-process) are re-included optimistically. Probe
+// returns the re-included indices.
+func (r *Router) Probe(ctx context.Context) []int {
+	var up []int
+	for i := range r.shards {
+		if !r.down[i].Load() {
+			continue
+		}
+		gen := r.debtGen[i].Load()
+		if p, ok := r.shards[i].(Pinger); ok {
+			epoch, err := p.Ping(ctx)
+			if err != nil {
+				continue
+			}
+			if r.missedWrite[i].Load() {
+				// The shard missed replicated writes: re-inclusion is safe
+				// ONLY on proof of a re-seed, i.e. a boot epoch that changed
+				// from a recorded baseline. No epoch support, no baseline,
+				// or an unchanged epoch all FAIL CLOSED — recording the
+				// observed epoch as the baseline, so that a direct operator
+				// handoff to the shardd becomes provable on the next probe.
+				known := r.knownEpoch(i)
+				if epoch == "" || known == "" || epoch == known {
+					r.recordEpoch(i, epoch)
+					continue
+				}
+				r.clearDebtIfUnchanged(i, gen)
+			}
+			r.recordEpoch(i, epoch)
+		} else {
+			// No probe surface (in-process): re-include optimistically.
+			r.clearDebtIfUnchanged(i, gen)
+		}
+		r.down[i].Store(false)
+		// Close the probe/broadcast race: debt recorded while we were
+		// deciding survived the generation-guarded clear above — stay
+		// excluded rather than serving one batch behind.
+		if r.missedWrite[i].Load() {
+			r.down[i].Store(true)
+			continue
+		}
+		up = append(up, i)
+	}
+	return up
+}
+
+// maybeProbe kicks an asynchronous Probe sweep from the query path, at
+// most once per probe interval, so a recovered shard rejoins without an
+// operator call but a dead one costs no per-query latency.
+func (r *Router) maybeProbe() {
+	down := false
+	for i := range r.down {
+		if r.down[i].Load() {
+			down = true
+			break
+		}
+	}
+	if !down {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := r.lastProbe.Load()
+	if now-last < r.probeEvery.Load() || !r.lastProbe.CompareAndSwap(last, now) {
+		return
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+		defer cancel()
+		r.Probe(ctx)
+	}()
+}
+
+// HandoffSnapshot ships a trained-engine snapshot (core.SaveTo bytes) to
+// every shard that implements SnapshotReceiver and re-includes it — the
+// boot path of a remote deployment and the recovery path of an excluded
+// shard (which has missed replicated batches and MUST reboot from a fresh
+// snapshot before rejoining). In-process shards are skipped; they boot
+// through New/FromSnapshot/Train.
+func (r *Router) HandoffSnapshot(ctx context.Context, snapshot []byte) error {
+	for i, s := range r.shards {
+		sr, ok := s.(SnapshotReceiver)
+		if !ok {
+			continue
+		}
+		// Capture the debt generation BEFORE the push: a broadcast that
+		// lands while the snapshot is in flight records debt the snapshot
+		// cannot contain, and the generation-guarded clear below leaves
+		// that debt (and the exclusion) in place.
+		gen := r.debtGen[i].Load()
+		if err := sr.Handoff(ctx, snapshot); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		// The handoff re-seeded the shard: clear the debt it covers and
+		// record the fresh boot epoch so later probes have a baseline.
+		r.clearDebtIfUnchanged(i, gen)
+		r.down[i].Store(false)
+		if p, ok := s.(Pinger); ok {
+			if epoch, err := p.Ping(ctx); err == nil {
+				r.recordEpoch(i, epoch)
+			}
+		}
+		// Debt that survived the guarded clear keeps the shard excluded —
+		// it rejoins on the next handoff (or probe after a re-seed).
+		if r.missedWrite[i].Load() {
+			r.down[i].Store(true)
+		}
+	}
+	return nil
+}
+
 // Train bootstraps an in-process deployment: shard 0 trains once on the
 // full stream, then every other shard boots from its snapshot
 // (LoadShardFrom) — identical replicated state, own leaf partition — so
 // an n-shard deployment costs ONE training, not n.
 func (r *Router) Train(items []model.Item, interactions []model.Interaction, resolve func(string) (model.Item, bool)) error {
 	if r.locals == nil {
-		return fmt.Errorf("shard: Train requires an in-process deployment (New or FromSnapshot)")
+		return fmt.Errorf("shard: Train requires an in-process deployment (New or FromSnapshot); remote deployments train out-of-band and boot via HandoffSnapshot")
 	}
 	if err := r.locals[0].Train(items, interactions, resolve); err != nil {
 		return err
@@ -145,7 +444,8 @@ func (r *Router) Train(items []model.Item, interactions []model.Interaction, res
 }
 
 // SetParallelism adjusts the intra-query worker count of every in-process
-// shard (no-op entries for non-local shards).
+// shard (no-op entries for non-local shards; remote shards take the
+// per-call core.WithParallelism option or their shardd -partitions flag).
 func (r *Router) SetParallelism(n int) {
 	for _, e := range r.locals {
 		if e != nil {
@@ -166,6 +466,12 @@ func detach(ctx context.Context) context.Context {
 	return context.WithoutCancel(ctx)
 }
 
+// degradedErr wraps ErrShardUnavailable naming the excluded shards.
+func degradedErr(excluded []int) error {
+	sort.Ints(excluded)
+	return fmt.Errorf("%w: shard(s) %v excluded", ErrShardUnavailable, excluded)
+}
+
 // ObserveBatch ingests one micro-batch of the interaction stream: the SAME
 // batch is broadcast to every shard in parallel (each maintains the
 // replicated dictionaries for all users and refreshes leaves only for the
@@ -173,6 +479,12 @@ func detach(ctx context.Context) context.Context {
 // Applied/Rejected/Errors are identical on every shard (validation is
 // deterministic), and Flushed sums the per-shard owned refreshes —
 // exactly the users a single engine would have refreshed, divided N ways.
+//
+// Degraded mode: excluded shards are skipped and a shard that fails with
+// ErrShardUnavailable mid-broadcast is excluded; the call then returns the
+// healthy shards' merged report together with a wrapped
+// ErrShardUnavailable, because the batch was NOT replicated everywhere —
+// the excluded shards must reboot from a snapshot handoff to rejoin.
 func (r *Router) ObserveBatch(ctx context.Context, batch []core.Observation) (core.BatchReport, error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
@@ -182,11 +494,19 @@ func (r *Router) ObserveBatch(ctx context.Context, batch []core.Observation) (co
 	if len(batch) == 0 {
 		return core.BatchReport{}, nil
 	}
+	r.maybeProbe() // write-only workloads must also drive shard recovery
 	bctx := detach(ctx)
 	reps := make([]core.BatchReport, len(r.shards))
 	errs := make([]error, len(r.shards))
+	ran := make([]bool, len(r.shards))
+	var excluded []int
 	var wg sync.WaitGroup
 	for i, s := range r.shards {
+		if r.down[i].Load() {
+			excluded = append(excluded, i)
+			continue
+		}
+		ran[i] = true
 		wg.Add(1)
 		go func(i int, s Shard) {
 			defer wg.Done()
@@ -194,51 +514,169 @@ func (r *Router) ObserveBatch(ctx context.Context, batch []core.Observation) (co
 		}(i, s)
 	}
 	wg.Wait()
-	rep := reps[0]
-	rep.Flushed = 0
-	for i := range reps {
-		rep.Flushed += reps[i].Flushed
-		if errs[i] != nil {
-			return rep, fmt.Errorf("shard %d: %w", i, errs[i])
+	var rep core.BatchReport
+	var fatal error
+	base := false
+	anyUnavail := false
+	var behind []int // shards that did not (or may not have) applied the batch
+	for i := range r.shards {
+		if !ran[i] {
+			continue
 		}
+		if errs[i] != nil {
+			if errors.Is(errs[i], ErrShardUnavailable) {
+				r.markDown(i)
+				anyUnavail = true
+				excluded = append(excluded, i)
+				continue
+			}
+			behind = append(behind, i)
+			// A clean non-transport error (4xx, decode failure) proves the
+			// shardd REFUSED the batch — it did not apply it, while its
+			// siblings may have. The call fails loudly with this error, and
+			// the debt below keeps the shard from silently serving behind.
+			if fatal == nil {
+				fatal = fmt.Errorf("shard %d: %w", i, errs[i])
+			}
+			continue
+		}
+		if !base {
+			// Applied/Rejected/Errors are deterministic and identical on
+			// every shard; take them from the first healthy report.
+			rep = reps[i]
+			rep.Flushed = 0
+			base = true
+		}
+		rep.Flushed += reps[i].Flushed
+	}
+	// Missed-write accounting, BEFORE any error return so no path skips
+	// it. Every shard that skipped (pre-excluded) or failed the batch owes
+	// a re-seed IF the batch may have mutated its siblings: a healthy
+	// report proves exactly what landed (Applied > 0 — validation is
+	// deterministic, so Applied == 0 proves a no-op everywhere), and an
+	// unavailable leg proves nothing — the shardd applies fully-received
+	// bodies under a detached context, so it MAY have applied — which
+	// records debt conservatively. recordDebt re-asserts down, closing
+	// the race with a concurrent Probe that cleared the flag before this
+	// batch's debt landed.
+	mutated := (base && rep.Applied > 0) || (!base && anyUnavail)
+	if mutated {
+		for _, i := range excluded {
+			r.recordDebt(i)
+		}
+		for _, i := range behind {
+			r.recordDebt(i)
+		}
+	}
+	if fatal != nil {
+		return rep, fatal
+	}
+	if len(excluded) > 0 {
+		return rep, degradedErr(excluded)
 	}
 	return rep, nil
 }
 
 // registerBroadcast runs the deterministic batch prologue on every shard
 // in parallel. Uncancellable for the same drift reason as ObserveBatch.
+// Unavailable shards are excluded rather than failing the query — the
+// degraded-mode error surfaces on the query leg that follows.
 func (r *Router) registerBroadcast(ctx context.Context, items []model.Item) error {
 	bctx := detach(ctx)
 	errs := make([]error, len(r.shards))
+	changed := make([]bool, len(r.shards))
+	ran := make([]bool, len(r.shards))
 	var wg sync.WaitGroup
 	for i, s := range r.shards {
+		if r.down[i].Load() {
+			continue
+		}
+		ran[i] = true
 		wg.Add(1)
 		go func(i int, s Shard) {
 			defer wg.Done()
-			errs[i] = s.RegisterItems(bctx, items)
+			changed[i], errs[i] = s.RegisterItems(bctx, items)
 		}(i, s)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+	// The dictionaries are replicated, so every healthy shard agrees on
+	// whether the batch contained anything new: a successful leg with
+	// changed == false PROVES the broadcast was a no-op everywhere (warm
+	// re-registration, the overwhelmingly common query path) and no debt
+	// accrues — otherwise lazy re-inclusion would be unreachable under
+	// ordinary read traffic. A batch that DID advance the state — or
+	// whose outcome is unknowable because no leg succeeded (a failed
+	// remote leg may still have applied server-side) — leaves every
+	// skipped or failed shard owing a re-seed.
+	anySuccess, advanced, anyUnavail := false, false, false
+	var fatal error
+	for i := range r.shards {
+		if !ran[i] {
+			continue
+		}
+		if errs[i] == nil {
+			anySuccess = true
+			advanced = advanced || changed[i]
+			continue
+		}
+		if !errors.Is(errs[i], ErrShardUnavailable) {
+			// A clean refusal: this shard provably did not register the
+			// batch; debt below if its siblings may have.
+			if fatal == nil {
+				fatal = fmt.Errorf("shard %d: %w", i, errs[i])
+			}
+			continue
+		}
+		anyUnavail = true
+		r.markDown(i)
+	}
+	// Debt accrues for every shard that skipped or failed the broadcast
+	// when it may have advanced the replicated state elsewhere: proven by
+	// a successful changed=true leg, or unknowable because only
+	// unavailable legs ran (they may have applied server-side). A
+	// successful changed=false leg proves a no-op everywhere, so warm
+	// re-registrations — the common query path — accrue no debt and lazy
+	// re-inclusion stays reachable under ordinary read traffic.
+	mutated := (anySuccess && advanced) || (!anySuccess && anyUnavail)
+	if len(items) > 0 && mutated {
+		for i := range r.shards {
+			if !ran[i] || errs[i] != nil {
+				r.recordDebt(i)
+			}
 		}
 	}
-	return nil
+	return fatal
 }
 
-// recommendOne scatters one item to every shard under one shared bound and
-// gathers the per-shard heaps into the global top-k. Stats are summed;
-// Partitions accumulates the workers used across shards.
+// recommendOne scatters one item to every healthy shard under one shared
+// bound and gathers the per-shard heaps into the global top-k. Stats are
+// summed; Partitions accumulates the workers used across shards. With
+// shards excluded the merged result is partial (their owned users are
+// missing) and the call wraps ErrShardUnavailable alongside it.
 func (r *Router) recommendOne(ctx context.Context, v model.Item, o core.QueryOptions) (core.Result, error) {
+	r.maybeProbe()
 	if len(r.shards) == 1 {
-		return r.shards[0].Recommend(ctx, v, o, nil)
+		if r.down[0].Load() {
+			return core.Result{ItemID: v.ID}, degradedErr([]int{0})
+		}
+		res, err := r.shards[0].Recommend(ctx, v, o, nil)
+		if err != nil && errors.Is(err, ErrShardUnavailable) {
+			r.markDown(0)
+		}
+		return res, err
 	}
 	b := sigtree.NewBound()
 	parts := make([]core.Result, len(r.shards))
 	errs := make([]error, len(r.shards))
+	ran := make([]bool, len(r.shards))
+	var excluded []int
 	var wg sync.WaitGroup
 	for i, s := range r.shards {
+		if r.down[i].Load() {
+			excluded = append(excluded, i)
+			continue
+		}
+		ran[i] = true
 		wg.Add(1)
 		go func(i int, s Shard) {
 			defer wg.Done()
@@ -247,10 +685,18 @@ func (r *Router) recommendOne(ctx context.Context, v model.Item, o core.QueryOpt
 	}
 	wg.Wait()
 	res := core.Result{ItemID: v.ID}
-	lists := make([][]model.Recommendation, len(parts))
+	lists := make([][]model.Recommendation, 0, len(parts))
 	var firstErr error
 	for i := range parts {
-		lists[i] = parts[i].Recommendations
+		if !ran[i] {
+			continue
+		}
+		if errs[i] != nil && errors.Is(errs[i], ErrShardUnavailable) {
+			r.markDown(i)
+			excluded = append(excluded, i)
+			continue
+		}
+		lists = append(lists, parts[i].Recommendations)
 		res.Stats.Add(parts[i].Stats)
 		res.Stats.Partitions += parts[i].Stats.Partitions
 		if firstErr == nil && errs[i] != nil {
@@ -258,11 +704,16 @@ func (r *Router) recommendOne(ctx context.Context, v model.Item, o core.QueryOpt
 		}
 	}
 	res.Recommendations = sigtree.MergeTopK(o.K, lists...)
+	if firstErr == nil && len(excluded) > 0 {
+		firstErr = degradedErr(excluded)
+	}
 	return res, firstErr
 }
 
 // RecommendCtx mirrors Engine.RecommendCtx over the deployment: register
 // the item everywhere (deterministically), then scatter-gather the query.
+// In degraded mode it returns the partial result AND a wrapped
+// ErrShardUnavailable.
 func (r *Router) RecommendCtx(ctx context.Context, v model.Item, opts ...core.Option) (core.Result, error) {
 	o := core.ResolveOptions(opts...)
 	if ctx != nil {
@@ -277,22 +728,23 @@ func (r *Router) RecommendCtx(ctx context.Context, v model.Item, opts ...core.Op
 }
 
 // RecommendBatch mirrors Engine.RecommendBatch over the deployment:
-// results[i] answers items[i]; item-scoped failures land in
-// results[i].Err while the call-scoped error reports cancellation or an
-// untrained deployment. The registration prologue is broadcast ONCE in
-// batch order — per-item registration under the worker pool would advance
-// the shards' producer layers in nondeterministic order.
+// results[i] answers items[i]; item-scoped failures (including degraded
+// partial results) land in results[i].Err while the call-scoped error
+// reports cancellation or an untrained deployment. The registration
+// prologue is broadcast ONCE in batch order — per-item registration under
+// the worker pool would advance the shards' producer layers in
+// nondeterministic order.
 func (r *Router) RecommendBatch(ctx context.Context, items []model.Item, opts ...core.Option) ([]core.Result, error) {
 	o := core.ResolveOptions(opts...)
 	results := make([]core.Result, len(items))
 	if len(items) == 0 {
 		return results, nil
 	}
-	if !r.trained() {
+	if err := r.ready(ctx); err != nil {
 		for i := range results {
-			results[i] = core.Result{ItemID: items[i].ID, Err: core.ErrNotTrained}
+			results[i] = core.Result{ItemID: items[i].ID, Err: err}
 		}
-		return results, core.ErrNotTrained
+		return results, err
 	}
 	// Registration runs BEFORE the cancellation check, mirroring
 	// Engine.RecommendBatch exactly: a cancelled batch still registers its
@@ -345,10 +797,11 @@ func (r *Router) RecommendBatch(ctx context.Context, items []model.Item, opts ..
 
 // Recommend is the v1 query over the deployment. Unlike the single
 // engine's v1 path it reports nothing on failure (nil); the v2 calls carry
-// the errors.
+// the errors. Degraded-mode partial results ARE returned (v1 has no error
+// channel to qualify them).
 func (r *Router) Recommend(v model.Item, k int) []model.Recommendation {
 	res, err := r.RecommendCtx(context.Background(), v, core.WithK(k))
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrShardUnavailable) {
 		return nil
 	}
 	return res.Recommendations
@@ -366,18 +819,32 @@ func (r *Router) RegisterItem(v model.Item) {
 	_ = r.registerBroadcast(context.Background(), []model.Item{v})
 }
 
-// Users counts tracked profiles (replicated — shard 0's figure is the
-// deployment's).
-func (r *Router) Users() int { return r.shards[0].Stats().Users }
+// Users counts tracked profiles (replicated — the first healthy shard's
+// figure is the deployment's).
+func (r *Router) Users() int { return r.firstUpStats().Users }
 
-// Parallelism reports the intra-query worker count of shard 0.
-func (r *Router) Parallelism() int { return r.shards[0].Stats().Parallelism }
+// Parallelism reports the intra-query worker count of the first healthy
+// shard.
+func (r *Router) Parallelism() int { return r.firstUpStats().Parallelism }
+
+// firstUpStats snapshots the first non-excluded shard. With every shard
+// excluded it reports zero values WITHOUT a round trip — a monitoring
+// poll against a fully partitioned fleet must not hang on a dead
+// shard's timeout.
+func (r *Router) firstUpStats() Stats {
+	for i := range r.shards {
+		if !r.down[i].Load() {
+			return r.shards[i].Stats()
+		}
+	}
+	return Stats{}
+}
 
 // IndexStats reports the deployment-level index view: the routing
-// structures are replicated, so shard 0's block/tree/hash figures are the
-// deployment's, and Users covers every assigned user.
+// structures are replicated, so any healthy shard's block/tree/hash
+// figures are the deployment's, and Users covers every assigned user.
 func (r *Router) IndexStats() core.IndexStatsView {
-	st := r.shards[0].Stats()
+	st := r.firstUpStats()
 	return core.IndexStatsView{
 		Blocks:   st.Blocks,
 		Trees:    st.Trees,

@@ -18,7 +18,7 @@ import (
 func bootRouter(t testing.TB, n int) *Router {
 	t.Helper()
 	fx := fixture(t)
-	r, err := FromSnapshot(fx.snapshot, n)
+	r, err := FromSnapshot(fx.Snapshot, n)
 	if err != nil {
 		t.Fatalf("boot %d-shard router: %v", n, err)
 	}
@@ -64,7 +64,7 @@ func TestRouterUnknownCategory(t *testing.T) {
 // RegisterItem / Users / IndexStats) behaves like the single engine's.
 func TestRouterV1Parity(t *testing.T) {
 	fx := fixture(t)
-	reference, err := core.LoadFrom(bytes.NewReader(fx.snapshot))
+	reference, err := core.LoadFrom(bytes.NewReader(fx.Snapshot))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,13 +77,13 @@ func TestRouterV1Parity(t *testing.T) {
 		t.Errorf("IndexStats: router %+v, engine %+v", got, refStats)
 	}
 	for i := 0; i < 5; i++ {
-		v := fx.queries[i]
+		v := fx.Queries[i]
 		want := reference.Recommend(v, 7)
 		got := r.Recommend(v, 7)
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("item %s: v1 Recommend diverged\n got %v\nwant %v", v.ID, got, want)
 		}
-		o := fx.obs[i]
+		o := fx.Obs[i]
 		reference.Observe(model.Interaction{UserID: o.UserID, ItemID: o.Item.ID, Timestamp: o.Timestamp}, o.Item)
 		r.Observe(model.Interaction{UserID: o.UserID, ItemID: o.Item.ID, Timestamp: o.Timestamp}, o.Item)
 	}
@@ -103,7 +103,7 @@ func TestRouterConcurrentObserveRecommend(t *testing.T) {
 		nObs     = 1024
 		nQueries = 60
 	)
-	obs := fx.obs[:nObs]
+	obs := fx.Obs[:nObs]
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
@@ -123,7 +123,7 @@ func TestRouterConcurrentObserveRecommend(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := g; i < nQueries; i += readers {
-				q := queryWindow(fx.queries, i)
+				q := queryWindow(fx.Queries, i)
 				results, err := r.RecommendBatch(context.Background(), q, core.WithK(10))
 				if err != nil {
 					t.Errorf("reader %d: %v", g, err)
@@ -181,7 +181,7 @@ func TestRouterCancellation(t *testing.T) {
 	fx := fixture(t)
 	items := make([]model.Item, 0, 64)
 	for i := 0; i < 64; i++ {
-		items = append(items, fx.queries[i%len(fx.queries)])
+		items = append(items, fx.Queries[i%len(fx.Queries)])
 	}
 	// Warm the deployment so registration is not part of the timing.
 	if _, err := r.RecommendBatch(context.Background(), items, core.WithK(10)); err != nil {
@@ -222,7 +222,7 @@ func TestRouterCancellation(t *testing.T) {
 	if _, err := r.RecommendCtx(ctx, items[0], core.WithK(5)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("pre-cancelled RecommendCtx: %v", err)
 	}
-	if _, err := r.ObserveBatch(ctx, fx.obs[:8]); !errors.Is(err, context.Canceled) {
+	if _, err := r.ObserveBatch(ctx, fx.Obs[:8]); !errors.Is(err, context.Canceled) {
 		t.Fatalf("pre-cancelled ObserveBatch: %v", err)
 	}
 	settleGoroutines(t, base)
@@ -235,12 +235,12 @@ func TestRouterCancellation(t *testing.T) {
 // query (regression test for exactly that bug).
 func TestRouterCancelledBatchStillRegisters(t *testing.T) {
 	fx := fixture(t)
-	reference, err := core.LoadFrom(bytes.NewReader(fx.snapshot))
+	reference, err := core.LoadFrom(bytes.NewReader(fx.Snapshot))
 	if err != nil {
 		t.Fatal(err)
 	}
 	r := bootRouter(t, 2)
-	fresh := fx.queries[len(fx.queries)-1]
+	fresh := fx.Queries[len(fx.Queries)-1]
 	fresh.ID = "cancel-reg-probe"
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -252,7 +252,7 @@ func TestRouterCancelledBatchStillRegisters(t *testing.T) {
 	}
 	// Both deployments registered the item during the cancelled call; the
 	// follow-up live queries must therefore stay identical.
-	for _, v := range []model.Item{fresh, fx.queries[0]} {
+	for _, v := range []model.Item{fresh, fx.Queries[0]} {
 		want, werr := reference.RecommendCtx(context.Background(), v, core.WithK(10))
 		got, gerr := r.RecommendCtx(context.Background(), v, core.WithK(10))
 		if werr != nil || gerr != nil {
@@ -269,7 +269,7 @@ func TestRouterCancelledBatchStillRegisters(t *testing.T) {
 // deployment stays conformant afterwards.
 func TestRouterObserveBatchAtomicity(t *testing.T) {
 	fx := fixture(t)
-	reference, err := core.LoadFrom(bytes.NewReader(fx.snapshot))
+	reference, err := core.LoadFrom(bytes.NewReader(fx.Snapshot))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +277,7 @@ func TestRouterObserveBatchAtomicity(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	// Batches 0,1 land; then a cancelled context rejects batch 2 entirely.
 	for i := 0; i < 2; i++ {
-		chunk := fx.obs[i*64 : (i+1)*64]
+		chunk := fx.Obs[i*64 : (i+1)*64]
 		if _, err := r.ObserveBatch(ctx, chunk); err != nil {
 			t.Fatalf("batch %d: %v", i, err)
 		}
@@ -286,13 +286,13 @@ func TestRouterObserveBatchAtomicity(t *testing.T) {
 		}
 	}
 	cancel()
-	if _, err := r.ObserveBatch(ctx, fx.obs[128:192]); !errors.Is(err, context.Canceled) {
+	if _, err := r.ObserveBatch(ctx, fx.Obs[128:192]); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled batch: err = %v", err)
 	}
 	// The rejected batch touched nothing: the deployment still matches the
 	// reference engine exactly.
 	for i := 0; i < 4; i++ {
-		v := fx.queries[i]
+		v := fx.Queries[i]
 		want, werr := reference.RecommendCtx(context.Background(), v, core.WithK(10))
 		got, gerr := r.RecommendCtx(context.Background(), v, core.WithK(10))
 		if (werr == nil) != (gerr == nil) {

@@ -41,11 +41,20 @@ package shard
 
 import (
 	"context"
+	"errors"
 
 	"ssrec/internal/core"
 	"ssrec/internal/model"
 	"ssrec/internal/sigtree"
 )
+
+// ErrShardUnavailable marks a shard the deployment could not reach: a
+// network-backed shard whose transport failed, or one the Router has
+// excluded after such a failure. In degraded mode the Router keeps
+// serving — queries return the merged results of the remaining shards —
+// and wraps this sentinel so callers know the answer may be missing the
+// excluded shards' owned users. Match with errors.Is.
+var ErrShardUnavailable = errors.New("shard: shard unavailable")
 
 // Stats snapshots one shard for /v2/stats and operational monitoring.
 type Stats struct {
@@ -80,7 +89,11 @@ type Shard interface {
 	// RegisterItems registers a batch of items in batch order under one
 	// lock — the deterministic prologue the Router broadcasts before a
 	// query batch so every shard's producer layer advances identically.
-	RegisterItems(ctx context.Context, items []model.Item) error
+	// changed reports whether any previously-unseen item was registered
+	// (the replicated dictionaries advanced); a warm batch reports false,
+	// which lets the Router tell a real missed write from a no-op when a
+	// shard skips the broadcast.
+	RegisterItems(ctx context.Context, items []model.Item) (changed bool, err error)
 
 	// ObserveBatch ingests one micro-batch of the interaction stream. The
 	// Router broadcasts the SAME batch to every shard: each maintains the
@@ -95,6 +108,30 @@ type Shard interface {
 
 	// Stats snapshots the shard.
 	Stats() Stats
+}
+
+// Pinger is the optional health-probe extension of a Shard. A
+// network-backed shard implements it so the Router can verify liveness
+// before re-including an excluded shard; in-process shards do not (they
+// cannot fail independently of the process).
+type Pinger interface {
+	// Ping reports nil when the shard is reachable AND trained (ready to
+	// serve); any error keeps the shard excluded. The returned bootEpoch
+	// is an opaque token that changes whenever the shard (re)boots from a
+	// snapshot — the Router compares it across probes to tell a re-seeded
+	// shard from one still serving the state it had before it was
+	// excluded (and therefore missing every batch replicated since).
+	// Implementations without epoch tracking return "".
+	Ping(ctx context.Context) (bootEpoch string, err error)
+}
+
+// SnapshotReceiver is the optional snapshot-handoff extension of a Shard:
+// the receiving end of the boot/recovery protocol. Handoff ships a full
+// trained-engine snapshot (core.SaveTo bytes); the shard reboots from it
+// via core.LoadShardFrom, materialising only its owned leaf partition.
+// Remote shards implement it; in-process shards boot directly.
+type SnapshotReceiver interface {
+	Handoff(ctx context.Context, snapshot []byte) error
 }
 
 // Local is the in-process Shard: a thin adapter over one core.Engine whose
@@ -116,14 +153,13 @@ func (l *Local) Engine() *core.Engine { return l.eng }
 func (l *Local) Index() int { return l.idx }
 
 // RegisterItems implements Shard.
-func (l *Local) RegisterItems(ctx context.Context, items []model.Item) error {
+func (l *Local) RegisterItems(ctx context.Context, items []model.Item) (bool, error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
-			return err
+			return false, err
 		}
 	}
-	l.eng.RegisterItemBatch(items)
-	return nil
+	return l.eng.RegisterItemBatch(items), nil
 }
 
 // ObserveBatch implements Shard.

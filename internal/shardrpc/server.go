@@ -1,0 +1,391 @@
+// Package shardrpc is the network transport of the sharded CPPse-index:
+// it carries the shard.Shard seam cut in the in-process sharding work
+// over HTTP/2 + NDJSON, so a shard.Router can drive a mix of in-process
+// and remote shards transparently.
+//
+// # Protocol
+//
+// One shardd process serves one shard of a deployment. All endpoints are
+// rooted under /shard/v1 and speak JSON, except the recommend exchange
+// (NDJSON, full-duplex) and the snapshot handoff (raw core.SaveTo bytes):
+//
+//	GET  /shard/v1/health     → {shard, of, trained, boot_epoch}
+//	GET  /shard/v1/stats      → shard.Stats
+//	POST /shard/v1/register   {items:[...]}            → {changed}
+//	POST /shard/v1/observe    {observations:[...]}     → BatchReport
+//	POST /shard/v1/recommend  NDJSON duplex (see below)
+//	POST /shard/v1/snapshot   raw snapshot bytes       → 204
+//
+// # The bound-streaming recommend exchange
+//
+// The scatter leg of a query must share ONE lower bound across every
+// shard to keep Algorithm 1's pruning global. Over the wire this becomes
+// a full-duplex NDJSON exchange on a single HTTP/2 stream: the request
+// body opens with the query envelope (item, resolved options, the shared
+// bound's current value) and stays open, streaming `{"b":x}` raise lines
+// whenever the ROUTER-side bound rises (i.e. another shard published a
+// better k-th score); the response streams the SHARD-side raises back the
+// same way and terminates with the `{"result":...}` line. Both ends fold
+// incoming raises with sigtree.Bound.Raise — a lock-free monotone max —
+// which makes the protocol drift-tolerant BY CONSTRUCTION: raises may be
+// delayed, duplicated, reordered or dropped entirely and the search stays
+// exact, because the bound only ever prunes entries strictly below the
+// true global k-th score. A late raise costs pruning work, never results.
+// That is the paper's Algorithm 1 lower-bound argument carried over the
+// network unchanged; the stream-replay conformance suite
+// (conformance_test.go here, sharing the internal/shardtest fixture)
+// asserts remote deployments are bit-identical to the single engine.
+//
+// # Replication and recovery
+//
+// The write path (RegisterItems, ObserveBatch) is applied under a
+// detached context once a request body has been fully received: the
+// micro-batch is the atomic replication unit, and a client disconnect
+// must not leave this shard half a batch behind its siblings. A shard
+// that DID miss batches (crash, network partition — the Router excludes
+// it on the first ErrShardUnavailable) rejoins by rebooting from a fresh
+// snapshot handoff (POST /shard/v1/snapshot → core.LoadShardFrom), which
+// restores the replicated dictionaries and rebuilds only its owned leaf
+// partition. See OPERATIONS.md for the runbook.
+package shardrpc
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssrec/internal/core"
+	"ssrec/internal/model"
+	"ssrec/internal/shard"
+	"ssrec/internal/sigtree"
+)
+
+// Server is the shardd request handler: one engine shard behind the
+// shard RPC protocol. A Server boots either from Boot (an engine loaded
+// in-process, e.g. from a -model file) or over the wire via the snapshot
+// handoff; until then every serving endpoint answers 503.
+// bootState pairs an installed engine with the boot-epoch token minted
+// for it. The pair is published atomically: a health probe must never
+// observe a new epoch with the previous engine still serving (the Router
+// would read that as "re-seeded" and re-include a stale shard), so the
+// epoch and the engine travel in one pointer.
+type bootState struct {
+	local *shard.Local
+	epoch string
+}
+
+type Server struct {
+	idx, of int
+	boot    atomic.Pointer[bootState]
+
+	// Parallelism, when > 0, is applied to every engine booted by a
+	// snapshot handoff (the shardd -partitions flag).
+	Parallelism int
+	// BoundFlush overrides DefaultBoundFlush for the raise stream when > 0.
+	BoundFlush time.Duration
+	// MaxBodyBytes bounds JSON request bodies (default 64 MiB).
+	MaxBodyBytes int64
+	// MaxSnapshotBytes bounds snapshot handoffs (default 1 GiB).
+	MaxSnapshotBytes int64
+
+	mux *http.ServeMux
+}
+
+// NewServer builds the handler for shard idx of an of-wide deployment.
+func NewServer(idx, of int) (*Server, error) {
+	if of < 1 {
+		of = 1
+	}
+	if idx < 0 || idx >= of {
+		return nil, fmt.Errorf("shardrpc: shard index %d out of range [0,%d)", idx, of)
+	}
+	s := &Server{
+		idx:              idx,
+		of:               of,
+		MaxBodyBytes:     64 << 20,
+		MaxSnapshotBytes: 1 << 30,
+		mux:              http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET "+pathHealth, s.handleHealth)
+	s.mux.HandleFunc("GET "+pathStats, s.handleStats)
+	s.mux.HandleFunc("POST "+pathRegister, s.handleRegister)
+	s.mux.HandleFunc("POST "+pathObserve, s.handleObserve)
+	s.mux.HandleFunc("POST "+pathRecommend, s.handleRecommend)
+	s.mux.HandleFunc("POST "+pathSnapshot, s.handleSnapshot)
+	return s, nil
+}
+
+// Boot installs a loaded engine as this server's shard and mints a fresh
+// boot epoch (published atomically with the engine). The engine must
+// have been loaded with the matching shard identity (core.LoadShardFrom
+// with the same idx/of) or built with Config.ShardIndex/ShardCount set.
+func (s *Server) Boot(e *core.Engine) {
+	if s.Parallelism > 0 {
+		e.SetParallelism(s.Parallelism)
+	}
+	var nonce [8]byte
+	rand.Read(nonce[:]) //nolint:errcheck // crypto/rand never fails on supported platforms
+	s.boot.Store(&bootState{
+		local: shard.NewLocal(s.idx, e),
+		epoch: hex.EncodeToString(nonce[:]),
+	})
+}
+
+// Booted reports whether an engine is installed.
+func (s *Server) Booted() bool { return s.boot.Load() != nil }
+
+// Handler returns the shard RPC handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// NewHTTPServer wraps the handler in an http.Server with unencrypted
+// HTTP/2 enabled — REQUIRED for the full-duplex recommend exchange (the
+// bound raise streams flow both ways on one stream; plain HTTP/1.1 cannot
+// do that client-side). No read/write timeouts are set: recommend streams
+// legitimately outlive any fixed budget, so deadlines belong to the
+// caller's context. ReadHeaderTimeout still bounds header slow-loris.
+func (s *Server) NewHTTPServer(addr string) *http.Server {
+	p := new(http.Protocols)
+	p.SetHTTP1(true)
+	p.SetUnencryptedHTTP2(true)
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		Protocols:         p,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+}
+
+func (s *Server) boundFlush() time.Duration {
+	if s.BoundFlush > 0 {
+		return s.BoundFlush
+	}
+	return DefaultBoundFlush
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // response already committed
+}
+
+func (s *Server) httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// serving returns the booted shard or answers 503 (the client maps 5xx to
+// ErrShardUnavailable — an unbooted shard is indistinguishable from an
+// unreachable one, and both are cured by a snapshot handoff).
+func (s *Server) serving(w http.ResponseWriter) *shard.Local {
+	b := s.boot.Load()
+	if b == nil {
+		s.httpError(w, http.StatusServiceUnavailable, "shard %d/%d not booted (awaiting snapshot handoff)", s.idx, s.of)
+		return nil
+	}
+	return b.local
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h := healthWire{Shard: s.idx, Of: s.of}
+	if b := s.boot.Load(); b != nil {
+		h.Trained = b.local.Engine().Trained()
+		h.BootEpoch = b.epoch
+	}
+	s.writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	l := s.serving(w)
+	if l == nil {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, toStatsWire(l.Stats()))
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
+	if err := dec.Decode(dst); err != nil {
+		s.httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	l := s.serving(w)
+	if l == nil {
+		return
+	}
+	var req registerWire
+	if !s.decode(w, r, &req) {
+		return
+	}
+	items := make([]model.Item, len(req.Items))
+	for i, it := range req.Items {
+		items[i] = it.model()
+	}
+	// Detached context: the batch arrived in full, so it is applied in
+	// full — a disconnecting router must not leave this shard's producer
+	// layer behind its siblings'.
+	changed, err := l.RegisterItems(context.WithoutCancel(r.Context()), items)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "register: %v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, registerRespWire{Changed: changed})
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	l := s.serving(w)
+	if l == nil {
+		return
+	}
+	var req observeWire
+	if !s.decode(w, r, &req) {
+		return
+	}
+	batch := make([]core.Observation, len(req.Observations))
+	for i, o := range req.Observations {
+		batch[i] = core.Observation{UserID: o.UserID, Item: o.Item.model(), Timestamp: o.Timestamp}
+	}
+	// Detached for the same atomic-replication reason as handleRegister.
+	rep, err := l.ObserveBatch(context.WithoutCancel(r.Context()), batch)
+	s.writeJSON(w, http.StatusOK, observeRespWire{reportWire: toReportWire(rep), Error: encodeErr(err)})
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	l := s.serving(w)
+	if l == nil {
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
+	var env recommendEnvelope
+	if err := dec.Decode(&env); err != nil {
+		s.httpError(w, http.StatusBadRequest, "invalid envelope: %v", err)
+		return
+	}
+
+	b := sigtree.NewBound()
+	last := math.Inf(-1)
+	if env.Bound != nil {
+		b.Raise(*env.Bound)
+		last = *env.Bound
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex() //nolint:errcheck // no-op on HTTP/2, best-effort on HTTP/1
+	w.WriteHeader(http.StatusOK)
+	rc.Flush() //nolint:errcheck // commit headers so the client unblocks
+
+	var mu sync.Mutex // serialises raise lines and the terminal line
+	enc := json.NewEncoder(w)
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	var pumps sync.WaitGroup
+	if env.Stream {
+		// Inbound raises: the router relays other shards' k-th scores; fold
+		// them into the local bound so this shard prunes globally. Exits
+		// when the request body ends — the client half-closes its stream as
+		// soon as it reads the terminal result line — and is joined before
+		// ServeHTTP returns (reading r.Body after the handler exits is
+		// outside the net/http contract).
+		go func() {
+			defer close(readerDone)
+			for {
+				var line recLine
+				if err := dec.Decode(&line); err != nil {
+					return
+				}
+				if line.B != nil {
+					b.Raise(*line.B)
+				}
+			}
+		}()
+		// Outbound raises: sample the local bound and publish increases.
+		pumps.Add(1)
+		go func() {
+			defer pumps.Done()
+			t := time.NewTicker(s.boundFlush())
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					if v := b.Load(); v > last && !math.IsInf(v, 1) {
+						last = v
+						mu.Lock()
+						enc.Encode(recLine{B: &v}) //nolint:errcheck // stream best-effort
+						rc.Flush()                 //nolint:errcheck
+						mu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+
+	res, rerr := l.Recommend(r.Context(), env.Item.model(), env.Options.options(), b)
+
+	close(stop)
+	pumps.Wait() // raise lines stop; the terminal line must be last
+	mu.Lock()
+	if env.Stream {
+		// Final raise: the search just published its k-th exact score into
+		// the local bound; flush it even if the sampling ticker never fired
+		// (fast searches finish between ticks), so sibling shards still
+		// running this query always see a finished shard's bound.
+		if v := b.Load(); v > last && !math.IsInf(v, 1) {
+			enc.Encode(recLine{B: &v}) //nolint:errcheck
+		}
+	}
+	enc.Encode(recLine{Result: toResultWire(res), Err: encodeErr(rerr)}) //nolint:errcheck
+	mu.Unlock()
+	if env.Stream {
+		// Join the inbound reader before ServeHTTP returns (reading r.Body
+		// afterwards is outside the net/http contract): flush the terminal
+		// line so the client sees it, reads it, and closes its request
+		// stream, which ends the reader's Decode. A peer that never closes
+		// gets its body closed from this side after a grace period, which
+		// unblocks the pending read; the second wait is belt-and-braces for
+		// transports where Close does not interrupt an in-flight Read.
+		rc.Flush() //nolint:errcheck
+		select {
+		case <-readerDone:
+		case <-time.After(time.Second):
+			r.Body.Close() //nolint:errcheck // force the reader off the body
+			select {
+			case <-readerDone:
+			case <-time.After(time.Second):
+			}
+		}
+	}
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	// Refuse a handoff addressed to a different shard identity — booting
+	// the wrong leaf partition would silently break the deployment's
+	// ownership partition.
+	for header, want := range map[string]int{headerShardIndex: s.idx, headerShardCount: s.of} {
+		if got := r.Header.Get(header); got != "" {
+			if n, err := strconv.Atoi(got); err != nil || n != want {
+				s.httpError(w, http.StatusConflict, "%s %q does not match this shard (%d/%d)", header, got, s.idx, s.of)
+				return
+			}
+		}
+	}
+	e, err := core.LoadShardFrom(http.MaxBytesReader(w, r.Body, s.MaxSnapshotBytes), s.idx, s.of)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "snapshot: %v", err)
+		return
+	}
+	s.Boot(e)
+	w.WriteHeader(http.StatusNoContent)
+}

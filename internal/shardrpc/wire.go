@@ -1,0 +1,337 @@
+// wire.go defines the NDJSON/JSON wire format of the shard RPC protocol —
+// the exact shapes both the RemoteShard client and the shardd server
+// encode — plus the error-code mapping that carries the engine's sentinel
+// errors across the wire without losing errors.Is identity.
+//
+// Every numeric score and bound crosses the wire as a JSON float64;
+// encoding/json emits the shortest representation that round-trips the
+// bit pattern exactly (strconv shortest-float), so remote results stay
+// bit-identical to in-process ones. ±Inf is not representable in JSON —
+// the protocol omits the bound field until it is finite (a fresh
+// sigtree.Bound starts at -Inf, which means "nothing to prune yet" and
+// never needs to be transmitted).
+package shardrpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"ssrec/internal/core"
+	"ssrec/internal/model"
+	"ssrec/internal/shard"
+	"ssrec/internal/sigtree"
+)
+
+// Endpoint paths of the shard RPC protocol (all rooted under /shard/v1).
+const (
+	pathHealth    = "/shard/v1/health"
+	pathStats     = "/shard/v1/stats"
+	pathRegister  = "/shard/v1/register"
+	pathObserve   = "/shard/v1/observe"
+	pathRecommend = "/shard/v1/recommend"
+	pathSnapshot  = "/shard/v1/snapshot"
+)
+
+// Identity headers of the snapshot handoff: the pushing router asserts
+// which shard it believes it is talking to, and the server refuses a
+// mismatch instead of silently rebuilding the wrong leaf partition.
+const (
+	headerShardIndex = "X-Ssrec-Shard-Index"
+	headerShardCount = "X-Ssrec-Shard-Count"
+)
+
+// itemWire is the wire form of model.Item.
+type itemWire struct {
+	ID          string   `json:"id"`
+	Category    string   `json:"category"`
+	Producer    string   `json:"producer,omitempty"`
+	Entities    []string `json:"entities,omitempty"`
+	Description string   `json:"description,omitempty"`
+	Timestamp   int64    `json:"timestamp,omitempty"`
+}
+
+func toItemWire(v model.Item) itemWire {
+	return itemWire{ID: v.ID, Category: v.Category, Producer: v.Producer,
+		Entities: v.Entities, Description: v.Description, Timestamp: v.Timestamp}
+}
+
+func (w itemWire) model() model.Item {
+	return model.Item{ID: w.ID, Category: w.Category, Producer: w.Producer,
+		Entities: w.Entities, Description: w.Description, Timestamp: w.Timestamp}
+}
+
+// registerWire is the body of POST /shard/v1/register.
+type registerWire struct {
+	Items []itemWire `json:"items"`
+}
+
+// registerRespWire is the response of POST /shard/v1/register: whether
+// the batch advanced the replicated dictionaries (any unseen item).
+type registerRespWire struct {
+	Changed bool `json:"changed"`
+}
+
+// obsWire is one observation of a replicated micro-batch.
+type obsWire struct {
+	UserID    string   `json:"user_id"`
+	Item      itemWire `json:"item"`
+	Timestamp int64    `json:"timestamp,omitempty"`
+}
+
+// observeWire is the body of POST /shard/v1/observe: one micro-batch, the
+// atomic replication unit.
+type observeWire struct {
+	Observations []obsWire `json:"observations"`
+}
+
+// obsErrWire is one rejected batch entry of a BatchReport.
+type obsErrWire struct {
+	Index int      `json:"index"`
+	Error *errWire `json:"error"`
+}
+
+// reportWire is the response of POST /shard/v1/observe.
+type reportWire struct {
+	Applied  int          `json:"applied"`
+	Rejected int          `json:"rejected"`
+	Flushed  int          `json:"flushed"`
+	Errors   []obsErrWire `json:"errors,omitempty"`
+}
+
+func toReportWire(rep core.BatchReport) reportWire {
+	w := reportWire{Applied: rep.Applied, Rejected: rep.Rejected, Flushed: rep.Flushed}
+	for _, oe := range rep.Errors {
+		w.Errors = append(w.Errors, obsErrWire{Index: oe.Index, Error: encodeErr(oe.Err)})
+	}
+	return w
+}
+
+func (w reportWire) report() core.BatchReport {
+	rep := core.BatchReport{Applied: w.Applied, Rejected: w.Rejected, Flushed: w.Flushed}
+	for _, oe := range w.Errors {
+		rep.Errors = append(rep.Errors, core.ObservationError{Index: oe.Index, Err: decodeErr(oe.Error)})
+	}
+	return rep
+}
+
+// optionsWire is the wire form of core.QueryOptions (already resolved by
+// the router — defaults applied, no functional options cross the wire).
+type optionsWire struct {
+	K           int  `json:"k"`
+	Parallelism int  `json:"parallelism,omitempty"`
+	NoExpansion bool `json:"no_expansion,omitempty"`
+}
+
+func toOptionsWire(o core.QueryOptions) optionsWire {
+	return optionsWire{K: o.K, Parallelism: o.Parallelism, NoExpansion: o.NoExpansion}
+}
+
+func (w optionsWire) options() core.QueryOptions {
+	return core.QueryOptions{K: w.K, Parallelism: w.Parallelism, NoExpansion: w.NoExpansion}
+}
+
+// recommendEnvelope is the FIRST NDJSON line of a POST /shard/v1/recommend
+// request body. When Stream is true the client keeps the request body open
+// and follows with boundLine raises (the router-side view of the shared
+// bound, fed by the other shards), and the server interleaves its own
+// boundLine raises into the response before the terminal resultLine.
+type recommendEnvelope struct {
+	Item    itemWire    `json:"item"`
+	Options optionsWire `json:"options"`
+	// Bound is the shared bound's value at scatter time, omitted while
+	// -Inf (nothing published yet).
+	Bound *float64 `json:"bound,omitempty"`
+	// Stream requests the full-duplex bound protocol.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// recLine is one NDJSON line of the recommend exchange AFTER the envelope
+// — in either direction. Exactly one field is set per line:
+//
+//   - B: a monotone raise of the shared lower bound (drift-tolerant — the
+//     receiver folds it with Bound.Raise, so delayed, duplicated or
+//     reordered deliveries only cost pruning, never correctness);
+//   - Result (+ optionally Err): the terminal server line carrying the
+//     shard's exact owned-users top-k and the per-call error, if any;
+//   - Err alone: the terminal server line of a failed call.
+type recLine struct {
+	B      *float64    `json:"b,omitempty"`
+	Result *resultWire `json:"result,omitempty"`
+	Err    *errWire    `json:"error,omitempty"`
+}
+
+// recWire is one ranked entry.
+type recWire struct {
+	UserID string  `json:"user_id"`
+	Score  float64 `json:"score"`
+}
+
+// resultWire is the wire form of core.Result (minus Err, carried beside).
+type resultWire struct {
+	ItemID          string    `json:"item_id"`
+	Recommendations []recWire `json:"recs,omitempty"`
+	Stats           statsLine `json:"stats"`
+}
+
+// statsLine is the wire form of sigtree.SearchStats.
+type statsLine struct {
+	NodesVisited   int `json:"nodes,omitempty"`
+	EntriesScored  int `json:"scored,omitempty"`
+	EntriesSkipped int `json:"skipped,omitempty"`
+	Partitions     int `json:"partitions,omitempty"`
+}
+
+func toResultWire(res core.Result) *resultWire {
+	w := &resultWire{ItemID: res.ItemID, Stats: statsLine{
+		NodesVisited:   res.Stats.NodesVisited,
+		EntriesScored:  res.Stats.EntriesScored,
+		EntriesSkipped: res.Stats.EntriesSkipped,
+		Partitions:     res.Stats.Partitions,
+	}}
+	for _, rec := range res.Recommendations {
+		w.Recommendations = append(w.Recommendations, recWire{UserID: rec.UserID, Score: rec.Score})
+	}
+	return w
+}
+
+func (w *resultWire) result() core.Result {
+	res := core.Result{ItemID: w.ItemID, Stats: sigtree.SearchStats{
+		NodesVisited:   w.Stats.NodesVisited,
+		EntriesScored:  w.Stats.EntriesScored,
+		EntriesSkipped: w.Stats.EntriesSkipped,
+		Partitions:     w.Stats.Partitions,
+	}}
+	for _, rec := range w.Recommendations {
+		res.Recommendations = append(res.Recommendations, model.Recommendation{UserID: rec.UserID, Score: rec.Score})
+	}
+	return res
+}
+
+// healthWire is the response of GET /shard/v1/health. BootEpoch is an
+// opaque token minted at every engine boot (startup -model load or
+// snapshot handoff): the Router compares epochs across probes to tell a
+// RE-SEEDED shard (safe to re-include) from one that kept running stale
+// state while it was excluded and missed replicated writes (not safe).
+type healthWire struct {
+	Shard     int    `json:"shard"`
+	Of        int    `json:"of"`
+	Trained   bool   `json:"trained"`
+	BootEpoch string `json:"boot_epoch,omitempty"`
+}
+
+// statsWire is the wire form of shard.Stats.
+type statsWire struct {
+	Shard       int  `json:"shard"`
+	Trained     bool `json:"trained"`
+	Users       int  `json:"users"`
+	OwnedUsers  int  `json:"owned_users"`
+	Leaves      int  `json:"leaves"`
+	Blocks      int  `json:"blocks"`
+	Trees       int  `json:"trees"`
+	HashKeys    int  `json:"hash_keys"`
+	Parallelism int  `json:"parallelism"`
+}
+
+func toStatsWire(st shard.Stats) statsWire {
+	return statsWire{Shard: st.Shard, Trained: st.Trained, Users: st.Users,
+		OwnedUsers: st.OwnedUsers, Leaves: st.Leaves, Blocks: st.Blocks,
+		Trees: st.Trees, HashKeys: st.HashKeys, Parallelism: st.Parallelism}
+}
+
+func (w statsWire) stats() shard.Stats {
+	return shard.Stats{Shard: w.Shard, Trained: w.Trained, Users: w.Users,
+		OwnedUsers: w.OwnedUsers, Leaves: w.Leaves, Blocks: w.Blocks,
+		Trees: w.Trees, HashKeys: w.HashKeys, Parallelism: w.Parallelism}
+}
+
+// ---- error transport ----
+
+// errWire carries one error across the wire: a stable code preserving the
+// sentinel identity plus the full message.
+type errWire struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Stable wire codes for the sentinel errors both sides know.
+const (
+	codeNotTrained  = "not_trained"
+	codeUnknownCat  = "unknown_category"
+	codeInvalidObs  = "invalid_observation"
+	codeCancelled   = "cancelled"
+	codeDeadline    = "deadline_exceeded"
+	codeUnavailable = "unavailable"
+	codeInternal    = "internal"
+)
+
+func encodeErr(err error) *errWire {
+	if err == nil {
+		return nil
+	}
+	w := &errWire{Code: codeInternal, Message: err.Error()}
+	switch {
+	case errors.Is(err, core.ErrNotTrained):
+		w.Code = codeNotTrained
+	case errors.Is(err, core.ErrUnknownCategory):
+		w.Code = codeUnknownCat
+	case errors.Is(err, core.ErrInvalidObservation):
+		w.Code = codeInvalidObs
+	case errors.Is(err, context.Canceled):
+		w.Code = codeCancelled
+	case errors.Is(err, context.DeadlineExceeded):
+		w.Code = codeDeadline
+	case errors.Is(err, shard.ErrShardUnavailable):
+		w.Code = codeUnavailable
+	}
+	return w
+}
+
+// remoteError restores a decoded error: Error() reproduces the original
+// message verbatim, Unwrap() restores the sentinel so errors.Is keeps
+// working across the process boundary.
+type remoteError struct {
+	msg  string
+	base error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.base }
+
+func decodeErr(w *errWire) error {
+	if w == nil {
+		return nil
+	}
+	var base error
+	switch w.Code {
+	case codeNotTrained:
+		base = core.ErrNotTrained
+	case codeUnknownCat:
+		base = core.ErrUnknownCategory
+	case codeInvalidObs:
+		base = core.ErrInvalidObservation
+	case codeCancelled:
+		base = context.Canceled
+	case codeDeadline:
+		base = context.DeadlineExceeded
+	case codeUnavailable:
+		base = shard.ErrShardUnavailable
+	default:
+		return errors.New(w.Message)
+	}
+	if w.Message == base.Error() {
+		return base
+	}
+	return &remoteError{msg: w.Message, base: base}
+}
+
+// errorBody is the JSON body of a non-2xx status.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// unavailable wraps a transport-level failure of shard idx in the typed
+// sentinel the Router's failover keys on.
+func unavailable(idx int, op string, err error) error {
+	return fmt.Errorf("shardrpc: shard %d %s: %w: %w", idx, op, shard.ErrShardUnavailable, err)
+}

@@ -1,0 +1,176 @@
+// Package shardtest is the shared test harness of the sharded-deployment
+// conformance suites: one seeded stream-replay fixture, a deterministic
+// replay driver and a transcript differ, used by both the in-process suite
+// (internal/shard) and the network-transport suite (internal/shardrpc) so
+// the two prove equivalence against the SAME reference workload.
+//
+// The fixture is deliberately heavyweight — a 0.5-scale YTube-shaped
+// dataset whose post-training stream carries at least 10k interactions
+// (the conformance acceptance floor) — and is built once per process.
+package shardtest
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"ssrec/internal/core"
+	"ssrec/internal/dataset"
+	"ssrec/internal/model"
+	"ssrec/internal/sigtree"
+)
+
+// Replay schedule constants, shared by every conformance suite.
+const (
+	// ReplayBatch is the observations per ObserveBatch micro-batch.
+	ReplayBatch = 128
+	// ReplayQueryLen is the items recommended between micro-batches.
+	ReplayQueryLen = 6
+	// ReplayK is the per-query result size.
+	ReplayK = 10
+)
+
+// Deployment is the surface the replay drives — satisfied by *core.Engine
+// (the reference), *shard.Router (in-process and remote deployments) and
+// any other engine-shaped system under test.
+type Deployment interface {
+	ObserveBatch(ctx context.Context, batch []core.Observation) (core.BatchReport, error)
+	RecommendBatch(ctx context.Context, items []model.Item, opts ...core.Option) ([]core.Result, error)
+}
+
+// Fixture is the shared deterministic workload: one trained-engine
+// snapshot every deployment boots from, the post-training observation
+// stream and the query schedule interleaved between micro-batches.
+type Fixture struct {
+	Snapshot []byte
+	Obs      []core.Observation
+	Queries  []model.Item
+}
+
+var fixtureCache *Fixture
+
+// Load builds (once per process) the seeded dataset, trains the reference
+// engine on the leading third and snapshots it.
+func Load(tb testing.TB) *Fixture {
+	tb.Helper()
+	if fixtureCache != nil {
+		return fixtureCache
+	}
+	cfg := dataset.YTubeConfig(0.5)
+	cfg.Seed = 17
+	ds := dataset.Generate(cfg)
+	eng := core.New(core.Config{Categories: ds.Categories, TrainMaxIter: 3, Restarts: 1, Seed: 17})
+	nTrain := len(ds.Interactions) / 3
+	if err := eng.Train(ds.Items, ds.Interactions[:nTrain], ds.Item); err != nil {
+		tb.Fatalf("train: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveTo(&buf); err != nil {
+		tb.Fatalf("snapshot: %v", err)
+	}
+	fx := &Fixture{Snapshot: buf.Bytes()}
+	lastTS := ds.Interactions[nTrain-1].Timestamp
+	for _, ir := range ds.Interactions[nTrain:] {
+		if v, ok := ds.Item(ir.ItemID); ok {
+			fx.Obs = append(fx.Obs, core.Observation{UserID: ir.UserID, Item: v, Timestamp: ir.Timestamp})
+		}
+	}
+	for _, v := range ds.Items {
+		if v.Timestamp > lastTS {
+			fx.Queries = append(fx.Queries, v)
+		}
+	}
+	if len(fx.Obs) < 10000 {
+		tb.Fatalf("replay stream has %d interactions, conformance floor is 10k", len(fx.Obs))
+	}
+	if len(fx.Queries) < ReplayQueryLen {
+		tb.Fatalf("only %d query items", len(fx.Queries))
+	}
+	fixtureCache = fx
+	return fx
+}
+
+// Transcript is everything a deployment exposes during one replay.
+type Transcript struct {
+	Reports []core.BatchReport
+	Results [][]core.Result
+}
+
+// Replay drives the deterministic schedule — micro-batches of
+// observations, each followed by a rotating recommendation batch over
+// future items — and records the transcript. maxBatches <= 0 replays the
+// full stream; extra query options (e.g. core.WithParallelism) are
+// appended to the schedule's WithK.
+func (fx *Fixture) Replay(tb testing.TB, d Deployment, maxBatches int, opts ...core.Option) *Transcript {
+	tb.Helper()
+	ctx := context.Background()
+	tr := &Transcript{}
+	qopts := append([]core.Option{core.WithK(ReplayK)}, opts...)
+	batchIdx := 0
+	for lo := 0; lo < len(fx.Obs); lo += ReplayBatch {
+		hi := min(lo+ReplayBatch, len(fx.Obs))
+		rep, err := d.ObserveBatch(ctx, fx.Obs[lo:hi])
+		if err != nil {
+			tb.Fatalf("batch %d: ObserveBatch: %v", batchIdx, err)
+		}
+		rep.Errors = nil // compared separately via Rejected
+		tr.Reports = append(tr.Reports, rep)
+		q := QueryWindow(fx.Queries, batchIdx)
+		results, err := d.RecommendBatch(ctx, q, qopts...)
+		if err != nil {
+			tb.Fatalf("batch %d: RecommendBatch: %v", batchIdx, err)
+		}
+		for i := range results {
+			// Pruning counters legitimately differ across shardings (each
+			// deployment prunes with different bound timing); observable
+			// equivalence is about results, not traversal effort.
+			results[i].Stats = sigtree.SearchStats{}
+		}
+		tr.Results = append(tr.Results, results)
+		batchIdx++
+		if maxBatches > 0 && batchIdx >= maxBatches {
+			break
+		}
+	}
+	return tr
+}
+
+// QueryWindow rotates deterministically through the future-item list.
+func QueryWindow(items []model.Item, batchIdx int) []model.Item {
+	out := make([]model.Item, 0, ReplayQueryLen)
+	for i := 0; i < ReplayQueryLen; i++ {
+		out = append(out, items[(batchIdx*ReplayQueryLen+i)%len(items)])
+	}
+	return out
+}
+
+// Diff asserts two replays are observably identical: same ingest reports,
+// same per-item errors, same ranked results (IDs, scores, order).
+func Diff(t *testing.T, want, got *Transcript, label string) {
+	t.Helper()
+	if len(want.Reports) != len(got.Reports) {
+		t.Fatalf("%s: %d reports vs %d", label, len(got.Reports), len(want.Reports))
+	}
+	for i := range want.Reports {
+		w, g := want.Reports[i], got.Reports[i]
+		if w.Applied != g.Applied || w.Rejected != g.Rejected || w.Flushed != g.Flushed {
+			t.Errorf("%s: batch %d report = %+v, want %+v", label, i, g, w)
+		}
+	}
+	for i := range want.Results {
+		for j := range want.Results[i] {
+			w, g := want.Results[i][j], got.Results[i][j]
+			if w.ItemID != g.ItemID {
+				t.Fatalf("%s: batch %d item %d: id %q vs %q", label, i, j, g.ItemID, w.ItemID)
+			}
+			if (w.Err == nil) != (g.Err == nil) {
+				t.Fatalf("%s: batch %d item %s: err %v vs %v", label, i, w.ItemID, g.Err, w.Err)
+			}
+			if !reflect.DeepEqual(w.Recommendations, g.Recommendations) {
+				t.Fatalf("%s: batch %d item %s: ranked results diverged\n got %v\nwant %v",
+					label, i, w.ItemID, g.Recommendations, w.Recommendations)
+			}
+		}
+	}
+}

@@ -52,11 +52,23 @@
 //
 //	rec := ssrec.Open(cfg, ssrec.WithShards(8))
 //
-// See the examples/ directory for runnable scenarios and DESIGN.md for the
-// system inventory and the v1→v2 migration table.
+// WithRemoteShards serves the same deployment from separate ssrec-shardd
+// processes over the shard RPC transport (HTTP/2 + streamed bound
+// updates, internal/shardrpc) — still observably identical, plus health
+// probing and failover: an unreachable shard is excluded and calls carry
+// ErrShardUnavailable beside their partial results until a snapshot
+// handoff (Handoff) brings it back:
+//
+//	rec := ssrec.Open(cfg, ssrec.WithRemoteShards("10.0.0.1:9100", "10.0.0.2:9100"))
+//	err := rec.Train(items, interactions, resolve) // trains once, boots every shardd
+//
+// See the examples/ directory for runnable scenarios, DESIGN.md for the
+// system inventory and the v1→v2 migration table, and OPERATIONS.md for
+// deployment topologies, failover semantics and the recovery runbook.
 package ssrec
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 
@@ -65,6 +77,7 @@ import (
 	"ssrec/internal/evalx"
 	"ssrec/internal/model"
 	"ssrec/internal/shard"
+	"ssrec/internal/shardrpc"
 )
 
 // Core data types, shared with the internal packages.
@@ -106,6 +119,13 @@ var (
 	ErrUnknownCategory = core.ErrUnknownCategory
 	// ErrInvalidObservation marks a rejected ObserveBatch entry.
 	ErrInvalidObservation = core.ErrInvalidObservation
+	// ErrShardUnavailable marks a degraded sharded deployment: one or more
+	// shards were unreachable, so the call's results (still returned) may
+	// be missing those shards' owned users, and ingested batches were not
+	// replicated everywhere. The router excludes failed shards and
+	// re-includes them automatically once they pass a health probe after a
+	// snapshot handoff; see OPERATIONS.md for the recovery runbook.
+	ErrShardUnavailable = shard.ErrShardUnavailable
 )
 
 // WithK sets the number of users a query returns (default core.DefaultK).
@@ -126,6 +146,8 @@ func WithoutExpansion() Option { return core.WithoutExpansion() }
 type Recommender struct {
 	eng    *core.Engine  // single-engine deployment; nil when sharded
 	router *shard.Router // sharded deployment; nil when single-engine
+	cfg    Config        // the Open config (remote Train builds from it)
+	remote bool          // true when the shards live behind WithRemoteShards
 }
 
 // OpenOption configures Open.
@@ -133,6 +155,7 @@ type OpenOption func(*openOptions)
 
 type openOptions struct {
 	shards int
+	addrs  []string
 }
 
 // WithShards serves the recommender as an n-shard deployment: user blocks
@@ -143,6 +166,22 @@ func WithShards(n int) OpenOption {
 	return func(o *openOptions) { o.shards = n }
 }
 
+// WithRemoteShards serves the recommender from remote shardd processes
+// (cmd/ssrec-shardd), one per address, in shard-index order: addrs[i] is
+// shard i of a len(addrs)-wide deployment. The same scatter-gather
+// protocol as WithShards runs over HTTP/2 — shared-lower-bound pruning,
+// micro-batch replication, observably identical results — plus health
+// probing with failover: an unreachable shard is excluded, calls carry
+// ErrShardUnavailable alongside partial results, and the shard rejoins
+// after a snapshot handoff (see Handoff and OPERATIONS.md).
+//
+// No I/O happens at Open: connections dial lazily and blank shardds boot
+// on the first Train or Handoff call. WithRemoteShards takes precedence
+// over WithShards when both are given.
+func WithRemoteShards(addrs ...string) OpenOption {
+	return func(o *openOptions) { o.addrs = addrs }
+}
+
 // Open creates a recommender with deployment options. Open(cfg) is
 // equivalent to New(cfg).
 func Open(cfg Config, opts ...OpenOption) *Recommender {
@@ -150,10 +189,15 @@ func Open(cfg Config, opts ...OpenOption) *Recommender {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	if o.shards > 1 {
-		return &Recommender{router: shard.New(cfg, o.shards)}
+	if len(o.addrs) > 0 {
+		// DialRouter errors only on an empty address list, checked above.
+		router, _ := shardrpc.DialRouter(o.addrs)
+		return &Recommender{router: router, cfg: cfg, remote: true}
 	}
-	return &Recommender{eng: core.New(cfg)}
+	if o.shards > 1 {
+		return &Recommender{router: shard.New(cfg, o.shards), cfg: cfg}
+	}
+	return &Recommender{eng: core.New(cfg), cfg: cfg}
 }
 
 // New creates a single-engine recommender. Config.Categories is required.
@@ -189,12 +233,37 @@ func (r *Recommender) Name() string {
 
 // Train bootstraps the recommender on a batch of items and interactions.
 // A sharded deployment trains once and boots every shard from the
-// resulting snapshot.
+// resulting snapshot; a remote deployment (WithRemoteShards) additionally
+// ships that snapshot to every shardd over the handoff protocol, so ONE
+// Train call boots the whole fleet.
 func (r *Recommender) Train(items []Item, interactions []Interaction, resolve func(string) (Item, bool)) error {
+	if r.remote {
+		eng := core.New(r.cfg)
+		if err := eng.Train(items, interactions, resolve); err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := eng.SaveTo(&buf); err != nil {
+			return fmt.Errorf("ssrec: snapshot trained engine: %w", err)
+		}
+		return r.router.HandoffSnapshot(context.Background(), buf.Bytes())
+	}
 	if r.router != nil {
 		return r.router.Train(items, interactions, resolve)
 	}
 	return r.eng.Train(items, interactions, resolve)
+}
+
+// Handoff ships a trained-engine snapshot (Engine.SaveTo / core.SaveFile
+// bytes) to every remote shard and re-includes recovered ones — the boot
+// path for a pre-trained model ("one -save run, N boots") and the
+// recovery runbook step after a shardd restart. It is a no-op for
+// in-process deployments, whose shards boot through Train.
+func (r *Recommender) Handoff(ctx context.Context, snapshot []byte) error {
+	if r.router == nil {
+		return nil
+	}
+	return r.router.HandoffSnapshot(ctx, snapshot)
 }
 
 // TrainDataset bootstraps the recommender on the leading fraction of a

@@ -1,9 +1,12 @@
 package ssrec
 
 import (
+	"net"
+
 	"context"
 	"errors"
 	"reflect"
+	"ssrec/internal/shardrpc"
 	"testing"
 )
 
@@ -195,5 +198,75 @@ func TestReplicateAndPersistence(t *testing.T) {
 	}
 	if len(got.Items()) != len(syn.Items()) {
 		t.Error("round-trip lost items")
+	}
+}
+
+// TestPublicRemoteShards exercises the WithRemoteShards wiring end to
+// end through the public package: lazy Open, the remote Train path
+// (train once locally, snapshot, handoff to every shardd), and
+// observable equivalence with a single-engine recommender over live
+// loopback HTTP/2 shards.
+func TestPublicRemoteShards(t *testing.T) {
+	ds := GenerateYTubeLike(0.15, 13)
+	cfg := Config{Categories: ds.Categories(), TrainMaxIter: 3, Restarts: 1, Seed: 13}
+
+	// Two blank loopback shardd handlers.
+	addrs := make([]string, 2)
+	for i := range addrs {
+		srv, err := shardrpc.NewServer(i, len(addrs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := srv.NewHTTPServer(ln.Addr().String())
+		go hs.Serve(ln) //nolint:errcheck
+		t.Cleanup(func() { hs.Close() })
+		addrs[i] = ln.Addr().String()
+	}
+
+	single := New(cfg)
+	remote := Open(cfg, WithRemoteShards(addrs...))
+	if remote.Shards() != 2 {
+		t.Fatalf("Shards() = %d, want 2", remote.Shards())
+	}
+	if err := single.TrainDataset(ds, 1.0/3); err != nil {
+		t.Fatalf("train single: %v", err)
+	}
+	if err := remote.TrainDataset(ds, 1.0/3); err != nil {
+		t.Fatalf("train remote (handoff): %v", err)
+	}
+
+	ctx := context.Background()
+	items := ds.Items()
+	for _, v := range items[len(items)-4:] {
+		want, werr := single.RecommendCtx(ctx, v, WithK(10))
+		got, gerr := remote.RecommendCtx(ctx, v, WithK(10))
+		if werr != nil || gerr != nil {
+			t.Fatalf("item %s: errs %v / %v", v.ID, werr, gerr)
+		}
+		if !reflect.DeepEqual(got.Recommendations, want.Recommendations) {
+			t.Fatalf("item %s: remote deployment diverged\n got %v\nwant %v",
+				v.ID, got.Recommendations, want.Recommendations)
+		}
+	}
+
+	// Batched ingestion replicates with a matching report.
+	obs := []Observation{
+		{UserID: "ru1", Item: items[0], Timestamp: items[0].Timestamp + 1},
+		{UserID: "", Item: items[1], Timestamp: items[1].Timestamp + 1}, // rejected
+	}
+	want, werr := single.ObserveBatch(ctx, obs)
+	got, gerr := remote.ObserveBatch(ctx, obs)
+	if werr != nil || gerr != nil {
+		t.Fatalf("observe errs: %v / %v", werr, gerr)
+	}
+	if got.Applied != want.Applied || got.Rejected != want.Rejected || got.Flushed != want.Flushed {
+		t.Fatalf("report %+v, want %+v", got, want)
+	}
+	if len(got.Errors) != 1 || !errors.Is(got.Errors[0].Err, ErrInvalidObservation) {
+		t.Fatalf("per-entry errors = %+v", got.Errors)
 	}
 }
