@@ -42,12 +42,18 @@ func main() {
 		writers      = flag.Int("writers", 0, "throughput mode: concurrent ObserveBatch ingestion workers (0 = read-only)")
 		batch        = flag.Int("batch", 64, "throughput mode: observe micro-batch size (<=1 replays per-item Observe)")
 		topK         = flag.Int("k", 30, "throughput mode: recommendations per item")
+		session      = flag.Bool("session", false, "throughput mode: drive readers and writers through OpenSession-style sessions (one ordered Push/Ask stream per worker) instead of direct calls")
+		scatter      = flag.String("scatter", "stream", "throughput mode, -remote-shards only: scatter transport — \"stream\" multiplexes every query over one per-shard query stream, \"item\" opens one HTTP/2 stream per item (the pre-mux wire behavior, for comparison)")
 		jsonOut      = flag.String("json", "", "throughput mode: write the JSON report here")
 	)
 	flag.Parse()
 
 	if *throughput {
-		runThroughput(*scale, *seed, *parallel, *partitions, *shards, *remoteShards, *writers, *batch, *topK, *jsonOut)
+		runThroughput(throughputConfig{
+			Scale: *scale, Seed: *seed, Parallel: *parallel, Partitions: *partitions,
+			Shards: *shards, RemoteShards: *remoteShards, Writers: *writers, Batch: *batch,
+			K: *topK, Session: *session, Scatter: *scatter, JSONPath: *jsonOut,
+		})
 		return
 	}
 

@@ -33,6 +33,17 @@
 //	Either way the trained snapshot is pushed to every shard via
 //	the handoff protocol before the replay; reader latency then
 //	includes the network scatter/gather round trip
+//
+// -scatter stream|item  (with -remote-shards) multiplex every query over
+//
+//	one per-shard query stream (default), or open one HTTP/2
+//	stream per item — the pre-mux wire behavior, kept for
+//	before/after comparison (BENCH_PR5.json)
+//
+// -session  drive readers and writers through ordered Push/Ask sessions
+//
+//	(core.Session — the OpenSession path) instead of direct
+//	Recommend/ObserveBatch calls
 package main
 
 import (
@@ -57,14 +68,32 @@ import (
 	"ssrec/internal/shardrpc"
 )
 
+// throughputConfig is the parsed flag set of the throughput mode.
+type throughputConfig struct {
+	Scale        float64
+	Seed         int64
+	Parallel     int
+	Partitions   int
+	Shards       int
+	RemoteShards string
+	Writers      int
+	Batch        int
+	K            int
+	Session      bool
+	Scatter      string // "stream" (multiplexed, default) or "item"
+	JSONPath     string
+}
+
 // bootRemoteShards stands up the -remote-shards deployment: a numeric
 // spec "N" spawns N loopback shard servers in-process (still real TCP,
 // HTTP/2 and the bound-streaming protocol — the self-contained way to
 // measure the RPC transport), anything else is a comma-separated list of
 // running ssrec-shardd addresses in shard-index order. Either way the
 // trained engine's snapshot is pushed to every shard over the handoff
-// protocol before the replay starts.
-func bootRemoteShards(eng *core.Engine, spec string) (*shard.Router, int) {
+// protocol before the replay starts. scatter "item" disables the
+// multiplexed query stream (one HTTP/2 stream per item — the pre-mux
+// behavior, kept measurable for BENCH_PR5.json comparisons).
+func bootRemoteShards(eng *core.Engine, spec, scatter string) (*shard.Router, int) {
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "throughput: "+format+"\n", args...)
 		os.Exit(1)
@@ -97,7 +126,13 @@ func bootRemoteShards(eng *core.Engine, spec string) (*shard.Router, int) {
 			fail("-remote-shards %q: no addresses", spec)
 		}
 	}
-	router, err := shardrpc.DialRouter(addrs)
+	shards := make([]shard.Shard, len(addrs))
+	for i, a := range addrs {
+		c := shardrpc.NewClient(a, i, len(addrs))
+		c.DisableMuxScatter = scatter == "item"
+		shards[i] = c
+	}
+	router, err := shard.NewRouter(shards...)
 	if err != nil {
 		fail("assemble remote deployment: %v", err)
 	}
@@ -108,11 +143,13 @@ func bootRemoteShards(eng *core.Engine, spec string) (*shard.Router, int) {
 }
 
 // benchBackend is the serving surface the replay drives — one engine or a
-// sharded router, interchangeably.
+// sharded router, interchangeably. It is a superset of core.SessionBackend
+// so -session can open sessions over it.
 type benchBackend interface {
 	Recommend(v model.Item, k int) []model.Recommendation
 	Observe(ir model.Interaction, v model.Item)
 	ObserveBatch(ctx context.Context, batch []core.Observation) (core.BatchReport, error)
+	RecommendBatch(ctx context.Context, items []model.Item, opts ...core.Option) ([]core.Result, error)
 	RegisterItem(v model.Item)
 }
 
@@ -128,6 +165,8 @@ type ThroughputResult struct {
 	Partitions  int     `json:"partitions"`          // intra-query parallelism
 	Shards      int     `json:"shards"`              // scatter-gather deployment width (1 = single engine)
 	Transport   string  `json:"transport,omitempty"` // "rpc" when the shards are remote (loopback or external)
+	Scatter     string  `json:"scatter,omitempty"`   // "stream" (multiplexed) or "item" (one h2 stream per item); rpc only
+	Session     bool    `json:"session,omitempty"`   // replay driven through sessions (Push/Ask) instead of direct calls
 	Items       int     `json:"items"`
 	TotalSec    float64 `json:"total_sec"`
 	ItemsPerSec float64 `json:"items_per_sec"`
@@ -148,7 +187,11 @@ type ThroughputResult struct {
 	WriterMeanBatchSize float64 `json:"writer_mean_batch_size,omitempty"`
 }
 
-func runThroughput(scale float64, seed int64, parallel, partitions, shards int, remoteShards string, writers, batch, k int, jsonPath string) {
+func runThroughput(tc throughputConfig) {
+	scale, seed := tc.Scale, tc.Seed
+	parallel, partitions, shards := tc.Parallel, tc.Partitions, tc.Shards
+	remoteShards, writers, batch, k := tc.RemoteShards, tc.Writers, tc.Batch, tc.K
+	jsonPath := tc.JSONPath
 	if parallel < 1 {
 		parallel = 1
 	}
@@ -157,6 +200,10 @@ func runThroughput(scale float64, seed int64, parallel, partitions, shards int, 
 	}
 	if shards < 1 {
 		shards = 1
+	}
+	if tc.Scatter != "item" && tc.Scatter != "stream" {
+		fmt.Fprintf(os.Stderr, "throughput: -scatter must be \"stream\" or \"item\", got %q\n", tc.Scatter)
+		os.Exit(1)
 	}
 	cfg := dataset.YTubeConfig(scale)
 	cfg.Seed = seed
@@ -198,7 +245,7 @@ func runThroughput(scale float64, seed int64, parallel, partitions, shards int, 
 	var backend benchBackend = eng
 	transport := ""
 	if remoteShards != "" {
-		router, n := bootRemoteShards(eng, remoteShards)
+		router, n := bootRemoteShards(eng, remoteShards, tc.Scatter)
 		backend, shards, transport = router, n, "rpc"
 	} else if shards > 1 {
 		var buf bytes.Buffer
@@ -240,13 +287,28 @@ func runThroughput(scale float64, seed int64, parallel, partitions, shards int, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// -session: each worker is one continuous-recommendation
+			// client — Ask on an ordered session stream, await the pushed
+			// answer — measuring the session path end to end.
+			var ses *core.Session
+			if tc.Session {
+				ses = core.NewSession(context.Background(), backend)
+				defer ses.Close()
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(queries) {
 					return
 				}
 				t0 := time.Now()
-				backend.Recommend(queries[i], k)
+				if ses != nil {
+					if err := ses.Ask(queries[i], core.WithK(k)); err != nil {
+						return
+					}
+					<-ses.Results() // ordered: the one pending ask's answer
+				} else {
+					backend.Recommend(queries[i], k)
+				}
 				latencies[i] = time.Since(t0)
 			}
 		}()
@@ -277,19 +339,36 @@ func runThroughput(scale float64, seed int64, parallel, partitions, shards int, 
 			writerWG.Add(1)
 			go func(chunk []core.Observation) {
 				defer writerWG.Done()
-				for len(chunk) > 0 {
-					n := min(batch, len(chunk))
-					if batch <= 1 {
-						o := chunk[0]
-						backend.Observe(model.Interaction{UserID: o.UserID, ItemID: o.Item.ID, Timestamp: o.Timestamp}, o.Item)
-						writerApplied.Add(1)
-					} else {
-						rep, _ := backend.ObserveBatch(context.Background(), chunk[:n])
-						writerApplied.Add(int64(rep.Applied))
-						flushedUsers.Add(int64(rep.Flushed))
+				if tc.Session {
+					// -session: one ordered ingest stream per writer; the
+					// session micro-batches Pushes into ObserveBatch calls.
+					ses := core.NewSession(context.Background(), backend,
+						core.WithSessionBatch(batch))
+					for _, o := range chunk {
+						if ses.Push(o) != nil {
+							break
+						}
 					}
-					lockAcquires.Add(1)
-					chunk = chunk[n:]
+					ses.Close() //nolint:errcheck // stats read below
+					st := ses.Stats()
+					writerApplied.Add(int64(st.Admitted))
+					flushedUsers.Add(int64(st.Flushed))
+					lockAcquires.Add(int64(st.Batches))
+				} else {
+					for len(chunk) > 0 {
+						n := min(batch, len(chunk))
+						if batch <= 1 {
+							o := chunk[0]
+							backend.Observe(model.Interaction{UserID: o.UserID, ItemID: o.Item.ID, Timestamp: o.Timestamp}, o.Item)
+							writerApplied.Add(1)
+						} else {
+							rep, _ := backend.ObserveBatch(context.Background(), chunk[:n])
+							writerApplied.Add(int64(rep.Applied))
+							flushedUsers.Add(int64(rep.Flushed))
+						}
+						lockAcquires.Add(1)
+						chunk = chunk[n:]
+					}
 				}
 				end := time.Since(start).Nanoseconds()
 				for {
@@ -328,6 +407,7 @@ func runThroughput(scale float64, seed int64, parallel, partitions, shards int, 
 		Partitions:  partitions,
 		Shards:      shards,
 		Transport:   transport,
+		Session:     tc.Session,
 		Items:       len(queries),
 		TotalSec:    total.Seconds(),
 		ItemsPerSec: float64(len(queries)) / total.Seconds(),
@@ -336,12 +416,19 @@ func runThroughput(scale float64, seed int64, parallel, partitions, shards int, 
 		P99Us:       us(pct(0.99)),
 		MaxUs:       us(latencies[len(latencies)-1]),
 	}
+	if res.Transport == "rpc" {
+		res.Scatter = tc.Scatter
+	}
 	shardsDesc := fmt.Sprintf("%d shards", res.Shards)
 	if res.Transport == "rpc" {
-		shardsDesc = fmt.Sprintf("%d remote shards", res.Shards)
+		shardsDesc = fmt.Sprintf("%d remote shards (scatter=%s)", res.Shards, res.Scatter)
 	}
-	fmt.Printf("throughput: %d items, %d workers, %d partitions, %s: %.0f items/sec  p50=%.0fµs p99=%.0fµs\n",
-		res.Items, res.Parallel, res.Partitions, shardsDesc, res.ItemsPerSec, res.P50Us, res.P99Us)
+	mode := ""
+	if res.Session {
+		mode = ", sessions"
+	}
+	fmt.Printf("throughput: %d items, %d workers, %d partitions, %s%s: %.0f items/sec  p50=%.0fµs p99=%.0fµs\n",
+		res.Items, res.Parallel, res.Partitions, shardsDesc, mode, res.ItemsPerSec, res.P50Us, res.P99Us)
 	if writers > 0 && writerWall > 0 {
 		res.Writers = writers
 		res.Batch = batch

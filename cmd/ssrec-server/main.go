@@ -72,10 +72,17 @@ func main() {
 
 		maxK         = flag.Int("max-k", 100, "cap on per-request k")
 		maxBatch     = flag.Int("max-batch", 256, "cap on items per /v2/recommend call")
-		batchSize    = flag.Int("batch-size", 64, "observe micro-batch: NDJSON lines per ObserveBatch call")
-		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "HTTP read timeout (bulk NDJSON ingests count against it)")
-		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
+		batchSize    = flag.Int("batch-size", 64, "observe/session micro-batch: command lines per ObserveBatch call")
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "HTTP read timeout (bulk NDJSON ingests count against it; /v2/session clears it per stream)")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout (/v2/session clears it per stream)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window after SIGINT/SIGTERM")
+
+		authToken     = flag.String("auth-token", "", "shared bearer token: required on every /v2/* call (including /v2/session) AND presented to -shard-addrs shardds (pair with ssrec-shardd -auth-token)")
+		maxSessions   = flag.Int("max-sessions", 64, "cap on concurrent /v2/session streams (excess rejected 503 + Retry-After; <= 0 disables)")
+		sessionCredit = flag.Int("session-credit", server.DefaultSessionCredit, "per-session flow-control window (command lines in flight before the client must wait for credit)")
+		sessionRate   = flag.Float64("session-rate", 0, "per-session rate limit in command lines/sec (token bucket; 0 = unpaced)")
+		sessionBurst  = flag.Int("session-burst", 0, "token-bucket burst of -session-rate (default max(1, rate))")
+		sessionLinger = flag.Duration("session-linger", 200*time.Millisecond, "flush a session's pending observations at most this long after the first arrives (<= 0 disables the timer)")
 	)
 	flag.Parse()
 	partitionsSet := false
@@ -140,7 +147,9 @@ func main() {
 	var backend server.Backend
 	switch {
 	case len(remote) > 0:
-		router, err := shardrpc.DialRouter(remote)
+		// ONE -auth-token secures both roles: this server's /v2 surface
+		// and its client legs into the shardd fleet.
+		router, err := shardrpc.DialRouterAuth(remote, *authToken)
 		if err != nil {
 			log.Fatalf("assemble remote deployment: %v", err)
 		}
@@ -180,9 +189,27 @@ func main() {
 	srv.MaxK = *maxK
 	srv.MaxBatch = *maxBatch
 	srv.BatchSize = *batchSize
+	srv.AuthToken = *authToken
+	srv.MaxSessions = *maxSessions
+	srv.SessionCredit = *sessionCredit
+	srv.SessionRate = *sessionRate
+	srv.SessionBurst = *sessionBurst
+	srv.SessionLinger = *sessionLinger
+	if *authToken != "" {
+		log.Printf("bearer auth enabled on /v2/* (v1 and /healthz stay open)")
+	}
+	// Serve HTTP/1.1 AND unencrypted HTTP/2 (h2c with prior knowledge):
+	// the /v2/session full-duplex exchange needs h2c — request and
+	// response stream concurrently on one stream, which a plaintext
+	// HTTP/1.1 client cannot do — while every other route keeps working
+	// over plain HTTP/1.1.
+	protocols := new(http.Protocols)
+	protocols.SetHTTP1(true)
+	protocols.SetUnencryptedHTTP2(true)
 	httpSrv := &http.Server{
 		Addr:         *addr,
 		Handler:      srv.Handler(),
+		Protocols:    protocols,
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 	}

@@ -49,6 +49,7 @@ func main() {
 
 		partitions = flag.Int("partitions", 0, "intra-query search partitions; > 0 overrides the snapshot's setting and applies to handoff boots")
 		boundFlush = flag.Duration("bound-flush", shardrpc.DefaultBoundFlush, "sampling interval of the bound-raise stream on the recommend exchange")
+		authToken  = flag.String("auth-token", "", "shared bearer token: every endpoint (health included) answers 401 without \"Authorization: Bearer <token>\"; pair with ssrec-server -auth-token / ssrec.WithAuthToken")
 
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window after SIGINT/SIGTERM")
 	)
@@ -60,6 +61,10 @@ func main() {
 	}
 	srv.Parallelism = *partitions
 	srv.BoundFlush = *boundFlush
+	srv.AuthToken = *authToken
+	if *authToken != "" {
+		log.Printf("bearer auth enabled on every endpoint")
+	}
 
 	if *model != "" {
 		f, err := os.Open(*model)

@@ -38,13 +38,22 @@ var ingestTotals struct {
 	batches atomic.Int64
 }
 
-// recommendBolt is one per-category bolt: it answers item tuples with
-// top-k users and micro-batches observation tuples into ObserveBatch.
+// recommendBolt is one per-category bolt, rewired onto the session API:
+// its engine is driven through ONE ordered core.Session per bolt instance
+// — observation tuples are Pushed (the session micro-batches them into
+// ObserveBatch admissions), item tuples are Asked and their answer awaited
+// from the ordered Results stream — so each bolt runs exactly the
+// continuous Push/Ask loop a /v2/session client would.
 type recommendBolt struct {
-	eng   *core.Engine
-	k     int
-	batch int
-	buf   []core.Observation
+	ses *core.Session
+	k   int
+}
+
+func newRecommendBolt(eng *core.Engine, k, batch int) *recommendBolt {
+	return &recommendBolt{
+		ses: core.NewSession(context.Background(), eng, core.WithSessionBatch(batch)),
+		k:   k,
+	}
 }
 
 type result struct {
@@ -57,35 +66,38 @@ func (b *recommendBolt) Process(t stream.Tuple, emit func(stream.Tuple)) error {
 	switch v := t.Value.(type) {
 	case model.Item:
 		t0 := time.Now()
-		res, err := b.eng.RecommendCtx(context.Background(), v, core.WithK(b.k))
-		if err != nil {
+		if err := b.ses.Ask(v, core.WithK(b.k)); err != nil {
 			return err
+		}
+		// The Ask is the only pending query on this bolt's session (pushes
+		// produce no results), so the next ordered result answers it —
+		// reflecting every observation pushed before it.
+		res, ok := <-b.ses.Results()
+		if !ok {
+			return b.ses.Err()
+		}
+		if res.Err != nil {
+			return res.Err
 		}
 		emit(stream.Tuple{Key: v.Category, Value: result{item: v, recs: res.Recommendations, took: time.Since(t0)}})
 	case core.Observation:
-		b.buf = append(b.buf, v)
-		if len(b.buf) >= b.batch {
-			return b.flush()
+		if err := b.ses.Push(v); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// flush ingests the buffered observations in one ObserveBatch call.
-func (b *recommendBolt) flush() error {
-	if len(b.buf) == 0 {
-		return nil
-	}
-	rep, err := b.eng.ObserveBatch(context.Background(), b.buf)
-	ingestTotals.applied.Add(int64(rep.Applied))
-	ingestTotals.flushed.Add(int64(rep.Flushed))
-	ingestTotals.batches.Add(1)
-	b.buf = b.buf[:0]
+// Close flushes the session's trailing micro-batch and folds its ingest
+// counters into the topology totals.
+func (b *recommendBolt) Close() error {
+	err := b.ses.Close()
+	st := b.ses.Stats()
+	ingestTotals.applied.Add(int64(st.Admitted))
+	ingestTotals.flushed.Add(int64(st.Flushed))
+	ingestTotals.batches.Add(int64(st.Batches))
 	return err
 }
-
-// Close drains the partial trailing micro-batch when the stream ends.
-func (b *recommendBolt) Close() error { return b.flush() }
 
 func main() {
 	var (
@@ -150,7 +162,7 @@ func main() {
 		if err := evalx.Train(eng, ds, evalx.Setup{}); err != nil {
 			log.Fatalf("bolt %d train: %v", instance, err)
 		}
-		return &recommendBolt{eng: eng, k: *k, batch: *batch}
+		return newRecommendBolt(eng, *k, *batch)
 	}).FieldsBy("events")
 	tp.AddBolt("sink", 1, func(int) stream.Bolt {
 		return stream.BoltFunc(func(t stream.Tuple, emit func(stream.Tuple)) error {

@@ -68,6 +68,55 @@ func ExampleRecommender_RecommendBatch() {
 
 func errorsIsUnknownCategory(err error) bool { return errors.Is(err, ssrec.ErrUnknownCategory) }
 
+// OpenSession is the paper's standing stream loop as an API: one ordered
+// full-duplex stream of pushed observations and asked items, answered in
+// admission order on the Results channel — every answer reflects exactly
+// the events pushed before it. The wire form is POST /v2/session.
+func ExampleRecommender_OpenSession() {
+	ds := ssrec.GenerateYTubeLike(0.2, 7)
+	rec := ssrec.New(ssrec.Config{Categories: ds.Categories()})
+	if err := rec.TrainDataset(ds, 1.0/3); err != nil {
+		panic(err)
+	}
+
+	ses := rec.OpenSession(context.Background(), ssrec.WithSessionBatch(32))
+	answered := make(chan int)
+	go func() {
+		n := 0
+		for res := range ses.Results() {
+			if res.Err == nil && len(res.Recommendations) > 0 {
+				n++
+			}
+		}
+		answered <- n
+	}()
+
+	// Interleave the live stream: observations accumulate into micro-
+	// batches; each Ask admits the pending batch first, then answers.
+	items := ds.Items()
+	interactions := ds.Interactions()
+	for _, ir := range interactions[len(interactions)-40:] {
+		if v, ok := ds.Item(ir.ItemID); ok {
+			if err := ses.Push(ssrec.Observation{UserID: ir.UserID, Item: v, Timestamp: ir.Timestamp}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if err := ses.Ask(items[len(items)-1], ssrec.WithK(5)); err != nil {
+		panic(err)
+	}
+	if err := ses.Close(); err != nil {
+		panic(err)
+	}
+
+	st := ses.Stats()
+	fmt.Println("answered:", <-answered)
+	fmt.Println("observations admitted:", st.Admitted == st.Pushed && st.Pushed > 0)
+	// Output:
+	// answered: 1
+	// observations admitted: true
+}
+
 // Open with WithShards serves the identical API from an n-shard
 // scatter-gather deployment — same rankings, same scores, same order as
 // the single engine (the conformance suite in internal/shard enforces

@@ -1,0 +1,564 @@
+// session.go is the engine's continuous-recommendation surface: a Session
+// turns the request/response v2 API into the standing stream loop the
+// paper describes — one ordered command stream carrying interleaved
+// observations (Push) and queries (Ask), answered in admission order on
+// one Results channel.
+//
+// A Session owns a micro-batcher: pushed observations accumulate into a
+// pending batch that is admitted through ONE ObserveBatch call when it
+// reaches the batch size (or an optional linger deadline), and every Ask
+// is a barrier — the pending batch is admitted BEFORE the query runs, so
+// each answer reflects exactly the events admitted ahead of it. All
+// commands funnel through a single pump goroutine, which makes the
+// engine-call sequence a pure function of the caller's command order:
+// replaying the same Push/Ask interleaving through a Session is
+// bit-identical to issuing the same ObserveBatch/RecommendBatch calls by
+// hand (the session conformance suite in internal/shardtest enforces this
+// across local, sharded and remote-shard backends).
+//
+// Session is deployment-agnostic: SessionBackend is satisfied by
+// *core.Engine, *shard.Router and the public ssrec.Recommender alike.
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"ssrec/internal/model"
+)
+
+// ErrSessionClosed is returned by Push/Ask/Flush after Close (or after the
+// session's context was cancelled). Match with errors.Is.
+var ErrSessionClosed = errors.New("ssrec: session closed")
+
+// SessionBackend is the deployment surface a Session drives — the two
+// batch-first v2 calls. *Engine, *shard.Router and ssrec.Recommender all
+// satisfy it.
+type SessionBackend interface {
+	ObserveBatch(ctx context.Context, batch []Observation) (BatchReport, error)
+	RecommendBatch(ctx context.Context, items []model.Item, opts ...Option) ([]Result, error)
+}
+
+// DefaultSessionBatch is the observation micro-batch size of a session
+// (how many pushed observations are admitted per ObserveBatch call).
+const DefaultSessionBatch = 64
+
+// DefaultSessionQueue is the command-queue capacity: how many admitted-
+// but-unprocessed commands a session buffers before Push/Ask block. This
+// bounds session memory — a stalled Results consumer backs the queue up
+// and pushes the block onto the producer.
+const DefaultSessionQueue = 256
+
+// DefaultSessionResults is the Results channel capacity.
+const DefaultSessionResults = 64
+
+// SessionOption configures OpenSession/NewSession.
+type SessionOption func(*sessionConfig)
+
+type sessionConfig struct {
+	batch   int
+	queue   int
+	results int
+	linger  time.Duration
+	autoK   int
+	askOpts []Option
+	onFlush func(batch int, rep BatchReport, err error)
+}
+
+func (c *sessionConfig) fill() {
+	if c.batch <= 0 {
+		c.batch = DefaultSessionBatch
+	}
+	if c.queue <= 0 {
+		c.queue = DefaultSessionQueue
+	}
+	if c.results <= 0 {
+		c.results = DefaultSessionResults
+	}
+}
+
+// WithSessionBatch sets the observation micro-batch size: pending pushes
+// are admitted through one ObserveBatch call when they reach n (asks,
+// Flush and Close admit earlier). Default DefaultSessionBatch.
+func WithSessionBatch(n int) SessionOption {
+	return func(c *sessionConfig) { c.batch = n }
+}
+
+// WithSessionQueue sets the command-queue capacity (the session's
+// server-side buffering bound). Default DefaultSessionQueue.
+func WithSessionQueue(n int) SessionOption {
+	return func(c *sessionConfig) { c.queue = n }
+}
+
+// WithSessionResults sets the Results channel capacity. Default
+// DefaultSessionResults.
+func WithSessionResults(n int) SessionOption {
+	return func(c *sessionConfig) { c.results = n }
+}
+
+// WithSessionLinger flushes a non-empty pending batch at most d after its
+// oldest observation was pushed, so a trickling stream is not held hostage
+// to the batch size. 0 (the default) disables the timer — flush points
+// are then a pure function of the command sequence, which the conformance
+// suite relies on.
+func WithSessionLinger(d time.Duration) SessionOption {
+	return func(c *sessionConfig) { c.linger = d }
+}
+
+// WithAutoRecommend answers every pushed item without a separate Ask:
+// after each micro-batch is admitted, the items appearing in it for the
+// FIRST time in this session are answered with top-k queries (in first-
+// appearance order) and delivered on Results with Auto set — the paper's
+// standing "which k users should receive this new item?" loop driven
+// directly by the event stream. k <= 0 disables (the default).
+func WithAutoRecommend(k int) SessionOption {
+	return func(c *sessionConfig) { c.autoK = k }
+}
+
+// WithSessionAskOptions sets default query options applied to every Ask
+// (and every auto-recommend query) before the per-call options.
+func WithSessionAskOptions(opts ...Option) SessionOption {
+	return func(c *sessionConfig) { c.askOpts = opts }
+}
+
+// WithSessionFlushHook registers a callback invoked by the session pump
+// after every micro-batch admission with the batch length and the
+// backend's report. The wire layer uses it to retire flow-control credit;
+// tests use it to observe flush boundaries. The hook runs on the pump
+// goroutine — keep it fast.
+func WithSessionFlushHook(fn func(batch int, rep BatchReport, err error)) SessionOption {
+	return func(c *sessionConfig) { c.onFlush = fn }
+}
+
+// SessionResult is one answer delivered on Session.Results, in command
+// order. Seq is the session-wide command sequence number of the Ask that
+// produced it (for Auto results, of the Push that first carried the item).
+type SessionResult struct {
+	Seq  uint64
+	Auto bool
+	Result
+}
+
+// SessionStats snapshots a session's counters.
+type SessionStats struct {
+	// Pushed counts observations accepted by Push; Admitted/Rejected
+	// split them by the backend's validation verdict once flushed.
+	Pushed   uint64
+	Admitted uint64
+	Rejected uint64
+	// Flushed sums per-batch index refreshes; Batches counts ObserveBatch
+	// calls.
+	Flushed uint64
+	Batches uint64
+	// Asked counts explicit Ask commands; Answered counts results
+	// delivered (asked + auto).
+	Asked    uint64
+	Answered uint64
+}
+
+type cmdKind int
+
+const (
+	cmdObs cmdKind = iota
+	cmdAsk
+	cmdFlush
+	cmdClose
+)
+
+type sessionCmd struct {
+	kind  cmdKind
+	seq   uint64
+	obs   Observation
+	item  model.Item
+	opts  []Option
+	reply chan error
+}
+
+// Session is one ordered full-duplex recommendation stream over a
+// deployment. Open one with ssrec's OpenSession or NewSession; drive it
+// with Push/Ask from any number of goroutines (commands serialize in call
+// order through one queue) and consume Results until it closes.
+type Session struct {
+	backend SessionBackend
+	ctx     context.Context
+	cfg     sessionConfig
+
+	// sendMu serializes sequence assignment + queue admission (it is held
+	// across the blocking send so admission order equals sequence order);
+	// mu guards only the closed/term flags, so the pump can terminate the
+	// session while a producer is blocked mid-send without deadlocking.
+	sendMu sync.Mutex
+	seq    uint64 // under sendMu
+
+	mu     sync.Mutex
+	closed bool
+	term   error // terminal failure (nil on clean close)
+
+	cmds    chan sessionCmd
+	results chan SessionResult
+	done    chan struct{}
+
+	stats struct {
+		sync.Mutex
+		SessionStats
+	}
+}
+
+// NewSession opens a session over a backend. The context bounds the whole
+// session: cancelling it terminates the pump (Err reports the cause) and
+// closes Results. Callers that are done should Close to flush the pending
+// micro-batch and drain cleanly.
+func NewSession(ctx context.Context, b SessionBackend, opts ...SessionOption) *Session {
+	var cfg sessionConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.fill()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Session{
+		backend: b,
+		ctx:     ctx,
+		cfg:     cfg,
+		cmds:    make(chan sessionCmd, cfg.queue),
+		results: make(chan SessionResult, cfg.results),
+		done:    make(chan struct{}),
+	}
+	go s.pump()
+	return s
+}
+
+// Results delivers answers in admission order. The channel closes when
+// the session ends (Close, context cancellation, or terminal failure);
+// check Err afterwards.
+func (s *Session) Results() <-chan SessionResult { return s.results }
+
+// Err reports the session's terminal error: nil while running or after a
+// clean Close, the causal error after a context cancellation or backend
+// failure.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.term
+}
+
+// Stats snapshots the session counters.
+func (s *Session) Stats() SessionStats {
+	s.stats.Lock()
+	defer s.stats.Unlock()
+	return s.stats.SessionStats
+}
+
+// Push admits one observation into the session's pending micro-batch. It
+// blocks while the command queue is full (backpressure) and fails with
+// ErrSessionClosed after Close or session termination.
+func (s *Session) Push(o Observation) error {
+	return s.enqueue(sessionCmd{kind: cmdObs, obs: o})
+}
+
+// Ask enqueues a query for v: the pending micro-batch is admitted first,
+// then the query runs and its answer is delivered on Results — so the
+// answer reflects exactly the observations pushed before the Ask. The
+// per-call options are applied after the session's default ask options.
+func (s *Session) Ask(v model.Item, opts ...Option) error {
+	return s.enqueue(sessionCmd{kind: cmdAsk, item: v, opts: opts})
+}
+
+// Flush admits the pending micro-batch now and waits for it — the
+// explicit barrier (Ask and Close flush implicitly). It returns the
+// admission error, if any.
+func (s *Session) Flush() error {
+	reply := make(chan error, 1)
+	if err := s.enqueue(sessionCmd{kind: cmdFlush, reply: reply}); err != nil {
+		return err
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-s.done:
+		return s.closedErr()
+	}
+}
+
+// Close flushes the pending micro-batch, waits for every queued command
+// to be answered, closes Results and releases the pump. Push/Ask/Flush
+// after Close return ErrSessionClosed. Close blocks until the queue
+// drains — a consumer must keep reading Results (or have buffer room)
+// for it to finish.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return s.Err()
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// Take sendMu so the close command is ordered after any enqueue that
+	// was already in flight when the closed flag flipped.
+	s.sendMu.Lock()
+	reply := make(chan error, 1)
+	cmd := sessionCmd{kind: cmdClose, reply: reply}
+	select {
+	case s.cmds <- cmd:
+		s.sendMu.Unlock()
+	case <-s.done:
+		s.sendMu.Unlock()
+		return s.Err()
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-s.done:
+		return s.Err()
+	}
+}
+
+func (s *Session) closedErr() error {
+	if err := s.Err(); err != nil {
+		return err
+	}
+	return ErrSessionClosed
+}
+
+// enqueue assigns the command its session-wide sequence number and admits
+// it to the queue in call order. The sequence assignment and the channel
+// send happen under one mutex so concurrent producers serialize exactly
+// once; the blocking send is the session's backpressure point.
+func (s *Session) enqueue(cmd sessionCmd) error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return s.closedErr()
+	}
+	s.seq++
+	cmd.seq = s.seq
+	select {
+	case s.cmds <- cmd:
+		return nil
+	case <-s.done:
+		return s.closedErr()
+	}
+}
+
+// terminate records the terminal error and marks the session closed so
+// producers stop admitting.
+func (s *Session) terminate(err error) {
+	s.mu.Lock()
+	s.closed = true
+	if s.term == nil {
+		s.term = err
+	}
+	s.mu.Unlock()
+}
+
+// pump is the session's single serialization point: it drains the command
+// queue in order, admits observation micro-batches, answers queries and
+// delivers results. It exits on cmdClose, context cancellation or a
+// terminal backend error.
+func (s *Session) pump() {
+	defer func() {
+		close(s.results)
+		close(s.done)
+	}()
+	var (
+		pending []Observation
+		pendSeq []uint64
+		seen    map[string]uint64 // item id → first-carrying push seq (auto mode)
+		lingerC <-chan time.Time
+		linger  *time.Timer
+	)
+	if s.cfg.autoK > 0 {
+		seen = make(map[string]uint64)
+	}
+	stopLinger := func() {
+		if linger != nil {
+			if !linger.Stop() {
+				// Already fired: drain any pending tick so a later Reset
+				// cannot deliver it as a premature flush. A no-op under
+				// the go1.23+ timer semantics this module builds with
+				// (Stop/Reset discard pending sends), load-bearing if the
+				// go directive is ever lowered.
+				select {
+				case <-linger.C:
+				default:
+				}
+			}
+			lingerC = nil
+		}
+	}
+	flush := func() error {
+		stopLinger()
+		if len(pending) == 0 {
+			return nil
+		}
+		rep, err := s.backend.ObserveBatch(s.ctx, pending)
+		s.stats.Lock()
+		s.stats.Admitted += uint64(rep.Applied)
+		s.stats.Rejected += uint64(rep.Rejected)
+		s.stats.Flushed += uint64(rep.Flushed)
+		s.stats.Batches++
+		s.stats.Unlock()
+		if s.cfg.onFlush != nil {
+			s.cfg.onFlush(len(pending), rep, err)
+		}
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return err
+			}
+			// Non-terminal (e.g. a degraded sharded deployment): the batch
+			// landed on the healthy shards; the session keeps serving.
+			err = nil
+		}
+		var autoItems []model.Item
+		var autoSeqs []uint64
+		if s.cfg.autoK > 0 {
+			for i, o := range pending {
+				if o.Item.ID == "" {
+					continue
+				}
+				if _, ok := seen[o.Item.ID]; ok {
+					continue
+				}
+				seen[o.Item.ID] = pendSeq[i]
+				autoItems = append(autoItems, o.Item)
+				autoSeqs = append(autoSeqs, pendSeq[i])
+			}
+		}
+		pending, pendSeq = pending[:0], pendSeq[:0]
+		for i, v := range autoItems {
+			res := s.askOne(v, []Option{WithK(s.cfg.autoK)})
+			if !s.deliver(SessionResult{Seq: autoSeqs[i], Auto: true, Result: res}) {
+				return s.ctx.Err()
+			}
+		}
+		return nil
+	}
+	for {
+		var cmd sessionCmd
+		select {
+		case cmd = <-s.cmds:
+		case <-lingerC:
+			if err := flush(); err != nil {
+				s.terminate(err)
+				return
+			}
+			continue
+		case <-s.ctx.Done():
+			s.terminate(s.ctx.Err())
+			return
+		}
+		switch cmd.kind {
+		case cmdObs:
+			pending = append(pending, cmd.obs)
+			pendSeq = append(pendSeq, cmd.seq)
+			s.stats.Lock()
+			s.stats.Pushed++
+			s.stats.Unlock()
+			if len(pending) >= s.cfg.batch {
+				if err := flush(); err != nil {
+					s.terminate(err)
+					return
+				}
+			} else if s.cfg.linger > 0 && lingerC == nil {
+				if linger == nil {
+					linger = time.NewTimer(s.cfg.linger)
+				} else {
+					linger.Reset(s.cfg.linger)
+				}
+				lingerC = linger.C
+			}
+		case cmdAsk:
+			if err := flush(); err != nil {
+				s.terminate(err)
+				return
+			}
+			s.stats.Lock()
+			s.stats.Asked++
+			s.stats.Unlock()
+			if seen != nil {
+				seen[cmd.item.ID] = cmd.seq // an asked item needs no auto answer
+			}
+			res := s.askOne(cmd.item, cmd.opts)
+			if !s.deliver(SessionResult{Seq: cmd.seq, Result: res}) {
+				s.terminate(s.ctx.Err())
+				return
+			}
+		case cmdFlush:
+			err := flush()
+			cmd.reply <- err
+			if err != nil {
+				s.terminate(err)
+				return
+			}
+		case cmdClose:
+			err := flush()
+			s.terminate(err) // records nil on a clean close; marks closed
+			cmd.reply <- err
+			return
+		}
+	}
+}
+
+// singleRecommender is the optional backend fast path for one-item asks:
+// *Engine, *shard.Router and ssrec.Recommender all expose RecommendCtx,
+// which answers a single item inline — identical results to
+// RecommendBatch of one (both run the register-then-query prologue), but
+// without the batch call's worker-pool goroutine hop, which costs real
+// scheduling latency on a saturated box.
+type singleRecommender interface {
+	RecommendCtx(ctx context.Context, v model.Item, opts ...Option) (Result, error)
+}
+
+// askOne answers one item through the backend, folding a call-scoped
+// failure into the per-item result (the session stays up — only context
+// cancellation is terminal, handled by the caller's deliver).
+func (s *Session) askOne(v model.Item, opts []Option) Result {
+	all := opts
+	if len(s.cfg.askOpts) > 0 {
+		all = make([]Option, 0, len(s.cfg.askOpts)+len(opts))
+		all = append(all, s.cfg.askOpts...)
+		all = append(all, opts...)
+	}
+	if sr, ok := s.backend.(singleRecommender); ok {
+		res, err := sr.RecommendCtx(s.ctx, v, all...)
+		if res.ItemID == "" {
+			res.ItemID = v.ID
+		}
+		if res.Err == nil && err != nil {
+			res.Err = err
+		}
+		return res
+	}
+	results, err := s.backend.RecommendBatch(s.ctx, []model.Item{v}, all...)
+	var res Result
+	if len(results) == 1 {
+		res = results[0]
+	} else {
+		res = Result{ItemID: v.ID}
+	}
+	if res.Err == nil && err != nil {
+		res.Err = err
+	}
+	return res
+}
+
+// deliver sends one result, yielding to session termination when the
+// consumer is gone. Returns false when the session context ended first.
+func (s *Session) deliver(r SessionResult) bool {
+	s.stats.Lock()
+	s.stats.Answered++
+	s.stats.Unlock()
+	select {
+	case s.results <- r:
+		return true
+	case <-s.ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"ssrec/internal/dataset"
+	"ssrec/internal/model"
+)
+
+// sessionFixture is built once per process: a trained-engine snapshot
+// plus the post-training observation stream and future items, so every
+// session test boots an identical engine cheaply via reloadEngine.
+var sessionFixture struct {
+	once  sync.Once
+	snap  []byte
+	obs   []Observation
+	items []model.Item
+	err   error
+}
+
+func buildSessionFixture() {
+	cfg := dataset.YTubeConfig(0.25)
+	cfg.Seed = 5
+	ds := dataset.Generate(cfg)
+	eng := New(Config{Categories: ds.Categories, TrainMaxIter: 3, Restarts: 1, Seed: 5})
+	nTrain := len(ds.Interactions) / 3
+	if err := eng.Train(ds.Items, ds.Interactions[:nTrain], ds.Item); err != nil {
+		sessionFixture.err = err
+		return
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveTo(&buf); err != nil {
+		sessionFixture.err = err
+		return
+	}
+	sessionFixture.snap = buf.Bytes()
+	lastTS := ds.Interactions[nTrain-1].Timestamp
+	for _, ir := range ds.Interactions[nTrain:] {
+		if v, ok := ds.Item(ir.ItemID); ok {
+			sessionFixture.obs = append(sessionFixture.obs, Observation{UserID: ir.UserID, Item: v, Timestamp: ir.Timestamp})
+		}
+	}
+	for _, v := range ds.Items {
+		if v.Timestamp > lastTS {
+			sessionFixture.items = append(sessionFixture.items, v)
+		}
+	}
+}
+
+// sessionTestEngine boots a fresh engine from the shared fixture snapshot
+// plus its post-training stream.
+func sessionTestEngine(t testing.TB) (*Engine, []Observation, []model.Item) {
+	t.Helper()
+	sessionFixture.once.Do(buildSessionFixture)
+	if sessionFixture.err != nil {
+		t.Fatalf("fixture: %v", sessionFixture.err)
+	}
+	if len(sessionFixture.obs) < 64 || len(sessionFixture.items) < 8 {
+		t.Fatalf("fixture too small: %d obs, %d items", len(sessionFixture.obs), len(sessionFixture.items))
+	}
+	return reloadEngine(t, nil), sessionFixture.obs, sessionFixture.items
+}
+
+// reloadEngine boots another engine from the same snapshot, so two
+// deployments start bit-identical.
+func reloadEngine(t testing.TB, _ *Engine) *Engine {
+	t.Helper()
+	eng, err := LoadFrom(bytes.NewReader(sessionFixture.snap))
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	return eng
+}
+
+// TestSessionMatchesBatchAPI proves the tentpole ordering guarantee on a
+// small scale: a Push/Ask interleaving through a Session is bit-identical
+// to hand-issued ObserveBatch/RecommendBatch calls at the same boundaries.
+func TestSessionMatchesBatchAPI(t *testing.T) {
+	engA, obs, items := sessionTestEngine(t)
+	engB := reloadEngine(t, engA)
+
+	const batch = 16
+	const nBatches = 4
+	ctx := context.Background()
+
+	// Reference: the raw batch API.
+	var want []Result
+	for bi := 0; bi < nBatches; bi++ {
+		lo, hi := bi*batch, (bi+1)*batch
+		if _, err := engA.ObserveBatch(ctx, obs[lo:hi]); err != nil {
+			t.Fatalf("reference ObserveBatch: %v", err)
+		}
+		for q := 0; q < 2; q++ {
+			v := items[(bi*2+q)%len(items)]
+			res, err := engA.RecommendBatch(ctx, []model.Item{v}, WithK(5))
+			if err != nil {
+				t.Fatalf("reference RecommendBatch: %v", err)
+			}
+			want = append(want, res[0])
+		}
+	}
+
+	// Same schedule through a session.
+	ses := NewSession(ctx, engB, WithSessionBatch(batch))
+	var got []Result
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := range ses.Results() {
+			got = append(got, r.Result)
+		}
+	}()
+	for bi := 0; bi < nBatches; bi++ {
+		lo, hi := bi*batch, (bi+1)*batch
+		for _, o := range obs[lo:hi] {
+			if err := ses.Push(o); err != nil {
+				t.Fatalf("Push: %v", err)
+			}
+		}
+		for q := 0; q < 2; q++ {
+			if err := ses.Ask(items[(bi*2+q)%len(items)], WithK(5)); err != nil {
+				t.Fatalf("Ask: %v", err)
+			}
+		}
+	}
+	if err := ses.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	if err := ses.Err(); err != nil {
+		t.Fatalf("session terminal error: %v", err)
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		assertSameResult(t, i, got[i], want[i])
+	}
+	st := ses.Stats()
+	if st.Pushed != uint64(nBatches*batch) || st.Admitted != st.Pushed {
+		t.Fatalf("stats = %+v, want %d pushed+admitted", st, nBatches*batch)
+	}
+	if st.Asked != uint64(nBatches*2) || st.Answered != st.Asked {
+		t.Fatalf("stats = %+v, want %d asked+answered", st, nBatches*2)
+	}
+	if st.Batches != uint64(nBatches) {
+		t.Fatalf("stats.Batches = %d, want %d (asks flush at exact batch boundaries)", st.Batches, nBatches)
+	}
+}
+
+func assertSameResult(t *testing.T, i int, got, want Result) {
+	t.Helper()
+	if got.ItemID != want.ItemID {
+		t.Fatalf("result %d: item %q, want %q", i, got.ItemID, want.ItemID)
+	}
+	if (got.Err == nil) != (want.Err == nil) {
+		t.Fatalf("result %d: err %v, want %v", i, got.Err, want.Err)
+	}
+	if len(got.Recommendations) != len(want.Recommendations) {
+		t.Fatalf("result %d: %d recs, want %d", i, len(got.Recommendations), len(want.Recommendations))
+	}
+	for j := range want.Recommendations {
+		if got.Recommendations[j] != want.Recommendations[j] {
+			t.Fatalf("result %d rec %d: %+v, want %+v", i, j, got.Recommendations[j], want.Recommendations[j])
+		}
+	}
+}
+
+// TestSessionAutoRecommend: every item first seen in a pushed observation
+// is answered automatically, exactly once, after its batch is admitted.
+func TestSessionAutoRecommend(t *testing.T) {
+	eng, obs, _ := sessionTestEngine(t)
+	if len(obs) < 8 {
+		t.Skip("fixture too small")
+	}
+	obs = obs[:8]
+	// Repeat an item so dedup is observable.
+	obs[7] = obs[0]
+
+	distinct := map[string]bool{}
+	for _, o := range obs {
+		distinct[o.Item.ID] = true
+	}
+
+	ses := NewSession(context.Background(), eng, WithSessionBatch(4), WithAutoRecommend(3))
+	var auto []SessionResult
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range ses.Results() {
+			if !r.Auto {
+				t.Errorf("unexpected non-auto result %+v", r)
+			}
+			auto = append(auto, r)
+		}
+	}()
+	for _, o := range obs {
+		if err := ses.Push(o); err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	}
+	if err := ses.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	<-done
+	if len(auto) != len(distinct) {
+		t.Fatalf("%d auto answers, want %d (one per first-seen item)", len(auto), len(distinct))
+	}
+	for _, r := range auto {
+		if r.Err != nil {
+			t.Fatalf("auto answer for %s failed: %v", r.ItemID, r.Err)
+		}
+		if len(r.Recommendations) == 0 || len(r.Recommendations) > 3 {
+			t.Fatalf("auto answer for %s has %d recs, want 1..3", r.ItemID, len(r.Recommendations))
+		}
+		if r.Seq == 0 {
+			t.Fatalf("auto answer missing seq")
+		}
+	}
+}
+
+// TestSessionCloseSemantics: commands after Close fail, Close is
+// idempotent, and a pending partial batch is flushed on Close.
+func TestSessionCloseSemantics(t *testing.T) {
+	eng, obs, items := sessionTestEngine(t)
+	ses := NewSession(context.Background(), eng, WithSessionBatch(1024))
+	go func() {
+		for range ses.Results() {
+		}
+	}()
+	for _, o := range obs[:5] {
+		if err := ses.Push(o); err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	}
+	if err := ses.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if st := ses.Stats(); st.Admitted != 5 || st.Batches != 1 {
+		t.Fatalf("stats after close = %+v, want the partial batch flushed", st)
+	}
+	if err := ses.Push(obs[0]); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Push after close = %v, want ErrSessionClosed", err)
+	}
+	if err := ses.Ask(items[0]); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Ask after close = %v, want ErrSessionClosed", err)
+	}
+	if err := ses.Flush(); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Flush after close = %v, want ErrSessionClosed", err)
+	}
+	if err := ses.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+	if err := ses.Err(); err != nil {
+		t.Fatalf("Err after clean close = %v, want nil", err)
+	}
+}
+
+// TestSessionContextCancel: cancelling the session context terminates the
+// pump, closes Results and surfaces the cause through Err.
+func TestSessionContextCancel(t *testing.T) {
+	eng, obs, _ := sessionTestEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	ses := NewSession(ctx, eng, WithSessionBatch(1024))
+	if err := ses.Push(obs[0]); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	cancel()
+	for range ses.Results() {
+	}
+	if err := ses.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", err)
+	}
+	if err := ses.Push(obs[0]); !errors.Is(err, context.Canceled) && !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Push after cancel = %v", err)
+	}
+}
+
+// TestSessionFlushBarrier: Flush admits the pending batch synchronously.
+func TestSessionFlushBarrier(t *testing.T) {
+	eng, obs, _ := sessionTestEngine(t)
+	ses := NewSession(context.Background(), eng, WithSessionBatch(1024))
+	defer ses.Close()
+	go func() {
+		for range ses.Results() {
+		}
+	}()
+	for _, o := range obs[:7] {
+		if err := ses.Push(o); err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	}
+	if err := ses.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if st := ses.Stats(); st.Admitted != 7 || st.Batches != 1 {
+		t.Fatalf("stats after flush = %+v, want 7 admitted in 1 batch", st)
+	}
+}
+
+// TestSessionSharedHammer drives ONE session from concurrent pushers and
+// askers under -race: commands must serialize without loss, every ask must
+// be answered, and the counters must add up.
+func TestSessionSharedHammer(t *testing.T) {
+	eng, obs, items := sessionTestEngine(t)
+	ses := NewSession(context.Background(), eng, WithSessionBatch(32))
+
+	const pushers, askers, perWorker = 4, 3, 40
+	var answered int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range ses.Results() {
+			answered++
+			if r.Err != nil {
+				t.Errorf("ask %s failed: %v", r.ItemID, r.Err)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < pushers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := ses.Push(obs[(w*perWorker+i)%len(obs)]); err != nil {
+					t.Errorf("Push: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < askers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := ses.Ask(items[(w+i)%len(items)], WithK(3)); err != nil {
+					t.Errorf("Ask: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ses.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	<-done
+	if want := askers * perWorker; answered != want {
+		t.Fatalf("answered %d asks, want %d", answered, want)
+	}
+	st := ses.Stats()
+	if st.Pushed != pushers*perWorker || st.Admitted+st.Rejected != st.Pushed {
+		t.Fatalf("stats = %+v, want %d pushed and admitted+rejected to match", st, pushers*perWorker)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ranking
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package ranking
+
+// raceEnabled reports that the race detector is active; allocation-count
+// tests are skipped because instrumentation allocates.
+const raceEnabled = true

@@ -2,11 +2,15 @@
 // adoption path for systems that want stream recommendation as a sidecar
 // service rather than an embedded library.
 //
-// The batch-first v2 protocol (see v2.go) is the primary surface:
+// The batch-first v2 protocol (see v2.go) is the primary request/response
+// surface, and /v2/session (see session.go) is the streaming profile —
+// one full-duplex NDJSON stream of interleaved observations, queries and
+// pushed answers with credit-based flow control:
 //
+//	POST /v2/session     NDJSON duplex (obs/ask/flush ⇄ credit/result/done)
 //	POST /v2/recommend   {"items":[{...}...], "k":10}  → per-item results
 //	POST /v2/observe     NDJSON bulk ingest            → streamed statuses
-//	GET  /v2/stats                                     → index + serving stats
+//	GET  /v2/stats                                     → index + serving + session stats
 //
 // The one-item-per-request v1 protocol remains served for existing
 // clients, with Deprecation/Link successor headers:
@@ -26,6 +30,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -90,8 +95,41 @@ type Server struct {
 	// RetryAfter is the hint sent with 503 rejections. Default 1s.
 	RetryAfter time.Duration
 
-	// inflightObserve counts running /v2/observe streams.
-	inflightObserve atomic.Int64
+	// MaxSessions caps concurrent /v2/session streams; excess requests
+	// are rejected with the same 503 + Retry-After admission path as
+	// /v2/observe. Default 64; <= 0 disables the cap.
+	MaxSessions int
+	// SessionCredit is the per-session flow-control window: how many
+	// command lines may be in flight (sent, effect not yet durable)
+	// before a client must wait for credit. Bounds per-session server
+	// memory. Default DefaultSessionCredit.
+	SessionCredit int
+	// SessionRate paces each session to this many command lines per
+	// second (token bucket; SessionBurst is the bucket size). <= 0 (the
+	// default) leaves sessions unpaced.
+	SessionRate float64
+	// SessionBurst is the token-bucket burst of SessionRate. Default
+	// max(1, SessionRate).
+	SessionBurst int
+	// SessionLinger flushes a session's pending observations at most this
+	// long after the first one arrived, so trickle streams are ingested
+	// promptly without waiting for a full micro-batch. NewBackend sets
+	// 200ms; <= 0 disables the timer (flush points then depend only on
+	// the command sequence, which the conformance suite relies on).
+	SessionLinger time.Duration
+
+	// AuthToken, when non-empty, requires "Authorization: Bearer <token>"
+	// on every /v2/* route (including /v2/session); mismatches answer
+	// 401. The deprecated v1 surface and /healthz stay open. Set before
+	// serving; not synchronised.
+	AuthToken string
+
+	// inflightObserve counts running /v2/observe streams;
+	// inflightSessions counts open /v2/session streams.
+	inflightObserve  atomic.Int64
+	inflightSessions atomic.Int64
+	// sessions aggregates the /v2/session counters for /v2/stats.
+	sessions sessionCounters
 }
 
 // New builds a server around a (trained) single engine.
@@ -110,6 +148,9 @@ func NewBackend(b Backend) *Server {
 		MaxBodyBytes:       64 << 20,
 		MaxInflightObserve: 16,
 		RetryAfter:         time.Second,
+		MaxSessions:        64,
+		SessionCredit:      DefaultSessionCredit,
+		SessionLinger:      200 * time.Millisecond,
 	}
 	s.mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
 	s.mux.HandleFunc("POST /v1/observe", s.handleObserve)
@@ -117,6 +158,7 @@ func NewBackend(b Backend) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v2/recommend", s.handleRecommendV2)
 	s.mux.HandleFunc("POST /v2/observe", s.handleObserveV2)
+	s.mux.HandleFunc("POST /v2/session", s.handleSessionV2)
 	s.mux.HandleFunc("GET /v2/stats", s.handleStatsV2)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -126,8 +168,8 @@ func NewBackend(b Backend) *Server {
 }
 
 // Handler returns the instrumented HTTP handler (request IDs, deprecation
-// headers, latency counters).
-func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
+// headers, latency counters, bearer auth on /v2/* when AuthToken is set).
+func (s *Server) Handler() http.Handler { return s.instrument(s.requireAuth(s.mux)) }
 
 // itemJSON is the wire form of a social item.
 type itemJSON struct {
@@ -277,4 +319,18 @@ type errorResponse struct {
 
 func httpError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// rejectOverloaded is the ONE admission-rejection path of the v2 surface:
+// both /v2/observe (MaxInflightObserve) and /v2/session (MaxSessions)
+// push back through it, so the 503 body and the Retry-After header
+// formatting cannot drift apart. The header carries whole seconds,
+// rounded up, per RFC 9110.
+func (s *Server) rejectOverloaded(w http.ResponseWriter, msg string) {
+	retry := s.RetryAfter
+	if retry <= 0 {
+		retry = time.Second
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+	httpError(w, http.StatusServiceUnavailable, fmt.Sprintf("%s; retry after %v", msg, retry))
 }

@@ -28,8 +28,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
-	"time"
 
 	"ssrec/internal/core"
 	"ssrec/internal/model"
@@ -64,6 +62,15 @@ func errCode(err error) string {
 
 func toErrorJSON(err error) *errorJSON {
 	return &errorJSON{Code: errCode(err), Message: err.Error()}
+}
+
+// servesPartial reports whether a per-item error still carries exact
+// partial results worth serving (a degraded sharded deployment: rankings
+// are exact for the reachable shards' owned users). Other errors
+// (cancellation) return no list — a truncated search's partial answer is
+// not exact for anyone. Shared by /v2/recommend and /v2/session.
+func servesPartial(err error) bool {
+	return errors.Is(err, shard.ErrShardUnavailable)
 }
 
 // ---- POST /v2/recommend ----
@@ -146,12 +153,9 @@ func (s *Server) handleRecommendV2(w http.ResponseWriter, r *http.Request) {
 		out := &resp.Results[validIdx[j]]
 		if res.Err != nil {
 			out.Error = toErrorJSON(res.Err)
-			// Degraded-mode partial results ARE served beside the error:
-			// the rankings are exact for the users the reachable shards
-			// own, and the shard_unavailable code tells the client what is
-			// missing. Other errors (cancellation) return no list — a
-			// truncated search's partial answer is not exact for anyone.
-			if !errors.Is(res.Err, shard.ErrShardUnavailable) {
+			// Degraded-mode partial results ARE served beside the error
+			// (see servesPartial).
+			if !servesPartial(res.Err) {
 				continue
 			}
 		}
@@ -207,13 +211,7 @@ func (s *Server) handleObserveV2(w http.ResponseWriter, r *http.Request) {
 	if s.MaxInflightObserve > 0 {
 		if n := s.inflightObserve.Add(1); int(n) > s.MaxInflightObserve {
 			s.inflightObserve.Add(-1)
-			retry := s.RetryAfter
-			if retry <= 0 {
-				retry = time.Second
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
-			httpError(w, http.StatusServiceUnavailable,
-				fmt.Sprintf("observe queue saturated (%d streams in flight); retry after %v", s.MaxInflightObserve, retry))
+			s.rejectOverloaded(w, fmt.Sprintf("observe queue saturated (%d streams in flight)", s.MaxInflightObserve))
 			return
 		}
 		defer s.inflightObserve.Add(-1)
@@ -331,7 +329,22 @@ type statsV2Response struct {
 	// single engine).
 	ShardCount int                   `json:"shard_count,omitempty"`
 	Shards     []shardStatsJSON      `json:"shards,omitempty"`
+	Sessions   sessionStatsJSON      `json:"sessions"`
 	Requests   map[string]RouteStats `json:"requests"`
+}
+
+// sessionStatsJSON reports the /v2/session serving counters and limits.
+type sessionStatsJSON struct {
+	Open           int64   `json:"open"`
+	Total          int64   `json:"total"`
+	Lines          int64   `json:"lines"`
+	Results        int64   `json:"results"`
+	Rejected       int64   `json:"rejected"`
+	FlowViolations int64   `json:"flow_violations"`
+	ThrottledMs    float64 `json:"throttled_ms"`
+	CreditWindow   int     `json:"credit_window"`
+	MaxSessions    int     `json:"max_sessions"`
+	RatePerSec     float64 `json:"rate_per_sec"`
 }
 
 // shardStatsJSON is the wire form of one shard's statistics.
@@ -347,11 +360,27 @@ type shardStatsJSON struct {
 }
 
 func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
+	window := s.SessionCredit
+	if window <= 0 {
+		window = DefaultSessionCredit
+	}
 	resp := statsV2Response{
 		BatchSize: s.BatchSize,
 		MaxBatch:  s.MaxBatch,
 		MaxK:      s.MaxK,
-		Requests:  s.metrics.snapshot(),
+		Sessions: sessionStatsJSON{
+			Open:           s.sessions.open.Load(),
+			Total:          s.sessions.total.Load(),
+			Lines:          s.sessions.lines.Load(),
+			Results:        s.sessions.results.Load(),
+			Rejected:       s.sessions.rejected.Load(),
+			FlowViolations: s.sessions.violations.Load(),
+			ThrottledMs:    float64(s.sessions.throttleNs.Load()) / 1e6,
+			CreditWindow:   window,
+			MaxSessions:    s.MaxSessions,
+			RatePerSec:     s.SessionRate,
+		},
+		Requests: s.metrics.snapshot(),
 	}
 	if ss, ok := s.eng.(shardStatser); ok {
 		// Sharded backend: ONE fan-out snapshot feeds both the per-shard

@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -18,6 +19,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"ssrec/internal/core"
@@ -49,6 +51,20 @@ type Client struct {
 	// BoundFlush overrides DefaultBoundFlush when > 0. Set before first
 	// use; not synchronised.
 	BoundFlush time.Duration
+	// AuthToken, when non-empty, is sent as "Authorization: Bearer" on
+	// every request — the shared bearer-token layer of a shardd fleet
+	// started with -auth-token. Set before first use; not synchronised.
+	AuthToken string
+	// DisableMuxScatter forces the one-HTTP/2-stream-per-item recommend
+	// exchange instead of the multiplexed query stream — the pre-mux wire
+	// behavior, kept for measurement (ssrec-bench -scatter item) and
+	// debugging. Set before first use; not synchronised.
+	DisableMuxScatter bool
+
+	// muxMu guards the lazily-dialed multiplexed query stream.
+	muxMu sync.Mutex
+	mux   *muxStream
+	noMux bool // server lacks the endpoint; fell back permanently
 }
 
 // NewClient connects shard idx of an of-wide deployment at addr
@@ -111,12 +127,22 @@ func SplitAddrs(s string) []string {
 // lazily); boot or re-seed the fleet with Router.HandoffSnapshot, or
 // start each shardd with -model.
 func DialRouter(addrs []string) (*shard.Router, error) {
+	return DialRouterAuth(addrs, "")
+}
+
+// DialRouterAuth is DialRouter with a shared bearer token: every shard
+// client authenticates as "Authorization: Bearer <token>" against shardds
+// started with the matching -auth-token. An empty token dials without
+// authentication.
+func DialRouterAuth(addrs []string, token string) (*shard.Router, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("shardrpc: no shard addresses")
 	}
 	shards := make([]shard.Shard, len(addrs))
 	for i, a := range addrs {
-		shards[i] = NewClient(a, i, len(addrs))
+		c := NewClient(a, i, len(addrs))
+		c.AuthToken = token
+		shards[i] = c
 	}
 	return shard.NewRouter(shards...)
 }
@@ -124,8 +150,24 @@ func DialRouter(addrs []string) (*shard.Router, error) {
 // Index implements shard.Shard.
 func (c *Client) Index() int { return c.idx }
 
-// Close releases idle connections.
-func (c *Client) Close() { c.hc.CloseIdleConnections() }
+// Close tears down the multiplexed query stream and releases idle
+// connections.
+func (c *Client) Close() {
+	c.muxMu.Lock()
+	if c.mux != nil {
+		c.mux.close()
+		c.mux = nil
+	}
+	c.muxMu.Unlock()
+	c.hc.CloseIdleConnections()
+}
+
+// authorize stamps the bearer token, if configured.
+func (c *Client) authorize(req *http.Request) {
+	if c.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.AuthToken)
+	}
+}
 
 func (c *Client) boundFlush() time.Duration {
 	if c.BoundFlush > 0 {
@@ -168,6 +210,7 @@ func (c *Client) do(ctx context.Context, op, path string, in, out any) error {
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return c.transportErr(ctx, op, err)
@@ -248,6 +291,24 @@ func (c *Client) ObserveBatch(ctx context.Context, batch []core.Observation) (co
 // shard's owned-users top-k is exact and the merged global result is
 // bit-identical.
 func (c *Client) Recommend(ctx context.Context, v model.Item, o core.QueryOptions, b *sigtree.Bound) (core.Result, error) {
+	// Preferred path: multiplex the query over the shard's long-lived
+	// query stream (one stream per shard, not per item — see
+	// querystream.go). Shardds without the endpoint fall back to the
+	// per-item exchange below, permanently.
+	if !c.DisableMuxScatter {
+		ms, err := c.muxStream()
+		switch {
+		case err == nil:
+			return ms.recommend(ctx, v, o, b)
+		case !errors.Is(err, errNoMux):
+			// Already classified by dialMux (unavailable / status error);
+			// only caller cancellation overrides it.
+			if ctx != nil && ctx.Err() != nil {
+				return core.Result{ItemID: v.ID}, ctx.Err()
+			}
+			return core.Result{ItemID: v.ID}, err
+		}
+	}
 	env := recommendEnvelope{Item: toItemWire(v), Options: toOptionsWire(o), Stream: b != nil}
 	last := math.Inf(-1)
 	if b != nil {
@@ -263,6 +324,7 @@ func (c *Client) Recommend(ctx context.Context, v model.Item, o core.QueryOption
 		return core.Result{ItemID: v.ID}, fmt.Errorf("shardrpc: recommend: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	c.authorize(req)
 
 	// Writer side: the envelope, then (while streaming) periodic raises of
 	// the router-side bound. The pump exits when the exchange finishes
@@ -371,6 +433,7 @@ func (c *Client) Handoff(ctx context.Context, snapshot []byte) error {
 	req.Header.Set("Content-Type", "application/octet-stream")
 	req.Header.Set(headerShardIndex, strconv.Itoa(c.idx))
 	req.Header.Set(headerShardCount, strconv.Itoa(c.of))
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return c.transportErr(ctx, "snapshot", err)

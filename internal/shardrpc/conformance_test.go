@@ -104,6 +104,36 @@ func TestConformanceRemoteStreamReplay(t *testing.T) {
 	}
 }
 
+// TestConformanceRemoteSessionReplay is the remote column of the SESSION
+// conformance matrix: the stream replayed as interleaved session traffic
+// (Push per observation, Ask per query) through a Session over a 2-shard
+// REMOTE router — every ask one multiplexed exchange over the per-shard
+// query streams — must be bit-identical to the batch API driven at the
+// same boundaries on the single engine.
+func TestConformanceRemoteSessionReplay(t *testing.T) {
+	fx := shardtest.Load(t)
+	maxBatches := 0 // full stream
+	if testing.Short() {
+		maxBatches = 10
+	}
+	const n = 2
+	addrs := conformanceAddrs(t, n)
+
+	reference, err := core.LoadFrom(bytes.NewReader(fx.Snapshot))
+	if err != nil {
+		t.Fatalf("boot reference: %v", err)
+	}
+	want := fx.ReplaySeq(t, reference, maxBatches)
+
+	r := remoteRouter(t, addrs, fx.Snapshot)
+	ses := core.NewSession(context.Background(), r, core.WithSessionBatch(shardtest.ReplayBatch))
+	got := fx.ReplaySession(t, ses, maxBatches)
+	shardtest.DiffResults(t, want, got, "session/remote shards=2")
+	if down := r.Down(); len(down) != 0 {
+		t.Fatalf("shards excluded during a healthy session replay: %v", down)
+	}
+}
+
 // TestConformanceMixedLocalRemote proves the Router drives a MIX of
 // in-process and remote shards transparently: shard 0 is a local engine,
 // shard 1 a loopback shardd, and the pair still replays bit-identically

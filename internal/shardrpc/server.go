@@ -52,12 +52,14 @@ package shardrpc
 import (
 	"context"
 	"crypto/rand"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -89,6 +91,11 @@ type Server struct {
 	// Parallelism, when > 0, is applied to every engine booted by a
 	// snapshot handoff (the shardd -partitions flag).
 	Parallelism int
+	// AuthToken, when non-empty, requires "Authorization: Bearer <token>"
+	// on EVERY endpoint (health included — the Router's prober carries the
+	// token); mismatches answer 401. The shardd -auth-token flag. Set
+	// before serving; not synchronised.
+	AuthToken string
 	// BoundFlush overrides DefaultBoundFlush for the raise stream when > 0.
 	BoundFlush time.Duration
 	// MaxBodyBytes bounds JSON request bodies (default 64 MiB).
@@ -119,6 +126,7 @@ func NewServer(idx, of int) (*Server, error) {
 	s.mux.HandleFunc("POST "+pathRegister, s.handleRegister)
 	s.mux.HandleFunc("POST "+pathObserve, s.handleObserve)
 	s.mux.HandleFunc("POST "+pathRecommend, s.handleRecommend)
+	s.mux.HandleFunc("POST "+pathQueryStream, s.handleQueryStream)
 	s.mux.HandleFunc("POST "+pathSnapshot, s.handleSnapshot)
 	return s, nil
 }
@@ -142,8 +150,28 @@ func (s *Server) Boot(e *core.Engine) {
 // Booted reports whether an engine is installed.
 func (s *Server) Booted() bool { return s.boot.Load() != nil }
 
-// Handler returns the shard RPC handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the shard RPC handler (bearer-auth wrapped when
+// AuthToken is set).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.authorized(r) {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="ssrec-shard"`)
+			s.httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// authorized checks the bearer token in constant time. An unset AuthToken
+// leaves the server open (the pre-auth trusted-network mode).
+func (s *Server) authorized(r *http.Request) bool {
+	if s.AuthToken == "" {
+		return true
+	}
+	tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	return ok && subtle.ConstantTimeCompare([]byte(tok), []byte(s.AuthToken)) == 1
+}
 
 // NewHTTPServer wraps the handler in an http.Server with unencrypted
 // HTTP/2 enabled — REQUIRED for the full-duplex recommend exchange (the

@@ -25,12 +25,13 @@ import (
 
 // Endpoint paths of the shard RPC protocol (all rooted under /shard/v1).
 const (
-	pathHealth    = "/shard/v1/health"
-	pathStats     = "/shard/v1/stats"
-	pathRegister  = "/shard/v1/register"
-	pathObserve   = "/shard/v1/observe"
-	pathRecommend = "/shard/v1/recommend"
-	pathSnapshot  = "/shard/v1/snapshot"
+	pathHealth      = "/shard/v1/health"
+	pathStats       = "/shard/v1/stats"
+	pathRegister    = "/shard/v1/register"
+	pathObserve     = "/shard/v1/observe"
+	pathRecommend   = "/shard/v1/recommend"
+	pathQueryStream = "/shard/v1/query_stream"
+	pathSnapshot    = "/shard/v1/snapshot"
 )
 
 // Identity headers of the snapshot handoff: the pushing router asserts
@@ -157,6 +158,37 @@ type recommendEnvelope struct {
 //   - Err alone: the terminal server line of a failed call.
 type recLine struct {
 	B      *float64    `json:"b,omitempty"`
+	Result *resultWire `json:"result,omitempty"`
+	Err    *errWire    `json:"error,omitempty"`
+}
+
+// qsAsk starts one query on a multiplexed query stream (POST
+// /shard/v1/query_stream): the per-item payload of the former one-stream-
+// per-item exchange, tagged with the stream-scoped query id carried by the
+// enclosing qsLine.
+type qsAsk struct {
+	Item    itemWire    `json:"item"`
+	Options optionsWire `json:"options"`
+	// Bound is the shared bound's value at dispatch time, omitted while
+	// -Inf.
+	Bound *float64 `json:"bound,omitempty"`
+}
+
+// qsLine is one NDJSON line of the multiplexed query-stream exchange, in
+// either direction. ID scopes the line to one in-flight query; exactly one
+// payload field is set:
+//
+//   - Ask (client→shard): start query ID;
+//   - B: a monotone raise of query ID's shared bound (same drift-tolerant
+//     Bound.Raise folding as the per-item exchange);
+//   - Cancel (client→shard): abandon query ID (the shard cancels its
+//     search; the client has already returned);
+//   - Result/Err (shard→client): the terminal line of query ID.
+type qsLine struct {
+	ID     uint64      `json:"id"`
+	Ask    *qsAsk      `json:"ask,omitempty"`
+	B      *float64    `json:"b,omitempty"`
+	Cancel bool        `json:"cancel,omitempty"`
 	Result *resultWire `json:"result,omitempty"`
 	Err    *errWire    `json:"error,omitempty"`
 }

@@ -136,6 +136,107 @@ func (fx *Fixture) Replay(tb testing.TB, d Deployment, maxBatches int, opts ...c
 	return tr
 }
 
+// ReplaySeq drives the SAME deterministic schedule as Replay, but issues
+// every query as its own single-item RecommendBatch call — the engine-call
+// pattern a Session produces (each Ask is one batch call after the
+// pending observations are admitted). Because item registration advances
+// the entity expander, per-item and whole-window query batches are
+// different (both deterministic) schedules; a session transcript must be
+// compared against THIS reference.
+func (fx *Fixture) ReplaySeq(tb testing.TB, d Deployment, maxBatches int, opts ...core.Option) *Transcript {
+	tb.Helper()
+	ctx := context.Background()
+	tr := &Transcript{}
+	qopts := append([]core.Option{core.WithK(ReplayK)}, opts...)
+	batchIdx := 0
+	for lo := 0; lo < len(fx.Obs); lo += ReplayBatch {
+		hi := min(lo+ReplayBatch, len(fx.Obs))
+		rep, err := d.ObserveBatch(ctx, fx.Obs[lo:hi])
+		if err != nil {
+			tb.Fatalf("batch %d: ObserveBatch: %v", batchIdx, err)
+		}
+		rep.Errors = nil
+		tr.Reports = append(tr.Reports, rep)
+		window := make([]core.Result, 0, ReplayQueryLen)
+		for _, q := range QueryWindow(fx.Queries, batchIdx) {
+			results, err := d.RecommendBatch(ctx, []model.Item{q}, qopts...)
+			if err != nil {
+				tb.Fatalf("batch %d: RecommendBatch(%s): %v", batchIdx, q.ID, err)
+			}
+			results[0].Stats = sigtree.SearchStats{}
+			window = append(window, results[0])
+		}
+		tr.Results = append(tr.Results, window)
+		batchIdx++
+		if maxBatches > 0 && batchIdx >= maxBatches {
+			break
+		}
+	}
+	return tr
+}
+
+// SessionDriver is the session surface the stream replay drives —
+// satisfied by core.Session (over any SessionBackend: engine, in-process
+// router, remote router) and by server.ClientSession (the /v2/session
+// wire client), so one replay proves the whole stack.
+type SessionDriver interface {
+	Push(o core.Observation) error
+	Ask(v model.Item, opts ...core.Option) error
+	Results() <-chan core.SessionResult
+	Close() error
+}
+
+// ReplaySession replays the schedule as interleaved session traffic: each
+// micro-batch is Pushed observation by observation, then the query window
+// is Asked item by item. Answers are collected from the ordered Results
+// channel (concurrently — the driver may flow-control the pushes) and
+// grouped back into the schedule's windows. The session must be opened
+// with a micro-batch of ReplayBatch and no linger so its flush points
+// coincide with the reference's; Close is called at the end.
+func (fx *Fixture) ReplaySession(tb testing.TB, ses SessionDriver, maxBatches int, opts ...core.Option) *Transcript {
+	tb.Helper()
+	qopts := append([]core.Option{core.WithK(ReplayK)}, opts...)
+	var collected []core.Result
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range ses.Results() {
+			r.Stats = sigtree.SearchStats{}
+			collected = append(collected, r.Result)
+		}
+	}()
+	batchIdx := 0
+	for lo := 0; lo < len(fx.Obs); lo += ReplayBatch {
+		hi := min(lo+ReplayBatch, len(fx.Obs))
+		for _, o := range fx.Obs[lo:hi] {
+			if err := ses.Push(o); err != nil {
+				tb.Fatalf("batch %d: Push: %v", batchIdx, err)
+			}
+		}
+		for _, q := range QueryWindow(fx.Queries, batchIdx) {
+			if err := ses.Ask(q, qopts...); err != nil {
+				tb.Fatalf("batch %d: Ask(%s): %v", batchIdx, q.ID, err)
+			}
+		}
+		batchIdx++
+		if maxBatches > 0 && batchIdx >= maxBatches {
+			break
+		}
+	}
+	if err := ses.Close(); err != nil {
+		tb.Fatalf("session close: %v", err)
+	}
+	<-done
+	tr := &Transcript{}
+	if len(collected) != batchIdx*ReplayQueryLen {
+		tb.Fatalf("session answered %d queries, schedule asked %d", len(collected), batchIdx*ReplayQueryLen)
+	}
+	for i := 0; i < batchIdx; i++ {
+		tr.Results = append(tr.Results, collected[i*ReplayQueryLen:(i+1)*ReplayQueryLen])
+	}
+	return tr
+}
+
 // QueryWindow rotates deterministically through the future-item list.
 func QueryWindow(items []model.Item, batchIdx int) []model.Item {
 	out := make([]model.Item, 0, ReplayQueryLen)
@@ -157,6 +258,17 @@ func Diff(t *testing.T, want, got *Transcript, label string) {
 		if w.Applied != g.Applied || w.Rejected != g.Rejected || w.Flushed != g.Flushed {
 			t.Errorf("%s: batch %d report = %+v, want %+v", label, i, g, w)
 		}
+	}
+	DiffResults(t, want, got, label)
+}
+
+// DiffResults asserts the query halves of two replays are bit-identical —
+// the comparison a session transcript supports (ingest reports travel
+// per-flush and are summarised, not itemised, on a session).
+func DiffResults(t *testing.T, want, got *Transcript, label string) {
+	t.Helper()
+	if len(want.Results) != len(got.Results) {
+		t.Fatalf("%s: %d result windows vs %d", label, len(got.Results), len(want.Results))
 	}
 	for i := range want.Results {
 		for j := range want.Results[i] {

@@ -42,6 +42,25 @@
 // ErrUnknownCategory, ErrInvalidObservation) and honor context
 // cancellation down to the index search loop.
 //
+// # Sessions — the continuous profile
+//
+// OpenSession turns the request/response API into the paper's standing
+// stream loop: one ordered full-duplex stream of pushed observations and
+// asked items, answered in admission order, with every answer reflecting
+// exactly the events pushed before it:
+//
+//	ses := rec.OpenSession(ctx)
+//	go func() { for res := range ses.Results() { deliver(res) } }()
+//	ses.Push(obs)                      // micro-batched ingest
+//	ses.Ask(item, ssrec.WithK(10))     // answered after everything above
+//	ses.Close()
+//
+// A session replay is bit-identical to hand-issued ObserveBatch /
+// RecommendBatch calls at the same boundaries, on every deployment shape
+// (the session conformance suites enforce it). Over HTTP the same
+// protocol is POST /v2/session (NDJSON over h2c with credit-based flow
+// control — see DESIGN.md, "Session protocol").
+//
 // # Scaling out
 //
 // Open with WithShards(n) serves the same API from an n-shard
@@ -71,6 +90,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"time"
 
 	"ssrec/internal/core"
 	"ssrec/internal/dataset"
@@ -109,6 +129,41 @@ type (
 	// QueryOptions is the resolved option set an Option mutates.
 	QueryOptions = core.QueryOptions
 )
+
+// Session types: the continuous-recommendation surface of OpenSession.
+type (
+	// Session is one ordered full-duplex recommendation stream (see
+	// Recommender.OpenSession).
+	Session = core.Session
+	// SessionResult is one answer delivered on Session.Results.
+	SessionResult = core.SessionResult
+	// SessionOption configures OpenSession (WithSessionBatch,
+	// WithAutoRecommend, ...).
+	SessionOption = core.SessionOption
+	// SessionStats snapshots a session's counters.
+	SessionStats = core.SessionStats
+)
+
+// ErrSessionClosed is returned by session calls after Close.
+var ErrSessionClosed = core.ErrSessionClosed
+
+// WithSessionBatch sets a session's observation micro-batch size.
+func WithSessionBatch(n int) SessionOption { return core.WithSessionBatch(n) }
+
+// WithSessionLinger bounds how long a session's pending observations wait
+// for a full micro-batch before being admitted anyway.
+func WithSessionLinger(d time.Duration) SessionOption { return core.WithSessionLinger(d) }
+
+// WithAutoRecommend answers every item first seen in a pushed observation
+// with a top-k query, without a separate Ask — the paper's standing
+// "which k users should receive this new item?" loop driven directly by
+// the event stream.
+func WithAutoRecommend(k int) SessionOption { return core.WithAutoRecommend(k) }
+
+// WithSessionAskOptions sets default query options for every Ask.
+func WithSessionAskOptions(opts ...Option) SessionOption {
+	return core.WithSessionAskOptions(opts...)
+}
 
 // Sentinel errors of the v2 API; match with errors.Is.
 var (
@@ -154,8 +209,16 @@ type Recommender struct {
 type OpenOption func(*openOptions)
 
 type openOptions struct {
-	shards int
-	addrs  []string
+	shards    int
+	addrs     []string
+	authToken string
+}
+
+// WithAuthToken authenticates every shard RPC call of a WithRemoteShards
+// deployment as "Authorization: Bearer <token>" — pair it with
+// ssrec-shardd -auth-token. It has no effect on in-process deployments.
+func WithAuthToken(token string) OpenOption {
+	return func(o *openOptions) { o.authToken = token }
 }
 
 // WithShards serves the recommender as an n-shard deployment: user blocks
@@ -190,8 +253,8 @@ func Open(cfg Config, opts ...OpenOption) *Recommender {
 		opt(&o)
 	}
 	if len(o.addrs) > 0 {
-		// DialRouter errors only on an empty address list, checked above.
-		router, _ := shardrpc.DialRouter(o.addrs)
+		// DialRouterAuth errors only on an empty address list, checked above.
+		router, _ := shardrpc.DialRouterAuth(o.addrs, o.authToken)
 		return &Recommender{router: router, cfg: cfg, remote: true}
 	}
 	if o.shards > 1 {
@@ -302,6 +365,26 @@ func (r *Recommender) ObserveBatch(ctx context.Context, batch []Observation) (Ba
 		return r.router.ObserveBatch(ctx, batch)
 	}
 	return r.eng.ObserveBatch(ctx, batch)
+}
+
+// OpenSession turns the request/response API into the paper's standing
+// stream loop: ONE ordered full-duplex stream carrying interleaved
+// observations (Push) and queries (Ask), answered in admission order on
+// the Results channel. Every answer reflects exactly the events admitted
+// before it — pushed observations are micro-batched (one ObserveBatch per
+// WithSessionBatch-sized group) and every Ask is a barrier that admits
+// the pending batch first. Replaying a Push/Ask interleaving through a
+// session is bit-identical to issuing the same ObserveBatch /
+// RecommendBatch calls by hand, on every deployment shape (single engine,
+// WithShards, WithRemoteShards) — the session conformance suite enforces
+// it.
+//
+// The context bounds the session's lifetime; Close flushes and drains
+// cleanly. With WithAutoRecommend(k), every item first seen in a pushed
+// observation is answered automatically. The wire equivalent is POST
+// /v2/session (see internal/server and DESIGN.md, "Session protocol").
+func (r *Recommender) OpenSession(ctx context.Context, opts ...SessionOption) *Session {
+	return core.NewSession(ctx, r, opts...)
 }
 
 // Recommend is the v1 query: top-k users for an incoming item.
