@@ -39,6 +39,7 @@ func main() {
 		partitions   = flag.Int("partitions", 1, "throughput mode: intra-query partitions (Config.Parallelism)")
 		shards       = flag.Int("shards", 1, "throughput mode: serve through an N-shard scatter-gather deployment")
 		remoteShards = flag.String("remote-shards", "", "throughput mode: serve through REMOTE shardd endpoints — either \"N\" (spawn N loopback shards in-process) or comma-separated shardd addresses in shard-index order; the trained snapshot is pushed via the handoff protocol")
+		replicas     = flag.Int("replicas", 1, "throughput mode: replicas per -remote-shards slot (numeric spec spawns shards*R loopback servers, address lists must be slot-major with shards*R entries)")
 		writers      = flag.Int("writers", 0, "throughput mode: concurrent ObserveBatch ingestion workers (0 = read-only)")
 		batch        = flag.Int("batch", 64, "throughput mode: observe micro-batch size (<=1 replays per-item Observe)")
 		topK         = flag.Int("k", 30, "throughput mode: recommendations per item")
@@ -51,7 +52,7 @@ func main() {
 	if *throughput {
 		runThroughput(throughputConfig{
 			Scale: *scale, Seed: *seed, Parallel: *parallel, Partitions: *partitions,
-			Shards: *shards, RemoteShards: *remoteShards, Writers: *writers, Batch: *batch,
+			Shards: *shards, Replicas: *replicas, RemoteShards: *remoteShards, Writers: *writers, Batch: *batch,
 			K: *topK, Session: *session, Scatter: *scatter, JSONPath: *jsonOut,
 		})
 		return

@@ -75,6 +75,7 @@ type throughputConfig struct {
 	Parallel     int
 	Partitions   int
 	Shards       int
+	Replicas     int
 	RemoteShards string
 	Writers      int
 	Batch        int
@@ -92,11 +93,19 @@ type throughputConfig struct {
 // trained engine's snapshot is pushed to every shard over the handoff
 // protocol before the replay starts. scatter "item" disables the
 // multiplexed query stream (one HTTP/2 stream per item — the pre-mux
-// behavior, kept measurable for BENCH_PR5.json comparisons).
-func bootRemoteShards(eng *core.Engine, spec, scatter string) (*shard.Router, int) {
+// behavior, kept measurable for BENCH_PR5.json comparisons). replicas > 1
+// replicates every slot that many ways: a numeric spec spawns N*replicas
+// loopback servers (slot-major), an address list must already be
+// slot-major with N*replicas entries; writes broadcast to every replica
+// and reads load-balance across them, so the R=1 vs R=2 read numbers
+// measure the replica fan-in directly.
+func bootRemoteShards(eng *core.Engine, spec, scatter string, replicas int) (*shard.Router, int) {
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "throughput: "+format+"\n", args...)
 		os.Exit(1)
+	}
+	if replicas < 1 {
+		replicas = 1
 	}
 	var buf bytes.Buffer
 	if err := eng.SaveTo(&buf); err != nil {
@@ -107,39 +116,56 @@ func bootRemoteShards(eng *core.Engine, spec, scatter string) (*shard.Router, in
 		if n < 1 {
 			fail("-remote-shards %q: need at least 1 shard", spec)
 		}
-		for i := 0; i < n; i++ {
-			srv, err := shardrpc.NewServer(i, n)
+		for i := 0; i < n*replicas; i++ {
+			srv, err := shardrpc.NewServer(i/replicas, n)
 			if err != nil {
-				fail("shard %d: %v", i, err)
+				fail("shard %d: %v", i/replicas, err)
 			}
 			ln, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
-				fail("shard %d: listen: %v", i, err)
+				fail("shard %d: listen: %v", i/replicas, err)
 			}
 			go srv.NewHTTPServer(ln.Addr().String()).Serve(ln) //nolint:errcheck // lives for the process
 			addrs = append(addrs, ln.Addr().String())
 		}
-		fmt.Fprintf(os.Stderr, "spawned %d loopback shards: %s\n", n, strings.Join(addrs, ","))
+		fmt.Fprintf(os.Stderr, "spawned %d loopback shards (%d slots x %d replicas): %s\n",
+			n*replicas, n, replicas, strings.Join(addrs, ","))
 	} else {
 		addrs = shardrpc.SplitAddrs(spec)
 		if len(addrs) == 0 {
 			fail("-remote-shards %q: no addresses", spec)
 		}
+		if len(addrs)%replicas != 0 {
+			fail("-remote-shards: %d addresses not divisible by -replicas %d", len(addrs), replicas)
+		}
 	}
-	shards := make([]shard.Shard, len(addrs))
-	for i, a := range addrs {
-		c := shardrpc.NewClient(a, i, len(addrs))
-		c.DisableMuxScatter = scatter == "item"
-		shards[i] = c
+	n := len(addrs) / replicas
+	slots := make([]shard.Shard, n)
+	for i := 0; i < n; i++ {
+		group := make([]shard.Shard, replicas)
+		for j := 0; j < replicas; j++ {
+			c := shardrpc.NewClient(addrs[i*replicas+j], i, n)
+			c.DisableMuxScatter = scatter == "item"
+			group[j] = c
+		}
+		if replicas == 1 {
+			slots[i] = group[0]
+		} else {
+			rs, err := shard.NewReplicaSet(i, group...)
+			if err != nil {
+				fail("slot %d: %v", i, err)
+			}
+			slots[i] = rs
+		}
 	}
-	router, err := shard.NewRouter(shards...)
+	router, err := shard.NewRouter(slots...)
 	if err != nil {
 		fail("assemble remote deployment: %v", err)
 	}
 	if err := router.HandoffSnapshot(context.Background(), buf.Bytes()); err != nil {
 		fail("snapshot handoff: %v", err)
 	}
-	return router, len(addrs)
+	return router, n
 }
 
 // benchBackend is the serving surface the replay drives — one engine or a
@@ -164,6 +190,7 @@ type ThroughputResult struct {
 	Parallel    int     `json:"parallel"`            // concurrent request workers
 	Partitions  int     `json:"partitions"`          // intra-query parallelism
 	Shards      int     `json:"shards"`              // scatter-gather deployment width (1 = single engine)
+	Replicas    int     `json:"replicas,omitempty"`  // replicas per shard slot (omitted when 1)
 	Transport   string  `json:"transport,omitempty"` // "rpc" when the shards are remote (loopback or external)
 	Scatter     string  `json:"scatter,omitempty"`   // "stream" (multiplexed) or "item" (one h2 stream per item); rpc only
 	Session     bool    `json:"session,omitempty"`   // replay driven through sessions (Push/Ask) instead of direct calls
@@ -245,7 +272,7 @@ func runThroughput(tc throughputConfig) {
 	var backend benchBackend = eng
 	transport := ""
 	if remoteShards != "" {
-		router, n := bootRemoteShards(eng, remoteShards, tc.Scatter)
+		router, n := bootRemoteShards(eng, remoteShards, tc.Scatter, tc.Replicas)
 		backend, shards, transport = router, n, "rpc"
 	} else if shards > 1 {
 		var buf bytes.Buffer
@@ -418,10 +445,16 @@ func runThroughput(tc throughputConfig) {
 	}
 	if res.Transport == "rpc" {
 		res.Scatter = tc.Scatter
+		if tc.Replicas > 1 {
+			res.Replicas = tc.Replicas
+		}
 	}
 	shardsDesc := fmt.Sprintf("%d shards", res.Shards)
 	if res.Transport == "rpc" {
 		shardsDesc = fmt.Sprintf("%d remote shards (scatter=%s)", res.Shards, res.Scatter)
+		if res.Replicas > 1 {
+			shardsDesc += fmt.Sprintf(" x%d replicas", res.Replicas)
+		}
 	}
 	mode := ""
 	if res.Session {

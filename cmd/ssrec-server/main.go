@@ -24,6 +24,16 @@
 //	ssrec-shardd -addr :9102 -index 1 -of 2 &
 //	ssrec-server -demo -shard-addrs 127.0.0.1:9101,127.0.0.1:9102 -addr :8080
 //
+// -replicas R replicates every shard slot R ways for fault-tolerant
+// reads: the -shard-addrs list becomes slot-major with shards*R entries
+// (slot i's replicas are entries i*R .. i*R+R-1), writes broadcast to all
+// replicas of a slot, reads load-balance across the healthy ones, and a
+// background supervisor (-supervise) auto-reseeds crashed replicas from a
+// healthy sibling:
+//
+//	ssrec-server -demo -replicas 2 \
+//	  -shard-addrs 127.0.0.1:9101,127.0.0.1:9102,127.0.0.1:9201,127.0.0.1:9202
+//
 // Then:
 //
 //	curl -s localhost:8080/v2/stats
@@ -67,7 +77,9 @@ func main() {
 
 		partitions = flag.Int("partitions", 1, "intra-query search partitions (Config.Parallelism); overrides a loaded model's setting")
 		shards     = flag.Int("shards", 1, "serve an N-shard scatter-gather deployment (every shard boots from the same model/demo snapshot)")
-		shardAddrs = flag.String("shard-addrs", "", "comma-separated ssrec-shardd addresses (shard-index order); serve a remote deployment, pushing the model/demo snapshot to every shard")
+		replicas   = flag.Int("replicas", 1, "replicate every shard slot R ways: writes broadcast to all replicas, reads load-balance across healthy ones; with -shard-addrs the list must be slot-major with shards*R entries")
+		supervise  = flag.Duration("supervise", shard.DefaultSupervisorInterval, "replica supervisor sweep interval (auto-reseed of stale/blank replicas from a healthy sibling; 0 disables; only with -replicas > 1)")
+		shardAddrs = flag.String("shard-addrs", "", "comma-separated ssrec-shardd addresses (shard-index order, or slot-major with -replicas); serve a remote deployment, pushing the model/demo snapshot to every shard")
 		save       = flag.String("save", "", "after -demo training, save the engine here (core.SaveFile format)")
 
 		maxK         = flag.Int("max-k", 100, "cap on per-request k")
@@ -145,11 +157,20 @@ func main() {
 	}
 
 	var backend server.Backend
+	var supervisor *shard.Supervisor
 	switch {
 	case len(remote) > 0:
 		// ONE -auth-token secures both roles: this server's /v2 surface
 		// and its client legs into the shardd fleet.
-		router, err := shardrpc.DialRouterAuth(remote, *authToken)
+		var (
+			router *shard.Router
+			err    error
+		)
+		if *replicas > 1 {
+			router, err = shardrpc.DialReplicaRouterAuth(remote, *replicas, *authToken)
+		} else {
+			router, err = shardrpc.DialRouterAuth(remote, *authToken)
+		}
 		if err != nil {
 			log.Fatalf("assemble remote deployment: %v", err)
 		}
@@ -163,11 +184,28 @@ func main() {
 			log.Fatalf("snapshot handoff: %v", err)
 		}
 		for _, st := range router.ShardStats() {
-			log.Printf("shard %d @ %s: %d/%d owned users, %d leaves", st.Shard, remote[st.Shard], st.OwnedUsers, st.Users, st.Leaves)
+			if *replicas > 1 {
+				slot := remote[st.Shard**replicas : (st.Shard+1)**replicas]
+				log.Printf("slot %d @ %v (%d replicas): %d/%d owned users, %d leaves", st.Shard, slot, *replicas, st.OwnedUsers, st.Users, st.Leaves)
+			} else {
+				log.Printf("shard %d @ %s: %d/%d owned users, %d leaves", st.Shard, remote[st.Shard], st.OwnedUsers, st.Users, st.Leaves)
+			}
+		}
+		if *replicas > 1 && *supervise > 0 {
+			supervisor = router.StartSupervisor(*supervise)
+			log.Printf("replica supervisor running (sweep every %v)", *supervise)
 		}
 		backend = router
 	case *shards > 1:
-		router, err := shard.FromSnapshot(snapshot, *shards)
+		var (
+			router *shard.Router
+			err    error
+		)
+		if *replicas > 1 {
+			router, err = shard.FromSnapshotReplicated(snapshot, *shards, *replicas)
+		} else {
+			router, err = shard.FromSnapshot(snapshot, *shards)
+		}
 		if err != nil {
 			log.Fatalf("boot %d-shard deployment: %v", *shards, err)
 		}
@@ -176,6 +214,10 @@ func main() {
 		}
 		for _, st := range router.ShardStats() {
 			log.Printf("shard %d: %d/%d owned users, %d leaves", st.Shard, st.OwnedUsers, st.Users, st.Leaves)
+		}
+		if *replicas > 1 && *supervise > 0 {
+			supervisor = router.StartSupervisor(*supervise)
+			log.Printf("replica supervisor running (sweep every %v, %d replicas/slot)", *supervise, *replicas)
 		}
 		backend = router
 	default:
@@ -226,6 +268,9 @@ func main() {
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second signal kills immediately
 		log.Printf("shutdown signal received; draining for up to %v", *drainTimeout)
+		if supervisor != nil {
+			supervisor.Stop()
+		}
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(drainCtx); err != nil {

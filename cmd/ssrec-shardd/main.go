@@ -9,7 +9,7 @@
 //	ssrec-shardd -addr :9101 -index 0 -of 2 -model engine.bin   # boot from a snapshot file
 //	ssrec-shardd -addr :9102 -index 1 -of 2                     # blank: await a snapshot handoff
 //
-// A blank shardd answers health checks (trained=false) and 503s every
+// A blank shardd answers liveness checks and 503s every
 // serving endpoint until a router pushes a trained-engine snapshot to
 // POST /shard/v1/snapshot (shard.Router.HandoffSnapshot, ssrec-server
 // -shard-addrs, or ssrec.Open(..., ssrec.WithRemoteShards(...)).Train).
@@ -20,8 +20,13 @@
 //
 // Probe it:
 //
-//	curl -s localhost:9101/shard/v1/health
+//	curl -s localhost:9101/shard/v1/livez   # liveness: 200 while the process is up
+//	curl -s localhost:9101/shard/v1/readyz  # readiness: 200 only when booted AND trained
 //	curl -s localhost:9101/shard/v1/stats
+//
+// (/shard/v1/health is a deprecated alias of the old combined check; it
+// keeps answering, with a Deprecation header — point restart probes at
+// /livez and load-balancer membership at /readyz.)
 package main
 
 import (

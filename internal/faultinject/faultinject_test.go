@@ -1,0 +1,209 @@
+// faultinject_test.go is the chaos conformance suite — the tentpole
+// acceptance gate of the replica-set machinery. It replays the shared
+// deterministic stream through a 2-slot × 2-replica deployment of
+// chaos-wrapped nodes while killing one replica PER SLOT mid-replay (at a
+// seeded random batch) and reviving it blank a few batches later, with
+// the reseed supervisor running. The replay must stay bit-identical to
+// the single reference engine with ZERO degraded (shard_unavailable)
+// results — shardtest.Replay tb.Fatalf's on ANY ObserveBatch or
+// RecommendBatch error, so the zero-degraded assertion is built into the
+// harness — and after the stream quiesces every replica must converge
+// back to healthy through supervisor auto-reseeds.
+//
+// With SSREC_FAULT_LOG set, the fault matrix of the kill test is written
+// there — the artifact the CI chaos job uploads as proof the run
+// exercised real faults.
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"ssrec/internal/core"
+	"ssrec/internal/model"
+	"ssrec/internal/shard"
+	"ssrec/internal/shardtest"
+)
+
+// chaosDeployment interposes a fault script on the replay's batch
+// schedule: before micro-batch k is ingested, script[k] runs (kills,
+// revives). Queries pass through untouched.
+type chaosDeployment struct {
+	r      *shard.Router
+	batch  int
+	script map[int]func()
+}
+
+func (d *chaosDeployment) ObserveBatch(ctx context.Context, batch []core.Observation) (core.BatchReport, error) {
+	if f, ok := d.script[d.batch]; ok {
+		f()
+	}
+	d.batch++
+	return d.r.ObserveBatch(ctx, batch)
+}
+
+func (d *chaosDeployment) RecommendBatch(ctx context.Context, items []model.Item, opts ...core.Option) ([]core.Result, error) {
+	return d.r.RecommendBatch(ctx, items, opts...)
+}
+
+// chaosFleet stands up a slots × replicas deployment of Nodes booted from
+// the fixture snapshot via the handoff protocol.
+func chaosFleet(t *testing.T, fx *shardtest.Fixture, slots, replicas int, log *Log) (*shard.Router, [][]*Node) {
+	t.Helper()
+	nodes := make([][]*Node, slots)
+	members := make([]shard.Shard, slots)
+	for i := 0; i < slots; i++ {
+		nodes[i] = make([]*Node, replicas)
+		reps := make([]shard.Shard, replicas)
+		for j := 0; j < replicas; j++ {
+			nodes[i][j] = New(i, slots, fmt.Sprintf("slot%d/replica%d", i, j), int64(100*i+j+1), log)
+			reps[j] = nodes[i][j]
+		}
+		rs, err := shard.NewReplicaSet(i, reps...)
+		if err != nil {
+			t.Fatalf("replica set %d: %v", i, err)
+		}
+		members[i] = rs
+	}
+	r, err := shard.NewRouter(members...)
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	if err := r.HandoffSnapshot(context.Background(), fx.Snapshot); err != nil {
+		t.Fatalf("boot handoff: %v", err)
+	}
+	return r, nodes
+}
+
+// waitHealthy polls until every replica of every slot reports healthy and
+// the router excludes nothing.
+func waitHealthy(t *testing.T, r *shard.Router, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		allHealthy := len(r.Down()) == 0
+		for _, st := range r.ReplicaHealth() {
+			if st.State != "healthy" || st.MissedWrite {
+				allHealthy = false
+			}
+		}
+		if allHealthy {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never converged: Down()=%v health=%+v", r.Down(), r.ReplicaHealth())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosReplicaKillAutoReseed is the acceptance run: one replica per
+// slot is killed at a seeded random batch mid-replay and revived blank a
+// few batches later; the supervisor auto-reseeds; the transcript must be
+// bit-identical to the single engine with zero degraded results.
+func TestChaosReplicaKillAutoReseed(t *testing.T) {
+	fx := shardtest.Load(t)
+	maxBatches := 0
+	totalBatches := (len(fx.Obs) + shardtest.ReplayBatch - 1) / shardtest.ReplayBatch
+	if testing.Short() {
+		maxBatches = 16
+		totalBatches = 16
+	}
+
+	reference, err := core.LoadFrom(bytes.NewReader(fx.Snapshot))
+	if err != nil {
+		t.Fatalf("boot reference: %v", err)
+	}
+	want := fx.Replay(t, reference, maxBatches)
+
+	log := &Log{}
+	r, nodes := chaosFleet(t, fx, 2, 2, log)
+
+	// Seeded, not hand-picked: the kill point moves with the seed but is
+	// reproducible run to run.
+	killAt := 1 + rand.New(rand.NewSource(7)).Intn(totalBatches-4)
+	reviveAt := killAt + 3
+	t.Logf("killing slot0/replica1 and slot1/replica0 before batch %d of %d, reviving blank before batch %d",
+		killAt, totalBatches, reviveAt)
+	driver := &chaosDeployment{r: r, script: map[int]func(){
+		killAt: func() {
+			nodes[0][1].Kill()
+			nodes[1][0].Kill()
+		},
+		reviveAt: func() {
+			nodes[0][1].Revive() // reachable again but BLANK: only a snapshot handoff restores it
+			nodes[1][0].Revive()
+		},
+	}}
+
+	sup := r.StartSupervisor(25 * time.Millisecond)
+	defer sup.Stop()
+
+	// Replay fatals on ANY ObserveBatch/RecommendBatch error, so finishing
+	// at all proves zero degraded results while a sibling survived.
+	got := fx.Replay(t, driver, maxBatches)
+	shardtest.Diff(t, want, got, "chaos replica kill")
+
+	// The stream has quiesced: the supervisor must now converge the
+	// revived-blank replicas back to healthy via snapshot auto-reseed.
+	waitHealthy(t, r, 15*time.Second)
+	st := sup.Stats()
+	if st.Reseeds < 2 {
+		t.Fatalf("supervisor stats = %+v, want >= 2 reseeds (one per killed replica)", st)
+	}
+	if log.Count("killed")+log.Count("blank") == 0 {
+		t.Fatal("fault log recorded no kill-induced faults; the chaos run was vacuous")
+	}
+
+	if path := os.Getenv("SSREC_FAULT_LOG"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatalf("create fault log: %v", err)
+		}
+		defer f.Close()
+		if _, err := log.WriteTo(f); err != nil {
+			t.Fatalf("write fault log: %v", err)
+		}
+		t.Logf("fault matrix (%d entries) written to %s", log.Count(""), path)
+	}
+}
+
+// TestChaosRandomDropsStayExact injects seeded random drops and latency
+// spikes into ONE replica per slot (its sibling stays clean, so the slot
+// never loses quorum) and asserts the replay is still bit-identical with
+// zero degraded results — the EWMA read balancing and per-replica
+// exclusion absorb the noise.
+func TestChaosRandomDropsStayExact(t *testing.T) {
+	fx := shardtest.Load(t)
+	maxBatches := 24
+	reference, err := core.LoadFrom(bytes.NewReader(fx.Snapshot))
+	if err != nil {
+		t.Fatalf("boot reference: %v", err)
+	}
+	want := fx.Replay(t, reference, maxBatches)
+
+	log := &Log{}
+	r, nodes := chaosFleet(t, fx, 2, 2, log)
+	for i := range nodes {
+		nodes[i][1].SetFaults(Faults{
+			DropRate:   0.08,
+			SpikeRate:  0.10,
+			SpikeDelay: 2 * time.Millisecond,
+		})
+	}
+	sup := r.StartSupervisor(25 * time.Millisecond)
+	defer sup.Stop()
+
+	got := fx.Replay(t, &chaosDeployment{r: r}, maxBatches)
+	shardtest.Diff(t, want, got, "chaos random drops")
+
+	if log.Count("drop") == 0 {
+		t.Fatal("no drops injected; the run proved nothing")
+	}
+	waitHealthy(t, r, 15*time.Second)
+}

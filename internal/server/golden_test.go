@@ -106,6 +106,11 @@ func TestGoldenStatsV2ShardedShape(t *testing.T) {
 	checkGolden(t, "v2_stats_sharded_shape.golden", statsShape(t, s, itemBody(ds.Items[0])))
 }
 
+func TestGoldenStatsV2ReplicatedShape(t *testing.T) {
+	s, ds := testReplicatedServer(t, 2, 2)
+	checkGolden(t, "v2_stats_replicated_shape.golden", statsShape(t, s, itemBody(ds.Items[0])))
+}
+
 // TestGoldenV1DeprecationHeaders pins the RFC 8594-style sunset signalling
 // of every v1 route (and its absence on v2/health routes).
 func TestGoldenV1DeprecationHeaders(t *testing.T) {

@@ -62,11 +62,19 @@ type shardStatser interface {
 	ShardStats() []shard.Stats
 }
 
+// replicaStatser is the optional Backend extension behind the per-slot
+// replica health block and the supervisor counters in /v2/stats.
+type replicaStatser interface {
+	ReplicaHealth() []shard.ReplicaState
+	SupervisorStats() (shard.SupervisorStats, bool)
+}
+
 // Compile-time checks: both shipped backends satisfy the interface.
 var (
-	_ Backend      = (*core.SafeEngine)(nil)
-	_ Backend      = (*shard.Router)(nil)
-	_ shardStatser = (*shard.Router)(nil)
+	_ Backend        = (*core.SafeEngine)(nil)
+	_ Backend        = (*shard.Router)(nil)
+	_ shardStatser   = (*shard.Router)(nil)
+	_ replicaStatser = (*shard.Router)(nil)
 )
 
 // Server wraps a Backend with an http.Handler.

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"ssrec/internal/core"
 	"ssrec/internal/dataset"
@@ -38,6 +39,75 @@ func testShardedServer(t *testing.T, n int) (*Server, *dataset.Dataset) {
 		t.Fatalf("boot router: %v", err)
 	}
 	return NewBackend(r), ds
+}
+
+// testReplicatedServer boots the same corpus as an n-slot deployment with
+// rep replicas per slot and a running reseed supervisor — the replica
+// topology the /v2/stats replica_sets and supervisor blocks describe.
+func testReplicatedServer(t *testing.T, n, rep int) (*Server, *dataset.Dataset) {
+	t.Helper()
+	cfg := dataset.YTubeConfig(0.2)
+	cfg.Seed = 31
+	ds := dataset.Generate(cfg)
+	eng := core.New(core.Config{Categories: ds.Categories, TrainMaxIter: 5, Restarts: 1})
+	if err := evalx.Train(eng, ds, evalx.Setup{}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveTo(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	r, err := shard.FromSnapshotReplicated(buf.Bytes(), n, rep)
+	if err != nil {
+		t.Fatalf("boot replicated router: %v", err)
+	}
+	sup := r.StartSupervisor(time.Hour) // present in stats; sweeps never fire mid-test
+	t.Cleanup(sup.Stop)
+	return NewBackend(r), ds
+}
+
+// TestStatsV2ReplicaHealth: a replicated deployment surfaces per-slot
+// replica states and the supervisor counters in /v2/stats.
+func TestStatsV2ReplicaHealth(t *testing.T) {
+	s, _ := testReplicatedServer(t, 2, 2)
+	rr := get(t, s.Handler(), "/v2/stats")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rr.Code)
+	}
+	var resp struct {
+		ReplicaSets []struct {
+			Slot     int `json:"slot"`
+			Replicas []struct {
+				Replica     int    `json:"replica"`
+				State       string `json:"state"`
+				MissedWrite bool   `json:"missed_write"`
+			} `json:"replicas"`
+		} `json:"replica_sets"`
+		Supervisor *struct {
+			Running    bool    `json:"running"`
+			IntervalMs float64 `json:"interval_ms"`
+		} `json:"supervisor"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	if len(resp.ReplicaSets) != 2 {
+		t.Fatalf("replica_sets slots = %d, want 2", len(resp.ReplicaSets))
+	}
+	for _, slot := range resp.ReplicaSets {
+		if len(slot.Replicas) != 2 {
+			t.Fatalf("slot %d replicas = %d, want 2", slot.Slot, len(slot.Replicas))
+		}
+		for _, rep := range slot.Replicas {
+			if rep.State != "healthy" || rep.MissedWrite {
+				t.Errorf("slot %d replica %d: state=%q missed_write=%v, want healthy/false",
+					slot.Slot, rep.Replica, rep.State, rep.MissedWrite)
+			}
+		}
+	}
+	if resp.Supervisor == nil || !resp.Supervisor.Running {
+		t.Fatalf("supervisor block missing or not running: %+v", resp.Supervisor)
+	}
 }
 
 // TestShardedServerWireEquivalence: the same /v2/recommend request returns

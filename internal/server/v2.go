@@ -326,11 +326,15 @@ type statsV2Response struct {
 	MaxK        int `json:"max_k"`
 
 	// ShardCount/Shards describe a sharded deployment (absent for a
-	// single engine).
-	ShardCount int                   `json:"shard_count,omitempty"`
-	Shards     []shardStatsJSON      `json:"shards,omitempty"`
-	Sessions   sessionStatsJSON      `json:"sessions"`
-	Requests   map[string]RouteStats `json:"requests"`
+	// single engine). ReplicaSets and Supervisor additionally describe its
+	// replica topology: per-slot replica health plus the auto-reseed
+	// supervisor's counters (Supervisor is absent until StartSupervisor).
+	ShardCount  int                   `json:"shard_count,omitempty"`
+	Shards      []shardStatsJSON      `json:"shards,omitempty"`
+	ReplicaSets []slotReplicasJSON    `json:"replica_sets,omitempty"`
+	Supervisor  *supervisorJSON       `json:"supervisor,omitempty"`
+	Sessions    sessionStatsJSON      `json:"sessions"`
+	Requests    map[string]RouteStats `json:"requests"`
 }
 
 // sessionStatsJSON reports the /v2/session serving counters and limits.
@@ -345,6 +349,32 @@ type sessionStatsJSON struct {
 	CreditWindow   int     `json:"credit_window"`
 	MaxSessions    int     `json:"max_sessions"`
 	RatePerSec     float64 `json:"rate_per_sec"`
+}
+
+// slotReplicasJSON is the wire form of one shard slot's replica health.
+type slotReplicasJSON struct {
+	Slot     int           `json:"slot"`
+	Replicas []replicaJSON `json:"replicas"`
+}
+
+// replicaJSON is one replica of a slot: its health state (healthy,
+// excluded, reseeding), outstanding missed-write debt and read-latency
+// EWMA.
+type replicaJSON struct {
+	Replica       int     `json:"replica"`
+	State         string  `json:"state"`
+	MissedWrite   bool    `json:"missed_write"`
+	LatencyEWMAMs float64 `json:"latency_ewma_ms"`
+}
+
+// supervisorJSON reports the auto-reseed supervisor's counters.
+type supervisorJSON struct {
+	Running        bool    `json:"running"`
+	IntervalMs     float64 `json:"interval_ms"`
+	Cycles         uint64  `json:"cycles"`
+	Reseeds        uint64  `json:"reseeds"`
+	ReseedFailures uint64  `json:"reseed_failures"`
+	LastError      string  `json:"last_error,omitempty"`
 }
 
 // shardStatsJSON is the wire form of one shard's statistics.
@@ -407,6 +437,33 @@ func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 				resp.Users, resp.Blocks, resp.Trees, resp.HashKeys = sh.Users, sh.Blocks, sh.Trees, sh.HashKeys
 				resp.Parallelism = sh.Parallelism
 				break
+			}
+		}
+		if rs, ok := s.eng.(replicaStatser); ok {
+			// Replica topology: group the flat health list by slot (the
+			// list arrives slot-ordered) and attach the supervisor's
+			// counters when a supervisor has been started.
+			for _, st := range rs.ReplicaHealth() {
+				if n := len(resp.ReplicaSets); n == 0 || resp.ReplicaSets[n-1].Slot != st.Slot {
+					resp.ReplicaSets = append(resp.ReplicaSets, slotReplicasJSON{Slot: st.Slot})
+				}
+				last := &resp.ReplicaSets[len(resp.ReplicaSets)-1]
+				last.Replicas = append(last.Replicas, replicaJSON{
+					Replica:       st.Replica,
+					State:         st.State,
+					MissedWrite:   st.MissedWrite,
+					LatencyEWMAMs: st.LatencyEWMAMs,
+				})
+			}
+			if sup, ok := rs.SupervisorStats(); ok {
+				resp.Supervisor = &supervisorJSON{
+					Running:        sup.Running,
+					IntervalMs:     float64(sup.Interval) / 1e6,
+					Cycles:         sup.Cycles,
+					Reseeds:        sup.Reseeds,
+					ReseedFailures: sup.ReseedFailures,
+					LastError:      sup.LastError,
+				}
 			}
 		}
 	} else {

@@ -1,0 +1,123 @@
+// backoff.go paces the re-probe of excluded shards and replicas: one
+// exponential-backoff-with-jitter schedule per index, replacing the old
+// fixed-interval global throttle. A fleet-wide blip no longer produces a
+// thundering herd of synchronized probes every 3 seconds — each failing
+// endpoint's probe interval doubles (with jitter, so recovered fleets do
+// not re-probe in lockstep) up to ProbeBackoffCap, and the first success
+// resets it to the base interval.
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ProbeBackoffCap bounds the per-shard probe backoff: a shard that has
+// been failing for hours is still re-probed at least this often.
+const ProbeBackoffCap = 30 * time.Second
+
+// probeSchedule is the per-index probe pacing state. All methods are
+// safe for concurrent use; the clock is injectable for deterministic
+// schedule tests.
+type probeSchedule struct {
+	mu   sync.Mutex
+	base time.Duration
+	cap  time.Duration
+	now  func() time.Time
+	rng  *rand.Rand
+	wait []time.Duration // current backoff interval per index
+	next []time.Time     // earliest next probe per index (zero = due now)
+}
+
+func newProbeSchedule(n int, base time.Duration) *probeSchedule {
+	if base <= 0 {
+		base = DefaultProbeInterval
+	}
+	c := ProbeBackoffCap
+	if base > c {
+		c = base
+	}
+	ps := &probeSchedule{
+		base: base,
+		cap:  c,
+		now:  time.Now,
+		rng:  rand.New(rand.NewSource(1)), // jitter decorrelates, it need not be unpredictable
+		wait: make([]time.Duration, n),
+		next: make([]time.Time, n),
+	}
+	for i := range ps.wait {
+		ps.wait[i] = base
+	}
+	return ps
+}
+
+// setBase resets the whole schedule to a new base interval: every index
+// becomes due immediately with its backoff rewound — the behavior
+// SetProbeInterval always had.
+func (ps *probeSchedule) setBase(d time.Duration) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.base = d
+	ps.cap = ProbeBackoffCap
+	if d > ps.cap {
+		ps.cap = d
+	}
+	for i := range ps.wait {
+		ps.wait[i] = d
+		ps.next[i] = time.Time{}
+	}
+}
+
+// claimDue filters idx down to the indices whose probe is due and claims
+// them: a claimed index is not due again until its current interval
+// elapses (or failure/success reschedules it), so concurrent query-path
+// kicks cannot stack probes on the same shard.
+func (ps *probeSchedule) claimDue(idx []int) []int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	now := ps.now()
+	var due []int
+	for _, i := range idx {
+		if ps.next[i].After(now) {
+			continue
+		}
+		ps.next[i] = now.Add(ps.wait[i])
+		due = append(due, i)
+	}
+	return due
+}
+
+// failure backs off index i: the interval doubles (capped) and the next
+// probe lands at a jittered point in [w/2, 3w/2) so recovering shards
+// spread their probes instead of herding.
+func (ps *probeSchedule) failure(i int) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	w := ps.wait[i] * 2
+	if w > ps.cap {
+		w = ps.cap
+	}
+	if w < ps.base {
+		w = ps.base
+	}
+	ps.wait[i] = w
+	jittered := w/2 + time.Duration(ps.rng.Int63n(int64(w)+1))
+	ps.next[i] = ps.now().Add(jittered)
+}
+
+// success resets index i to the base interval, due immediately — a shard
+// that just answered a probe is re-checked promptly if it fails again.
+func (ps *probeSchedule) success(i int) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.wait[i] = ps.base
+	ps.next[i] = time.Time{}
+}
+
+// interval reports index i's current backoff interval (tests, stats).
+func (ps *probeSchedule) interval(i int) time.Duration {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.wait[i]
+}

@@ -1,0 +1,112 @@
+// backoff_test.go pins the probe pacing schedule with a fake clock: the
+// per-index interval doubles on failure up to ProbeBackoffCap, jitter
+// keeps failing indices from herding onto the same instant, success
+// rewinds to the base, and claimDue claims each due index exactly once
+// per interval.
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a probeSchedule deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time              { return c.t }
+func (c *fakeClock) advance(d time.Duration)     { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock                   { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func withFakeClock(ps *probeSchedule) *fakeClock { c := newFakeClock(); ps.now = c.now; return c }
+
+func TestBackoffDoublesToCapAndResets(t *testing.T) {
+	ps := newProbeSchedule(1, time.Second)
+	withFakeClock(ps)
+
+	want := []time.Duration{
+		2 * time.Second, 4 * time.Second, 8 * time.Second,
+		16 * time.Second, 30 * time.Second, 30 * time.Second, // capped
+	}
+	for k, w := range want {
+		ps.failure(0)
+		if got := ps.interval(0); got != w {
+			t.Fatalf("after %d failures: interval = %v, want %v", k+1, got, w)
+		}
+	}
+
+	ps.success(0)
+	if got := ps.interval(0); got != time.Second {
+		t.Fatalf("after success: interval = %v, want base 1s", got)
+	}
+	if due := ps.claimDue([]int{0}); len(due) != 1 {
+		t.Fatalf("after success the index must be due immediately, claimDue = %v", due)
+	}
+}
+
+func TestBackoffJitterStaysInWindow(t *testing.T) {
+	ps := newProbeSchedule(1, time.Second)
+	clk := withFakeClock(ps)
+
+	for k := 0; k < 20; k++ {
+		before := clk.t
+		ps.failure(0)
+		w := ps.interval(0)
+		// The next probe must land in [w/2, 3w/2) after the failure.
+		lo, hi := before.Add(w/2), before.Add(w+w/2)
+		next := ps.next[0]
+		if next.Before(lo) || !next.Before(hi) {
+			t.Fatalf("failure %d: next probe at +%v, want within [%v, %v)",
+				k, next.Sub(before), w/2, w+w/2)
+		}
+		clk.t = next // jump to the probe instant for the next round
+	}
+}
+
+func TestBackoffClaimDueClaimsOncePerInterval(t *testing.T) {
+	ps := newProbeSchedule(3, time.Second)
+	clk := withFakeClock(ps)
+
+	// Everything starts due (zero next).
+	if due := ps.claimDue([]int{0, 1, 2}); len(due) != 3 {
+		t.Fatalf("initial claimDue = %v, want all three", due)
+	}
+	// Claimed: a second kick inside the interval gets nothing.
+	if due := ps.claimDue([]int{0, 1, 2}); len(due) != 0 {
+		t.Fatalf("re-claim inside interval = %v, want none", due)
+	}
+	clk.advance(time.Second)
+	if due := ps.claimDue([]int{0, 1, 2}); len(due) != 3 {
+		t.Fatalf("claim after interval = %v, want all three", due)
+	}
+}
+
+func TestBackoffFailuresDesynchronize(t *testing.T) {
+	// Two indices failing in lockstep must not stay scheduled at the same
+	// instant — the jitter exists to break up the herd.
+	ps := newProbeSchedule(2, time.Second)
+	withFakeClock(ps)
+	same := 0
+	for k := 0; k < 8; k++ {
+		ps.failure(0)
+		ps.failure(1)
+		if ps.next[0].Equal(ps.next[1]) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("8/8 failure rounds scheduled both indices at the same instant; jitter is not applied")
+	}
+}
+
+func TestBackoffSetBaseRewindsEverything(t *testing.T) {
+	ps := newProbeSchedule(2, time.Second)
+	withFakeClock(ps)
+	ps.failure(0)
+	ps.failure(0)
+	ps.setBase(50 * time.Millisecond)
+	if got := ps.interval(0); got != 50*time.Millisecond {
+		t.Fatalf("setBase: interval = %v, want 50ms", got)
+	}
+	if due := ps.claimDue([]int{0, 1}); len(due) != 2 {
+		t.Fatalf("setBase must make every index due, claimDue = %v", due)
+	}
+}

@@ -73,6 +73,39 @@ func TestConformanceStreamReplay(t *testing.T) {
 	}
 }
 
+// TestConformanceReplicatedStreamReplay extends the acceptance gate to
+// replica sets: a 2-slot deployment at every replication factor R replays
+// the full seeded stream and must be observably equivalent to the single
+// reference engine — replication must be invisible in results (writes
+// broadcast the same micro-batches to every replica; any replica answers
+// a read bit-identically).
+func TestConformanceReplicatedStreamReplay(t *testing.T) {
+	fx := fixture(t)
+	maxBatches := 0 // full stream
+	replicas := []int{1, 2, 3}
+	if testing.Short() {
+		maxBatches = 12
+		replicas = []int{2}
+	}
+
+	reference, err := core.LoadFrom(bytes.NewReader(fx.Snapshot))
+	if err != nil {
+		t.Fatalf("boot reference: %v", err)
+	}
+	want := fx.Replay(t, reference, maxBatches)
+
+	for _, rep := range replicas {
+		t.Run(fmt.Sprintf("shards=2/replicas=%d", rep), func(t *testing.T) {
+			r, err := FromSnapshotReplicated(fx.Snapshot, 2, rep)
+			if err != nil {
+				t.Fatalf("boot: %v", err)
+			}
+			got := fx.Replay(t, r, maxBatches)
+			shardtest.Diff(t, want, got, fmt.Sprintf("shards=2 replicas=%d", rep))
+		})
+	}
+}
+
 // TestConformanceShardStats sanity-checks the partition itself: every user
 // is owned by exactly one shard, leaf counts sum to the single-engine
 // figure, and the replicated routing structures agree across shards.

@@ -36,8 +36,9 @@ import (
 	"ssrec/internal/sigtree"
 )
 
-// DefaultProbeInterval is how often the query path re-probes excluded
-// shards (lazily, at most one in-flight probe at a time).
+// DefaultProbeInterval is the BASE interval of the query path's lazy
+// re-probe of excluded shards; each consecutive failure doubles a shard's
+// own interval (with jitter) up to ProbeBackoffCap — see backoff.go.
 const DefaultProbeInterval = 3 * time.Second
 
 // probeTimeout bounds one background health probe sweep.
@@ -50,16 +51,20 @@ type Router struct {
 	// (New / FromSnapshot) — Train and SetParallelism need them; a mixed
 	// or RPC deployment leaves the slice nil and bootstraps out-of-band.
 	locals []*core.Engine
+	// replLocals holds the engine grid of a replicated in-process
+	// deployment (NewReplicated / FromSnapshotReplicated): replLocals[i][j]
+	// is replica j of slot i. Remote replicated deployments leave it nil.
+	replLocals [][]*core.Engine
 	// isTrained latches once the deployment reports trained, so the
 	// per-request readiness check stops paying a full Stats snapshot
 	// (training is one-way: engines never untrain).
 	isTrained atomic.Bool
 
 	// down[i] marks shard i excluded after an ErrShardUnavailable failure;
-	// probeEvery/lastProbe throttle the lazy re-probe on the query path.
-	down       []atomic.Bool
-	probeEvery atomic.Int64 // nanoseconds
-	lastProbe  atomic.Int64 // unix nanoseconds of the last probe kick
+	// probes paces the lazy re-probe per shard (exponential backoff with
+	// jitter — see backoff.go).
+	down   []atomic.Bool
+	probes *probeSchedule
 	// missedWrite[i] records that a replicated write landed on the
 	// deployment while shard i was excluded: its state has diverged, and
 	// a probe must NOT re-include it unless its boot epoch proves it was
@@ -73,19 +78,22 @@ type Router struct {
 	// per shard (from probes and post-handoff pings).
 	epochMu   sync.Mutex
 	lastEpoch []string
+
+	// supervisor is the replica supervisor attached via StartSupervisor
+	// (nil until then); stats surfaces read it.
+	supervisor atomic.Pointer[Supervisor]
 }
 
 func newRouter(shards []Shard, locals []*core.Engine) *Router {
-	r := &Router{
+	return &Router{
 		shards:      shards,
 		locals:      locals,
 		down:        make([]atomic.Bool, len(shards)),
+		probes:      newProbeSchedule(len(shards), DefaultProbeInterval),
 		missedWrite: make([]atomic.Bool, len(shards)),
 		debtGen:     make([]atomic.Uint64, len(shards)),
 		lastEpoch:   make([]string, len(shards)),
 	}
-	r.probeEvery.Store(int64(DefaultProbeInterval))
-	return r
 }
 
 // recordDebt marks shard i as having missed a replicated write: it must
@@ -164,7 +172,10 @@ func (r *Router) ready(ctx context.Context) error {
 			if p, ok := r.shards[i].(Pinger); ok {
 				pctx, cancel := context.WithTimeout(detach(ctx), readyProbeTimeout)
 				defer cancel()
-				if _, err := p.Ping(pctx); err != nil {
+				// A ReplicaSet distinguishes reachable-but-untrained
+				// (ErrNotTrained — awaiting Train, not a transport fault)
+				// from unreachable; only the latter excludes the slot.
+				if _, err := p.Ping(pctx); err != nil && !errors.Is(err, core.ErrNotTrained) {
 					sts[i].unavailable = true
 				}
 			}
@@ -243,8 +254,88 @@ func FromSnapshot(data []byte, n int) (*Router, error) {
 	return newRouter(shards, locals), nil
 }
 
+// NewReplicated builds an in-process deployment of n slots × rep replicas:
+// every slot is a ReplicaSet of rep identically-partitioned engines behind
+// the same Router surface. rep <= 1 still wraps each slot in a one-replica
+// set, so the replica code path is exercised uniformly.
+func NewReplicated(cfg core.Config, n, rep int) (*Router, error) {
+	if n < 1 {
+		n = 1
+	}
+	if rep < 1 {
+		rep = 1
+	}
+	shards := make([]Shard, n)
+	grid := make([][]*core.Engine, n)
+	for i := 0; i < n; i++ {
+		grid[i] = make([]*core.Engine, rep)
+		members := make([]Shard, rep)
+		for j := 0; j < rep; j++ {
+			c := cfg
+			c.ShardIndex, c.ShardCount = i, n
+			grid[i][j] = core.New(c)
+			members[j] = NewLocal(i, grid[i][j])
+		}
+		rs, err := NewReplicaSet(i, members...)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = rs
+	}
+	r := newRouter(shards, nil)
+	r.replLocals = grid
+	return r, nil
+}
+
+// FromSnapshotReplicated boots an n-slot × rep-replica in-process
+// deployment from ONE trained-engine snapshot: every replica of slot i
+// restores the same replicated state and rebuilds slot i's leaf partition,
+// so any replica answers a slot query bit-identically.
+func FromSnapshotReplicated(data []byte, n, rep int) (*Router, error) {
+	if n < 1 {
+		n = 1
+	}
+	if rep < 1 {
+		rep = 1
+	}
+	shards := make([]Shard, n)
+	grid := make([][]*core.Engine, n)
+	for i := 0; i < n; i++ {
+		grid[i] = make([]*core.Engine, rep)
+		members := make([]Shard, rep)
+		for j := 0; j < rep; j++ {
+			e, err := core.LoadShardFrom(bytes.NewReader(data), i, n)
+			if err != nil {
+				return nil, fmt.Errorf("slot %d replica %d: %w", i, j, err)
+			}
+			grid[i][j] = e
+			members[j] = NewLocal(i, e)
+		}
+		rs, err := NewReplicaSet(i, members...)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = rs
+	}
+	r := newRouter(shards, nil)
+	r.replLocals = grid
+	return r, nil
+}
+
 // Shards reports the deployment width.
 func (r *Router) Shards() int { return len(r.shards) }
+
+// Replicas reports the replication factor of the widest slot (1 for a
+// plain unreplicated deployment).
+func (r *Router) Replicas() int {
+	rep := 1
+	for _, s := range r.shards {
+		if rs, ok := s.(*ReplicaSet); ok && rs.Replicas() > rep {
+			rep = rs.Replicas()
+		}
+	}
+	return rep
+}
 
 // ShardStats snapshots every shard, in index order. The snapshots fan
 // out in parallel, and excluded shards report zero-valued stats without
@@ -287,13 +378,16 @@ func (r *Router) Down() []int {
 // markDown excludes a shard after an unavailable failure.
 func (r *Router) markDown(i int) { r.down[i].Store(true) }
 
-// SetProbeInterval adjusts how often the query path re-probes excluded
-// shards; d <= 0 restores the default.
+// SetProbeInterval adjusts the BASE interval of the lazy re-probe (each
+// shard backs off exponentially from this base while it keeps failing,
+// capped at ProbeBackoffCap, and resets to it on the first success);
+// d <= 0 restores the default. Setting the base rewinds every shard's
+// backoff and makes it due immediately.
 func (r *Router) SetProbeInterval(d time.Duration) {
 	if d <= 0 {
 		d = DefaultProbeInterval
 	}
-	r.probeEvery.Store(int64(d))
+	r.probes.setBase(d)
 }
 
 // Probe synchronously re-checks every excluded shard and re-includes the
@@ -311,67 +405,88 @@ func (r *Router) Probe(ctx context.Context) []int {
 		if !r.down[i].Load() {
 			continue
 		}
-		gen := r.debtGen[i].Load()
-		if p, ok := r.shards[i].(Pinger); ok {
-			epoch, err := p.Ping(ctx)
-			if err != nil {
-				continue
-			}
-			if r.missedWrite[i].Load() {
-				// The shard missed replicated writes: re-inclusion is safe
-				// ONLY on proof of a re-seed, i.e. a boot epoch that changed
-				// from a recorded baseline. No epoch support, no baseline,
-				// or an unchanged epoch all FAIL CLOSED — recording the
-				// observed epoch as the baseline, so that a direct operator
-				// handoff to the shardd becomes provable on the next probe.
-				known := r.knownEpoch(i)
-				if epoch == "" || known == "" || epoch == known {
-					r.recordEpoch(i, epoch)
-					continue
-				}
-				r.clearDebtIfUnchanged(i, gen)
-			}
-			r.recordEpoch(i, epoch)
+		if r.probeOne(ctx, i) {
+			r.probes.success(i)
+			up = append(up, i)
 		} else {
-			// No probe surface (in-process): re-include optimistically.
-			r.clearDebtIfUnchanged(i, gen)
+			r.probes.failure(i)
 		}
-		r.down[i].Store(false)
-		// Close the probe/broadcast race: debt recorded while we were
-		// deciding survived the generation-guarded clear above — stay
-		// excluded rather than serving one batch behind.
-		if r.missedWrite[i].Load() {
-			r.down[i].Store(true)
-			continue
-		}
-		up = append(up, i)
 	}
 	return up
 }
 
-// maybeProbe kicks an asynchronous Probe sweep from the query path, at
-// most once per probe interval, so a recovered shard rejoins without an
-// operator call but a dead one costs no per-query latency.
+// probeOne re-checks one excluded shard and re-includes it when it passes;
+// reports whether the shard rejoined. Extracted from Probe so the lazy
+// query-path probe can sweep just the shards whose backoff is due.
+func (r *Router) probeOne(ctx context.Context, i int) bool {
+	gen := r.debtGen[i].Load()
+	if p, ok := r.shards[i].(Pinger); ok {
+		epoch, err := p.Ping(ctx)
+		if err != nil {
+			return false
+		}
+		if r.missedWrite[i].Load() {
+			// The shard missed replicated writes: re-inclusion is safe
+			// ONLY on proof of a re-seed, i.e. a boot epoch that changed
+			// from a recorded baseline. No epoch support, no baseline,
+			// or an unchanged epoch all FAIL CLOSED — recording the
+			// observed epoch as the baseline, so that a direct operator
+			// handoff to the shardd becomes provable on the next probe.
+			known := r.knownEpoch(i)
+			if epoch == "" || known == "" || epoch == known {
+				r.recordEpoch(i, epoch)
+				return false
+			}
+			r.clearDebtIfUnchanged(i, gen)
+		}
+		r.recordEpoch(i, epoch)
+	} else {
+		// No probe surface (in-process): re-include optimistically.
+		r.clearDebtIfUnchanged(i, gen)
+	}
+	r.down[i].Store(false)
+	// Close the probe/broadcast race: debt recorded while we were
+	// deciding survived the generation-guarded clear above — stay
+	// excluded rather than serving one batch behind.
+	if r.missedWrite[i].Load() {
+		r.down[i].Store(true)
+		return false
+	}
+	return true
+}
+
+// maybeProbe kicks an asynchronous probe of the excluded shards whose
+// backoff interval has elapsed, so a recovered shard rejoins without an
+// operator call but a dead one costs no per-query latency — and, unlike a
+// fixed-interval sweep, a shard that stays dead is probed less and less
+// often (ProbeBackoffCap-bounded) instead of every interval forever.
 func (r *Router) maybeProbe() {
-	down := false
+	var down []int
 	for i := range r.down {
 		if r.down[i].Load() {
-			down = true
-			break
+			down = append(down, i)
 		}
 	}
-	if !down {
+	if len(down) == 0 {
 		return
 	}
-	now := time.Now().UnixNano()
-	last := r.lastProbe.Load()
-	if now-last < r.probeEvery.Load() || !r.lastProbe.CompareAndSwap(last, now) {
+	due := r.probes.claimDue(down)
+	if len(due) == 0 {
 		return
 	}
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
 		defer cancel()
-		r.Probe(ctx)
+		for _, i := range due {
+			if !r.down[i].Load() {
+				continue
+			}
+			if r.probeOne(ctx, i) {
+				r.probes.success(i)
+			} else {
+				r.probes.failure(i)
+			}
+		}
 	}()
 }
 
@@ -418,6 +533,9 @@ func (r *Router) HandoffSnapshot(ctx context.Context, snapshot []byte) error {
 // (LoadShardFrom) — identical replicated state, own leaf partition — so
 // an n-shard deployment costs ONE training, not n.
 func (r *Router) Train(items []model.Item, interactions []model.Interaction, resolve func(string) (model.Item, bool)) error {
+	if r.replLocals != nil {
+		return r.trainReplicated(items, interactions, resolve)
+	}
 	if r.locals == nil {
 		return fmt.Errorf("shard: Train requires an in-process deployment (New or FromSnapshot); remote deployments train out-of-band and boot via HandoffSnapshot")
 	}
@@ -443,6 +561,40 @@ func (r *Router) Train(items []model.Item, interactions []model.Interaction, res
 	return nil
 }
 
+// trainReplicated bootstraps a replicated in-process deployment: replica 0
+// of slot 0 trains once on the full stream, then every other replica of
+// every slot boots from its snapshot (LoadShardFrom) — identical
+// replicated state, its slot's leaf partition — so an n×rep deployment
+// still costs ONE training.
+func (r *Router) trainReplicated(items []model.Item, interactions []model.Interaction, resolve func(string) (model.Item, bool)) error {
+	if err := r.replLocals[0][0].Train(items, interactions, resolve); err != nil {
+		return err
+	}
+	n := len(r.replLocals)
+	if n == 1 && len(r.replLocals[0]) == 1 {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := r.replLocals[0][0].SaveTo(&buf); err != nil {
+		return fmt.Errorf("shard: snapshot slot 0: %w", err)
+	}
+	data := buf.Bytes()
+	for i := range r.replLocals {
+		for j := range r.replLocals[i] {
+			if i == 0 && j == 0 {
+				continue
+			}
+			e, err := core.LoadShardFrom(bytes.NewReader(data), i, n)
+			if err != nil {
+				return fmt.Errorf("slot %d replica %d: boot from snapshot: %w", i, j, err)
+			}
+			r.replLocals[i][j] = e
+			r.shards[i].(*ReplicaSet).setReplica(j, NewLocal(i, e))
+		}
+	}
+	return nil
+}
+
 // SetParallelism adjusts the intra-query worker count of every in-process
 // shard (no-op entries for non-local shards; remote shards take the
 // per-call core.WithParallelism option or their shardd -partitions flag).
@@ -450,6 +602,13 @@ func (r *Router) SetParallelism(n int) {
 	for _, e := range r.locals {
 		if e != nil {
 			e.SetParallelism(n)
+		}
+	}
+	for _, row := range r.replLocals {
+		for _, e := range row {
+			if e != nil {
+				e.SetParallelism(n)
+			}
 		}
 	}
 }

@@ -40,6 +40,7 @@
 package shard
 
 import (
+	"bytes"
 	"context"
 	"errors"
 
@@ -134,6 +135,17 @@ type SnapshotReceiver interface {
 	Handoff(ctx context.Context, snapshot []byte) error
 }
 
+// SnapshotProvider is the optional snapshot-export extension of a Shard:
+// the SOURCE end of the recovery protocol. Snapshot returns the shard's
+// full engine state as core.SaveTo bytes. Because a shard snapshot
+// carries the complete replicated state (the index partition is rebuilt
+// on load, never serialised), ANY healthy shard's snapshot can re-seed
+// ANY replica of ANY slot — the supervisor exploits this to reseed a
+// blank replica from whichever healthy sibling answers first.
+type SnapshotProvider interface {
+	Snapshot(ctx context.Context) ([]byte, error)
+}
+
 // Local is the in-process Shard: a thin adapter over one core.Engine whose
 // Config carries the matching ShardIndex/ShardCount.
 type Local struct {
@@ -170,6 +182,21 @@ func (l *Local) ObserveBatch(ctx context.Context, batch []core.Observation) (cor
 // Recommend implements Shard.
 func (l *Local) Recommend(ctx context.Context, v model.Item, o core.QueryOptions, b *sigtree.Bound) (core.Result, error) {
 	return l.eng.RecommendBound(ctx, v, o, b)
+}
+
+// Snapshot implements SnapshotProvider: the wrapped engine's full state as
+// core.SaveTo bytes.
+func (l *Local) Snapshot(ctx context.Context) ([]byte, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	var buf bytes.Buffer
+	if err := l.eng.SaveTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // Stats implements Shard.

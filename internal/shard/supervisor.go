@@ -1,0 +1,269 @@
+// supervisor.go is the replica supervisor: a background loop that turns
+// the manual OPERATIONS.md re-seed runbook into machinery. Each sweep it
+// finds replicas that cannot rejoin on their own — blank (restarted,
+// awaiting a snapshot) or stale (excluded with missed-write debt, which
+// the fail-closed probe rules refuse to re-include) — exports ONE fresh
+// snapshot from any healthy replica of any slot (a shard snapshot carries
+// the full replicated state, so every slot boots from the same bytes) and
+// hands it to each needy replica under the generation guard. A final
+// Router.Probe lets recovered slots rejoin the scatter set.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSupervisorInterval is the default sweep cadence.
+const DefaultSupervisorInterval = 5 * time.Second
+
+// supervisorOpTimeout bounds one snapshot export or handoff.
+const supervisorOpTimeout = 30 * time.Second
+
+// SupervisorStats snapshots the supervisor's counters for /v2/stats.
+type SupervisorStats struct {
+	// Running reports whether the sweep loop is active.
+	Running bool
+	// Interval is the sweep cadence.
+	Interval time.Duration
+	// Cycles counts completed sweeps.
+	Cycles uint64
+	// Reseeds counts snapshots successfully handed to a replica.
+	Reseeds uint64
+	// ReseedFailures counts snapshot exports or handoffs that failed
+	// (retried on the next sweep).
+	ReseedFailures uint64
+	// LastError is the most recent failure, "" when the last sweep was
+	// clean.
+	LastError string
+}
+
+// Supervisor drives the auto-reseed sweeps of one Router.
+type Supervisor struct {
+	r        *Router
+	interval time.Duration
+
+	cycles   atomic.Uint64
+	reseeds  atomic.Uint64
+	failures atomic.Uint64
+	lastErr  atomic.Value // string
+
+	running atomic.Bool
+	stop    chan struct{}
+	done    chan struct{}
+	stopped sync.Once
+}
+
+// StartSupervisor attaches a supervisor to the router and starts its
+// sweep loop; interval <= 0 uses DefaultSupervisorInterval. Stop the
+// returned supervisor on shutdown.
+func (r *Router) StartSupervisor(interval time.Duration) *Supervisor {
+	s := NewSupervisor(r, interval)
+	s.running.Store(true)
+	go s.run()
+	return s
+}
+
+// NewSupervisor builds a supervisor without starting its loop — tests
+// drive Sweep directly for determinism.
+func NewSupervisor(r *Router, interval time.Duration) *Supervisor {
+	if interval <= 0 {
+		interval = DefaultSupervisorInterval
+	}
+	s := &Supervisor{
+		r:        r,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.lastErr.Store("")
+	r.supervisor.Store(s)
+	return s
+}
+
+// Stop halts the sweep loop (idempotent; a no-op for a never-started
+// supervisor once run exits).
+func (s *Supervisor) Stop() {
+	s.stopped.Do(func() { close(s.stop) })
+	if s.running.Load() {
+		<-s.done
+		s.running.Store(false)
+	}
+}
+
+func (s *Supervisor) run() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), supervisorOpTimeout)
+			s.Sweep(ctx)
+			cancel()
+		}
+	}
+}
+
+// Stats snapshots the supervisor counters.
+func (s *Supervisor) Stats() SupervisorStats {
+	return SupervisorStats{
+		Running:        s.running.Load(),
+		Interval:       s.interval,
+		Cycles:         s.cycles.Load(),
+		Reseeds:        s.reseeds.Load(),
+		ReseedFailures: s.failures.Load(),
+		LastError:      s.lastErr.Load().(string),
+	}
+}
+
+// SupervisorStats exposes the attached supervisor's counters on the
+// Router (ok == false when no supervisor was started).
+func (r *Router) SupervisorStats() (SupervisorStats, bool) {
+	s := r.supervisor.Load()
+	if s == nil {
+		return SupervisorStats{}, false
+	}
+	return s.Stats(), true
+}
+
+// reseedJob is one replica owed a snapshot, with its debt generations —
+// replica-level AND router-level for its slot — captured BEFORE the
+// snapshot export: debt recorded after the capture postdates the snapshot
+// and must survive the reseed (the replica is retried next sweep with a
+// fresher snapshot).
+type reseedJob struct {
+	rs        *ReplicaSet
+	j         int
+	sr        SnapshotReceiver
+	gen       uint64
+	routerGen uint64
+}
+
+// Sweep runs one supervision pass: probe excluded replicas back in where
+// safe, reseed the ones that need a snapshot, then let recovered slots
+// rejoin the Router. Exported so tests (and operators via a signal
+// handler, if wired) can force a deterministic pass.
+func (s *Supervisor) Sweep(ctx context.Context) {
+	defer s.cycles.Add(1)
+	var jobs []reseedJob
+	for _, sh := range s.r.shards {
+		rs, ok := sh.(*ReplicaSet)
+		if !ok {
+			continue
+		}
+		for j := range rs.replicas {
+			if !rs.down[j].Load() {
+				continue
+			}
+			sr, canSeed := rs.replicas[j].(SnapshotReceiver)
+			if !canSeed {
+				continue
+			}
+			// A plain probe first: a replica that merely reconnected with
+			// no debt (or with a provable re-seed) rejoins without a
+			// snapshot transfer.
+			if ok, _ := rs.probeReplica(ctx, j); ok {
+				rs.probes.success(j)
+				continue
+			}
+			jobs = append(jobs, reseedJob{rs: rs, j: j, sr: sr,
+				gen: rs.debtGen[j].Load(), routerGen: s.r.debtGen[rs.idx].Load()})
+		}
+	}
+	if len(jobs) > 0 {
+		snapshot, err := s.sourceSnapshot(ctx)
+		if err != nil {
+			s.failures.Add(uint64(len(jobs)))
+			s.lastErr.Store(fmt.Sprintf("snapshot export: %v", err))
+			s.probeRouter(ctx)
+			return
+		}
+		clean := true
+		for _, job := range jobs {
+			job.rs.reseeding[job.j].Store(true)
+			err := job.sr.Handoff(ctx, snapshot)
+			if err != nil {
+				job.rs.reseeding[job.j].Store(false)
+				job.rs.down[job.j].Store(true)
+				s.failures.Add(1)
+				s.lastErr.Store(fmt.Sprintf("slot %d replica %d: handoff: %v", job.rs.idx, job.j, err))
+				clean = false
+				continue
+			}
+			job.rs.clearDebtIfUnchanged(job.j, job.gen)
+			job.rs.down[job.j].Store(false)
+			if p, ok := job.rs.replicas[job.j].(Pinger); ok {
+				if epoch, perr := p.Ping(ctx); perr == nil {
+					job.rs.recordEpoch(job.j, epoch)
+				}
+			}
+			// Debt recorded since the capture postdates the snapshot: the
+			// replica stays excluded and is reseeded again next sweep.
+			if job.rs.missedWrite[job.j].Load() {
+				job.rs.down[job.j].Store(true)
+			}
+			job.rs.reseeding[job.j].Store(false)
+			job.rs.seedGen.Add(1)
+			// The slot now holds a replica provably reseeded with state at
+			// least as fresh as the capture — clear the slot's ROUTER-level
+			// debt under the same generation guard, so probeRouter can
+			// re-include it. Without this, a slot whose epoch baseline was
+			// first observed after this reseed (the router could not ping
+			// while every replica was down) could never prove the re-seed.
+			s.r.clearDebtIfUnchanged(job.rs.idx, job.routerGen)
+			s.reseeds.Add(1)
+		}
+		if clean {
+			s.lastErr.Store("")
+		}
+	}
+	s.probeRouter(ctx)
+}
+
+// probeRouter lets slots whose replicas recovered rejoin the scatter set.
+func (s *Supervisor) probeRouter(ctx context.Context) {
+	for i := range s.r.down {
+		if s.r.down[i].Load() {
+			s.r.Probe(ctx)
+			return
+		}
+	}
+}
+
+// sourceSnapshot exports one snapshot from any healthy provider — a
+// shard snapshot carries the full replicated state, so one export seeds
+// every needy replica of every slot this sweep.
+func (s *Supervisor) sourceSnapshot(ctx context.Context) ([]byte, error) {
+	var firstErr error
+	for i, sh := range s.r.shards {
+		sp, ok := sh.(SnapshotProvider)
+		if !ok {
+			continue
+		}
+		if _, isSet := sh.(*ReplicaSet); !isSet {
+			// A plain shard must be healthy and debt-free to be a source;
+			// a ReplicaSet picks its own healthy replica internally.
+			if s.r.down[i].Load() || s.r.missedWrite[i].Load() {
+				continue
+			}
+		}
+		data, err := sp.Snapshot(ctx)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return data, nil
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, fmt.Errorf("%w: no healthy snapshot source in deployment", ErrShardUnavailable)
+}

@@ -404,12 +404,14 @@ func (c *Client) Stats() shard.Stats {
 // Ping implements shard.Pinger: nil only when the shard is reachable,
 // reports the expected identity AND is trained (ready to serve). A
 // restarted-but-blank shardd therefore stays excluded until a snapshot
-// handoff boots it. The returned epoch is the shard's boot-epoch token
-// (minted per snapshot boot), which the Router uses to refuse
-// re-including a shard that kept running pre-exclusion state.
+// handoff boots it. The probe keys on /readyz (a blank shard answers 503
+// there, which statusErr classifies unavailable). The returned epoch is
+// the shard's boot-epoch token (minted per snapshot boot), which the
+// Router uses to refuse re-including a shard that kept running
+// pre-exclusion state.
 func (c *Client) Ping(ctx context.Context) (string, error) {
 	var h healthWire
-	if err := c.do(ctx, "health", pathHealth, nil, &h); err != nil {
+	if err := c.do(ctx, "readyz", pathReadyz, nil, &h); err != nil {
 		return "", err
 	}
 	if h.Shard != c.idx || h.Of != c.of {
@@ -417,7 +419,7 @@ func (c *Client) Ping(ctx context.Context) (string, error) {
 			c.base, h.Shard, h.Of, c.idx, c.of)
 	}
 	if !h.Trained {
-		return "", unavailable(c.idx, "health", fmt.Errorf("shard is not trained (awaiting snapshot handoff)"))
+		return "", unavailable(c.idx, "readyz", fmt.Errorf("shard is not trained (awaiting snapshot handoff)"))
 	}
 	return h.BootEpoch, nil
 }
@@ -446,9 +448,75 @@ func (c *Client) Handoff(ctx context.Context, snapshot []byte) error {
 	return nil
 }
 
+// Snapshot implements shard.SnapshotProvider: downloads the shard's full
+// engine snapshot (GET /shard/v1/snapshot) — the source end of the
+// supervisor's auto-reseed. Any trained shard's snapshot can seed any
+// replica of any slot: it carries the complete replicated state, and the
+// receiver rebuilds its own leaf partition on load.
+func (c *Client) Snapshot(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+pathSnapshot, nil)
+	if err != nil {
+		return nil, fmt.Errorf("shardrpc: snapshot export: %w", err)
+	}
+	c.authorize(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, c.transportErr(ctx, "snapshot export", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, c.statusErr(ctx, "snapshot export", resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, c.transportErr(ctx, "snapshot export", err)
+	}
+	return data, nil
+}
+
+// DialReplicaRouter is DialReplicaRouterAuth without authentication.
+func DialReplicaRouter(addrs []string, replicas int) (*shard.Router, error) {
+	return DialReplicaRouterAuth(addrs, replicas, "")
+}
+
+// DialReplicaRouterAuth assembles a replica-aware Router over remote
+// shards: the address list is SLOT-MAJOR — with n = len(addrs)/replicas
+// slots, addrs[i*replicas : (i+1)*replicas] are the replicas of slot i,
+// every one dialed with shard identity (i, n) and grouped in a
+// shard.ReplicaSet. replicas <= 1 degrades to the plain DialRouterAuth
+// wiring (no set wrapper).
+func DialReplicaRouterAuth(addrs []string, replicas int, token string) (*shard.Router, error) {
+	if replicas <= 1 {
+		return DialRouterAuth(addrs, token)
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("shardrpc: no shard addresses")
+	}
+	if len(addrs)%replicas != 0 {
+		return nil, fmt.Errorf("shardrpc: %d addresses do not divide into replica sets of %d", len(addrs), replicas)
+	}
+	n := len(addrs) / replicas
+	sets := make([]shard.Shard, n)
+	for i := 0; i < n; i++ {
+		members := make([]shard.Shard, replicas)
+		for j := 0; j < replicas; j++ {
+			c := NewClient(addrs[i*replicas+j], i, n)
+			c.AuthToken = token
+			members[j] = c
+		}
+		rs, err := shard.NewReplicaSet(i, members...)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = rs
+	}
+	return shard.NewRouter(sets...)
+}
+
 // Compile-time interface checks.
 var (
 	_ shard.Shard            = (*Client)(nil)
 	_ shard.Pinger           = (*Client)(nil)
 	_ shard.SnapshotReceiver = (*Client)(nil)
+	_ shard.SnapshotProvider = (*Client)(nil)
 )

@@ -122,12 +122,15 @@ func NewServer(idx, of int) (*Server, error) {
 		mux:              http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET "+pathHealth, s.handleHealth)
+	s.mux.HandleFunc("GET "+pathLivez, s.handleLivez)
+	s.mux.HandleFunc("GET "+pathReadyz, s.handleReadyz)
 	s.mux.HandleFunc("GET "+pathStats, s.handleStats)
 	s.mux.HandleFunc("POST "+pathRegister, s.handleRegister)
 	s.mux.HandleFunc("POST "+pathObserve, s.handleObserve)
 	s.mux.HandleFunc("POST "+pathRecommend, s.handleRecommend)
 	s.mux.HandleFunc("POST "+pathQueryStream, s.handleQueryStream)
 	s.mux.HandleFunc("POST "+pathSnapshot, s.handleSnapshot)
+	s.mux.HandleFunc("GET "+pathSnapshot, s.handleSnapshotExport)
 	return s, nil
 }
 
@@ -220,13 +223,40 @@ func (s *Server) serving(w http.ResponseWriter) *shard.Local {
 	return b.local
 }
 
+// handleHealth is the deprecated always-200 health report; probes should
+// use /livez (process up) or /readyz (ready to serve) instead.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", "<"+pathReadyz+">; rel=\"successor-version\"")
+	s.writeJSON(w, http.StatusOK, s.healthSnapshot())
+}
+
+// handleLivez answers 200 whenever the process serves HTTP at all — the
+// restart-this-process signal. A blank shardd awaiting its snapshot
+// handoff is alive (restarting it would not help), just not ready.
+func (s *Server) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.healthSnapshot())
+}
+
+// handleReadyz answers 200 only when the shard is booted AND trained —
+// safe to route traffic to; 503 otherwise (blank, awaiting handoff). The
+// Router's probe path keys on this status.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	h := s.healthSnapshot()
+	if !h.Trained {
+		s.httpError(w, http.StatusServiceUnavailable, "shard %d/%d not ready (awaiting snapshot handoff)", s.idx, s.of)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) healthSnapshot() healthWire {
 	h := healthWire{Shard: s.idx, Of: s.of}
 	if b := s.boot.Load(); b != nil {
 		h.Trained = b.local.Engine().Trained()
 		h.BootEpoch = b.epoch
 	}
-	s.writeJSON(w, http.StatusOK, h)
+	return h
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -416,4 +446,24 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	s.Boot(e)
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleSnapshotExport streams the booted engine's full snapshot
+// (core.SaveTo bytes) — the SOURCE end of the supervisor's auto-reseed:
+// any healthy replica can seed any blank or stale one, because a shard
+// snapshot carries the complete replicated state and the receiver
+// rebuilds its own leaf partition on load.
+func (s *Server) handleSnapshotExport(w http.ResponseWriter, _ *http.Request) {
+	l := s.serving(w)
+	if l == nil {
+		return
+	}
+	if !l.Engine().Trained() {
+		s.httpError(w, http.StatusServiceUnavailable, "shard %d/%d not trained; nothing to export", s.idx, s.of)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(headerShardIndex, strconv.Itoa(s.idx))
+	w.Header().Set(headerShardCount, strconv.Itoa(s.of))
+	l.Engine().SaveTo(w) //nolint:errcheck // response already committed; a broken stream fails the client's read
 }

@@ -24,8 +24,13 @@ import (
 )
 
 // Endpoint paths of the shard RPC protocol (all rooted under /shard/v1).
+// pathHealth is a deprecated alias of pathReadyz's information at
+// always-200 status — probes should use pathLivez (process up) or
+// pathReadyz (booted AND trained, i.e. safe to serve) instead.
 const (
 	pathHealth      = "/shard/v1/health"
+	pathLivez       = "/shard/v1/livez"
+	pathReadyz      = "/shard/v1/readyz"
 	pathStats       = "/shard/v1/stats"
 	pathRegister    = "/shard/v1/register"
 	pathObserve     = "/shard/v1/observe"

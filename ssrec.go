@@ -210,6 +210,7 @@ type OpenOption func(*openOptions)
 
 type openOptions struct {
 	shards    int
+	replicas  int
 	addrs     []string
 	authToken string
 }
@@ -227,6 +228,22 @@ func WithAuthToken(token string) OpenOption {
 // the ordinary single engine.
 func WithShards(n int) OpenOption {
 	return func(o *openOptions) { o.shards = n }
+}
+
+// WithReplicas replicates every shard slot r ways (r <= 1 keeps single
+// replicas). Writes broadcast to every replica of a slot — the
+// micro-batch stays the atomic replication unit, so results remain
+// bit-identical to the single engine — while each query's scatter leg is
+// load-balanced across the slot's healthy replicas by latency EWMA. A
+// slot stays fully available while ANY of its replicas survives, and a
+// crashed replica is re-seeded from a healthy sibling (by the supervisor,
+// see shard.Router.StartSupervisor, or a manual Handoff).
+//
+// In-process (WithShards) it composes as n*r engines; with
+// WithRemoteShards the address list must be slot-major with n*r entries:
+// addrs[i*r : (i+1)*r] are the replicas of slot i.
+func WithReplicas(r int) OpenOption {
+	return func(o *openOptions) { o.replicas = r }
 }
 
 // WithRemoteShards serves the recommender from remote shardd processes
@@ -253,11 +270,26 @@ func Open(cfg Config, opts ...OpenOption) *Recommender {
 		opt(&o)
 	}
 	if len(o.addrs) > 0 {
+		if o.replicas > 1 {
+			// Errors only on an empty or non-divisible address list; the
+			// former is checked above and the latter panics loudly below
+			// rather than silently serving a mis-shaped fleet.
+			router, err := shardrpc.DialReplicaRouterAuth(o.addrs, o.replicas, o.authToken)
+			if err != nil {
+				panic(fmt.Sprintf("ssrec: WithRemoteShards/WithReplicas: %v", err))
+			}
+			return &Recommender{router: router, cfg: cfg, remote: true}
+		}
 		// DialRouterAuth errors only on an empty address list, checked above.
 		router, _ := shardrpc.DialRouterAuth(o.addrs, o.authToken)
 		return &Recommender{router: router, cfg: cfg, remote: true}
 	}
 	if o.shards > 1 {
+		if o.replicas > 1 {
+			// NewReplicated errors only on n < 1 or rep < 1, excluded here.
+			router, _ := shard.NewReplicated(cfg, o.shards, o.replicas)
+			return &Recommender{router: router, cfg: cfg}
+		}
 		return &Recommender{router: shard.New(cfg, o.shards), cfg: cfg}
 	}
 	return &Recommender{eng: core.New(cfg), cfg: cfg}
