@@ -44,6 +44,18 @@
 //
 //	(core.Session — the OpenSession path) instead of direct
 //	Recommend/ObserveBatch calls
+//
+// -wal <dir>  (single-engine only) interpose the durable ingest WAL
+//
+//	(internal/wal via server.WrapWAL — the exact production wrapper)
+//	between the writers and the engine: every write batch is logged,
+//	and per -fsync fsynced, BEFORE it is applied, so the writer
+//	numbers measure the durability tax on the ingest path
+//
+// -fsync batch|interval|off  (with -wal) the log's fsync policy; the
+//
+//	batch-vs-off spread is the raw fsync cost per micro-batch, and
+//	interval sits between (bounded loss window, amortised syncs)
 package main
 
 import (
@@ -64,8 +76,10 @@ import (
 	"ssrec/internal/core"
 	"ssrec/internal/dataset"
 	"ssrec/internal/model"
+	"ssrec/internal/server"
 	"ssrec/internal/shard"
 	"ssrec/internal/shardrpc"
+	"ssrec/internal/wal"
 )
 
 // throughputConfig is the parsed flag set of the throughput mode.
@@ -82,6 +96,8 @@ type throughputConfig struct {
 	K            int
 	Session      bool
 	Scatter      string // "stream" (multiplexed, default) or "item"
+	WALDir       string // non-empty: wrap the single engine with the durable ingest WAL
+	Fsync        string // WAL fsync policy: "batch", "interval" or "off"
 	JSONPath     string
 }
 
@@ -212,6 +228,13 @@ type ThroughputResult struct {
 	WriterLockAcquires  int     `json:"writer_lock_acquires,omitempty"`
 	WriterObservePath   string  `json:"writer_observe_path,omitempty"` // "observe" (v1) or "observe_batch" (v2)
 	WriterMeanBatchSize float64 `json:"writer_mean_batch_size,omitempty"`
+
+	// Durable-ingest numbers (zero without -wal).
+	WALDir     string `json:"wal_dir,omitempty"`
+	WALFsync   string `json:"wal_fsync,omitempty"`
+	WALAppends uint64 `json:"wal_appends,omitempty"`
+	WALSyncs   uint64 `json:"wal_syncs,omitempty"`
+	WALBytes   int64  `json:"wal_bytes,omitempty"`
 }
 
 func runThroughput(tc throughputConfig) {
@@ -292,6 +315,34 @@ func runThroughput(tc throughputConfig) {
 	// read-locked path (registration is the write-lock upgrade).
 	for _, v := range queries {
 		backend.RegisterItem(v)
+	}
+
+	// -wal: interpose the durable ingest log — through server.WrapWAL, the
+	// exact production wrapper — AFTER the boot-state setup (training and
+	// registrations), anchored by a checkpoint the way a daemon anchors
+	// its boot, so the log captures only the measured writes.
+	var walLog *wal.Log
+	if tc.WALDir != "" {
+		if transport != "" || shards > 1 {
+			fmt.Fprintln(os.Stderr, "throughput: -wal measures the single-engine ingest path; sharded durability lives in ssrec-shardd -wal-dir")
+			os.Exit(1)
+		}
+		policy, err := wal.ParsePolicy(tc.Fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "throughput: -fsync: %v\n", err)
+			os.Exit(1)
+		}
+		walLog, err = wal.Open(wal.Options{Dir: tc.WALDir, Policy: policy, SyncInterval: 100 * time.Millisecond})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "throughput: open wal %s: %v\n", tc.WALDir, err)
+			os.Exit(1)
+		}
+		wb := server.WrapWAL(eng, walLog)
+		if err := wb.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "throughput: wal checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		backend = wb
 	}
 
 	// Writer stream: the post-training interactions, resolved to items.
@@ -479,6 +530,14 @@ func runThroughput(tc throughputConfig) {
 		}
 		fmt.Printf("ingest:     %d interactions, %d writers, batch=%d (%s): %.0f interactions/sec, %d lock acquisitions\n",
 			res.WriterItems, res.Writers, res.Batch, res.WriterObservePath, res.WriterItemsPerSec, res.WriterLockAcquires)
+	}
+	if walLog != nil {
+		st := walLog.Stats()
+		res.WALDir, res.WALFsync = st.Dir, string(st.Policy)
+		res.WALAppends, res.WALSyncs, res.WALBytes = st.Appends, st.Syncs, st.Bytes
+		fmt.Printf("wal:        %s fsync=%s: %d appends, %d syncs, %d bytes\n",
+			res.WALDir, res.WALFsync, res.WALAppends, res.WALSyncs, res.WALBytes)
+		walLog.Close() //nolint:errcheck // report already captured
 	}
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)

@@ -65,6 +65,7 @@ import (
 	"ssrec/internal/server"
 	"ssrec/internal/shard"
 	"ssrec/internal/shardrpc"
+	"ssrec/internal/wal"
 )
 
 func main() {
@@ -89,7 +90,12 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout (/v2/session clears it per stream)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window after SIGINT/SIGTERM")
 
-		authToken     = flag.String("auth-token", "", "shared bearer token: required on every /v2/* call (including /v2/session) AND presented to -shard-addrs shardds (pair with ssrec-shardd -auth-token)")
+		walDir        = flag.String("wal-dir", "", "durable ingest WAL directory for the single-engine server: every admitted write is logged before it is applied, and on boot the latest checkpoint plus the log tail are recovered (taking precedence over -model/-demo; incompatible with -shards/-shard-addrs — give each shardd its own -wal-dir instead)")
+		walFsync      = flag.String("wal-fsync", "batch", "WAL fsync policy: batch (sync before every ack), interval (background ticker), off (OS page cache only)")
+		walSyncEvery  = flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync cadence of -wal-fsync=interval")
+		walCheckpoint = flag.Duration("wal-checkpoint", time.Minute, "periodic checkpoint cadence: snapshot the engine into the WAL and compact the covered segments (0 disables)")
+
+		authToken     = flag.String("auth-token", "", "shared bearer token: required on every /v1/* and /v2/* call (including /v2/session) AND presented to -shard-addrs shardds (pair with ssrec-shardd -auth-token)")
 		maxSessions   = flag.Int("max-sessions", 64, "cap on concurrent /v2/session streams (excess rejected 503 + Retry-After; <= 0 disables)")
 		sessionCredit = flag.Int("session-credit", server.DefaultSessionCredit, "per-session flow-control window (command lines in flight before the client must wait for credit)")
 		sessionRate   = flag.Float64("session-rate", 0, "per-session rate limit in command lines/sec (token bucket; 0 = unpaced)")
@@ -112,11 +118,60 @@ func main() {
 	// round-trip).
 	remote := shardrpc.SplitAddrs(*shardAddrs)
 	sharded := *shards > 1 || len(remote) > 0
+	if *walDir != "" && sharded {
+		log.Fatal("-wal-dir applies to the single-engine server only; make a sharded deployment durable per shard with ssrec-shardd -wal-dir")
+	}
 	var (
 		eng      *core.Engine
 		snapshot []byte
+		walLog   *wal.Log
 	)
+	walRecovered := false
+	if *walDir != "" {
+		policy, err := wal.ParsePolicy(*walFsync)
+		if err != nil {
+			log.Fatalf("-wal-fsync: %v", err)
+		}
+		walLog, err = wal.Open(wal.Options{Dir: *walDir, Policy: policy, SyncInterval: *walSyncEvery})
+		if err != nil {
+			log.Fatalf("open wal %s: %v", *walDir, err)
+		}
+		defer walLog.Close() //nolint:errcheck // final checkpoint below is the durability point
+		ckpt, seq, ok, err := walLog.LatestCheckpoint()
+		switch {
+		case err != nil:
+			log.Fatalf("wal checkpoint: %v", err)
+		case ok:
+			eng, err = core.LoadFrom(ckpt)
+			ckpt.Close() //nolint:errcheck // read-only
+			if err != nil {
+				log.Fatalf("boot engine from wal checkpoint: %v", err)
+			}
+			replayed := 0
+			if err := walLog.Replay(seq+1, func(rec wal.Record) error {
+				replayed++
+				return wal.Apply(context.Background(), rec, eng)
+			}); err != nil {
+				log.Fatalf("replay wal tail: %v", err)
+			}
+			walRecovered = true
+			log.Printf("engine recovered from wal %s: checkpoint seq %d + %d replayed record(s), fsync=%s (%d users)",
+				*walDir, seq, replayed, policy, eng.Users())
+			if *model != "" || *demo {
+				log.Printf("-model/-demo ignored: the wal already holds the serving state")
+			}
+		case walLog.Stats().LastSeq > 0:
+			// Records without a checkpoint describe deltas over a base state
+			// this process does not have — refusing beats replaying onto the
+			// wrong engine.
+			log.Fatalf("wal %s holds records but no checkpoint; recover the directory or point -wal-dir elsewhere", *walDir)
+		default:
+			log.Printf("wal %s empty: logging writes from first boot, fsync=%s", *walDir, policy)
+		}
+	}
 	switch {
+	case walRecovered:
+		// Serving state came from the WAL above.
 	case *model != "":
 		data, err := os.ReadFile(*model)
 		if err != nil {
@@ -227,6 +282,19 @@ func main() {
 		backend = core.WrapSafe(eng)
 	}
 
+	var walBackend *server.WALBackend
+	if walLog != nil {
+		// Durable single-engine serving: writes append to the log before
+		// they apply, so an acked write is recoverable.
+		walBackend = server.WrapWAL(eng, walLog)
+		backend = walBackend
+		if err := walBackend.Checkpoint(); err != nil {
+			// Anchor the boot state: a crash before the first periodic
+			// checkpoint must still recover to it.
+			log.Fatalf("initial wal checkpoint: %v", err)
+		}
+	}
+
 	srv := server.NewBackend(backend)
 	srv.MaxK = *maxK
 	srv.MaxBatch = *maxBatch
@@ -237,8 +305,28 @@ func main() {
 	srv.SessionRate = *sessionRate
 	srv.SessionBurst = *sessionBurst
 	srv.SessionLinger = *sessionLinger
+	srv.WAL = walLog
 	if *authToken != "" {
-		log.Printf("bearer auth enabled on /v2/* (v1 and /healthz stay open)")
+		log.Printf("bearer auth enabled on /v1/* and /v2/* (only /healthz stays open)")
+	}
+
+	var checkpointStop chan struct{}
+	if walBackend != nil && *walCheckpoint > 0 {
+		checkpointStop = make(chan struct{})
+		go func() {
+			t := time.NewTicker(*walCheckpoint)
+			defer t.Stop()
+			for {
+				select {
+				case <-checkpointStop:
+					return
+				case <-t.C:
+					if err := walBackend.Checkpoint(); err != nil {
+						log.Printf("wal checkpoint: %v", err)
+					}
+				}
+			}
+		}()
 	}
 	// Serve HTTP/1.1 AND unencrypted HTTP/2 (h2c with prior knowledge):
 	// the /v2/session full-duplex exchange needs h2c — request and
@@ -279,6 +367,16 @@ func main() {
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("serve: %v", err)
+		}
+		if checkpointStop != nil {
+			close(checkpointStop)
+		}
+		if walBackend != nil {
+			// Compact the log so the next boot recovers from one snapshot;
+			// failure is not fatal — the un-compacted log replays exactly.
+			if err := walBackend.Checkpoint(); err != nil {
+				log.Printf("final wal checkpoint: %v", err)
+			}
 		}
 		log.Printf("server stopped")
 	}

@@ -18,6 +18,17 @@
 // with a fresh snapshot before the router re-includes it. See
 // OPERATIONS.md for the runbook and deployment topologies.
 //
+// With -wal-dir the shardd is additionally durable on its own: every
+// admitted write batch is appended (and per -wal-fsync, fsynced) to a
+// segmented write-ahead log BEFORE it is applied, periodic checkpoints
+// compact the log, and a restarted shardd recovers its exact pre-crash
+// state from the latest checkpoint plus the log tail — no snapshot
+// handoff needed:
+//
+//	ssrec-shardd -addr :9101 -index 0 -of 2 -model engine.bin -wal-dir /var/lib/ssrec/shard0
+//	# ...crash, restart:
+//	ssrec-shardd -addr :9101 -index 0 -of 2 -wal-dir /var/lib/ssrec/shard0   # recovers itself
+//
 // Probe it:
 //
 //	curl -s localhost:9101/shard/v1/livez   # liveness: 200 while the process is up
@@ -43,6 +54,7 @@ import (
 
 	"ssrec/internal/core"
 	"ssrec/internal/shardrpc"
+	"ssrec/internal/wal"
 )
 
 func main() {
@@ -55,6 +67,11 @@ func main() {
 		partitions = flag.Int("partitions", 0, "intra-query search partitions; > 0 overrides the snapshot's setting and applies to handoff boots")
 		boundFlush = flag.Duration("bound-flush", shardrpc.DefaultBoundFlush, "sampling interval of the bound-raise stream on the recommend exchange")
 		authToken  = flag.String("auth-token", "", "shared bearer token: every endpoint (health included) answers 401 without \"Authorization: Bearer <token>\"; pair with ssrec-server -auth-token / ssrec.WithAuthToken")
+
+		walDir        = flag.String("wal-dir", "", "durable ingest WAL directory: every admitted write batch is logged before it is applied, and on boot the latest checkpoint plus the log tail are recovered (taking precedence over -model)")
+		walFsync      = flag.String("wal-fsync", "batch", "WAL fsync policy: batch (sync before every ack), interval (background ticker), off (OS page cache only)")
+		walSyncEvery  = flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync cadence of -wal-fsync=interval")
+		walCheckpoint = flag.Duration("wal-checkpoint", time.Minute, "periodic checkpoint cadence: snapshot the engine into the WAL and compact the covered segments (0 disables)")
 
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window after SIGINT/SIGTERM")
 	)
@@ -71,7 +88,36 @@ func main() {
 		log.Printf("bearer auth enabled on every endpoint")
 	}
 
-	if *model != "" {
+	recovered := false
+	if *walDir != "" {
+		policy, err := wal.ParsePolicy(*walFsync)
+		if err != nil {
+			log.Fatalf("-wal-fsync: %v", err)
+		}
+		walLog, err := wal.Open(wal.Options{Dir: *walDir, Policy: policy, SyncInterval: *walSyncEvery})
+		if err != nil {
+			log.Fatalf("open wal %s: %v", *walDir, err)
+		}
+		defer walLog.Close() //nolint:errcheck // final checkpoint below is the durability point
+		srv.WAL = walLog
+		var replayed int
+		recovered, replayed, err = srv.BootFromWAL(context.Background())
+		if err != nil {
+			log.Fatalf("recover from wal %s: %v", *walDir, err)
+		}
+		if recovered {
+			st := walLog.Stats()
+			log.Printf("shard %d/%d recovered from wal %s: checkpoint seq %d + %d replayed record(s), fsync=%s",
+				*index, *of, *walDir, st.CheckpointSeq, replayed, policy)
+			if *model != "" {
+				log.Printf("-model %s ignored: the wal already holds this shard's state", *model)
+			}
+		} else {
+			log.Printf("wal %s empty: logging writes from first boot, fsync=%s", *walDir, policy)
+		}
+	}
+
+	if *model != "" && !recovered {
 		f, err := os.Open(*model)
 		if err != nil {
 			log.Fatalf("open model: %v", err)
@@ -86,8 +132,34 @@ func main() {
 			log.Printf("shard %d/%d booted from %s: %d/%d owned users, %d leaves",
 				*index, *of, *model, ist.OwnedUsers, eng.Users(), ist.TotalLeafCount)
 		}
-	} else {
+		if srv.WAL != nil {
+			// Anchor the fresh boot in the log so a crash before the first
+			// periodic checkpoint still recovers to this state.
+			if err := srv.CheckpointWAL(); err != nil {
+				log.Fatalf("initial wal checkpoint: %v", err)
+			}
+		}
+	} else if !recovered {
 		log.Printf("shard %d/%d blank: awaiting snapshot handoff on POST /shard/v1/snapshot", *index, *of)
+	}
+
+	var checkpointStop chan struct{}
+	if srv.WAL != nil && *walCheckpoint > 0 {
+		checkpointStop = make(chan struct{})
+		go func() {
+			t := time.NewTicker(*walCheckpoint)
+			defer t.Stop()
+			for {
+				select {
+				case <-checkpointStop:
+					return
+				case <-t.C:
+					if err := srv.CheckpointWAL(); err != nil {
+						log.Printf("wal checkpoint: %v", err)
+					}
+				}
+			}
+		}()
 	}
 
 	httpSrv := srv.NewHTTPServer(*addr)
@@ -111,6 +183,17 @@ func main() {
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("serve: %v", err)
+		}
+		if checkpointStop != nil {
+			close(checkpointStop)
+		}
+		if srv.WAL != nil {
+			// A final checkpoint compacts the log so the next boot recovers
+			// from one snapshot instead of a long replay; failure is not
+			// fatal — the un-compacted log still replays exactly.
+			if err := srv.CheckpointWAL(); err != nil {
+				log.Printf("final wal checkpoint: %v", err)
+			}
 		}
 		log.Printf("shard stopped")
 	}

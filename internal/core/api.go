@@ -242,6 +242,23 @@ func (e *Engine) RegisterItemBatch(items []model.Item) bool {
 	return changed
 }
 
+// NeedsRegistration reports whether RegisterItemBatch(items) would
+// advance the replicated dictionaries — i.e. whether any item is
+// previously unseen. Read-locked and mutation-free: the durable-ingest
+// backend uses it to decide whether a query batch's registration
+// prologue must be logged before it is applied, so a warm batch costs
+// no log record.
+func (e *Engine) NeedsRegistration(items []model.Item) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, v := range items {
+		if _, known := e.itemZ[v.ID]; !known {
+			return true
+		}
+	}
+	return false
+}
+
 // Observation is one user-item interaction prepared for batched ingestion.
 type Observation struct {
 	UserID    string

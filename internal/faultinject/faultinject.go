@@ -305,6 +305,32 @@ func (n *Node) Handoff(ctx context.Context, snapshot []byte) error {
 	return nil
 }
 
+// Replay implements shard.Replayer — the POST /shard/v1/replay delta
+// catch-up path. The fault plane applies; a blank node refuses (it has
+// no state to catch up, steering the supervisor to the snapshot path,
+// like a shardd's 503). Success mints a fresh epoch, mirroring the
+// shardd handler's proof-of-reseed.
+func (n *Node) Replay(ctx context.Context, batches []shard.ReplayBatch) error {
+	if err := n.fault("replay"); err != nil {
+		return err
+	}
+	l, err := n.serving("replay")
+	if err != nil {
+		return err
+	}
+	if !l.Engine().Trained() {
+		return fmt.Errorf("faultinject: node %s not trained; needs a snapshot, not a delta: %w", n.name, shard.ErrShardUnavailable)
+	}
+	if err := l.Replay(ctx, batches); err != nil {
+		return err
+	}
+	b := n.boot.Load()
+	if b != nil {
+		n.boot.Store(&bootState{local: b.local, epoch: fmt.Sprintf("fi-%s-%d", n.name, n.seq.Add(1))})
+	}
+	return nil
+}
+
 // Snapshot implements shard.SnapshotProvider — the GET /shard/v1/snapshot
 // export the supervisor reseeds from.
 func (n *Node) Snapshot(ctx context.Context) ([]byte, error) {
@@ -323,4 +349,5 @@ var (
 	_ shard.Pinger           = (*Node)(nil)
 	_ shard.SnapshotReceiver = (*Node)(nil)
 	_ shard.SnapshotProvider = (*Node)(nil)
+	_ shard.Replayer         = (*Node)(nil)
 )

@@ -85,15 +85,16 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 	})
 }
 
-// requireAuth gates the v2 surface behind a shared bearer token when
-// Server.AuthToken is set: every /v2/* route (including the /v2/session
-// stream) answers 401 without "Authorization: Bearer <token>". The
-// deprecated v1 surface and /healthz stay open — v1 predates the auth
-// story and is documented as trusted-network only; liveness probes must
-// not need credentials. Comparison is constant-time.
+// requireAuth gates the whole API surface behind a shared bearer token
+// when Server.AuthToken is set: every /v2/* route (including the
+// /v2/session stream) AND every deprecated /v1/* route answers 401
+// without "Authorization: Bearer <token>" — a token-protected deployment
+// must not leave its legacy write paths open. Only /healthz stays
+// unauthenticated; liveness probes must not need credentials. Comparison
+// is constant-time.
 func (s *Server) requireAuth(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.AuthToken != "" && strings.HasPrefix(r.URL.Path, "/v2/") {
+		if s.AuthToken != "" && (strings.HasPrefix(r.URL.Path, "/v2/") || strings.HasPrefix(r.URL.Path, "/v1/")) {
 			tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
 			if !ok || subtle.ConstantTimeCompare([]byte(tok), []byte(s.AuthToken)) != 1 {
 				w.Header().Set("WWW-Authenticate", `Bearer realm="ssrec"`)

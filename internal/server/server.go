@@ -37,6 +37,7 @@ import (
 	"ssrec/internal/core"
 	"ssrec/internal/model"
 	"ssrec/internal/shard"
+	"ssrec/internal/wal"
 )
 
 // Backend is the engine surface the server serves. Two implementations
@@ -127,10 +128,15 @@ type Server struct {
 	SessionLinger time.Duration
 
 	// AuthToken, when non-empty, requires "Authorization: Bearer <token>"
-	// on every /v2/* route (including /v2/session); mismatches answer
-	// 401. The deprecated v1 surface and /healthz stay open. Set before
-	// serving; not synchronised.
+	// on every /v2/* route (including /v2/session) AND every deprecated
+	// /v1/* route; mismatches answer 401. Only /healthz stays open. Set
+	// before serving; not synchronised.
 	AuthToken string
+
+	// WAL, when non-nil, is the durable ingest log whose state /v2/stats
+	// reports (the single-engine deployment's log installed via WrapWAL;
+	// sharded deployments report per-shard logs from shard stats instead).
+	WAL *wal.Log
 
 	// inflightObserve counts running /v2/observe streams;
 	// inflightSessions counts open /v2/session streams.

@@ -503,15 +503,16 @@ func TestSessionRateLimit(t *testing.T) {
 }
 
 // TestV2Auth: with -auth-token set, every /v2 route (session included)
-// requires the bearer token; v1 and /healthz stay open.
+// AND every deprecated /v1 route requires the bearer token; only
+// /healthz stays open.
 func TestV2Auth(t *testing.T) {
 	s, ds, addr := sessionTestServer(t)
 	const token = "hunter2-but-longer"
 	s.AuthToken = token
 	h := s.Handler()
 
-	// Tokenless v2 → 401 with a challenge.
-	for _, path := range []string{"/v2/stats"} {
+	// Tokenless v2 and v1 → 401 with a challenge.
+	for _, path := range []string{"/v2/stats", "/v1/stats"} {
 		rr := get(t, h, path)
 		if rr.Code != http.StatusUnauthorized {
 			t.Fatalf("GET %s without token = %d, want 401", path, rr.Code)
@@ -558,10 +559,22 @@ func TestV2Auth(t *testing.T) {
 		t.Fatalf("authed close: %v", err)
 	}
 
-	// v1 and health remain open (documented trusted-network surface).
-	if rr := get(t, h, "/v1/stats"); rr.Code != http.StatusOK {
-		t.Fatalf("tokenless /v1/stats = %d, want 200", rr.Code)
+	// The deprecated v1 surface is guarded too: a token-protected
+	// deployment must not leave its legacy write paths open.
+	if rr := get(t, h, "/v1/stats"); rr.Code != http.StatusUnauthorized {
+		t.Fatalf("tokenless /v1/stats = %d, want 401", rr.Code)
 	}
+	rr = post(t, h, "/v1/items", map[string]any{"item": itemBody(ds.Items[0])})
+	if rr.Code != http.StatusUnauthorized {
+		t.Fatalf("tokenless POST /v1/items = %d, want 401", rr.Code)
+	}
+	req, _ = http.NewRequest(http.MethodGet, "/v1/stats", nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	if rw = newRecorder(t, h, req); rw.Code != http.StatusOK {
+		t.Fatalf("authed /v1/stats = %d, want 200", rw.Code)
+	}
+
+	// Only the liveness probe stays open.
 	if rr := get(t, h, "/healthz"); rr.Code != http.StatusOK {
 		t.Fatalf("tokenless /healthz = %d, want 200", rr.Code)
 	}

@@ -28,10 +28,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"ssrec/internal/core"
 	"ssrec/internal/model"
 	"ssrec/internal/shard"
+	"ssrec/internal/wal"
 )
 
 // errorJSON is the structured per-item / per-line error object.
@@ -335,6 +337,11 @@ type statsV2Response struct {
 	Supervisor  *supervisorJSON       `json:"supervisor,omitempty"`
 	Sessions    sessionStatsJSON      `json:"sessions"`
 	Requests    map[string]RouteStats `json:"requests"`
+
+	// WAL reports the durable ingest log of a single-engine deployment
+	// (Server.WAL); sharded deployments carry per-shard logs inside Shards
+	// instead.
+	WAL *walJSON `json:"wal,omitempty"`
 }
 
 // sessionStatsJSON reports the /v2/session serving counters and limits.
@@ -369,24 +376,63 @@ type replicaJSON struct {
 
 // supervisorJSON reports the auto-reseed supervisor's counters.
 type supervisorJSON struct {
-	Running        bool    `json:"running"`
-	IntervalMs     float64 `json:"interval_ms"`
-	Cycles         uint64  `json:"cycles"`
-	Reseeds        uint64  `json:"reseeds"`
-	ReseedFailures uint64  `json:"reseed_failures"`
-	LastError      string  `json:"last_error,omitempty"`
+	Running             bool    `json:"running"`
+	IntervalMs          float64 `json:"interval_ms"`
+	Cycles              uint64  `json:"cycles"`
+	Reseeds             uint64  `json:"reseeds"`
+	ReseedFailures      uint64  `json:"reseed_failures"`
+	DeltaReseeds        uint64  `json:"delta_reseeds"`
+	DeltaReseedFailures uint64  `json:"delta_reseed_failures"`
+	SnapshotExports     uint64  `json:"snapshot_exports"`
+	DeltaReplayMax      int     `json:"delta_replay_max"`
+	LastError           string  `json:"last_error,omitempty"`
+}
+
+// walJSON is the wire form of a durable ingest log's state.
+type walJSON struct {
+	Dir             string  `json:"dir"`
+	Policy          string  `json:"fsync_policy"`
+	Segments        int     `json:"segments"`
+	Bytes           int64   `json:"bytes"`
+	LastSeq         uint64  `json:"last_seq"`
+	CheckpointSeq   uint64  `json:"checkpoint_seq"`
+	HasCheckpoint   bool    `json:"has_checkpoint"`
+	CheckpointAgeMs float64 `json:"checkpoint_age_ms"`
+	Appends         uint64  `json:"appends"`
+	Syncs           uint64  `json:"syncs"`
+	Checkpoints     uint64  `json:"checkpoints"`
+}
+
+func toWALJSON(st *wal.Stats) *walJSON {
+	if st == nil {
+		return nil
+	}
+	return &walJSON{
+		Dir:             st.Dir,
+		Policy:          string(st.Policy),
+		Segments:        st.Segments,
+		Bytes:           st.Bytes,
+		LastSeq:         st.LastSeq,
+		CheckpointSeq:   st.CheckpointSeq,
+		HasCheckpoint:   st.HasCheckpoint,
+		CheckpointAgeMs: float64(st.CheckpointAge) / float64(time.Millisecond),
+		Appends:         st.Appends,
+		Syncs:           st.Syncs,
+		Checkpoints:     st.Checkpoints,
+	}
 }
 
 // shardStatsJSON is the wire form of one shard's statistics.
 type shardStatsJSON struct {
-	Shard      int  `json:"shard"`
-	Trained    bool `json:"trained"`
-	Users      int  `json:"users"`
-	OwnedUsers int  `json:"owned_users"`
-	Leaves     int  `json:"leaves"`
-	Blocks     int  `json:"blocks"`
-	Trees      int  `json:"trees"`
-	HashKeys   int  `json:"hash_keys"`
+	Shard      int      `json:"shard"`
+	Trained    bool     `json:"trained"`
+	Users      int      `json:"users"`
+	OwnedUsers int      `json:"owned_users"`
+	Leaves     int      `json:"leaves"`
+	Blocks     int      `json:"blocks"`
+	Trees      int      `json:"trees"`
+	HashKeys   int      `json:"hash_keys"`
+	WAL        *walJSON `json:"wal,omitempty"`
 }
 
 func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
@@ -429,6 +475,7 @@ func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 				Blocks:     sh.Blocks,
 				Trees:      sh.Trees,
 				HashKeys:   sh.HashKeys,
+				WAL:        toWALJSON(sh.WAL),
 			})
 		}
 		resp.ShardCount = len(resp.Shards)
@@ -457,12 +504,16 @@ func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 			}
 			if sup, ok := rs.SupervisorStats(); ok {
 				resp.Supervisor = &supervisorJSON{
-					Running:        sup.Running,
-					IntervalMs:     float64(sup.Interval) / 1e6,
-					Cycles:         sup.Cycles,
-					Reseeds:        sup.Reseeds,
-					ReseedFailures: sup.ReseedFailures,
-					LastError:      sup.LastError,
+					Running:             sup.Running,
+					IntervalMs:          float64(sup.Interval) / 1e6,
+					Cycles:              sup.Cycles,
+					Reseeds:             sup.Reseeds,
+					ReseedFailures:      sup.ReseedFailures,
+					DeltaReseeds:        sup.DeltaReseeds,
+					DeltaReseedFailures: sup.DeltaReseedFailures,
+					SnapshotExports:     sup.SnapshotExports,
+					DeltaReplayMax:      sup.DeltaReplayMax,
+					LastError:           sup.LastError,
 				}
 			}
 		}
@@ -470,6 +521,10 @@ func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 		st := s.eng.IndexStats()
 		resp.Users, resp.Blocks, resp.Trees, resp.HashKeys = st.Users, st.Blocks, st.Trees, st.HashKeys
 		resp.Parallelism = s.eng.Parallelism()
+	}
+	if s.WAL != nil {
+		st := s.WAL.Stats()
+		resp.WAL = toWALJSON(&st)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

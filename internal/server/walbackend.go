@@ -1,0 +1,171 @@
+// walbackend.go makes the single-engine deployment durable: WrapWAL
+// interposes a write-ahead log between the HTTP handlers and the engine,
+// appending every admitted write — v2 observe micro-batches, v1 single
+// observations and item registrations — BEFORE applying it, under one
+// mutex so a checkpoint's snapshot and its sequence watermark always
+// agree (the same ordering internal/shardrpc applies per shard). A write
+// that cannot be made durable is not applied: /v2/observe reports the
+// failure on its summary line; the void v1 paths drop the write and
+// count it (AppendFailures), preferring a visible gap in the counters to
+// an ack the log cannot replay.
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"ssrec/internal/core"
+	"ssrec/internal/model"
+	"ssrec/internal/wal"
+)
+
+// WALBackend is a Backend that logs every write durably before applying
+// it to the wrapped engine.
+type WALBackend struct {
+	*core.SafeEngine
+	eng *core.Engine
+	log *wal.Log
+
+	mu             sync.Mutex // serialises append+apply against Checkpoint
+	appendFailures atomic.Uint64
+}
+
+// WrapWAL wraps an engine (and its SafeEngine serving view) with the
+// durable ingest log. The caller recovers the log into the engine BEFORE
+// wrapping (see cmd/ssrec-server): WrapWAL only covers writes from here
+// on.
+func WrapWAL(e *core.Engine, l *wal.Log) *WALBackend {
+	return &WALBackend{SafeEngine: core.WrapSafe(e), eng: e, log: l}
+}
+
+// Log exposes the underlying WAL (for stats and shutdown checkpoints).
+func (b *WALBackend) Log() *wal.Log { return b.log }
+
+// AppendFailures counts v1 void-path writes dropped because the log
+// refused the append.
+func (b *WALBackend) AppendFailures() uint64 { return b.appendFailures.Load() }
+
+// Checkpoint writes an engine snapshot into the log and compacts the
+// segments it covers. Taken under the same mutex as every append+apply,
+// so the snapshot and the checkpoint's sequence watermark agree.
+func (b *WALBackend) Checkpoint() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.log.Checkpoint(func(w io.Writer) error { return b.eng.SaveTo(w) })
+}
+
+// RecommendBatch implements Backend. Queries mutate too: the batch
+// prologue registers every unseen item, advancing the replicated
+// dictionaries, so a batch that would register anything logs the
+// registration BEFORE it applies — otherwise a crash would forget
+// registrations the live engine answered with, and recovery would
+// replay later writes against a differently-ordered dictionary. A warm
+// batch (the steady state) costs no log record; the engine's own
+// prologue then finds nothing to do.
+func (b *WALBackend) RecommendBatch(ctx context.Context, items []model.Item, opts ...core.Option) ([]core.Result, error) {
+	if len(items) > 0 && b.eng.Trained() {
+		b.mu.Lock()
+		if b.eng.NeedsRegistration(items) {
+			payload, err := wal.EncodeRegister(items)
+			if err != nil {
+				b.mu.Unlock()
+				return nil, fmt.Errorf("wal encode: %w", err)
+			}
+			if _, err := b.log.Append(wal.KindRegister, payload); err != nil {
+				b.mu.Unlock()
+				return nil, fmt.Errorf("wal append: %w", err)
+			}
+			b.eng.RegisterItemBatch(items)
+		}
+		b.mu.Unlock()
+	}
+	return b.SafeEngine.RecommendBatch(ctx, items, opts...)
+}
+
+// Recommend implements Backend for the deprecated v1 single-item query
+// under the same rule as RecommendBatch. The v1 surface cannot report
+// an append failure, so a cold item whose registration cannot be logged
+// is answered empty (and counted) rather than letting the engine
+// register state the log cannot replay.
+func (b *WALBackend) Recommend(v model.Item, k int) []model.Recommendation {
+	if b.eng.Trained() {
+		one := []model.Item{v}
+		b.mu.Lock()
+		if b.eng.NeedsRegistration(one) {
+			payload, err := wal.EncodeRegister(one)
+			if err == nil {
+				_, err = b.log.Append(wal.KindRegister, payload)
+			}
+			if err != nil {
+				b.appendFailures.Add(1)
+				b.mu.Unlock()
+				return nil
+			}
+			b.eng.RegisterItemBatch(one)
+		}
+		b.mu.Unlock()
+	}
+	return b.SafeEngine.Recommend(v, k)
+}
+
+// ObserveBatch implements Backend: durable first, then apply. An append
+// failure refuses the batch — the ack must mean "recoverable".
+func (b *WALBackend) ObserveBatch(ctx context.Context, batch []core.Observation) (core.BatchReport, error) {
+	if len(batch) == 0 {
+		return b.SafeEngine.ObserveBatch(ctx, batch)
+	}
+	payload, err := wal.EncodeObserve(batch)
+	if err != nil {
+		return core.BatchReport{}, fmt.Errorf("wal encode: %w", err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, err := b.log.Append(wal.KindObserve, payload); err != nil {
+		return core.BatchReport{}, fmt.Errorf("wal append: %w", err)
+	}
+	return b.SafeEngine.ObserveBatch(ctx, batch)
+}
+
+// Observe implements Backend for the deprecated v1 single-observation
+// path, logged as a one-element observe batch (recovery replays it
+// through ObserveBatch, which applies the same observation). The v1
+// surface cannot report an append failure, so the write is dropped and
+// counted instead of applied non-durably.
+func (b *WALBackend) Observe(ir model.Interaction, v model.Item) {
+	obs := []core.Observation{{UserID: ir.UserID, Item: v, Timestamp: ir.Timestamp}}
+	payload, err := wal.EncodeObserve(obs)
+	if err != nil {
+		b.appendFailures.Add(1)
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, err := b.log.Append(wal.KindObserve, payload); err != nil {
+		b.appendFailures.Add(1)
+		return
+	}
+	b.SafeEngine.Observe(ir, v)
+}
+
+// RegisterItem implements Backend for the deprecated v1 registration
+// path, logged as a one-element register batch under the same
+// drop-and-count rule as Observe.
+func (b *WALBackend) RegisterItem(v model.Item) {
+	payload, err := wal.EncodeRegister([]model.Item{v})
+	if err != nil {
+		b.appendFailures.Add(1)
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, err := b.log.Append(wal.KindRegister, payload); err != nil {
+		b.appendFailures.Add(1)
+		return
+	}
+	b.SafeEngine.RegisterItem(v)
+}
+
+var _ Backend = (*WALBackend)(nil)

@@ -50,6 +50,9 @@ const (
 	// explorePeriod: every Nth read tries the non-preferred replica first,
 	// keeping its EWMA fresh so a recovered replica can win back traffic.
 	explorePeriod = 16
+	// deltaTailCap bounds the in-memory ring of recent replicated write
+	// batches a stale replica can catch up from without a snapshot.
+	deltaTailCap = 256
 )
 
 // ReplicaState describes one replica (or one plain unreplicated shard)
@@ -92,6 +95,18 @@ type ReplicaSet struct {
 	// an epoch change exactly when some replica was re-seeded.
 	seedGen atomic.Uint64
 
+	// Delta catch-up bookkeeping: every non-empty write batch gets the
+	// next slot write sequence and is retained in a bounded ring;
+	// applied[j] is the highest sequence replica j has applied (0 =
+	// unknown, reset after a snapshot reseed whose exact coverage the set
+	// cannot know). A stale replica's countable debt is wseq - applied[j],
+	// and when the ring still holds that whole tail the supervisor can
+	// replay just the missed batches instead of shipping a snapshot.
+	wseq    atomic.Uint64
+	applied []atomic.Uint64
+	tailMu  sync.Mutex
+	tail    []ReplayBatch
+
 	probes *probeSchedule
 
 	failovers atomic.Uint64 // reads retried on a sibling after a failure
@@ -115,6 +130,7 @@ func NewReplicaSet(idx int, replicas ...Shard) (*ReplicaSet, error) {
 		missedWrite: make([]atomic.Bool, len(replicas)),
 		debtGen:     make([]atomic.Uint64, len(replicas)),
 		reseeding:   make([]atomic.Bool, len(replicas)),
+		applied:     make([]atomic.Uint64, len(replicas)),
 		lastEpoch:   make([]string, len(replicas)),
 		ewma:        make([]atomic.Uint64, len(replicas)),
 		probes:      newProbeSchedule(len(replicas), DefaultProbeInterval),
@@ -149,6 +165,55 @@ func (rs *ReplicaSet) clearDebtIfUnchanged(j int, gen uint64) {
 	if rs.debtGen[j].Load() == gen {
 		rs.missedWrite[j].Store(false)
 	}
+}
+
+// logWrite assigns the next slot write sequence to a batch and retains
+// it in the delta ring. Sequencing assumes the slot's write stream is
+// ordered — the same assumption the replication exactness argument
+// already rests on.
+func (rs *ReplicaSet) logWrite(items []model.Item, obs []core.Observation) uint64 {
+	rs.tailMu.Lock()
+	defer rs.tailMu.Unlock()
+	seq := rs.wseq.Add(1)
+	rs.tail = append(rs.tail, ReplayBatch{Seq: seq, Items: items, Obs: obs})
+	if len(rs.tail) > deltaTailCap {
+		rs.tail = rs.tail[len(rs.tail)-deltaTailCap:]
+	}
+	return seq
+}
+
+// noteApplied records that replica j applied sequence seq (monotone).
+func (rs *ReplicaSet) noteApplied(j int, seq uint64) {
+	for {
+		cur := rs.applied[j].Load()
+		if cur >= seq || rs.applied[j].CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// resetApplied marks replica j's applied sequence unknown — after a
+// snapshot reseed the set cannot know exactly which broadcasts the
+// snapshot covered, and a delta replay from a wrong baseline would
+// double- or under-apply batches. Tracking restarts at the replica's
+// next applied broadcast.
+func (rs *ReplicaSet) resetApplied(j int) { rs.applied[j].Store(0) }
+
+// deltaTail returns the ring entries covering (after, through], or
+// ok=false when the ring no longer holds that tail contiguously.
+func (rs *ReplicaSet) deltaTail(after, through uint64) ([]ReplayBatch, bool) {
+	rs.tailMu.Lock()
+	defer rs.tailMu.Unlock()
+	var out []ReplayBatch
+	for _, b := range rs.tail {
+		if b.Seq > after && b.Seq <= through {
+			out = append(out, b)
+		}
+	}
+	if uint64(len(out)) != through-after || len(out) == 0 || out[0].Seq != after+1 {
+		return nil, false
+	}
+	return out, true
 }
 
 func (rs *ReplicaSet) recordEpoch(j int, epoch string) {
@@ -349,6 +414,10 @@ func (rs *ReplicaSet) Stats() Stats {
 // changed=false leg proves a no-op everywhere and accrues none.
 func (rs *ReplicaSet) RegisterItems(ctx context.Context, items []model.Item) (bool, error) {
 	bctx := detach(ctx)
+	var seq uint64
+	if len(items) > 0 {
+		seq = rs.logWrite(items, nil)
+	}
 	n := len(rs.replicas)
 	errs := make([]error, n)
 	changed := make([]bool, n)
@@ -376,6 +445,9 @@ func (rs *ReplicaSet) RegisterItems(ctx context.Context, items []model.Item) (bo
 		case errs[j] == nil:
 			anySuccess = true
 			advanced = advanced || changed[j]
+			if seq != 0 {
+				rs.noteApplied(j, seq)
+			}
 		case errors.Is(errs[j], ErrShardUnavailable):
 			anyUnavail = true
 			rs.down[j].Store(true)
@@ -421,6 +493,7 @@ func (rs *ReplicaSet) ObserveBatch(ctx context.Context, batch []core.Observation
 	}
 	rs.maybeProbe()
 	bctx := detach(ctx)
+	seq := rs.logWrite(nil, batch)
 	n := len(rs.replicas)
 	reps := make([]core.BatchReport, n)
 	errs := make([]error, n)
@@ -448,6 +521,7 @@ func (rs *ReplicaSet) ObserveBatch(ctx context.Context, batch []core.Observation
 		}
 		switch {
 		case errs[j] == nil:
+			rs.noteApplied(j, seq)
 			if !base {
 				rep = reps[j]
 				base = true
@@ -553,6 +627,7 @@ func (rs *ReplicaSet) reseedReplica(ctx context.Context, j int, sr SnapshotRecei
 		rs.down[j].Store(true)
 		return err
 	}
+	rs.resetApplied(j)
 	rs.clearDebtIfUnchanged(j, gen)
 	rs.down[j].Store(false)
 	if p, ok := rs.replicas[j].(Pinger); ok {

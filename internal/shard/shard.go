@@ -47,6 +47,7 @@ import (
 	"ssrec/internal/core"
 	"ssrec/internal/model"
 	"ssrec/internal/sigtree"
+	"ssrec/internal/wal"
 )
 
 // ErrShardUnavailable marks a shard the deployment could not reach: a
@@ -77,6 +78,9 @@ type Stats struct {
 	HashKeys int
 	// Parallelism is the shard's intra-query worker count.
 	Parallelism int
+	// WAL describes the shard's durable ingest log; nil when the shard
+	// runs without one.
+	WAL *wal.Stats
 }
 
 // Shard is one engine shard as the Router sees it. Local is the in-process
@@ -146,6 +150,26 @@ type SnapshotProvider interface {
 	Snapshot(ctx context.Context) ([]byte, error)
 }
 
+// ReplayBatch is one replicated write a stale replica missed: either an
+// item-registration batch (Items set) or an observation micro-batch (Obs
+// set), tagged with the replica set's write sequence. Batches replay in
+// sequence order, reproducing exactly the broadcast the replica skipped.
+type ReplayBatch struct {
+	Seq   uint64
+	Items []model.Item
+	Obs   []core.Observation
+}
+
+// Replayer is the optional delta catch-up extension of a Shard: the
+// cheap alternative to a full snapshot Handoff when a stale replica's
+// missed-write debt is small. Replay applies the missed batches in
+// order; implementations that track a boot epoch mint a fresh one on
+// success, so the fail-closed probe rules see the same proof-of-reseed
+// signal a snapshot handoff produces.
+type Replayer interface {
+	Replay(ctx context.Context, batches []ReplayBatch) error
+}
+
 // Local is the in-process Shard: a thin adapter over one core.Engine whose
 // Config carries the matching ShardIndex/ShardCount.
 type Local struct {
@@ -182,6 +206,24 @@ func (l *Local) ObserveBatch(ctx context.Context, batch []core.Observation) (cor
 // Recommend implements Shard.
 func (l *Local) Recommend(ctx context.Context, v model.Item, o core.QueryOptions, b *sigtree.Bound) (core.Result, error) {
 	return l.eng.RecommendBound(ctx, v, o, b)
+}
+
+// Replay implements Replayer: missed batches apply directly to the
+// wrapped engine in sequence order.
+func (l *Local) Replay(ctx context.Context, batches []ReplayBatch) error {
+	for _, b := range batches {
+		if len(b.Items) > 0 {
+			if _, err := l.RegisterItems(ctx, b.Items); err != nil {
+				return err
+			}
+		}
+		if len(b.Obs) > 0 {
+			if _, err := l.eng.ObserveBatch(ctx, b.Obs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Snapshot implements SnapshotProvider: the wrapped engine's full state as

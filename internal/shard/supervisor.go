@@ -2,11 +2,17 @@
 // the manual OPERATIONS.md re-seed runbook into machinery. Each sweep it
 // finds replicas that cannot rejoin on their own — blank (restarted,
 // awaiting a snapshot) or stale (excluded with missed-write debt, which
-// the fail-closed probe rules refuse to re-include) — exports ONE fresh
-// snapshot from any healthy replica of any slot (a shard snapshot carries
-// the full replicated state, so every slot boots from the same bytes) and
-// hands it to each needy replica under the generation guard. A final
-// Router.Probe lets recovered slots rejoin the scatter set.
+// the fail-closed probe rules refuse to re-include) — and heals them by
+// the cheapest safe mode. A stale replica that provably kept its state
+// (unchanged boot epoch) and whose countable debt is small is healed by
+// DELTA REPLAY: just the missed write batches stream to it from the
+// set's in-memory tail ring. Everything else gets a snapshot: the sweep
+// exports ONE from any healthy replica of any slot (a shard snapshot
+// carries the full replicated state, so every slot boots from the same
+// bytes) and hands it to each needy replica under the generation guard —
+// and skips the export entirely when delta replay healed every needy
+// replica. A final Router.Probe lets recovered slots rejoin the scatter
+// set.
 package shard
 
 import (
@@ -23,6 +29,11 @@ const DefaultSupervisorInterval = 5 * time.Second
 // supervisorOpTimeout bounds one snapshot export or handoff.
 const supervisorOpTimeout = 30 * time.Second
 
+// DefaultDeltaReplayMax is the largest missed-write debt (in batches)
+// the supervisor heals by delta replay; beyond it a snapshot handoff is
+// assumed cheaper than replaying the tail.
+const DefaultDeltaReplayMax = 64
+
 // SupervisorStats snapshots the supervisor's counters for /v2/stats.
 type SupervisorStats struct {
 	// Running reports whether the sweep loop is active.
@@ -36,6 +47,17 @@ type SupervisorStats struct {
 	// ReseedFailures counts snapshot exports or handoffs that failed
 	// (retried on the next sweep).
 	ReseedFailures uint64
+	// DeltaReseeds counts replicas healed by replaying just their missed
+	// batches over the replay RPC instead of a snapshot handoff.
+	DeltaReseeds uint64
+	// DeltaReseedFailures counts delta replays that failed (the replica
+	// falls back to the snapshot path the same sweep).
+	DeltaReseedFailures uint64
+	// SnapshotExports counts sweeps that sourced a snapshot — the
+	// expensive step delta replay exists to avoid.
+	SnapshotExports uint64
+	// DeltaReplayMax is the debt threshold for delta reseeds.
+	DeltaReplayMax int
 	// LastError is the most recent failure, "" when the last sweep was
 	// clean.
 	LastError string
@@ -46,10 +68,14 @@ type Supervisor struct {
 	r        *Router
 	interval time.Duration
 
-	cycles   atomic.Uint64
-	reseeds  atomic.Uint64
-	failures atomic.Uint64
-	lastErr  atomic.Value // string
+	cycles        atomic.Uint64
+	reseeds       atomic.Uint64
+	failures      atomic.Uint64
+	deltaReseeds  atomic.Uint64
+	deltaFailures atomic.Uint64
+	exports       atomic.Uint64
+	deltaMax      atomic.Int64
+	lastErr       atomic.Value // string
 
 	running atomic.Bool
 	stop    chan struct{}
@@ -80,9 +106,14 @@ func NewSupervisor(r *Router, interval time.Duration) *Supervisor {
 		done:     make(chan struct{}),
 	}
 	s.lastErr.Store("")
+	s.deltaMax.Store(DefaultDeltaReplayMax)
 	r.supervisor.Store(s)
 	return s
 }
+
+// SetDeltaReplayMax adjusts the largest missed-write debt healed by
+// delta replay (n <= 0 disables delta reseeds).
+func (s *Supervisor) SetDeltaReplayMax(n int) { s.deltaMax.Store(int64(n)) }
 
 // Stop halts the sweep loop (idempotent; a no-op for a never-started
 // supervisor once run exits).
@@ -113,12 +144,16 @@ func (s *Supervisor) run() {
 // Stats snapshots the supervisor counters.
 func (s *Supervisor) Stats() SupervisorStats {
 	return SupervisorStats{
-		Running:        s.running.Load(),
-		Interval:       s.interval,
-		Cycles:         s.cycles.Load(),
-		Reseeds:        s.reseeds.Load(),
-		ReseedFailures: s.failures.Load(),
-		LastError:      s.lastErr.Load().(string),
+		Running:             s.running.Load(),
+		Interval:            s.interval,
+		Cycles:              s.cycles.Load(),
+		Reseeds:             s.reseeds.Load(),
+		ReseedFailures:      s.failures.Load(),
+		DeltaReseeds:        s.deltaReseeds.Load(),
+		DeltaReseedFailures: s.deltaFailures.Load(),
+		SnapshotExports:     s.exports.Load(),
+		DeltaReplayMax:      int(s.deltaMax.Load()),
+		LastError:           s.lastErr.Load().(string),
 	}
 }
 
@@ -172,6 +207,14 @@ func (s *Supervisor) Sweep(ctx context.Context) {
 				rs.probes.success(j)
 				continue
 			}
+			// Next cheapest: a stale replica that kept its state catches
+			// up by replaying just the batches it missed. Only when that
+			// is unsafe or fails does it join the snapshot jobs — so a
+			// sweep where every needy replica delta-heals skips the
+			// snapshot export entirely.
+			if s.tryDeltaReplay(ctx, rs, j) {
+				continue
+			}
 			jobs = append(jobs, reseedJob{rs: rs, j: j, sr: sr,
 				gen: rs.debtGen[j].Load(), routerGen: s.r.debtGen[rs.idx].Load()})
 		}
@@ -196,6 +239,7 @@ func (s *Supervisor) Sweep(ctx context.Context) {
 				clean = false
 				continue
 			}
+			job.rs.resetApplied(job.j)
 			job.rs.clearDebtIfUnchanged(job.j, job.gen)
 			job.rs.down[job.j].Store(false)
 			if p, ok := job.rs.replicas[job.j].(Pinger); ok {
@@ -224,6 +268,72 @@ func (s *Supervisor) Sweep(ctx context.Context) {
 		}
 	}
 	s.probeRouter(ctx)
+}
+
+// tryDeltaReplay heals a stale replica by replaying just the write
+// batches it missed, when that is provably safe: the replica must
+// implement Replayer, answer a Ping with the SAME boot epoch the set
+// recorded before excluding it (an unchanged epoch proves the state the
+// debt was counted against is still there — a blank or restarted
+// replica fails this and needs a snapshot), and its countable debt must
+// be within the delta threshold and still covered by the set's tail
+// ring. Success clears debt under the usual generation guards and bumps
+// the reseed generation, exactly like a snapshot handoff; failure
+// records a delta failure and falls back to the snapshot path this same
+// sweep.
+func (s *Supervisor) tryDeltaReplay(ctx context.Context, rs *ReplicaSet, j int) bool {
+	max := s.deltaMax.Load()
+	if max <= 0 || !rs.missedWrite[j].Load() {
+		return false
+	}
+	rp, canReplay := rs.replicas[j].(Replayer)
+	p, canPing := rs.replicas[j].(Pinger)
+	if !canReplay || !canPing {
+		return false
+	}
+	gen := rs.debtGen[j].Load()
+	routerGen := s.r.debtGen[rs.idx].Load()
+	epoch, err := p.Ping(ctx)
+	if err != nil || epoch == "" {
+		return false
+	}
+	if known := rs.knownEpoch(j); known == "" || epoch != known {
+		return false
+	}
+	ap, cur := rs.applied[j].Load(), rs.wseq.Load()
+	if ap == 0 || cur <= ap || cur-ap > uint64(max) {
+		return false
+	}
+	batches, ok := rs.deltaTail(ap, cur)
+	if !ok {
+		return false
+	}
+	rs.reseeding[j].Store(true)
+	if err := rp.Replay(ctx, batches); err != nil {
+		rs.reseeding[j].Store(false)
+		rs.down[j].Store(true)
+		s.deltaFailures.Add(1)
+		s.lastErr.Store(fmt.Sprintf("slot %d replica %d: delta replay: %v", rs.idx, j, err))
+		return false
+	}
+	rs.noteApplied(j, batches[len(batches)-1].Seq)
+	rs.clearDebtIfUnchanged(j, gen)
+	rs.down[j].Store(false)
+	// The replay minted a fresh boot epoch on the replica — record it so
+	// the fail-closed probe rules see the proof-of-reseed signal.
+	if epoch2, perr := p.Ping(ctx); perr == nil {
+		rs.recordEpoch(j, epoch2)
+	}
+	// Debt recorded since the capture postdates the replayed tail: the
+	// replica stays excluded and catches up again next sweep.
+	if rs.missedWrite[j].Load() {
+		rs.down[j].Store(true)
+	}
+	rs.reseeding[j].Store(false)
+	rs.seedGen.Add(1)
+	s.r.clearDebtIfUnchanged(rs.idx, routerGen)
+	s.deltaReseeds.Add(1)
+	return true
 }
 
 // probeRouter lets slots whose replicas recovered rejoin the scatter set.
@@ -260,6 +370,7 @@ func (s *Supervisor) sourceSnapshot(ctx context.Context) ([]byte, error) {
 			}
 			continue
 		}
+		s.exports.Add(1)
 		return data, nil
 	}
 	if firstErr != nil {

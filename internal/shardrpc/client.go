@@ -513,10 +513,39 @@ func DialReplicaRouterAuth(addrs []string, replicas int, token string) (*shard.R
 	return shard.NewRouter(sets...)
 }
 
+// Replay implements shard.Replayer: streams just the write batches a
+// stale shard missed (POST /shard/v1/replay) — the supervisor's cheap
+// alternative to a full snapshot handoff when the debt is small. The
+// shard applies the batches in order and mints a fresh boot epoch, so
+// the next Ping shows the proof-of-reseed the fail-closed probe rules
+// require.
+func (c *Client) Replay(ctx context.Context, batches []shard.ReplayBatch) error {
+	req := replayWire{}
+	for _, b := range batches {
+		if len(b.Items) > 0 {
+			rw := &registerWire{Items: make([]itemWire, len(b.Items))}
+			for i, it := range b.Items {
+				rw.Items[i] = toItemWire(it)
+			}
+			req.Batches = append(req.Batches, replayBatchWire{Seq: b.Seq, Register: rw})
+		}
+		if len(b.Obs) > 0 {
+			ow := &observeWire{Observations: make([]obsWire, len(b.Obs))}
+			for i, o := range b.Obs {
+				ow.Observations[i] = obsWire{UserID: o.UserID, Item: toItemWire(o.Item), Timestamp: o.Timestamp}
+			}
+			req.Batches = append(req.Batches, replayBatchWire{Seq: b.Seq, Observe: ow})
+		}
+	}
+	var resp replayRespWire
+	return c.do(ctx, "replay", pathReplay, req, &resp)
+}
+
 // Compile-time interface checks.
 var (
 	_ shard.Shard            = (*Client)(nil)
 	_ shard.Pinger           = (*Client)(nil)
 	_ shard.SnapshotReceiver = (*Client)(nil)
 	_ shard.SnapshotProvider = (*Client)(nil)
+	_ shard.Replayer         = (*Client)(nil)
 )

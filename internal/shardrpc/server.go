@@ -15,6 +15,7 @@
 //	POST /shard/v1/observe    {observations:[...]}     → BatchReport
 //	POST /shard/v1/recommend  NDJSON duplex (see below)
 //	POST /shard/v1/snapshot   raw snapshot bytes       → 204
+//	POST /shard/v1/replay     {batches:[...]}          → {applied, boot_epoch}
 //
 // # The bound-streaming recommend exchange
 //
@@ -64,10 +65,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"io"
+
 	"ssrec/internal/core"
 	"ssrec/internal/model"
 	"ssrec/internal/shard"
 	"ssrec/internal/sigtree"
+	"ssrec/internal/wal"
 )
 
 // Server is the shardd request handler: one engine shard behind the
@@ -102,6 +106,16 @@ type Server struct {
 	MaxBodyBytes int64
 	// MaxSnapshotBytes bounds snapshot handoffs (default 1 GiB).
 	MaxSnapshotBytes int64
+	// WAL, when non-nil, is the shard's durable ingest log: every admitted
+	// write batch is appended (and fsynced per the log's policy) BEFORE it
+	// is applied, so an acknowledged batch is always recoverable — a shard
+	// that cannot persist a batch refuses it with a 5xx, which the router
+	// treats as a missed write. Set before serving; not synchronised.
+	WAL *wal.Log
+	// walMu serialises the append+apply critical section of every write
+	// with CheckpointWAL, so a checkpoint's snapshot and its sequence
+	// watermark always agree (no batch can land between the two).
+	walMu sync.Mutex
 
 	mux *http.ServeMux
 }
@@ -131,6 +145,7 @@ func NewServer(idx, of int) (*Server, error) {
 	s.mux.HandleFunc("POST "+pathQueryStream, s.handleQueryStream)
 	s.mux.HandleFunc("POST "+pathSnapshot, s.handleSnapshot)
 	s.mux.HandleFunc("GET "+pathSnapshot, s.handleSnapshotExport)
+	s.mux.HandleFunc("POST "+pathReplay, s.handleReplay)
 	return s, nil
 }
 
@@ -142,16 +157,71 @@ func (s *Server) Boot(e *core.Engine) {
 	if s.Parallelism > 0 {
 		e.SetParallelism(s.Parallelism)
 	}
-	var nonce [8]byte
-	rand.Read(nonce[:]) //nolint:errcheck // crypto/rand never fails on supported platforms
 	s.boot.Store(&bootState{
 		local: shard.NewLocal(s.idx, e),
-		epoch: hex.EncodeToString(nonce[:]),
+		epoch: newEpoch(),
 	})
+}
+
+func newEpoch() string {
+	var nonce [8]byte
+	rand.Read(nonce[:]) //nolint:errcheck // crypto/rand never fails on supported platforms
+	return hex.EncodeToString(nonce[:])
+}
+
+// refreshEpoch mints a fresh boot epoch for the CURRENT engine — the
+// proof-of-state-change a delta replay must publish so the fail-closed
+// probe rules re-include the caught-up shard (and so a replay whose
+// acknowledgement was lost still shows up as "state changed" on the
+// next probe).
+func (s *Server) refreshEpoch() string {
+	b := s.boot.Load()
+	if b == nil {
+		return ""
+	}
+	nb := &bootState{local: b.local, epoch: newEpoch()}
+	s.boot.Store(nb)
+	return nb.epoch
 }
 
 // Booted reports whether an engine is installed.
 func (s *Server) Booted() bool { return s.boot.Load() != nil }
+
+// BootFromWAL recovers the shard from its attached WAL with zero manual
+// steps: load the latest snapshot checkpoint, replay the delta tail
+// (every record past the checkpoint sequence, in order), and boot.
+// recovered is false — with no error — when the WAL holds no checkpoint
+// yet (a genuinely blank shard: boot from -model or await a handoff).
+// A WAL with records but no checkpoint is refused: there is no baseline
+// to replay onto, and guessing one would silently diverge the replicas.
+func (s *Server) BootFromWAL(ctx context.Context) (recovered bool, replayed int, err error) {
+	if s.WAL == nil {
+		return false, 0, fmt.Errorf("shardrpc: no WAL attached")
+	}
+	rc, seq, ok, err := s.WAL.LatestCheckpoint()
+	if err != nil {
+		return false, 0, err
+	}
+	if !ok {
+		if st := s.WAL.Stats(); st.LastSeq > 0 {
+			return false, 0, fmt.Errorf("shardrpc: wal holds %d records but no checkpoint; no baseline to replay onto", st.LastSeq)
+		}
+		return false, 0, nil
+	}
+	defer rc.Close()
+	e, err := core.LoadShardFrom(rc, s.idx, s.of)
+	if err != nil {
+		return false, 0, fmt.Errorf("shardrpc: wal checkpoint: %w", err)
+	}
+	if err := s.WAL.Replay(seq+1, func(rec wal.Record) error {
+		replayed++
+		return wal.Apply(ctx, rec, e)
+	}); err != nil {
+		return false, replayed, err
+	}
+	s.Boot(e)
+	return true, replayed, nil
+}
 
 // Handler returns the shard RPC handler (bearer-auth wrapped when
 // AuthToken is set).
@@ -264,7 +334,24 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if l == nil {
 		return
 	}
-	s.writeJSON(w, http.StatusOK, toStatsWire(l.Stats()))
+	st := l.Stats()
+	if s.WAL != nil {
+		ws := s.WAL.Stats()
+		st.WAL = &ws
+	}
+	s.writeJSON(w, http.StatusOK, toStatsWire(st))
+}
+
+// logBatch appends one admitted batch to the WAL (no-op without one).
+// It is called with walMu held, before the batch is applied: a batch
+// that cannot be persisted is refused before it can diverge the durable
+// log from the engine.
+func (s *Server) logBatch(kind wal.Kind, payload []byte, encErr error) error {
+	if encErr != nil {
+		return encErr
+	}
+	_, err := s.WAL.Append(kind, payload)
+	return err
 }
 
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
@@ -291,8 +378,25 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	// Detached context: the batch arrived in full, so it is applied in
 	// full — a disconnecting router must not leave this shard's producer
-	// layer behind its siblings'.
-	changed, err := l.RegisterItems(context.WithoutCancel(r.Context()), items)
+	// layer behind its siblings'. With a WAL the batch is persisted FIRST
+	// (ack-after-durable): a crash between append and apply replays the
+	// record on recovery, a crash before the append loses only an
+	// unacknowledged batch the router will re-drive.
+	var changed bool
+	var err error
+	if s.WAL != nil {
+		s.walMu.Lock()
+		payload, perr := wal.EncodeRegister(items)
+		if werr := s.logBatch(wal.KindRegister, payload, perr); werr != nil {
+			s.walMu.Unlock()
+			s.httpError(w, http.StatusInternalServerError, "wal append: %v", werr)
+			return
+		}
+		changed, err = l.RegisterItems(context.WithoutCancel(r.Context()), items)
+		s.walMu.Unlock()
+	} else {
+		changed, err = l.RegisterItems(context.WithoutCancel(r.Context()), items)
+	}
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "register: %v", err)
 		return
@@ -313,8 +417,23 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	for i, o := range req.Observations {
 		batch[i] = core.Observation{UserID: o.UserID, Item: o.Item.model(), Timestamp: o.Timestamp}
 	}
-	// Detached for the same atomic-replication reason as handleRegister.
-	rep, err := l.ObserveBatch(context.WithoutCancel(r.Context()), batch)
+	// Detached for the same atomic-replication reason as handleRegister,
+	// and persisted before applied for the same ack-after-durable reason.
+	var rep core.BatchReport
+	var err error
+	if s.WAL != nil {
+		s.walMu.Lock()
+		payload, perr := wal.EncodeObserve(batch)
+		if werr := s.logBatch(wal.KindObserve, payload, perr); werr != nil {
+			s.walMu.Unlock()
+			s.httpError(w, http.StatusInternalServerError, "wal append: %v", werr)
+			return
+		}
+		rep, err = l.ObserveBatch(context.WithoutCancel(r.Context()), batch)
+		s.walMu.Unlock()
+	} else {
+		rep, err = l.ObserveBatch(context.WithoutCancel(r.Context()), batch)
+	}
 	s.writeJSON(w, http.StatusOK, observeRespWire{reportWire: toReportWire(rep), Error: encodeErr(err)})
 }
 
@@ -445,7 +564,114 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.Boot(e)
+	// A handoff rebases the engine on state the WAL's existing records do
+	// not describe: checkpoint immediately, so the log is exactly "this
+	// snapshot + every batch admitted after it" again. A shard that
+	// cannot persist the new baseline must not ack the handoff.
+	if s.WAL != nil {
+		if err := s.CheckpointWAL(); err != nil {
+			s.httpError(w, http.StatusInternalServerError, "wal checkpoint after handoff: %v", err)
+			return
+		}
+	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleReplay is the delta catch-up RPC: the supervisor streams just
+// the write batches this shard missed, in sequence order, instead of a
+// full snapshot handoff. The shard must already be booted and trained —
+// a blank shard has no state to catch up and answers 503, steering the
+// supervisor to the snapshot path. Success mints a fresh boot epoch:
+// the same proof-of-reseed signal a snapshot handoff produces.
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	l := s.serving(w)
+	if l == nil {
+		return
+	}
+	if !l.Engine().Trained() {
+		s.httpError(w, http.StatusServiceUnavailable, "shard %d/%d not trained; needs a snapshot, not a delta", s.idx, s.of)
+		return
+	}
+	var req replayWire
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ctx := context.WithoutCancel(r.Context())
+	applied := 0
+	for _, b := range req.Batches {
+		switch {
+		case b.Register != nil:
+			items := make([]model.Item, len(b.Register.Items))
+			for i, it := range b.Register.Items {
+				items[i] = it.model()
+			}
+			if err := s.applyLogged(ctx, l, wal.KindRegister, items, nil); err != nil {
+				s.httpError(w, http.StatusInternalServerError, "replay seq %d: %v", b.Seq, err)
+				return
+			}
+		case b.Observe != nil:
+			batch := make([]core.Observation, len(b.Observe.Observations))
+			for i, o := range b.Observe.Observations {
+				batch[i] = core.Observation{UserID: o.UserID, Item: o.Item.model(), Timestamp: o.Timestamp}
+			}
+			if err := s.applyLogged(ctx, l, wal.KindObserve, nil, batch); err != nil {
+				s.httpError(w, http.StatusInternalServerError, "replay seq %d: %v", b.Seq, err)
+				return
+			}
+		default:
+			s.httpError(w, http.StatusBadRequest, "replay seq %d: neither register nor observe", b.Seq)
+			return
+		}
+		applied++
+	}
+	s.writeJSON(w, http.StatusOK, replayRespWire{Applied: applied, BootEpoch: s.refreshEpoch()})
+}
+
+// applyLogged applies one replayed batch under the same durable-first
+// discipline as the live write path.
+func (s *Server) applyLogged(ctx context.Context, l *shard.Local, kind wal.Kind, items []model.Item, batch []core.Observation) error {
+	if s.WAL != nil {
+		s.walMu.Lock()
+		defer s.walMu.Unlock()
+		var payload []byte
+		var perr error
+		if kind == wal.KindRegister {
+			payload, perr = wal.EncodeRegister(items)
+		} else {
+			payload, perr = wal.EncodeObserve(batch)
+		}
+		if err := s.logBatch(kind, payload, perr); err != nil {
+			return fmt.Errorf("wal append: %w", err)
+		}
+	}
+	if kind == wal.KindRegister {
+		_, err := l.RegisterItems(ctx, items)
+		return err
+	}
+	_, err := l.ObserveBatch(ctx, batch)
+	return err
+}
+
+// CheckpointWAL writes the booted engine's snapshot into the WAL as a
+// fresh checkpoint and compacts every logged record it covers. It
+// serialises against the write path (walMu), so the snapshot and the
+// checkpoint's sequence watermark agree exactly. A no-op without a WAL,
+// before boot, while untrained, or when nothing was appended since the
+// last checkpoint.
+func (s *Server) CheckpointWAL() error {
+	if s.WAL == nil {
+		return nil
+	}
+	b := s.boot.Load()
+	if b == nil || !b.local.Engine().Trained() {
+		return nil
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if st := s.WAL.Stats(); st.HasCheckpoint && st.LastSeq == st.CheckpointSeq {
+		return nil
+	}
+	return s.WAL.Checkpoint(func(w io.Writer) error { return b.local.Engine().SaveTo(w) })
 }
 
 // handleSnapshotExport streams the booted engine's full snapshot

@@ -16,11 +16,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"ssrec/internal/core"
 	"ssrec/internal/model"
 	"ssrec/internal/shard"
 	"ssrec/internal/sigtree"
+	"ssrec/internal/wal"
 )
 
 // Endpoint paths of the shard RPC protocol (all rooted under /shard/v1).
@@ -37,6 +39,7 @@ const (
 	pathRecommend   = "/shard/v1/recommend"
 	pathQueryStream = "/shard/v1/query_stream"
 	pathSnapshot    = "/shard/v1/snapshot"
+	pathReplay      = "/shard/v1/replay"
 )
 
 // Identity headers of the snapshot handoff: the pushing router asserts
@@ -89,6 +92,29 @@ type obsWire struct {
 // atomic replication unit.
 type observeWire struct {
 	Observations []obsWire `json:"observations"`
+}
+
+// replayBatchWire is one missed write of a delta catch-up replay:
+// exactly one of Register / Observe is set, tagged with the replica
+// set's write sequence.
+type replayBatchWire struct {
+	Seq      uint64        `json:"seq"`
+	Register *registerWire `json:"register,omitempty"`
+	Observe  *observeWire  `json:"observe,omitempty"`
+}
+
+// replayWire is the body of POST /shard/v1/replay: the missed batches
+// in sequence order.
+type replayWire struct {
+	Batches []replayBatchWire `json:"batches"`
+}
+
+// replayRespWire is the replay response: how many batches applied and
+// the fresh boot epoch the shard minted, which the supervisor records
+// as the proof-of-reseed the fail-closed probe rules require.
+type replayRespWire struct {
+	Applied   int    `json:"applied"`
+	BootEpoch string `json:"boot_epoch,omitempty"`
 }
 
 // obsErrWire is one rejected batch entry of a BatchReport.
@@ -259,27 +285,84 @@ type healthWire struct {
 
 // statsWire is the wire form of shard.Stats.
 type statsWire struct {
-	Shard       int  `json:"shard"`
-	Trained     bool `json:"trained"`
-	Users       int  `json:"users"`
-	OwnedUsers  int  `json:"owned_users"`
-	Leaves      int  `json:"leaves"`
-	Blocks      int  `json:"blocks"`
-	Trees       int  `json:"trees"`
-	HashKeys    int  `json:"hash_keys"`
-	Parallelism int  `json:"parallelism"`
+	Shard       int           `json:"shard"`
+	Trained     bool          `json:"trained"`
+	Users       int           `json:"users"`
+	OwnedUsers  int           `json:"owned_users"`
+	Leaves      int           `json:"leaves"`
+	Blocks      int           `json:"blocks"`
+	Trees       int           `json:"trees"`
+	HashKeys    int           `json:"hash_keys"`
+	Parallelism int           `json:"parallelism"`
+	WAL         *walStatsWire `json:"wal,omitempty"`
+}
+
+// walStatsWire is the wire form of wal.Stats: the shard's durable
+// ingest log, absent when the shard runs without one.
+type walStatsWire struct {
+	Dir             string  `json:"dir"`
+	Policy          string  `json:"fsync_policy"`
+	Segments        int     `json:"segments"`
+	Bytes           int64   `json:"bytes"`
+	LastSeq         uint64  `json:"last_seq"`
+	CheckpointSeq   uint64  `json:"checkpoint_seq"`
+	HasCheckpoint   bool    `json:"has_checkpoint"`
+	CheckpointAgeMs float64 `json:"checkpoint_age_ms"`
+	Appends         uint64  `json:"appends"`
+	Syncs           uint64  `json:"syncs"`
+	Checkpoints     uint64  `json:"checkpoints"`
+}
+
+func toWALStatsWire(st *wal.Stats) *walStatsWire {
+	if st == nil {
+		return nil
+	}
+	return &walStatsWire{
+		Dir:             st.Dir,
+		Policy:          string(st.Policy),
+		Segments:        st.Segments,
+		Bytes:           st.Bytes,
+		LastSeq:         st.LastSeq,
+		CheckpointSeq:   st.CheckpointSeq,
+		HasCheckpoint:   st.HasCheckpoint,
+		CheckpointAgeMs: float64(st.CheckpointAge) / float64(time.Millisecond),
+		Appends:         st.Appends,
+		Syncs:           st.Syncs,
+		Checkpoints:     st.Checkpoints,
+	}
+}
+
+func (w *walStatsWire) stats() *wal.Stats {
+	if w == nil {
+		return nil
+	}
+	return &wal.Stats{
+		Dir:           w.Dir,
+		Policy:        wal.Policy(w.Policy),
+		Segments:      w.Segments,
+		Bytes:         w.Bytes,
+		LastSeq:       w.LastSeq,
+		CheckpointSeq: w.CheckpointSeq,
+		HasCheckpoint: w.HasCheckpoint,
+		CheckpointAge: time.Duration(w.CheckpointAgeMs * float64(time.Millisecond)),
+		Appends:       w.Appends,
+		Syncs:         w.Syncs,
+		Checkpoints:   w.Checkpoints,
+	}
 }
 
 func toStatsWire(st shard.Stats) statsWire {
 	return statsWire{Shard: st.Shard, Trained: st.Trained, Users: st.Users,
 		OwnedUsers: st.OwnedUsers, Leaves: st.Leaves, Blocks: st.Blocks,
-		Trees: st.Trees, HashKeys: st.HashKeys, Parallelism: st.Parallelism}
+		Trees: st.Trees, HashKeys: st.HashKeys, Parallelism: st.Parallelism,
+		WAL: toWALStatsWire(st.WAL)}
 }
 
 func (w statsWire) stats() shard.Stats {
 	return shard.Stats{Shard: w.Shard, Trained: w.Trained, Users: w.Users,
 		OwnedUsers: w.OwnedUsers, Leaves: w.Leaves, Blocks: w.Blocks,
-		Trees: w.Trees, HashKeys: w.HashKeys, Parallelism: w.Parallelism}
+		Trees: w.Trees, HashKeys: w.HashKeys, Parallelism: w.Parallelism,
+		WAL: w.WAL.stats()}
 }
 
 // ---- error transport ----
