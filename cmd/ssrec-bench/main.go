@@ -14,6 +14,12 @@
 // (optionally as JSON):
 //
 //	ssrec-bench -throughput -parallel 8 -partitions 4 -json out.json
+//
+// Refresh mode runs the index-refresh micro-benchmark family (the write
+// path the dirty-category masks optimise) and reports ns/op, B/op and
+// allocs/op per scenario:
+//
+//	ssrec-bench -refresh -json refresh.json
 package main
 
 import (
@@ -35,6 +41,7 @@ func main() {
 		fig67Data = flag.String("sweepdata", "YTube", "dataset for the fig6/fig7 sweeps (YTube or MLens)")
 
 		throughput   = flag.Bool("throughput", false, "serving-throughput mode (items/sec, P50/P99 latency)")
+		refresh      = flag.Bool("refresh", false, "index-refresh micro-benchmark mode (ns/op per refresh scenario)")
 		parallel     = flag.Int("parallel", 1, "throughput mode: concurrent Recommend workers")
 		partitions   = flag.Int("partitions", 1, "throughput mode: intra-query partitions (Config.Parallelism)")
 		shards       = flag.Int("shards", 1, "throughput mode: serve through an N-shard scatter-gather deployment")
@@ -51,6 +58,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *refresh {
+		runRefresh(*jsonOut)
+		return
+	}
 	if *throughput {
 		runThroughput(throughputConfig{
 			Scale: *scale, Seed: *seed, Parallel: *parallel, Partitions: *partitions,

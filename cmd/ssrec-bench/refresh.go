@@ -1,0 +1,209 @@
+// refresh.go is the index-refresh micro-benchmark mode of ssrec-bench: it
+// measures the write-path cost of keeping the CPPse-index consistent with
+// a mutating profile — the per-flush work the dirty-category masks cut —
+// through the same scenario family as the internal/cppse benchmarks, but
+// runnable standalone (and in CI) with a JSON artifact:
+//
+//	ssrec-bench -refresh -json refresh.json
+//
+// Scenarios:
+//
+//	cold_user        first refresh of a brand-new user (block assignment
+//	                 plus leaf inserts) — cost masks cannot avoid
+//	one_dirty_masked one observation in ONE of the user's categories,
+//	                 masked refresh (rebuild one leaf, restamp the rest)
+//	one_dirty_full   the same stream through the rebuild-everything path —
+//	                 the before/after axis of the masks
+//	window_roll      every observation rolls the short-term window, so the
+//	                 all-dirty sentinel forces full rebuilds — the masked
+//	                 path's upper bound
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"ssrec/internal/cppse"
+	"ssrec/internal/profile"
+)
+
+// refreshScenario is one measured row of the refresh family.
+type refreshScenario struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// refreshReport is the JSON artifact of -refresh.
+type refreshReport struct {
+	Bench      string            `json:"bench"`
+	Users      int               `json:"users"`
+	WindowSize int               `json:"window_size"`
+	Scenarios  []refreshScenario `json:"scenarios"`
+}
+
+// refreshFixture builds a three-cohort store (the internal/cppse test
+// fixture's shape, scaled) and an index over it.
+func refreshFixture(nPerCohort int) (*cppse.Index, *profile.Store) {
+	cats := []string{"sports", "music", "news"}
+	store := profile.NewStore(5)
+	mkEvent := func(cat string, i int) profile.Event {
+		return profile.Event{
+			Category: cat,
+			Producer: fmt.Sprintf("%s-up%d", cat, i%3),
+			Entities: []string{fmt.Sprintf("%s-e%d", cat, i%8)},
+		}
+	}
+	for c := 0; c < nPerCohort; c++ {
+		sports := store.Get(fmt.Sprintf("sports%03d", c))
+		music := store.Get(fmt.Sprintf("music%03d", c))
+		mixed := store.Get(fmt.Sprintf("mixed%03d", c))
+		for i := 0; i < 20; i++ {
+			sports.ObserveLongTerm(mkEvent("sports", i+c))
+			music.ObserveLongTerm(mkEvent("music", i+c))
+			if i%2 == 0 {
+				mixed.ObserveLongTerm(mkEvent("sports", i+c))
+			} else {
+				mixed.ObserveLongTerm(mkEvent("news", i+c))
+			}
+		}
+	}
+	bg := profile.NewBackground(nil, 10)
+	probs := cppse.MLEProbs{Store: store, NCats: len(cats)}
+	ix, err := cppse.Build(store, bg, probs, cppse.Config{Categories: cats})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "refresh: build index: %v\n", err)
+		os.Exit(1)
+	}
+	return ix, store
+}
+
+// mixedRefreshEvent cycles through the three fixture categories.
+func mixedRefreshEvent(i int) profile.Event {
+	cats := []string{"sports", "music", "news"}
+	cat := cats[i%3]
+	return profile.Event{
+		Category: cat,
+		Producer: fmt.Sprintf("%s-up%d", cat, i%3),
+		Entities: []string{fmt.Sprintf("%s-e%d", cat, i%8)},
+	}
+}
+
+// inhabitAllCats gives the target user long-term history in all three
+// fixture categories, so the one-dirty scenarios measure a user whose
+// non-dirty leaves are real (the heavy-tailed steady state masks target).
+func inhabitAllCats(p *profile.Profile) {
+	for i := 0; i < 30; i++ {
+		p.ObserveLongTerm(mixedRefreshEvent(i))
+	}
+}
+
+func runRefresh(jsonPath string) {
+	const nPerCohort = 100
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "refresh: %v\n", err)
+		os.Exit(1)
+	}
+
+	scenarios := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"cold_user", func(b *testing.B) {
+			ix, store := refreshFixture(nPerCohort)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := fmt.Sprintf("cold%06d", i)
+				p := store.Get(id)
+				for j := 0; j < 6; j++ {
+					p.ObserveLongTerm(mixedRefreshEvent(j))
+				}
+				if err := ix.UpdateUserCats(id, nil, true); err != nil {
+					fail(err)
+				}
+			}
+		}},
+		{"one_dirty_masked", func(b *testing.B) {
+			ix, store := refreshFixture(nPerCohort)
+			p, _ := store.Lookup("mixed000")
+			inhabitAllCats(p)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rolled := p.Observe(profile.Event{Category: "sports", Producer: "sports-up0",
+					Entities: []string{fmt.Sprintf("sports-e%d", i%6)}})
+				if err := ix.UpdateUserCats("mixed000", []string{"sports"}, rolled); err != nil {
+					fail(err)
+				}
+			}
+		}},
+		{"one_dirty_full", func(b *testing.B) {
+			ix, store := refreshFixture(nPerCohort)
+			p, _ := store.Lookup("mixed000")
+			inhabitAllCats(p)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Observe(profile.Event{Category: "sports", Producer: "sports-up0",
+					Entities: []string{fmt.Sprintf("sports-e%d", i%6)}})
+				if err := ix.UpdateUserCats("mixed000", nil, true); err != nil {
+					fail(err)
+				}
+			}
+		}},
+		{"window_roll", func(b *testing.B) {
+			ix, store := refreshFixture(nPerCohort)
+			p, _ := store.Lookup("mixed000")
+			inhabitAllCats(p)
+			// Fill the window so every subsequent observation rolls it.
+			for i := 0; i < p.WindowSize(); i++ {
+				p.Observe(mixedRefreshEvent(i))
+			}
+			if err := ix.UpdateUserCats("mixed000", nil, true); err != nil {
+				fail(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rolled := p.Observe(mixedRefreshEvent(i))
+				if err := ix.UpdateUserCats("mixed000", []string{"sports"}, rolled); err != nil {
+					fail(err)
+				}
+			}
+		}},
+	}
+
+	rep := refreshReport{Bench: "refresh", Users: 3 * nPerCohort, WindowSize: 5}
+	for _, sc := range scenarios {
+		r := testing.Benchmark(sc.fn)
+		row := refreshScenario{
+			Name:        sc.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		rep.Scenarios = append(rep.Scenarios, row)
+		fmt.Printf("refresh/%-17s %12.0f ns/op %8d B/op %6d allocs/op  (%d iterations)\n",
+			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.Iterations)
+	}
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	}
+}

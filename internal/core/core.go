@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 
@@ -69,6 +70,20 @@ type Config struct {
 	// DisableUpdates freezes profiles and index after Train (ssRec-nu,
 	// Fig. 9).
 	DisableUpdates bool
+	// FullRefresh disables the dirty-category-mask optimisation of index
+	// maintenance: every flush rebuilds ALL of a dirty user's leaves, as
+	// the engine did before masks existed. The masked path is provably
+	// bit-identical (the conformance suite replays both), so this is an
+	// escape hatch and the reference arm of that proof, not a tuning knob.
+	FullRefresh bool
+	// IncrementalFold makes the BiHMM-backed prediction refresh fold only
+	// NEW observations into a cached forward state instead of replaying
+	// the user's whole history per refresh (bihmm.ForwardState). Bitwise
+	// identical to the full pass — the fold replays the exact forward
+	// recurrence — with automatic fallback to a full replay whenever the
+	// cached state is not a prefix of the needed history (model swap,
+	// window-start move). Off by default.
+	IncrementalFold bool
 	// UpdateBatch batches index maintenance: profile changes are applied
 	// immediately, but the per-user index entries (Algorithm 2) refresh
 	// only every UpdateBatch observations — the paper's "periodic"
@@ -187,12 +202,29 @@ type Engine struct {
 	prodPos   map[string]int // items created per producer so far
 	index     *cppse.Index
 	predCache map[string]*predEntry
+	fwdCache  map[string]*fwdEntry // incremental forward states (IncrementalFold)
 
-	// dirty users await batched index maintenance (Config.UpdateBatch).
-	dirty      map[string]bool
-	flushIDs   []string // reusable scratch for flushUpdatesLocked
+	// dirty users await batched index maintenance (Config.UpdateBatch),
+	// each carrying the mask of categories their pending observations
+	// touched (plus the window-roll sentinel).
+	dirty      map[string]*dirtyMask
+	maskFree   []*dirtyMask // recycled masks, so steady-state marking is allocation-free
+	flushIDs   []string     // reusable scratch for flushUpdatesLocked
 	sinceFlush int
 	trained    bool
+
+	// refreshErrs counts index-refresh failures during flushes (surfaced
+	// as the refresh_errors stat; first occurrence is logged).
+	refreshErrs int64
+}
+
+// dirtyMask records which categories a user's pending observations
+// touched. all=true is the window-roll sentinel: a roll moves window
+// events into long-term state, changing counts for categories far beyond
+// this batch's, so the whole signature set must rebuild.
+type dirtyMask struct {
+	all  bool
+	cats []string
 }
 
 // predEntry caches one consumer's long/short category predictions keyed by
@@ -215,7 +247,8 @@ func New(cfg Config) *Engine {
 		itemZ:       make(map[string]int),
 		prodPos:     make(map[string]int),
 		predCache:   make(map[string]*predEntry),
-		dirty:       make(map[string]bool),
+		fwdCache:    make(map[string]*fwdEntry),
+		dirty:       make(map[string]*dirtyMask),
 	}
 	for i, c := range cfg.Categories {
 		e.catIdx[c] = i
@@ -445,14 +478,41 @@ func (e *Engine) Observe(ir model.Interaction, v model.Item) {
 func (e *Engine) observeLocked(ir model.Interaction, v model.Item) {
 	e.registerItemLocked(v)
 	p := e.store.Get(ir.UserID)
-	p.Observe(profile.EventFromItem(v, ir.Timestamp))
+	rolled := p.Observe(profile.EventFromItem(v, ir.Timestamp))
 	e.consumerObs[ir.UserID] = append(e.consumerObs[ir.UserID], e.obsFor(v))
 	delete(e.predCache, ir.UserID)
 	if e.index == nil {
 		return
 	}
-	e.dirty[ir.UserID] = true
+	e.markDirtyLocked(ir.UserID, v.Category, rolled)
 	e.sinceFlush++
+}
+
+// markDirtyLocked records that a user's pending observations touched cat;
+// rolled raises the all-categories sentinel (window events moved into
+// long-term state, invalidating every leaf's counts).
+func (e *Engine) markDirtyLocked(userID, cat string, rolled bool) {
+	d := e.dirty[userID]
+	if d == nil {
+		if n := len(e.maskFree); n > 0 {
+			d, e.maskFree = e.maskFree[n-1], e.maskFree[:n-1]
+		} else {
+			d = &dirtyMask{}
+		}
+		e.dirty[userID] = d
+	}
+	if rolled {
+		d.all = true
+	}
+	if d.all {
+		return
+	}
+	for _, c := range d.cats {
+		if c == cat {
+			return
+		}
+	}
+	d.cats = append(d.cats, cat)
 }
 
 // FlushUpdates applies all pending batched index maintenance (Algorithm 2)
@@ -473,23 +533,48 @@ func (e *Engine) flushUpdatesLocked() int {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	// Every dirty user runs UpdateUser — the routing metadata (block
+	// Every dirty user runs a refresh — the routing metadata (block
 	// assignment, universes, hash) must advance on every shard — but only
 	// owned users count as refreshed: they are the ones whose signatures
 	// were recomputed, and summing the count across shards must equal the
-	// single-engine figure.
+	// single-engine figure. The dirty-category mask narrows the expensive
+	// leaf rebuilds to the categories this flush actually touched;
+	// Config.FullRefresh restores the rebuild-everything reference path.
 	n := 0
 	for _, id := range ids {
-		_ = e.index.UpdateUser(id)
-		if e.cfg.ownsUser(id) {
+		d := e.dirty[id]
+		var err error
+		if e.cfg.FullRefresh {
+			err = e.index.UpdateUser(id)
+		} else {
+			err = e.index.UpdateUserCats(id, d.cats, d.all)
+		}
+		if err != nil {
+			e.refreshErrs++
+			if e.refreshErrs == 1 {
+				log.Printf("core: index refresh failed for user %q: %v (further failures counted in refresh_errors)", id, err)
+			}
+		} else if e.cfg.ownsUser(id) {
 			n++
 		}
+		d.all, d.cats = false, d.cats[:0]
+		e.maskFree = append(e.maskFree, d)
 	}
 	clear(e.dirty)
 	clear(ids)
 	e.flushIDs = ids[:0]
 	e.sinceFlush = 0
 	return n
+}
+
+// RefreshErrors reports how many index refreshes have failed during
+// flushes since the engine was created (concurrency-safe). A non-zero
+// value means some user's index entries may lag their profile — surfaced
+// as refresh_errors in /v2/stats.
+func (e *Engine) RefreshErrors() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.refreshErrs
 }
 
 // Recommend implements the Recommender interface: top-k users for an
@@ -643,10 +728,56 @@ func (e *Engine) refreshPrediction(userID string, obs []bihmm.Obs) *predEntry {
 	}
 	longObs := obs[:len(obs)-winLen]
 	shortObs := obs[len(obs)-winLen:]
-	ce.long = m.PredictNextMarginal(longObs, nil)
-	ce.short = m.PredictNextMarginal(shortObs, nil)
+	if e.cfg.IncrementalFold {
+		ce.long, ce.short = e.incrementalPredict(userID, m, longObs, shortObs)
+	} else {
+		ce.long = m.PredictNextMarginal(longObs, nil)
+		ce.short = m.PredictNextMarginal(shortObs, nil)
+	}
 	e.predCache[userID] = ce
 	return ce
+}
+
+// fwdEntry caches one consumer's incremental forward states: the long side
+// tracks the prefix obs[:len-winLen], the short side the window suffix
+// starting at shortStart.
+type fwdEntry struct {
+	model      *bihmm.BHMM
+	long       bihmm.ForwardState
+	short      bihmm.ForwardState
+	shortStart int
+}
+
+// incrementalPredict is refreshPrediction's Config.IncrementalFold path:
+// fold only NEW observations into cached forward states and predict from
+// them. The observation stream is append-only, so the cached long state is
+// a valid prefix whenever its length fits — even across a window roll,
+// which only moves the long/short boundary forward. The state falls back
+// to a full replay (Reset + Extend over everything) when it cannot prove
+// prefix-ness: the consumer's model changed (a different *BHMM — per-user
+// model vs population), the cached prefix is longer than the needed one,
+// or the window start moved (short side after a roll; the replay is at
+// most WindowSize observations there). Either way the produced rows — and
+// therefore Pl/Ps and every downstream score — are bitwise identical to
+// the full forward pass.
+func (e *Engine) incrementalPredict(userID string, m *bihmm.BHMM, longObs, shortObs []bihmm.Obs) (long, short []float64) {
+	fe := e.fwdCache[userID]
+	if fe == nil {
+		fe = &fwdEntry{}
+		e.fwdCache[userID] = fe
+	}
+	if fe.model != m || fe.long.Len() > len(longObs) {
+		fe.long.Reset(m)
+	}
+	m.Extend(&fe.long, longObs[fe.long.Len():])
+	shortStart := len(longObs)
+	if fe.model != m || fe.shortStart != shortStart || fe.short.Len() > len(shortObs) {
+		fe.short.Reset(m)
+		fe.shortStart = shortStart
+	}
+	m.Extend(&fe.short, shortObs[fe.short.Len():])
+	fe.model = m
+	return m.PredictNextMarginalState(&fe.long, nil), m.PredictNextMarginalState(&fe.short, nil)
 }
 
 // SetParallelism changes the parallel-search worker count at runtime —
@@ -657,6 +788,27 @@ func (e *Engine) SetParallelism(n int) {
 	e.cfg.Parallelism = n
 	if e.index != nil {
 		e.index.SetParallelism(n)
+	}
+}
+
+// SetFullRefresh toggles the dirty-category-mask optimisation at runtime
+// (Config.FullRefresh; true = rebuild every leaf per flush). Used by the
+// conformance suite to boot the reference arm from a shared snapshot.
+func (e *Engine) SetFullRefresh(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.FullRefresh = on
+}
+
+// SetIncrementalFold toggles the incremental BiHMM fold-in
+// (Config.IncrementalFold) at runtime. Turning it off drops the cached
+// forward states; turning it on rebuilds them lazily on the next refresh.
+func (e *Engine) SetIncrementalFold(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.IncrementalFold = on
+	if !on {
+		clear(e.fwdCache)
 	}
 }
 

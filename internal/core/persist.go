@@ -135,6 +135,7 @@ func (e *Engine) rebuildIndex() error {
 	}
 	e.index = ix
 	e.predCache = make(map[string]*predEntry)
+	e.fwdCache = make(map[string]*fwdEntry)
 	return nil
 }
 

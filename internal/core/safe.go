@@ -84,24 +84,28 @@ func (s *SafeEngine) FlushUpdates() int {
 // Users returns the number of known profiles.
 func (s *SafeEngine) Users() int { return s.eng.Users() }
 
-// IndexStats snapshots the index statistics (zero value before Train).
+// IndexStats snapshots the index statistics (zero value before Train;
+// RefreshErrors is engine-level and reported regardless).
 func (s *SafeEngine) IndexStats() (stats IndexStatsView) {
+	stats.RefreshErrors = s.eng.RefreshErrors()
 	st, ok := s.eng.IndexStats()
 	if !ok {
 		return stats
 	}
-	return IndexStatsView{
-		Blocks:   st.Blocks,
-		Trees:    st.Trees,
-		Users:    st.Users,
-		HashKeys: st.HashKeys,
-	}
+	stats.Blocks = st.Blocks
+	stats.Trees = st.Trees
+	stats.Users = st.Users
+	stats.HashKeys = st.HashKeys
+	return stats
 }
 
-// IndexStatsView is the concurrency-safe subset of cppse.IndexStats.
+// IndexStatsView is the concurrency-safe subset of cppse.IndexStats, plus
+// the engine-level refresh-error counter.
 type IndexStatsView struct {
 	Blocks   int
 	Trees    int
 	Users    int
 	HashKeys int
+	// RefreshErrors counts failed index refreshes (Engine.RefreshErrors).
+	RefreshErrors int64
 }

@@ -109,12 +109,7 @@ func (m MLEProbs) Short(userID, category string) float64 {
 	if !ok {
 		return 1 / float64(m.NCats)
 	}
-	n := 0
-	for _, c := range p.WindowCategories() {
-		if c == category {
-			n++
-		}
-	}
+	n := p.WindowCategoryCount(category)
 	return float64(n+1) / float64(p.WindowLen()+m.NCats)
 }
 
@@ -368,63 +363,27 @@ func (ix *Index) lookupTrees(q ranking.ItemQuery) []*sigtree.Tree {
 // leafSignature) and the tree write happen only for owned users. That is
 // the maintenance cost a sharded deployment divides N ways.
 func (ix *Index) UpdateUser(userID string) error {
-	p, ok := ix.store.Lookup(userID)
-	if !ok {
-		return fmt.Errorf("cppse: unknown user %q", userID)
-	}
-	block, known := ix.userBlock[userID]
-	if !known {
-		block = ix.nearestBlock(p)
-		ix.userBlock[userID] = block
-	}
-	prodU := ix.prodUni[block]
-	for _, up := range sortedStrings(p.Producers()) {
-		prodU.Add(up)
-	}
-	cats := map[string]bool{}
-	for _, c := range p.Categories() {
-		cats[c] = true
-	}
-	for _, c := range p.WindowCategories() {
-		cats[c] = true
-	}
-	for _, cat := range sortedKeys(cats) {
-		key := treeKey{block, cat}
-		tr := ix.trees[key]
-		if tr == nil {
-			tr = sigtree.New(block, cat, prodU, sigtree.NewUniverse(nil), ix.cfg.Fanout)
-			ix.trees[key] = tr
-			ix.treesByCat[cat] = append(ix.treesByCat[cat], tr)
-		}
-		// Unseen entities: extend universe + hash (Algorithm 2 lines 5-9).
-		for _, e := range sortedStrings(p.EntitiesIn(cat)) {
-			if _, ok := tr.Ent.Index(e); !ok {
-				tr.Ent.Add(e)
-				ix.hash.Insert(shx.PairKey(cat, e), tr)
-			}
-		}
-		if !ix.owns(userID) {
-			continue
-		}
-		sig := ix.leafSignature(p, block, cat)
-		if !tr.Update(userID, sig) {
-			tr.Insert(userID, sig)
-		}
-	}
-	return nil
+	return ix.UpdateUserCats(userID, nil, true)
 }
 
 // RemoveUser deletes a user's entries from every tree of its block (a user
 // leaving the platform). The profile itself is owned by the caller's
 // store. Returns false if the user was never indexed.
+//
+// The block's trees are walked directly rather than Config.Categories:
+// UpdateUser creates trees from the PROFILE's categories, so a user
+// observed under an unconfigured category (v1 Observe admits them) has a
+// leaf the configured set would never find — iterating the configured
+// categories leaked that leaf forever. Per-tree deletes are independent,
+// so map iteration order does not affect the final state.
 func (ix *Index) RemoveUser(userID string) bool {
 	block, ok := ix.userBlock[userID]
 	if !ok {
 		return false
 	}
 	removed := false
-	for _, cat := range ix.cfg.Categories {
-		if tr := ix.trees[treeKey{block, cat}]; tr != nil && tr.Delete(userID) {
+	for key, tr := range ix.trees {
+		if key.block == block && tr.Delete(userID) {
 			removed = true
 		}
 	}
@@ -520,12 +479,4 @@ func sortedStrings(in []string) []string {
 	out := append([]string(nil), in...)
 	sort.Strings(out)
 	return out
-}
-
-func sortedKeys(m map[string]bool) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	return sortedStrings(out)
 }

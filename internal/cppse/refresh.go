@@ -1,0 +1,189 @@
+// refresh.go is the write-path counterpart of encode.go: the pooled,
+// mask-aware per-user index refresh of Algorithm 2. UpdateUserCats is
+// UpdateUser restricted by a dirty-category mask (core's per-user masks):
+// routing metadata still advances for every category the user inhabits —
+// every shard must route candidates identically — but the expensive leaf
+// rebuild runs only where the mask says the counts changed. Non-dirty
+// leaves are restamped with fresh Pl/Ps, because every observation grows
+// the short-term window and therefore shifts the short-term prediction
+// for ALL of the user's categories. See DESIGN.md, "Ingest hot path".
+package cppse
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ssrec/internal/profile"
+	"ssrec/internal/shx"
+	"ssrec/internal/sigtree"
+)
+
+// refreshScratch carries the reusable buffers of one UpdateUserCats call:
+// the sorted category/producer/entity name slices and the dense signature
+// vectors that UpdateUser used to allocate per (user, category). The
+// signature buffers are scratch-backed, so they are written into trees
+// only through Tree.UpdateCopy / Signature.Clone — never stored directly.
+type refreshScratch struct {
+	cats  []string
+	prods []string
+	ents  []string
+	sig   sigtree.Signature
+}
+
+var refreshPool = sync.Pool{New: func() any { return new(refreshScratch) }}
+
+func getRefreshScratch() *refreshScratch { return refreshPool.Get().(*refreshScratch) }
+
+func putRefreshScratch(sc *refreshScratch) {
+	// Drop string references so idle scratches don't pin profile data.
+	clearStrings(&sc.cats)
+	clearStrings(&sc.prods)
+	clearStrings(&sc.ents)
+	refreshPool.Put(sc)
+}
+
+func clearStrings(s *[]string) {
+	*s = (*s)[:cap(*s)]
+	clear(*s)
+	*s = (*s)[:0]
+}
+
+// growZero resizes dst to n zeroed elements, reusing capacity.
+func growZero(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	return dst
+}
+
+// leafSignatureInto is leafSignature built into pooled scratch buffers:
+// identical values, no per-call dense-vector allocations. The returned
+// signature aliases sc and is only valid until the next use of sc.
+func (ix *Index) leafSignatureInto(sc *refreshScratch, p *profile.Profile, block int, cat string) *sigtree.Signature {
+	prodU := ix.prodUni[block]
+	sig := &sc.sig
+	sig.Pl = ix.probs.Long(p.UserID, cat)
+	sig.Ps = ix.probs.Short(p.UserID, cat)
+	sig.ProdTotal = float64(p.ProducerTotal())
+	sig.EntTotal = float64(p.EntityTotal(cat))
+	sig.ProdCounts = growZero(sig.ProdCounts, prodU.Len())
+	sc.prods = p.AppendProducers(sc.prods[:0])
+	for _, up := range sc.prods {
+		if i, ok := prodU.Index(up); ok {
+			sig.ProdCounts[i] = float64(p.ProducerCount(up))
+		}
+	}
+	sig.EntCounts = sig.EntCounts[:0]
+	tr := ix.trees[treeKey{block, cat}]
+	if tr != nil && tr.Ent != nil {
+		sig.EntCounts = growZero(sig.EntCounts, tr.Ent.Len())
+		sc.ents = p.AppendEntitiesIn(cat, sc.ents[:0])
+		for _, e := range sc.ents {
+			if i, ok := tr.Ent.Index(e); ok {
+				sig.EntCounts[i] = float64(p.EntityCount(cat, e))
+			}
+		}
+	}
+	return sig
+}
+
+// UpdateUserCats refreshes one user's index entries under a dirty-category
+// mask — the per-user body of Algorithm 2, split into its two halves:
+//
+// Routing metadata (always, for EVERY category the user inhabits): block
+// assignment, producer-universe growth, entity-universe growth and hash
+// insertion. Shards replicate this on every engine regardless of
+// ownership, so it must not depend on the mask — otherwise two shards
+// could route the same query to different candidate trees.
+//
+// Leaf maintenance (owned users only): categories in dirtyCats — plus
+// every category when allDirty, e.g. after a window roll moved events
+// into long-term state — get a full signature rebuild; categories whose
+// counts are provably unchanged get only a Pl/Ps restamp (the short-term
+// prediction changes on every observation). A category the user inhabits
+// but has no leaf for is treated as dirty regardless of the mask (a
+// removed-then-reobserved user must be re-inserted everywhere).
+//
+// UpdateUserCats(id, nil, true) is exactly UpdateUser.
+func (ix *Index) UpdateUserCats(userID string, dirtyCats []string, allDirty bool) error {
+	p, ok := ix.store.Lookup(userID)
+	if !ok {
+		return fmt.Errorf("cppse: unknown user %q", userID)
+	}
+	block, known := ix.userBlock[userID]
+	if !known {
+		block = ix.nearestBlock(p)
+		ix.userBlock[userID] = block
+	}
+	sc := getRefreshScratch()
+	defer putRefreshScratch(sc)
+
+	prodU := ix.prodUni[block]
+	sc.prods = p.AppendProducers(sc.prods[:0])
+	sort.Strings(sc.prods)
+	for _, up := range sc.prods {
+		prodU.Add(up)
+	}
+
+	// Inhabited categories: long-term ∪ window, sorted and deduplicated —
+	// the same set (and growth order) UpdateUser has always used.
+	sc.cats = p.AppendCategories(sc.cats[:0])
+	sc.cats = p.AppendWindowCategories(sc.cats)
+	sort.Strings(sc.cats)
+	w := 0
+	for i, c := range sc.cats {
+		if i == 0 || c != sc.cats[i-1] {
+			sc.cats[w] = c
+			w++
+		}
+	}
+	sc.cats = sc.cats[:w]
+
+	owned := ix.owns(userID)
+	for _, cat := range sc.cats {
+		key := treeKey{block, cat}
+		tr := ix.trees[key]
+		if tr == nil {
+			tr = sigtree.New(block, cat, prodU, sigtree.NewUniverse(nil), ix.cfg.Fanout)
+			ix.trees[key] = tr
+			ix.treesByCat[cat] = append(ix.treesByCat[cat], tr)
+		}
+		// Unseen entities: extend universe + hash (Algorithm 2 lines 5-9).
+		sc.ents = p.AppendEntitiesIn(cat, sc.ents[:0])
+		sort.Strings(sc.ents)
+		for _, e := range sc.ents {
+			if _, ok := tr.Ent.Index(e); !ok {
+				tr.Ent.Add(e)
+				ix.hash.Insert(shx.PairKey(cat, e), tr)
+			}
+		}
+		if !owned {
+			continue
+		}
+		if allDirty || containsString(dirtyCats, cat) || !tr.Has(userID) {
+			sig := ix.leafSignatureInto(sc, p, block, cat)
+			if !tr.UpdateCopy(userID, sig) {
+				tr.Insert(userID, sig.Clone())
+			}
+		} else {
+			tr.UpdateProbs(userID, ix.probs.Long(userID, cat), ix.probs.Short(userID, cat))
+		}
+	}
+	return nil
+}
+
+// containsString is a linear membership test — dirty masks hold a handful
+// of categories, far below the crossover where a set would win.
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -70,12 +70,20 @@ func (p *Profile) WindowSize() int { return p.windowSize }
 
 // Observe appends one event to the short-term window, flushing the window
 // into the long-term list first if it is full. This is the paper's
-// maintenance rule: W is flushed to L when full.
-func (p *Profile) Observe(e Event) {
+// maintenance rule: W is flushed to L when full. The return reports
+// whether the window rolled (a flush happened): a roll moves every
+// buffered event into long-term state, changing Pl, WindowCategories and
+// the count statistics for categories far beyond this event's — callers
+// maintaining per-category dirty masks must treat a roll as "all
+// categories dirty".
+func (p *Profile) Observe(e Event) bool {
+	rolled := false
 	if len(p.window) >= p.windowSize {
 		p.Flush()
+		rolled = true
 	}
 	p.window = append(p.window, e)
+	return rolled
 }
 
 // ObserveLongTerm bypasses the window and adds the event directly to the
@@ -133,6 +141,29 @@ func (p *Profile) WindowCategories() []string {
 	return out
 }
 
+// AppendWindowCategories appends the window's category sequence to dst and
+// returns it — the allocation-free form of WindowCategories for callers
+// holding a reusable scratch buffer.
+func (p *Profile) AppendWindowCategories(dst []string) []string {
+	for _, e := range p.window {
+		dst = append(dst, e.Category)
+	}
+	return dst
+}
+
+// WindowCategoryCount returns how many window events carry category c —
+// the short-term interest count without materialising the category
+// sequence.
+func (p *Profile) WindowCategoryCount(c string) int {
+	n := 0
+	for _, e := range p.window {
+		if e.Category == c {
+			n++
+		}
+	}
+	return n
+}
+
 // LongTermLen returns the number of long-term events; WindowLen the number
 // currently buffered in the window.
 func (p *Profile) LongTermLen() int { return p.total }
@@ -184,6 +215,31 @@ func (p *Profile) EntitiesIn(c string) []string {
 		out = append(out, e)
 	}
 	return out
+}
+
+// AppendCategories, AppendProducers and AppendEntitiesIn are the
+// allocation-free forms of Categories/Producers/EntitiesIn: they append
+// into a caller-owned scratch slice (map order — sort before relying on
+// order) and return it.
+func (p *Profile) AppendCategories(dst []string) []string {
+	for c := range p.catCount {
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+func (p *Profile) AppendProducers(dst []string) []string {
+	for u := range p.prodCount {
+		dst = append(dst, u)
+	}
+	return dst
+}
+
+func (p *Profile) AppendEntitiesIn(c string, dst []string) []string {
+	for e := range p.entCount[c] {
+		dst = append(dst, e)
+	}
+	return dst
 }
 
 // DistinctProducerCount and DistinctEntityCount report |Up| and |E| for the
@@ -411,6 +467,12 @@ func (s *Store) Get(userID string) *Profile {
 func (s *Store) Lookup(userID string) (*Profile, bool) {
 	p, ok := s.profiles[userID]
 	return p, ok
+}
+
+// Remove deletes the profile for userID if present. Used by tests and by
+// engine-level user removal; removing an unknown user is a no-op.
+func (s *Store) Remove(userID string) {
+	delete(s.profiles, userID)
 }
 
 // Len returns the number of profiles.

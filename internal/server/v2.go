@@ -321,6 +321,10 @@ type statsV2Response struct {
 	Blocks   int `json:"blocks"`
 	Trees    int `json:"trees"`
 	HashKeys int `json:"hash_keys"`
+	// RefreshErrors counts failed index refreshes (summed across shards
+	// in a sharded deployment): non-zero means some user's index entries
+	// may lag their profile.
+	RefreshErrors int64 `json:"refresh_errors"`
 
 	Parallelism int `json:"parallelism"`
 	BatchSize   int `json:"batch_size"`
@@ -424,15 +428,16 @@ func toWALJSON(st *wal.Stats) *walJSON {
 
 // shardStatsJSON is the wire form of one shard's statistics.
 type shardStatsJSON struct {
-	Shard      int      `json:"shard"`
-	Trained    bool     `json:"trained"`
-	Users      int      `json:"users"`
-	OwnedUsers int      `json:"owned_users"`
-	Leaves     int      `json:"leaves"`
-	Blocks     int      `json:"blocks"`
-	Trees      int      `json:"trees"`
-	HashKeys   int      `json:"hash_keys"`
-	WAL        *walJSON `json:"wal,omitempty"`
+	Shard         int      `json:"shard"`
+	Trained       bool     `json:"trained"`
+	Users         int      `json:"users"`
+	OwnedUsers    int      `json:"owned_users"`
+	Leaves        int      `json:"leaves"`
+	Blocks        int      `json:"blocks"`
+	Trees         int      `json:"trees"`
+	HashKeys      int      `json:"hash_keys"`
+	RefreshErrors int64    `json:"refresh_errors"`
+	WAL           *walJSON `json:"wal,omitempty"`
 }
 
 func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
@@ -467,16 +472,18 @@ func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 		shardStats := ss.ShardStats()
 		for _, sh := range shardStats {
 			resp.Shards = append(resp.Shards, shardStatsJSON{
-				Shard:      sh.Shard,
-				Trained:    sh.Trained,
-				Users:      sh.Users,
-				OwnedUsers: sh.OwnedUsers,
-				Leaves:     sh.Leaves,
-				Blocks:     sh.Blocks,
-				Trees:      sh.Trees,
-				HashKeys:   sh.HashKeys,
-				WAL:        toWALJSON(sh.WAL),
+				Shard:         sh.Shard,
+				Trained:       sh.Trained,
+				Users:         sh.Users,
+				OwnedUsers:    sh.OwnedUsers,
+				Leaves:        sh.Leaves,
+				Blocks:        sh.Blocks,
+				Trees:         sh.Trees,
+				HashKeys:      sh.HashKeys,
+				RefreshErrors: sh.RefreshErrors,
+				WAL:           toWALJSON(sh.WAL),
 			})
+			resp.RefreshErrors += sh.RefreshErrors
 		}
 		resp.ShardCount = len(resp.Shards)
 		for _, sh := range shardStats {
@@ -520,6 +527,7 @@ func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 	} else {
 		st := s.eng.IndexStats()
 		resp.Users, resp.Blocks, resp.Trees, resp.HashKeys = st.Users, st.Blocks, st.Trees, st.HashKeys
+		resp.RefreshErrors = st.RefreshErrors
 		resp.Parallelism = s.eng.Parallelism()
 	}
 	if s.WAL != nil {

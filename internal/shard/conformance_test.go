@@ -106,6 +106,58 @@ func TestConformanceReplicatedStreamReplay(t *testing.T) {
 	}
 }
 
+// TestConformanceDirtyMaskStreamReplay is the write-path acceptance gate
+// for the dirty-category-mask refresh: at every micro-batch size in
+// {1, 64, 256} (batch=1 flushes per observation; larger batches merge
+// masks across many observations before one flush), deployments running
+// the masked refresh — with and without the incremental BiHMM fold, at
+// shards 1 and 2 — must be observably equivalent to a reference engine
+// forced onto the rebuild-everything path (SetFullRefresh).
+func TestConformanceDirtyMaskStreamReplay(t *testing.T) {
+	fx := fixture(t)
+	// Query windows fire after every micro-batch, so small batch sizes are
+	// query-dominated: cap the batch count to keep the sweep proportionate
+	// while still covering hundreds of flushes.
+	caps := map[int]int{1: 192, 64: 48, 256: 0} // 0 = full stream
+	if testing.Short() {
+		caps = map[int]int{1: 32, 64: 12, 256: 12}
+	}
+
+	for _, batchSize := range []int{1, 64, 256} {
+		maxBatches := caps[batchSize]
+		t.Run(fmt.Sprintf("batch=%d", batchSize), func(t *testing.T) {
+			reference, err := core.LoadFrom(bytes.NewReader(fx.Snapshot))
+			if err != nil {
+				t.Fatalf("boot reference: %v", err)
+			}
+			reference.SetFullRefresh(true)
+			want := fx.ReplayBatchSize(t, reference, batchSize, maxBatches)
+
+			arms := []struct {
+				name   string
+				shards int
+				fold   bool
+			}{
+				{"shards=1/masked", 1, false},
+				{"shards=1/masked+fold", 1, true},
+				{"shards=2/masked+fold", 2, true},
+			}
+			for _, arm := range arms {
+				t.Run(arm.name, func(t *testing.T) {
+					r, err := FromSnapshot(fx.Snapshot, arm.shards)
+					if err != nil {
+						t.Fatalf("boot: %v", err)
+					}
+					// Masks are the default path; the fold is opt-in.
+					r.SetIncrementalFold(arm.fold)
+					got := fx.ReplayBatchSize(t, r, batchSize, maxBatches)
+					shardtest.Diff(t, want, got, fmt.Sprintf("batch=%d %s", batchSize, arm.name))
+				})
+			}
+		})
+	}
+}
+
 // TestConformanceShardStats sanity-checks the partition itself: every user
 // is owned by exactly one shard, leaf counts sum to the single-engine
 // figure, and the replicated routing structures agree across shards.

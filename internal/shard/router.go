@@ -613,6 +613,44 @@ func (r *Router) SetParallelism(n int) {
 	}
 }
 
+// SetFullRefresh toggles the dirty-category-mask refresh optimisation on
+// every in-process shard (core.Engine.SetFullRefresh; true restores the
+// rebuild-everything reference path). Refresh policy is shard-local
+// maintenance — it never changes what a shard serves, only how it gets
+// there — so remote shards keep their own configuration.
+func (r *Router) SetFullRefresh(on bool) {
+	for _, e := range r.locals {
+		if e != nil {
+			e.SetFullRefresh(on)
+		}
+	}
+	for _, row := range r.replLocals {
+		for _, e := range row {
+			if e != nil {
+				e.SetFullRefresh(on)
+			}
+		}
+	}
+}
+
+// SetIncrementalFold toggles the incremental BiHMM fold-in
+// (core.Engine.SetIncrementalFold) on every in-process shard; like
+// SetFullRefresh this is shard-local maintenance policy.
+func (r *Router) SetIncrementalFold(on bool) {
+	for _, e := range r.locals {
+		if e != nil {
+			e.SetIncrementalFold(on)
+		}
+	}
+	for _, row := range r.replLocals {
+		for _, e := range row {
+			if e != nil {
+				e.SetIncrementalFold(on)
+			}
+		}
+	}
+}
+
 // detach strips cancellation for the broadcast legs: a micro-batch (or a
 // registration batch) is the atomic replication unit — if half the shards
 // applied it and half refused on a cancelled context, the replicated

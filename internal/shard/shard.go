@@ -78,6 +78,10 @@ type Stats struct {
 	HashKeys int
 	// Parallelism is the shard's intra-query worker count.
 	Parallelism int
+	// RefreshErrors counts failed index refreshes on this shard's engine
+	// (core.Engine.RefreshErrors) — non-zero means some owned user's
+	// leaves may lag their profile.
+	RefreshErrors int64
 	// WAL describes the shard's durable ingest log; nil when the shard
 	// runs without one.
 	WAL *wal.Stats
@@ -249,6 +253,7 @@ func (l *Local) Stats() Stats {
 		Users:       l.eng.Users(),
 		Parallelism: l.eng.Parallelism(),
 	}
+	s.RefreshErrors = l.eng.RefreshErrors()
 	if ist, ok := l.eng.IndexStats(); ok {
 		s.OwnedUsers = ist.OwnedUsers
 		s.Leaves = ist.TotalLeafCount

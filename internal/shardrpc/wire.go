@@ -285,16 +285,18 @@ type healthWire struct {
 
 // statsWire is the wire form of shard.Stats.
 type statsWire struct {
-	Shard       int           `json:"shard"`
-	Trained     bool          `json:"trained"`
-	Users       int           `json:"users"`
-	OwnedUsers  int           `json:"owned_users"`
-	Leaves      int           `json:"leaves"`
-	Blocks      int           `json:"blocks"`
-	Trees       int           `json:"trees"`
-	HashKeys    int           `json:"hash_keys"`
-	Parallelism int           `json:"parallelism"`
-	WAL         *walStatsWire `json:"wal,omitempty"`
+	Shard       int  `json:"shard"`
+	Trained     bool `json:"trained"`
+	Users       int  `json:"users"`
+	OwnedUsers  int  `json:"owned_users"`
+	Leaves      int  `json:"leaves"`
+	Blocks      int  `json:"blocks"`
+	Trees       int  `json:"trees"`
+	HashKeys    int  `json:"hash_keys"`
+	Parallelism int  `json:"parallelism"`
+	// RefreshErrors counts failed index refreshes on the shard's engine.
+	RefreshErrors int64         `json:"refresh_errors,omitempty"`
+	WAL           *walStatsWire `json:"wal,omitempty"`
 }
 
 // walStatsWire is the wire form of wal.Stats: the shard's durable
@@ -355,14 +357,14 @@ func toStatsWire(st shard.Stats) statsWire {
 	return statsWire{Shard: st.Shard, Trained: st.Trained, Users: st.Users,
 		OwnedUsers: st.OwnedUsers, Leaves: st.Leaves, Blocks: st.Blocks,
 		Trees: st.Trees, HashKeys: st.HashKeys, Parallelism: st.Parallelism,
-		WAL: toWALStatsWire(st.WAL)}
+		RefreshErrors: st.RefreshErrors, WAL: toWALStatsWire(st.WAL)}
 }
 
 func (w statsWire) stats() shard.Stats {
 	return shard.Stats{Shard: w.Shard, Trained: w.Trained, Users: w.Users,
 		OwnedUsers: w.OwnedUsers, Leaves: w.Leaves, Blocks: w.Blocks,
 		Trees: w.Trees, HashKeys: w.HashKeys, Parallelism: w.Parallelism,
-		WAL: w.WAL.stats()}
+		RefreshErrors: w.RefreshErrors, WAL: w.WAL.stats()}
 }
 
 // ---- error transport ----

@@ -104,12 +104,26 @@ type Transcript struct {
 // appended to the schedule's WithK.
 func (fx *Fixture) Replay(tb testing.TB, d Deployment, maxBatches int, opts ...core.Option) *Transcript {
 	tb.Helper()
+	return fx.ReplayBatchSize(tb, d, ReplayBatch, maxBatches, opts...)
+}
+
+// ReplayBatchSize is Replay with the micro-batch size as a parameter — the
+// write-path conformance suites sweep it (batch=1 flushes the index after
+// every observation; larger batches accumulate dirty-category masks across
+// many observations before one flush, exercising mask merging). Transcripts
+// are only comparable between replays that used the SAME batch size: the
+// flush schedule is observable through BatchReport.Flushed.
+func (fx *Fixture) ReplayBatchSize(tb testing.TB, d Deployment, batchSize, maxBatches int, opts ...core.Option) *Transcript {
+	tb.Helper()
+	if batchSize <= 0 {
+		tb.Fatalf("batchSize %d", batchSize)
+	}
 	ctx := context.Background()
 	tr := &Transcript{}
 	qopts := append([]core.Option{core.WithK(ReplayK)}, opts...)
 	batchIdx := 0
-	for lo := 0; lo < len(fx.Obs); lo += ReplayBatch {
-		hi := min(lo+ReplayBatch, len(fx.Obs))
+	for lo := 0; lo < len(fx.Obs); lo += batchSize {
+		hi := min(lo+batchSize, len(fx.Obs))
 		rep, err := d.ObserveBatch(ctx, fx.Obs[lo:hi])
 		if err != nil {
 			tb.Fatalf("batch %d: ObserveBatch: %v", batchIdx, err)

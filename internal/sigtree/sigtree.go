@@ -114,9 +114,19 @@ func foldInto(dst, src *Signature) {
 
 func foldMax(dst, src []float64) []float64 {
 	if len(src) > len(dst) {
-		grown := make([]float64, len(src))
-		copy(grown, dst)
-		dst = grown
+		if cap(dst) >= len(src) {
+			// Grow within capacity, zeroing the exposed region — the
+			// allocation-free steady state of recomputeSig's buffer reuse.
+			old := len(dst)
+			dst = dst[:len(src)]
+			for i := old; i < len(dst); i++ {
+				dst[i] = 0
+			}
+		} else {
+			grown := make([]float64, len(src))
+			copy(grown, dst)
+			dst = grown
+		}
 	}
 	for i, v := range src {
 		if v > dst[i] {
@@ -198,7 +208,12 @@ type node struct {
 }
 
 func (n *node) recomputeSig() {
+	// Reuse the node's own count buffers: entries/children hold separate
+	// slices, so truncating and refolding in place is safe and keeps
+	// propagateUp allocation-free once the buffers have grown to size.
 	agg := emptyAgg()
+	agg.ProdCounts = n.sig.ProdCounts[:0]
+	agg.EntCounts = n.sig.EntCounts[:0]
 	if n.leaf {
 		for _, e := range n.entries {
 			foldInto(&agg, &e.Sig)
@@ -310,6 +325,38 @@ func (t *Tree) Update(userID string, sig Signature) bool {
 func (t *Tree) updateEntry(e *LeafEntry, sig Signature) {
 	e.Sig = sig
 	t.propagateUp(e.parent)
+}
+
+// UpdateCopy replaces a user's signature by copying sig's values into the
+// leaf-owned slices instead of adopting them — the write path for
+// scratch-backed signatures (cppse's pooled refresh buffers), which must
+// never be stored into the tree. Returns false if the user is absent.
+func (t *Tree) UpdateCopy(userID string, sig *Signature) bool {
+	e := t.byUser[userID]
+	if e == nil {
+		return false
+	}
+	e.Sig.Pl, e.Sig.Ps = sig.Pl, sig.Ps
+	e.Sig.ProdTotal, e.Sig.EntTotal = sig.ProdTotal, sig.EntTotal
+	e.Sig.ProdCounts = append(e.Sig.ProdCounts[:0], sig.ProdCounts...)
+	e.Sig.EntCounts = append(e.Sig.EntCounts[:0], sig.EntCounts...)
+	t.propagateUp(e.parent)
+	return true
+}
+
+// UpdateProbs restamps only the cached BiHMM probabilities of a user's
+// leaf, leaving the count statistics untouched — the non-dirty-category
+// leg of an incremental refresh, where the short-term prediction changed
+// (the window grew) but no event landed in this tree's category. Returns
+// false if the user is absent.
+func (t *Tree) UpdateProbs(userID string, pl, ps float64) bool {
+	e := t.byUser[userID]
+	if e == nil {
+		return false
+	}
+	e.Sig.Pl, e.Sig.Ps = pl, ps
+	t.propagateUp(e.parent)
+	return true
 }
 
 func (t *Tree) propagateUp(n *node) {
