@@ -96,6 +96,7 @@ func main() {
 		walCheckpoint = flag.Duration("wal-checkpoint", time.Minute, "periodic checkpoint cadence: snapshot the engine into the WAL and compact the covered segments (0 disables)")
 
 		authToken     = flag.String("auth-token", "", "shared bearer token: required on every /v1/* and /v2/* call (including /v2/session) AND presented to -shard-addrs shardds (pair with ssrec-shardd -auth-token)")
+		adminReshard  = flag.Bool("admin-reshard", false, "enable POST /v2/reshard: online in-process split/merge of a -shards deployment to the requested width (403 when off; pair with -auth-token in production)")
 		maxSessions   = flag.Int("max-sessions", 64, "cap on concurrent /v2/session streams (excess rejected 503 + Retry-After; <= 0 disables)")
 		sessionCredit = flag.Int("session-credit", server.DefaultSessionCredit, "per-session flow-control window (command lines in flight before the client must wait for credit)")
 		sessionRate   = flag.Float64("session-rate", 0, "per-session rate limit in command lines/sec (token bucket; 0 = unpaced)")
@@ -306,6 +307,10 @@ func main() {
 	srv.SessionBurst = *sessionBurst
 	srv.SessionLinger = *sessionLinger
 	srv.WAL = walLog
+	srv.AdminReshard = *adminReshard
+	if *adminReshard {
+		log.Printf("admin resharding enabled on POST /v2/reshard")
+	}
 	if *authToken != "" {
 		log.Printf("bearer auth enabled on /v1/* and /v2/* (only /healthz stays open)")
 	}

@@ -167,6 +167,58 @@ func Cosine(a, b []float64) float64 {
 	return dot / (math.Sqrt(na) * math.Sqrt(nb))
 }
 
+// ClusterSnapshot is the serialisable form of one Cluster.
+type ClusterSnapshot struct {
+	ID       int
+	Members  []string
+	Centroid []float64
+	Count    int
+}
+
+// Snapshot is the serialisable form of a Result — the path-dependent
+// block structure a rebuilt CPPse-index must pin to reproduce an evolved
+// index exactly (one-pass clustering depends on the profiles at build
+// time; a re-run over later profiles yields different blocks).
+type Snapshot struct {
+	Clusters   []ClusterSnapshot
+	Assignment map[string]int
+	Dim        int
+}
+
+// Snapshot captures the result for serialisation.
+func (r *Result) Snapshot() Snapshot {
+	s := Snapshot{Assignment: make(map[string]int, len(r.Assignment)), Dim: r.Dim}
+	for id, b := range r.Assignment {
+		s.Assignment[id] = b
+	}
+	for _, c := range r.Clusters {
+		s.Clusters = append(s.Clusters, ClusterSnapshot{
+			ID:       c.ID,
+			Members:  append([]string(nil), c.Members...),
+			Centroid: append([]float64(nil), c.Centroid...),
+			Count:    c.count,
+		})
+	}
+	return s
+}
+
+// FromSnapshot restores a Result previously captured with Snapshot.
+func FromSnapshot(s Snapshot) *Result {
+	r := &Result{Assignment: make(map[string]int, len(s.Assignment)), Dim: s.Dim}
+	for id, b := range s.Assignment {
+		r.Assignment[id] = b
+	}
+	for _, cs := range s.Clusters {
+		r.Clusters = append(r.Clusters, &Cluster{
+			ID:       cs.ID,
+			Members:  append([]string(nil), cs.Members...),
+			Centroid: append([]float64(nil), cs.Centroid...),
+			count:    cs.Count,
+		})
+	}
+	return r
+}
+
 // SizesDescending returns the cluster sizes sorted largest first — a quick
 // shape summary used in logs and tests.
 func (r *Result) SizesDescending() []int {

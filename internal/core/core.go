@@ -115,13 +115,34 @@ type Config struct {
 	ShardIndex int
 	ShardCount int
 
+	// Partition, when non-zero (Blocks > 0), replaces the legacy
+	// ShardOf(·, ShardCount) ownership rule with a versioned block table
+	// (model.Partition) — the online-resharding ownership form. Epoch-0
+	// tables agree exactly with the legacy rule, so the two forms never
+	// disagree on a deployment that has not resharded. Carried in the
+	// Config so it survives SaveTo/LoadFrom snapshots like the shard
+	// identity does.
+	Partition model.Partition
+
 	Seed int64
 }
 
 // ownsUser is the deployment-wide ownership rule: which shard materialises
 // a user's index leaves. Unsharded engines own everyone.
 func (c *Config) ownsUser(userID string) bool {
+	if c.Partition.Blocks > 0 {
+		return c.Partition.Owner(userID) == c.ShardIndex
+	}
 	return c.ShardCount <= 1 || model.ShardOf(userID, c.ShardCount) == c.ShardIndex
+}
+
+// sharded reports whether ownership is actually partitioned — i.e. the
+// index must carry an owns predicate instead of materialising every leaf.
+func (c *Config) sharded() bool {
+	if c.Partition.Blocks > 0 {
+		return c.Partition.Shards > 1
+	}
+	return c.ShardCount > 1
 }
 
 func (c *Config) fill() {
@@ -383,11 +404,31 @@ func (e *Engine) Train(items []model.Item, interactions []model.Interaction, res
 
 // buildIndex constructs the CPPse-index from the engine's current state.
 func buildIndex(e *Engine) (*cppse.Index, error) {
+	ix, err := cppse.Build(e.store, e.bg, e.probs(), e.indexConfig())
+	if err != nil {
+		return nil, fmt.Errorf("core: index build: %w", err)
+	}
+	return ix, nil
+}
+
+// buildIndexFromState reconstructs the CPPse-index pinned to a captured
+// block clustering instead of re-clustering — the load path that makes a
+// snapshot-seeded engine observably identical to one that never
+// restarted.
+func buildIndexFromState(e *Engine, st cppse.State) (*cppse.Index, error) {
+	ix, err := cppse.BuildFromState(e.store, e.bg, e.probs(), e.indexConfig(), st)
+	if err != nil {
+		return nil, fmt.Errorf("core: index rebuild from state: %w", err)
+	}
+	return ix, nil
+}
+
+func (e *Engine) indexConfig() cppse.Config {
 	var owns func(string) bool
-	if e.cfg.ShardCount > 1 {
+	if e.cfg.sharded() {
 		owns = e.cfg.ownsUser
 	}
-	ix, err := cppse.Build(e.store, e.bg, e.probs(), cppse.Config{
+	return cppse.Config{
 		Categories:   e.cfg.Categories,
 		LambdaS:      e.cfg.LambdaS,
 		Mu:           e.cfg.Mu,
@@ -398,11 +439,7 @@ func buildIndex(e *Engine) (*cppse.Index, error) {
 		HashBuckets:  e.cfg.HashBuckets,
 		Parallelism:  e.cfg.Parallelism,
 		Owns:         owns,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: index build: %w", err)
 	}
-	return ix, nil
 }
 
 // obsFor converts an item into the consumer observation (category index,
@@ -838,6 +875,9 @@ func (e *Engine) SetShard(idx, n int) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.cfg.ShardIndex, e.cfg.ShardCount = idx, n
+	// Re-scoping onto the legacy rule retires any versioned table — the
+	// caller is restating ownership from scratch.
+	e.cfg.Partition = model.Partition{}
 	if !e.trained {
 		return nil
 	}

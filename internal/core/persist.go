@@ -9,14 +9,23 @@ import (
 	"os"
 
 	"ssrec/internal/bihmm"
+	"ssrec/internal/cppse"
 	"ssrec/internal/entity"
+	"ssrec/internal/model"
 	"ssrec/internal/profile"
 )
 
 // engineSnapshot is the on-disk form of a trained Engine: every learned
-// component plus the raw profile state. The CPPse-index is NOT serialised —
-// it is a derived structure and is rebuilt on load, which keeps the wire
-// format small and forward-compatible with index-layout changes.
+// component plus the raw profile state. The bulk of the CPPse-index is
+// NOT serialised — universes, trees, leaves and the hash table are pure
+// functions of the profile/model state and are rebuilt on load, which
+// keeps the wire format small and forward-compatible with index-layout
+// changes. The one exception is Index: the block clustering and user →
+// block assignments are path-dependent (one-pass clustering over the
+// profiles as they were at build time, plus incremental nearest-centroid
+// assignments since), so they ride along and pin the rebuild. A nil
+// Index (snapshots written before the field existed) falls back to
+// re-clustering from the restored profiles.
 type engineSnapshot struct {
 	Config      Config
 	Profiles    []profile.Snapshot
@@ -28,6 +37,7 @@ type engineSnapshot struct {
 	Population  *bihmm.BHMM
 	ItemZ       map[string]int
 	ProdPos     map[string]int
+	Index       *cppse.State
 }
 
 // SaveTo serialises the trained engine as gzip-compressed gob. It returns
@@ -49,6 +59,10 @@ func (e *Engine) SaveTo(w io.Writer) error {
 		Population:  e.population,
 		ItemZ:       e.itemZ,
 		ProdPos:     e.prodPos,
+	}
+	if e.index != nil {
+		st := e.index.State()
+		snap.Index = &st
 	}
 	e.store.Each(func(p *profile.Profile) {
 		snap.Profiles = append(snap.Profiles, p.Snapshot())
@@ -78,7 +92,29 @@ func LoadShardFrom(r io.Reader, idx, n int) (*Engine, error) {
 	if n > 1 && (idx < 0 || idx >= n) {
 		return nil, fmt.Errorf("core: shard index %d out of range [0,%d)", idx, n)
 	}
-	return loadFrom(r, func(c *Config) { c.ShardIndex, c.ShardCount = idx, n })
+	return loadFrom(r, func(c *Config) {
+		c.ShardIndex, c.ShardCount = idx, n
+		c.Partition = model.Partition{}
+	})
+}
+
+// LoadPartitionFrom deserialises a snapshot as shard idx of a deployment
+// partitioned by the versioned block table p — the boot path of an online
+// reshard: any healthy shard's snapshot (it carries the complete
+// replicated state) seeds any slot of the NEW epoch, rebuilding only the
+// leaves p assigns to idx. The snapshot's own shard identity is
+// overridden entirely.
+func LoadPartitionFrom(r io.Reader, idx int, p model.Partition) (*Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if idx < 0 || idx >= p.Shards {
+		return nil, fmt.Errorf("core: shard index %d out of range [0,%d)", idx, p.Shards)
+	}
+	return loadFrom(r, func(c *Config) {
+		c.ShardIndex, c.ShardCount = idx, p.Shards
+		c.Partition = p
+	})
 }
 
 func loadFrom(r io.Reader, reconfig func(*Config)) (*Engine, error) {
@@ -118,7 +154,15 @@ func loadFrom(r io.Reader, reconfig func(*Config)) (*Engine, error) {
 		restored := profile.FromSnapshot(ps)
 		*e.store.Get(ps.UserID) = *restored
 	}
-	if err := e.rebuildIndex(); err != nil {
+	if snap.Index != nil {
+		ix, err := buildIndexFromState(e, *snap.Index)
+		if err != nil {
+			return nil, err
+		}
+		e.index = ix
+		e.predCache = make(map[string]*predEntry)
+		e.fwdCache = make(map[string]*fwdEntry)
+	} else if err := e.rebuildIndex(); err != nil {
 		return nil, err
 	}
 	e.trained = true

@@ -145,16 +145,6 @@ func Build(store *profile.Store, bg *profile.Background, probs Probs, cfg Config
 	if len(cfg.Categories) == 0 {
 		return nil, fmt.Errorf("cppse: no categories configured")
 	}
-	ix := &Index{
-		cfg:        cfg,
-		bg:         bg,
-		probs:      probs,
-		store:      store,
-		userBlock:  make(map[string]int),
-		trees:      make(map[treeKey]*sigtree.Tree),
-		treesByCat: make(map[string][]*sigtree.Tree),
-		hash:       shx.NewTable(cfg.HashBuckets),
-	}
 
 	// (1) user blocks.
 	var points []cluster.Point
@@ -175,16 +165,129 @@ func Build(store *profile.Store, bg *profile.Background, probs Probs, cfg Config
 	if err != nil {
 		return nil, fmt.Errorf("cppse: clustering: %w", err)
 	}
-	ix.blocks = res
+	userBlock := make(map[string]int, len(res.Assignment))
 	for id, b := range res.Assignment {
-		ix.userBlock[id] = b
+		userBlock[id] = b
+	}
+	return assemble(store, bg, probs, cfg, res, userBlock, nil), nil
+}
+
+// State is the path-dependent skeleton of a built index: the one-pass
+// block clustering, every user's block assignment (including users
+// assigned incrementally by Algorithm 2's nearest-centroid rule after the
+// build), and the universes' insertion orders. Leaf signatures, tree
+// membership and the hash table are pure functions of the engine's
+// profile and model state and are reconstructed deterministically by
+// BuildFromState; the clustering is NOT (re-running it over evolved
+// profiles yields different blocks), and neither are the universe orders
+// (names append in stream-arrival order, and the query encoder folds
+// entity weights in universe-index order, so a differently-ordered
+// universe shifts scores by an ulp). An engine snapshot must carry the
+// State for a reload to be observably indistinguishable from the engine
+// that never restarted — the exactness snapshot-seeded reseeds and
+// online resharding stand on.
+type State struct {
+	Blocks    cluster.Snapshot
+	UserBlock map[string]int
+	// ProdUni is each block's producer-universe insertion order; EntUni
+	// each block's per-category entity-universe insertion order. Nil on
+	// snapshots from before they were recorded — BuildFromState then
+	// falls back to sorted-member derivation.
+	ProdUni [][]string
+	EntUni  []map[string][]string
+}
+
+// State captures the index's path-dependent skeleton for serialisation.
+func (ix *Index) State() State {
+	st := State{Blocks: ix.blocks.Snapshot(), UserBlock: make(map[string]int, len(ix.userBlock))}
+	for id, b := range ix.userBlock {
+		st.UserBlock[id] = b
+	}
+	st.ProdUni = make([][]string, len(ix.prodUni))
+	for b, u := range ix.prodUni {
+		st.ProdUni[b] = append([]string(nil), u.Names()...)
+	}
+	st.EntUni = make([]map[string][]string, len(ix.prodUni))
+	for key, tr := range ix.trees {
+		m := st.EntUni[key.block]
+		if m == nil {
+			m = make(map[string][]string)
+			st.EntUni[key.block] = m
+		}
+		m[key.category] = append([]string(nil), tr.Ent.Names()...)
+	}
+	return st
+}
+
+// BuildFromState reconstructs an index over store pinned to a previously
+// captured State: no re-clustering — blocks, centroids, assignments and
+// universe insertion orders are restored verbatim, then trees, leaves
+// (for owned users) and the hash table are derived from the current
+// profiles exactly as an evolved index maintains them.
+func BuildFromState(store *profile.Store, bg *profile.Background, probs Probs, cfg Config, st State) (*Index, error) {
+	cfg.fill()
+	if len(cfg.Categories) == 0 {
+		return nil, fmt.Errorf("cppse: no categories configured")
+	}
+	res := cluster.FromSnapshot(st.Blocks)
+	userBlock := make(map[string]int, len(st.UserBlock))
+	for id, b := range st.UserBlock {
+		if b < 0 || b >= len(res.Clusters) {
+			return nil, fmt.Errorf("cppse: user %q assigned to block %d of %d", id, b, len(res.Clusters))
+		}
+		userBlock[id] = b
+	}
+	if st.ProdUni != nil && len(st.ProdUni) != len(res.Clusters) {
+		return nil, fmt.Errorf("cppse: %d producer universes for %d blocks", len(st.ProdUni), len(res.Clusters))
+	}
+	if st.EntUni != nil && len(st.EntUni) != len(res.Clusters) {
+		return nil, fmt.Errorf("cppse: %d entity-universe sets for %d blocks", len(st.EntUni), len(res.Clusters))
+	}
+	return assemble(store, bg, probs, cfg, res, userBlock, &st), nil
+}
+
+// assemble derives the full index from a block structure and a user →
+// block assignment: per-block producer universes, per-⟨block, category⟩
+// signature trees with leaves for owned members, and the chained hash
+// table. Membership per block is taken from the assignment (so users
+// assigned after the original build are included) in sorted-ID order —
+// for a fresh Build this matches the clustering's insertion order, since
+// the points are pre-sorted. A non-nil seed replays the captured universe
+// insertion orders before member-derived names: index positions — and
+// with them the encoder's summation order — survive the rebuild bit-for-
+// bit. A tree whose seeded category has live members is built either way;
+// seeded orders for categories that lost every member are dropped with
+// the tree, exactly as a live index leaves such trees empty.
+func assemble(store *profile.Store, bg *profile.Background, probs Probs, cfg Config, res *cluster.Result, userBlock map[string]int, seed *State) *Index {
+	ix := &Index{
+		cfg:        cfg,
+		bg:         bg,
+		probs:      probs,
+		store:      store,
+		blocks:     res,
+		userBlock:  userBlock,
+		trees:      make(map[treeKey]*sigtree.Tree),
+		treesByCat: make(map[string][]*sigtree.Tree),
+		hash:       shx.NewTable(cfg.HashBuckets),
+	}
+	memberIDs := make([][]string, len(res.Clusters))
+	for id, b := range userBlock {
+		memberIDs[b] = append(memberIDs[b], id)
+	}
+	for _, ids := range memberIDs {
+		sort.Strings(ids)
 	}
 
 	// (2) block producer universes.
 	ix.prodUni = make([]*sigtree.Universe, len(res.Clusters))
 	for _, c := range res.Clusters {
-		u := sigtree.NewUniverse(nil)
-		for _, uid := range c.Members {
+		var u *sigtree.Universe
+		if seed != nil && seed.ProdUni != nil {
+			u = sigtree.NewUniverse(seed.ProdUni[c.ID])
+		} else {
+			u = sigtree.NewUniverse(nil)
+		}
+		for _, uid := range memberIDs[c.ID] {
 			p, _ := store.Lookup(uid)
 			if p == nil {
 				continue
@@ -200,8 +303,13 @@ func Build(store *profile.Store, bg *profile.Background, probs Probs, cfg Config
 	for _, c := range res.Clusters {
 		for _, cat := range cfg.Categories {
 			var members []*profile.Profile
-			ents := sigtree.NewUniverse(nil)
-			for _, uid := range c.Members {
+			var ents *sigtree.Universe
+			if seed != nil && seed.EntUni != nil && seed.EntUni[c.ID] != nil {
+				ents = sigtree.NewUniverse(seed.EntUni[c.ID][cat])
+			} else {
+				ents = sigtree.NewUniverse(nil)
+			}
+			for _, uid := range memberIDs[c.ID] {
 				p, _ := store.Lookup(uid)
 				if p == nil || !ix.userInterested(p, cat) {
 					continue
@@ -227,7 +335,7 @@ func Build(store *profile.Store, bg *profile.Background, probs Probs, cfg Config
 			}
 		}
 	}
-	return ix, nil
+	return ix
 }
 
 // owns reports whether this index materialises leaves for a user

@@ -1,0 +1,103 @@
+// reshard_chaos_test.go is the chaos column of the online-resharding
+// gate: a replicated 2-slot × 2-replica deployment of chaos-wrapped
+// nodes splits LIVE to 4 in-process shards mid-replay while one replica
+// of the OLD fleet is killed in the middle of the migration. The replay
+// must stay bit-identical to the single reference engine with ZERO
+// degraded results — the surviving sibling covers reads and writes, the
+// migration sources its snapshot and catch-up from healthy state, and
+// the flip retires the wounded fleet entirely.
+package faultinject
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ssrec/internal/core"
+	"ssrec/internal/shard"
+	"ssrec/internal/shardtest"
+)
+
+// TestChaosReshardReplicaKill kills one old-fleet replica during a live
+// 2→4 split and requires a bit-identical, zero-degraded transcript.
+func TestChaosReshardReplicaKill(t *testing.T) {
+	fx := shardtest.Load(t)
+	maxBatches := 0
+	totalBatches := (len(fx.Obs) + shardtest.ReplayBatch - 1) / shardtest.ReplayBatch
+	joinAfter := 6
+	if testing.Short() {
+		maxBatches = 16
+		totalBatches = 16
+		joinAfter = 4
+	}
+
+	reference, err := core.LoadFrom(bytes.NewReader(fx.Snapshot))
+	if err != nil {
+		t.Fatalf("boot reference: %v", err)
+	}
+	want := fx.Replay(t, reference, maxBatches)
+
+	log := &Log{}
+	r, nodes := chaosFleet(t, fx, 2, 2, log)
+	sup := r.StartSupervisor(25 * time.Millisecond)
+	defer sup.Stop()
+
+	// Seeded boundaries: the split starts mid-stream, the kill lands
+	// right after it (while the new fleet is still seeding — in-process
+	// engine boots take far longer than one micro-batch), and the join a
+	// few batches later proves the migration overlapped live traffic.
+	splitAt := 1 + rand.New(rand.NewSource(31)).Intn(totalBatches/2)
+	joinAt := splitAt + joinAfter
+	if joinAt >= totalBatches {
+		t.Fatalf("schedule overflow: join %d of %d batches", joinAt, totalBatches)
+	}
+	t.Logf("splitting 2→4 before batch %d of %d, killing slot1/replica0 at batch %d, joining before batch %d",
+		splitAt, totalBatches, splitAt+1, joinAt)
+
+	var reshardErr error
+	done := make(chan struct{})
+	driver := &chaosDeployment{r: r, script: map[int]func(){
+		splitAt: func() {
+			go func() { defer close(done); reshardErr = r.Reshard(t.Context(), 4) }()
+		},
+		splitAt + 1: func() {
+			nodes[1][0].Kill() // an old-fleet replica dies mid-migration
+		},
+		joinAt: func() {
+			<-done
+			if reshardErr != nil {
+				t.Fatalf("split under replica kill: %v", reshardErr)
+			}
+			if got := r.Shards(); got != 4 {
+				t.Fatalf("post-split width %d, want 4", got)
+			}
+		},
+	}}
+
+	// Replay fatals on ANY ObserveBatch/RecommendBatch error, so finishing
+	// at all proves zero degraded results throughout the migration.
+	got := fx.Replay(t, driver, maxBatches)
+	shardtest.Diff(t, want, got, "chaos reshard replica kill")
+
+	st := r.ReshardStatus()
+	if st.Active || st.Phase != shard.ReshardPhaseDone || st.Completed != 1 {
+		t.Fatalf("final reshard status %+v, want idle done with 1 completed", st)
+	}
+	// The flip retired the wounded replicated fleet: the new in-process
+	// fleet has plain unreplicated shards, all healthy.
+	if rep := r.Replicas(); rep != 1 {
+		t.Fatalf("post-flip replication factor %d, want 1", rep)
+	}
+	for _, rs := range r.ReplicaHealth() {
+		if rs.State != "healthy" {
+			t.Fatalf("post-flip slot %d replica %d state %q, want healthy", rs.Slot, rs.Replica, rs.State)
+		}
+	}
+	if down := r.Down(); len(down) != 0 {
+		t.Fatalf("post-flip fleet excludes shards %v", down)
+	}
+	if log.Count("killed") == 0 {
+		t.Fatal("fault log recorded no kill-induced faults; the chaos run was vacuous")
+	}
+}

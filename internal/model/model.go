@@ -51,14 +51,20 @@ func ShardOf(userID string, n int) int {
 	if n <= 1 {
 		return 0
 	}
+	return int(fnv64(userID) % uint64(n))
+}
+
+// fnv64 is the FNV-1a hash behind both ShardOf and Partition.BlockOf —
+// ONE hash function, so every epoch's block table cuts the same space.
+func fnv64(s string) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	for i := 0; i < len(userID); i++ {
-		h ^= uint64(userID[i])
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
 		h *= prime64
 	}
-	return int(h % uint64(n))
+	return h
 }

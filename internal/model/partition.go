@@ -1,0 +1,122 @@
+package model
+
+import "fmt"
+
+// Partition is the versioned user→shard ownership table of a deployment.
+// The user-ID hash space is cut into Blocks equal hash blocks and each
+// block is assigned to one of Shards owners; Epoch versions the table so
+// an online reshard (N→M shards, split or merge) is one atomic swap of
+// the whole table, never an in-place mutation.
+//
+// Epoch 0 — LegacyPartition — has one block per shard and agrees exactly
+// with the legacy ShardOf rule, so every pre-resharding deployment is a
+// Partition deployment that never noticed. Next derives the successor
+// table at a block granularity (lcm of the old granularity and the new
+// shard count) chosen so that post-reshard ownership equals
+// ShardOf(userID, M) EXACTLY — resharding always converges back onto the
+// canonical hash rule, no matter how many splits and merges chained to
+// get there.
+type Partition struct {
+	// Epoch versions the table: 0 is the boot-time legacy table, each
+	// reshard increments it by one.
+	Epoch uint64
+	// Shards is the owner count (deployment width) of this epoch.
+	Shards int
+	// Blocks is the hash-space granularity: user u falls into block
+	// fnv64(u) % Blocks.
+	Blocks int
+	// Owners maps each block to its owning shard index; len(Owners) ==
+	// Blocks and every entry is in [0, Shards).
+	Owners []int
+}
+
+// LegacyPartition is the epoch-0 table of an n-shard deployment: n blocks
+// owned identically — Owner(u) == ShardOf(u, n) for every user.
+func LegacyPartition(n int) Partition {
+	if n < 1 {
+		n = 1
+	}
+	owners := make([]int, n)
+	for i := range owners {
+		owners[i] = i
+	}
+	return Partition{Epoch: 0, Shards: n, Blocks: n, Owners: owners}
+}
+
+// Next derives the successor table for a reshard to m shards. The new
+// granularity is lcm(p.Blocks, m), so every old block maps onto a whole
+// number of new blocks (old ownership stays expressible) and block b is
+// owned by b % m — which makes the new table agree exactly with
+// ShardOf(userID, m): (h % lcm) % m == h % m because m divides the lcm.
+func (p Partition) Next(m int) Partition {
+	if m < 1 {
+		m = 1
+	}
+	blocks := lcm(max(p.Blocks, 1), m)
+	owners := make([]int, blocks)
+	for b := range owners {
+		owners[b] = b % m
+	}
+	return Partition{Epoch: p.Epoch + 1, Shards: m, Blocks: blocks, Owners: owners}
+}
+
+// BlockOf returns the hash block a user falls into.
+func (p Partition) BlockOf(userID string) int {
+	if p.Blocks <= 1 {
+		return 0
+	}
+	return int(fnv64(userID) % uint64(p.Blocks))
+}
+
+// Owner returns the shard that owns a user under this table.
+func (p Partition) Owner(userID string) int {
+	if len(p.Owners) == 0 {
+		return 0
+	}
+	return p.Owners[p.BlockOf(userID)]
+}
+
+// MigratingBlocks lists the blocks — at next's granularity — whose owner
+// changes between p and next. These are exactly the leaf partitions an
+// online reshard has to move; every other block's data never migrates.
+// next.Blocks must be a multiple of p.Blocks (the Next invariant).
+func (p Partition) MigratingBlocks(next Partition) []int {
+	var out []int
+	for b := 0; b < next.Blocks; b++ {
+		old := 0
+		if p.Blocks > 0 {
+			old = p.Owners[b%p.Blocks]
+		}
+		if next.Owners[b] != old {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Validate checks the table's structural invariants.
+func (p Partition) Validate() error {
+	if p.Shards < 1 {
+		return fmt.Errorf("model: partition epoch %d: %d shards", p.Epoch, p.Shards)
+	}
+	if p.Blocks < 1 || p.Blocks != len(p.Owners) {
+		return fmt.Errorf("model: partition epoch %d: %d blocks with %d owners", p.Epoch, p.Blocks, len(p.Owners))
+	}
+	for b, o := range p.Owners {
+		if o < 0 || o >= p.Shards {
+			return fmt.Errorf("model: partition epoch %d: block %d owned by %d, want [0,%d)", p.Epoch, b, o, p.Shards)
+		}
+	}
+	return nil
+}
+
+func lcm(a, b int) int {
+	return a / gcd(a, b) * b
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,112 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestPartitionProperties is the randomized invariant suite of the
+// versioned partition map: for random reshard chains and user IDs,
+// every epoch assigns exactly one owner per user, consecutive epochs
+// disagree only on migrating blocks, and epoch 0 agrees with the legacy
+// ShardOf rule.
+func TestPartitionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	users := make([]string, 500)
+	for i := range users {
+		users[i] = fmt.Sprintf("u%04x-%d", rng.Uint32(), i)
+	}
+
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		p := LegacyPartition(n)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: legacy(%d): %v", trial, n, err)
+		}
+		// Epoch 0 agrees with the legacy hash rule.
+		for _, u := range users {
+			if got, want := p.Owner(u), ShardOf(u, n); got != want {
+				t.Fatalf("trial %d: epoch 0 owner(%q) = %d, ShardOf = %d", trial, u, got, want)
+			}
+		}
+
+		// Chain a few random reshards and check each transition.
+		for step := 0; step < 4; step++ {
+			m := 1 + rng.Intn(8)
+			next := p.Next(m)
+			if err := next.Validate(); err != nil {
+				t.Fatalf("trial %d step %d: next(%d): %v", trial, step, m, err)
+			}
+			if next.Epoch != p.Epoch+1 {
+				t.Fatalf("trial %d step %d: epoch %d after %d", trial, step, next.Epoch, p.Epoch)
+			}
+			if next.Blocks%p.Blocks != 0 || next.Blocks%m != 0 {
+				t.Fatalf("trial %d step %d: %d blocks not a multiple of old %d and new width %d",
+					trial, step, next.Blocks, p.Blocks, m)
+			}
+			// Post-reshard ownership converges onto the canonical hash rule:
+			// any split/merge chain ends exactly where a static m-shard
+			// deployment would be.
+			for _, u := range users {
+				own := next.Owner(u)
+				if own < 0 || own >= next.Shards {
+					t.Fatalf("trial %d step %d: owner(%q) = %d out of range", trial, step, u, own)
+				}
+				if want := ShardOf(u, m); own != want {
+					t.Fatalf("trial %d step %d: owner(%q) = %d, ShardOf(·,%d) = %d", trial, step, u, own, m, want)
+				}
+			}
+			// Old and new tables differ exactly on the migrating blocks: a
+			// user's owner changes iff their block is in MigratingBlocks.
+			migrating := map[int]bool{}
+			for _, b := range p.MigratingBlocks(next) {
+				migrating[b] = true
+			}
+			for _, u := range users {
+				moved := p.Owner(u) != next.Owner(u)
+				if moved != migrating[next.BlockOf(u)] {
+					t.Fatalf("trial %d step %d: user %q moved=%v but block %d migrating=%v",
+						trial, step, u, moved, next.BlockOf(u), migrating[next.BlockOf(u)])
+				}
+			}
+			p = next
+		}
+	}
+}
+
+// TestPartitionValidate pins the rejection table of malformed partitions —
+// the same shapes the wire decoder fuzz target seeds from.
+func TestPartitionValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Partition
+		ok   bool
+	}{
+		{"legacy-1", LegacyPartition(1), true},
+		{"legacy-4", LegacyPartition(4), true},
+		{"split-2-4", LegacyPartition(2).Next(4), true},
+		{"merge-4-2", LegacyPartition(4).Next(2), true},
+		{"zero-shards", Partition{Shards: 0, Blocks: 1, Owners: []int{0}}, false},
+		{"no-owners", Partition{Shards: 2, Blocks: 2, Owners: nil}, false},
+		{"owner-count-mismatch", Partition{Shards: 2, Blocks: 3, Owners: []int{0, 1}}, false},
+		{"owner-out-of-range", Partition{Shards: 2, Blocks: 2, Owners: []int{0, 2}}, false},
+		{"negative-owner", Partition{Shards: 2, Blocks: 2, Owners: []int{0, -1}}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestLegacyPartitionMergeToOne checks the degenerate merges: any width
+// down to a single shard owns everything at shard 0.
+func TestLegacyPartitionMergeToOne(t *testing.T) {
+	p := LegacyPartition(8).Next(1)
+	for _, u := range []string{"", "a", "uc0042", "anyone"} {
+		if p.Owner(u) != 0 {
+			t.Errorf("owner(%q) = %d, want 0", u, p.Owner(u))
+		}
+	}
+}

@@ -70,12 +70,26 @@ type replicaStatser interface {
 	SupervisorStats() (shard.SupervisorStats, bool)
 }
 
+// reshardStatser is the optional Backend extension behind the /v2/stats
+// resharding block: the in-flight (or last finished) online split/merge.
+type reshardStatser interface {
+	ReshardStatus() shard.ReshardStatus
+}
+
+// resharder is the optional Backend extension behind the flag-gated
+// POST /v2/reshard admin trigger — an in-process online split/merge.
+type resharder interface {
+	Reshard(ctx context.Context, m int, members ...shard.Shard) error
+}
+
 // Compile-time checks: both shipped backends satisfy the interface.
 var (
 	_ Backend        = (*core.SafeEngine)(nil)
 	_ Backend        = (*shard.Router)(nil)
 	_ shardStatser   = (*shard.Router)(nil)
 	_ replicaStatser = (*shard.Router)(nil)
+	_ reshardStatser = (*shard.Router)(nil)
+	_ resharder      = (*shard.Router)(nil)
 )
 
 // Server wraps a Backend with an http.Handler.
@@ -133,6 +147,13 @@ type Server struct {
 	// before serving; not synchronised.
 	AuthToken string
 
+	// AdminReshard gates the POST /v2/reshard admin trigger (the
+	// -admin-reshard flag): an online in-process split/merge of a sharded
+	// backend. Off by default — resharding is an operator action, not a
+	// client one, and the endpoint is refused with 403 until enabled. Set
+	// before serving; not synchronised.
+	AdminReshard bool
+
 	// WAL, when non-nil, is the durable ingest log whose state /v2/stats
 	// reports (the single-engine deployment's log installed via WrapWAL;
 	// sharded deployments report per-shard logs from shard stats instead).
@@ -174,6 +195,7 @@ func NewBackend(b Backend) *Server {
 	s.mux.HandleFunc("POST /v2/observe", s.handleObserveV2)
 	s.mux.HandleFunc("POST /v2/session", s.handleSessionV2)
 	s.mux.HandleFunc("GET /v2/stats", s.handleStatsV2)
+	s.mux.HandleFunc("POST /v2/reshard", s.handleReshardV2)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")

@@ -339,6 +339,7 @@ type statsV2Response struct {
 	Shards      []shardStatsJSON      `json:"shards,omitempty"`
 	ReplicaSets []slotReplicasJSON    `json:"replica_sets,omitempty"`
 	Supervisor  *supervisorJSON       `json:"supervisor,omitempty"`
+	Resharding  *reshardingJSON       `json:"resharding,omitempty"`
 	Sessions    sessionStatsJSON      `json:"sessions"`
 	Requests    map[string]RouteStats `json:"requests"`
 
@@ -390,6 +391,43 @@ type supervisorJSON struct {
 	SnapshotExports     uint64  `json:"snapshot_exports"`
 	DeltaReplayMax      int     `json:"delta_replay_max"`
 	LastError           string  `json:"last_error,omitempty"`
+}
+
+// reshardingJSON reports the online split/merge machinery: the in-flight
+// migration when one is active, otherwise the last finished one (zero
+// value if none ever ran). Present only for sharded backends.
+type reshardingJSON struct {
+	Active          bool   `json:"active"`
+	Phase           string `json:"phase"`
+	FromShards      int    `json:"from_shards"`
+	ToShards        int    `json:"to_shards"`
+	FromEpoch       uint64 `json:"from_epoch"`
+	ToEpoch         uint64 `json:"to_epoch"`
+	MigratingBlocks int    `json:"migrating_blocks"`
+	Members         int    `json:"members"`
+	Seeded          int    `json:"seeded"`
+	RingDepth       int    `json:"ring_depth"`
+	MirroredBatches uint64 `json:"mirrored_batches"`
+	Error           string `json:"error,omitempty"`
+	Completed       uint64 `json:"completed"`
+}
+
+func toReshardingJSON(st shard.ReshardStatus) *reshardingJSON {
+	return &reshardingJSON{
+		Active:          st.Active,
+		Phase:           st.Phase,
+		FromShards:      st.FromShards,
+		ToShards:        st.ToShards,
+		FromEpoch:       st.FromEpoch,
+		ToEpoch:         st.ToEpoch,
+		MigratingBlocks: st.MigratingBlocks,
+		Members:         st.Members,
+		Seeded:          st.Seeded,
+		RingDepth:       st.RingDepth,
+		MirroredBatches: st.MirroredBatches,
+		Error:           st.Error,
+		Completed:       st.Completed,
+	}
 }
 
 // walJSON is the wire form of a durable ingest log's state.
@@ -493,6 +531,9 @@ func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 				break
 			}
 		}
+		if rst, ok := s.eng.(reshardStatser); ok {
+			resp.Resharding = toReshardingJSON(rst.ReshardStatus())
+		}
 		if rs, ok := s.eng.(replicaStatser); ok {
 			// Replica topology: group the flat health list by slot (the
 			// list arrives slot-ordered) and attach the supervisor's
@@ -535,4 +576,53 @@ func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 		resp.WAL = toWALJSON(&st)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- POST /v2/reshard (admin, flag-gated) ----
+
+// reshardV2Request asks for an online in-process reshard to Shards
+// engine shards.
+type reshardV2Request struct {
+	Shards int `json:"shards"`
+}
+
+// reshardV2Response acknowledges the accepted migration; progress is
+// polled from the /v2/stats resharding block.
+type reshardV2Response struct {
+	Accepted bool `json:"accepted"`
+	Shards   int  `json:"shards"`
+}
+
+// handleReshardV2 is the operator trigger of the online split/merge:
+// enabled by -admin-reshard, sharded backends only. The migration runs
+// asynchronously — the response acknowledges acceptance, and /v2/stats
+// reports seeding/catch-up/flip progress and the terminal phase.
+func (s *Server) handleReshardV2(w http.ResponseWriter, r *http.Request) {
+	if !s.AdminReshard {
+		httpError(w, http.StatusForbidden, "resharding is not enabled (start the server with -admin-reshard)")
+		return
+	}
+	rs, ok := s.eng.(resharder)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "backend is a single engine; resharding needs a sharded deployment")
+		return
+	}
+	var req reshardV2Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if req.Shards < 1 {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("shards must be >= 1, got %d", req.Shards))
+		return
+	}
+	if st, ok := s.eng.(reshardStatser); ok && st.ReshardStatus().Active {
+		httpError(w, http.StatusConflict, "a reshard is already in flight")
+		return
+	}
+	// Asynchronous and detached: the migration outlives this request by
+	// design, and the fleet must never flip half-seeded because an admin
+	// client disconnected.
+	go rs.Reshard(context.WithoutCancel(r.Context()), req.Shards) //nolint:errcheck // terminal state lands in the /v2/stats resharding block
+	writeJSON(w, http.StatusAccepted, reshardV2Response{Accepted: true, Shards: req.Shards})
 }

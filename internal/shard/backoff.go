@@ -115,6 +115,14 @@ func (ps *probeSchedule) success(i int) {
 	ps.next[i] = time.Time{}
 }
 
+// baseInterval reports the schedule's base probe interval — carried
+// over to the replacement fleet's schedule when a reshard flips.
+func (ps *probeSchedule) baseInterval() time.Duration {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.base
+}
+
 // interval reports index i's current backoff interval (tests, stats).
 func (ps *probeSchedule) interval(i int) time.Duration {
 	ps.mu.Lock()

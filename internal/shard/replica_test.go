@@ -62,9 +62,9 @@ func replicaDeployment(t *testing.T) (*Router, [][]*stubShard) {
 
 func slotSet(t *testing.T, r *Router, i int) *ReplicaSet {
 	t.Helper()
-	rs, ok := r.shards[i].(*ReplicaSet)
+	rs, ok := r.fl().shards[i].(*ReplicaSet)
 	if !ok {
-		t.Fatalf("slot %d is %T, want *ReplicaSet", i, r.shards[i])
+		t.Fatalf("slot %d is %T, want *ReplicaSet", i, r.fl().shards[i])
 	}
 	return rs
 }

@@ -677,14 +677,15 @@ func (rs *ReplicaSet) Snapshot(ctx context.Context) ([]byte, error) {
 // per replica for ReplicaSet slots, one pseudo-replica for plain shards —
 // in slot-major order, for /v2/stats.
 func (r *Router) ReplicaHealth() []ReplicaState {
+	f := r.fl()
 	var out []ReplicaState
-	for i, s := range r.shards {
+	for i, s := range f.shards {
 		if rs, ok := s.(*ReplicaSet); ok {
 			out = append(out, rs.health()...)
 			continue
 		}
-		st := ReplicaState{Slot: i, State: "healthy", MissedWrite: r.missedWrite[i].Load()}
-		if r.down[i].Load() || st.MissedWrite {
+		st := ReplicaState{Slot: i, State: "healthy", MissedWrite: f.missedWrite[i].Load()}
+		if f.down[i].Load() || st.MissedWrite {
 			st.State = "excluded"
 		}
 		out = append(out, st)

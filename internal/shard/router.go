@@ -18,6 +18,16 @@
 // Excluded shards that implement Pinger are re-probed — lazily on the
 // query path (at most once per probe interval) or explicitly via Probe —
 // and re-included once they report healthy AND trained.
+//
+// # The fleet
+//
+// All per-shard routing state — the shard handles, exclusion flags,
+// missed-write debt, probe schedule and the versioned ownership table —
+// lives in ONE immutable fleet value behind an atomic pointer. Every
+// operation loads the pointer once at entry and works against that
+// consistent view; an online reshard (resharder.go) builds a complete
+// replacement fleet off to the side and retires the old one with a single
+// pointer swap, so readers never observe a half-resized deployment.
 package shard
 
 import (
@@ -44,8 +54,12 @@ const DefaultProbeInterval = 3 * time.Second
 // probeTimeout bounds one background health probe sweep.
 const probeTimeout = 2 * time.Second
 
-// Router fans the engine API out over the shards of one deployment.
-type Router struct {
+// fleet is one epoch's complete per-shard routing state. A fleet is
+// immutable in SHAPE once serving (the slices never grow or shrink; the
+// atomic flags inside them are the mutable health state), which is what
+// makes the resharding pointer swap safe: a goroutine still holding the
+// old fleet keeps operating on retired-but-intact state.
+type fleet struct {
 	shards []Shard
 	// locals holds the wrapped engines when the deployment is in-process
 	// (New / FromSnapshot) — Train and SetParallelism need them; a mixed
@@ -55,10 +69,10 @@ type Router struct {
 	// deployment (NewReplicated / FromSnapshotReplicated): replLocals[i][j]
 	// is replica j of slot i. Remote replicated deployments leave it nil.
 	replLocals [][]*core.Engine
-	// isTrained latches once the deployment reports trained, so the
-	// per-request readiness check stops paying a full Stats snapshot
-	// (training is one-way: engines never untrain).
-	isTrained atomic.Bool
+	// partition is this fleet's versioned ownership table; epoch 0 agrees
+	// exactly with the legacy model.ShardOf rule, each reshard installs
+	// the successor epoch with the replacement fleet.
+	partition model.Partition
 
 	// down[i] marks shard i excluded after an ErrShardUnavailable failure;
 	// probes paces the lazy re-probe per shard (exponential backoff with
@@ -78,16 +92,13 @@ type Router struct {
 	// per shard (from probes and post-handoff pings).
 	epochMu   sync.Mutex
 	lastEpoch []string
-
-	// supervisor is the replica supervisor attached via StartSupervisor
-	// (nil until then); stats surfaces read it.
-	supervisor atomic.Pointer[Supervisor]
 }
 
-func newRouter(shards []Shard, locals []*core.Engine) *Router {
-	return &Router{
+func newFleet(shards []Shard, locals []*core.Engine, p model.Partition) *fleet {
+	return &fleet{
 		shards:      shards,
 		locals:      locals,
+		partition:   p,
 		down:        make([]atomic.Bool, len(shards)),
 		probes:      newProbeSchedule(len(shards), DefaultProbeInterval),
 		missedWrite: make([]atomic.Bool, len(shards)),
@@ -96,41 +107,82 @@ func newRouter(shards []Shard, locals []*core.Engine) *Router {
 	}
 }
 
+// Router fans the engine API out over the shards of one deployment.
+type Router struct {
+	fleet atomic.Pointer[fleet]
+	// isTrained latches once the deployment reports trained, so the
+	// per-request readiness check stops paying a full Stats snapshot
+	// (training is one-way: engines never untrain).
+	isTrained atomic.Bool
+
+	// supervisor is the replica supervisor attached via StartSupervisor
+	// (nil until then); stats surfaces read it.
+	supervisor atomic.Pointer[Supervisor]
+
+	// reshardMu is the write gate of an online reshard: every write path
+	// (ObserveBatch, registerBroadcast) holds the read side for its whole
+	// broadcast+mirror critical section, and the resharder holds the
+	// write side only for the two instants that must be atomic against
+	// writers — installing the mirror at the snapshot watermark and
+	// flipping the fleet pointer. Pure reads never touch it.
+	reshardMu sync.RWMutex
+	// rsd is the active reshard's mirror state (nil when idle): writers
+	// that observe it append their batch to its ring after the old-fleet
+	// broadcast, so the replacement fleet can catch up.
+	rsd atomic.Pointer[reshardState]
+	// lastReshard retains the most recent reshard's status for stats;
+	// reshardsDone counts completed flips over the router's lifetime.
+	lastReshard  atomic.Pointer[ReshardStatus]
+	reshardsDone atomic.Uint64
+}
+
+func newRouter(shards []Shard, locals []*core.Engine) *Router {
+	r := &Router{}
+	r.fleet.Store(newFleet(shards, locals, model.LegacyPartition(len(shards))))
+	return r
+}
+
+// fl returns the current fleet (never nil after construction).
+func (r *Router) fl() *fleet { return r.fleet.Load() }
+
 // recordDebt marks shard i as having missed a replicated write: it must
 // re-seed from a snapshot before rejoining. Down is (re-)asserted with
 // the debt so a concurrent Probe decision cannot leave the shard
 // serving one batch behind.
-func (r *Router) recordDebt(i int) {
-	r.missedWrite[i].Store(true)
-	r.debtGen[i].Add(1)
-	r.down[i].Store(true)
+func (f *fleet) recordDebt(i int) {
+	f.missedWrite[i].Store(true)
+	f.debtGen[i].Add(1)
+	f.down[i].Store(true)
 }
 
 // clearDebtIfUnchanged wipes shard i's missed-write debt only when no
 // new debt was recorded since the caller captured gen: debt from a batch
 // that landed DURING a handoff push or probe decision postdates the
 // snapshot that decision was based on and must survive it.
-func (r *Router) clearDebtIfUnchanged(i int, gen uint64) {
-	if r.debtGen[i].Load() == gen {
-		r.missedWrite[i].Store(false)
+func (f *fleet) clearDebtIfUnchanged(i int, gen uint64) {
+	if f.debtGen[i].Load() == gen {
+		f.missedWrite[i].Store(false)
 	}
 }
 
 // recordEpoch stores the latest observed boot epoch for a shard.
-func (r *Router) recordEpoch(i int, epoch string) {
+func (f *fleet) recordEpoch(i int, epoch string) {
 	if epoch == "" {
 		return
 	}
-	r.epochMu.Lock()
-	r.lastEpoch[i] = epoch
-	r.epochMu.Unlock()
+	f.epochMu.Lock()
+	f.lastEpoch[i] = epoch
+	f.epochMu.Unlock()
 }
 
-func (r *Router) knownEpoch(i int) string {
-	r.epochMu.Lock()
-	defer r.epochMu.Unlock()
-	return r.lastEpoch[i]
+func (f *fleet) knownEpoch(i int) string {
+	f.epochMu.Lock()
+	defer f.epochMu.Unlock()
+	return f.lastEpoch[i]
 }
+
+// markDown excludes a shard after an unavailable failure.
+func (f *fleet) markDown(i int) { f.down[i].Store(true) }
 
 // readyProbeTimeout bounds the readiness classification pings.
 const readyProbeTimeout = 2 * time.Second
@@ -149,27 +201,28 @@ func (r *Router) ready(ctx context.Context) error {
 	if r.isTrained.Load() {
 		return nil
 	}
+	f := r.fl()
 	// Kick the lazy probe here too: with every shard excluded this
 	// function short-circuits the serving path (where recommendOne would
 	// probe), and without a probe an all-down fleet could never rejoin.
-	r.maybeProbe()
+	r.maybeProbe(f)
 	type status struct{ trained, unavailable bool }
-	sts := make([]status, len(r.shards))
+	sts := make([]status, len(f.shards))
 	checked := 0
 	var wg sync.WaitGroup
-	for i := range r.shards {
-		if r.down[i].Load() {
+	for i := range f.shards {
+		if f.down[i].Load() {
 			continue
 		}
 		checked++
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sts[i].trained = r.shards[i].Stats().Trained
+			sts[i].trained = f.shards[i].Stats().Trained
 			if sts[i].trained {
 				return
 			}
-			if p, ok := r.shards[i].(Pinger); ok {
+			if p, ok := f.shards[i].(Pinger); ok {
 				pctx, cancel := context.WithTimeout(detach(ctx), readyProbeTimeout)
 				defer cancel()
 				// A ReplicaSet distinguishes reachable-but-untrained
@@ -189,7 +242,7 @@ func (r *Router) ready(ctx context.Context) error {
 			return nil
 		}
 		if sts[i].unavailable {
-			r.markDown(i)
+			f.markDown(i)
 			anyUnavailable = true
 		}
 	}
@@ -283,7 +336,7 @@ func NewReplicated(cfg core.Config, n, rep int) (*Router, error) {
 		shards[i] = rs
 	}
 	r := newRouter(shards, nil)
-	r.replLocals = grid
+	r.fl().replLocals = grid
 	return r, nil
 }
 
@@ -318,18 +371,21 @@ func FromSnapshotReplicated(data []byte, n, rep int) (*Router, error) {
 		shards[i] = rs
 	}
 	r := newRouter(shards, nil)
-	r.replLocals = grid
+	r.fl().replLocals = grid
 	return r, nil
 }
 
 // Shards reports the deployment width.
-func (r *Router) Shards() int { return len(r.shards) }
+func (r *Router) Shards() int { return len(r.fl().shards) }
+
+// Partition reports the current fleet's versioned ownership table.
+func (r *Router) Partition() model.Partition { return r.fl().partition }
 
 // Replicas reports the replication factor of the widest slot (1 for a
 // plain unreplicated deployment).
 func (r *Router) Replicas() int {
 	rep := 1
-	for _, s := range r.shards {
+	for _, s := range r.fl().shards {
 		if rs, ok := s.(*ReplicaSet); ok && rs.Replicas() > rep {
 			rep = rs.Replicas()
 		}
@@ -342,10 +398,11 @@ func (r *Router) Replicas() int {
 // a round trip — a monitoring poll must not pay a network timeout per
 // dead shard.
 func (r *Router) ShardStats() []Stats {
-	out := make([]Stats, len(r.shards))
+	f := r.fl()
+	out := make([]Stats, len(f.shards))
 	var wg sync.WaitGroup
-	for i, s := range r.shards {
-		if r.down[i].Load() {
+	for i, s := range f.shards {
+		if f.down[i].Load() {
 			out[i] = Stats{Shard: s.Index()}
 			continue
 		}
@@ -359,24 +416,23 @@ func (r *Router) ShardStats() []Stats {
 	return out
 }
 
-// Owner returns the shard index that materialises a user's leaves.
+// Owner returns the shard index that materialises a user's leaves under
+// the current partition epoch.
 func (r *Router) Owner(userID string) int {
-	return model.ShardOf(userID, len(r.shards))
+	return r.fl().partition.Owner(userID)
 }
 
 // Down lists the currently excluded shard indices, ascending.
 func (r *Router) Down() []int {
+	f := r.fl()
 	var out []int
-	for i := range r.down {
-		if r.down[i].Load() {
+	for i := range f.down {
+		if f.down[i].Load() {
 			out = append(out, i)
 		}
 	}
 	return out
 }
-
-// markDown excludes a shard after an unavailable failure.
-func (r *Router) markDown(i int) { r.down[i].Store(true) }
 
 // SetProbeInterval adjusts the BASE interval of the lazy re-probe (each
 // shard backs off exponentially from this base while it keeps failing,
@@ -387,7 +443,7 @@ func (r *Router) SetProbeInterval(d time.Duration) {
 	if d <= 0 {
 		d = DefaultProbeInterval
 	}
-	r.probes.setBase(d)
+	r.fl().probes.setBase(d)
 }
 
 // Probe synchronously re-checks every excluded shard and re-includes the
@@ -400,16 +456,17 @@ func (r *Router) SetProbeInterval(d time.Duration) {
 // a probe surface (in-process) are re-included optimistically. Probe
 // returns the re-included indices.
 func (r *Router) Probe(ctx context.Context) []int {
+	f := r.fl()
 	var up []int
-	for i := range r.shards {
-		if !r.down[i].Load() {
+	for i := range f.shards {
+		if !f.down[i].Load() {
 			continue
 		}
-		if r.probeOne(ctx, i) {
-			r.probes.success(i)
+		if f.probeOne(ctx, i) {
+			f.probes.success(i)
 			up = append(up, i)
 		} else {
-			r.probes.failure(i)
+			f.probes.failure(i)
 		}
 	}
 	return up
@@ -418,38 +475,38 @@ func (r *Router) Probe(ctx context.Context) []int {
 // probeOne re-checks one excluded shard and re-includes it when it passes;
 // reports whether the shard rejoined. Extracted from Probe so the lazy
 // query-path probe can sweep just the shards whose backoff is due.
-func (r *Router) probeOne(ctx context.Context, i int) bool {
-	gen := r.debtGen[i].Load()
-	if p, ok := r.shards[i].(Pinger); ok {
+func (f *fleet) probeOne(ctx context.Context, i int) bool {
+	gen := f.debtGen[i].Load()
+	if p, ok := f.shards[i].(Pinger); ok {
 		epoch, err := p.Ping(ctx)
 		if err != nil {
 			return false
 		}
-		if r.missedWrite[i].Load() {
+		if f.missedWrite[i].Load() {
 			// The shard missed replicated writes: re-inclusion is safe
 			// ONLY on proof of a re-seed, i.e. a boot epoch that changed
 			// from a recorded baseline. No epoch support, no baseline,
 			// or an unchanged epoch all FAIL CLOSED — recording the
 			// observed epoch as the baseline, so that a direct operator
 			// handoff to the shardd becomes provable on the next probe.
-			known := r.knownEpoch(i)
+			known := f.knownEpoch(i)
 			if epoch == "" || known == "" || epoch == known {
-				r.recordEpoch(i, epoch)
+				f.recordEpoch(i, epoch)
 				return false
 			}
-			r.clearDebtIfUnchanged(i, gen)
+			f.clearDebtIfUnchanged(i, gen)
 		}
-		r.recordEpoch(i, epoch)
+		f.recordEpoch(i, epoch)
 	} else {
 		// No probe surface (in-process): re-include optimistically.
-		r.clearDebtIfUnchanged(i, gen)
+		f.clearDebtIfUnchanged(i, gen)
 	}
-	r.down[i].Store(false)
+	f.down[i].Store(false)
 	// Close the probe/broadcast race: debt recorded while we were
 	// deciding survived the generation-guarded clear above — stay
 	// excluded rather than serving one batch behind.
-	if r.missedWrite[i].Load() {
-		r.down[i].Store(true)
+	if f.missedWrite[i].Load() {
+		f.down[i].Store(true)
 		return false
 	}
 	return true
@@ -460,17 +517,17 @@ func (r *Router) probeOne(ctx context.Context, i int) bool {
 // operator call but a dead one costs no per-query latency — and, unlike a
 // fixed-interval sweep, a shard that stays dead is probed less and less
 // often (ProbeBackoffCap-bounded) instead of every interval forever.
-func (r *Router) maybeProbe() {
+func (r *Router) maybeProbe(f *fleet) {
 	var down []int
-	for i := range r.down {
-		if r.down[i].Load() {
+	for i := range f.down {
+		if f.down[i].Load() {
 			down = append(down, i)
 		}
 	}
 	if len(down) == 0 {
 		return
 	}
-	due := r.probes.claimDue(down)
+	due := f.probes.claimDue(down)
 	if len(due) == 0 {
 		return
 	}
@@ -478,13 +535,13 @@ func (r *Router) maybeProbe() {
 		ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
 		defer cancel()
 		for _, i := range due {
-			if !r.down[i].Load() {
+			if !f.down[i].Load() {
 				continue
 			}
-			if r.probeOne(ctx, i) {
-				r.probes.success(i)
+			if f.probeOne(ctx, i) {
+				f.probes.success(i)
 			} else {
-				r.probes.failure(i)
+				f.probes.failure(i)
 			}
 		}
 	}()
@@ -497,7 +554,8 @@ func (r *Router) maybeProbe() {
 // snapshot before rejoining). In-process shards are skipped; they boot
 // through New/FromSnapshot/Train.
 func (r *Router) HandoffSnapshot(ctx context.Context, snapshot []byte) error {
-	for i, s := range r.shards {
+	f := r.fl()
+	for i, s := range f.shards {
 		sr, ok := s.(SnapshotReceiver)
 		if !ok {
 			continue
@@ -506,23 +564,23 @@ func (r *Router) HandoffSnapshot(ctx context.Context, snapshot []byte) error {
 		// lands while the snapshot is in flight records debt the snapshot
 		// cannot contain, and the generation-guarded clear below leaves
 		// that debt (and the exclusion) in place.
-		gen := r.debtGen[i].Load()
+		gen := f.debtGen[i].Load()
 		if err := sr.Handoff(ctx, snapshot); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 		// The handoff re-seeded the shard: clear the debt it covers and
 		// record the fresh boot epoch so later probes have a baseline.
-		r.clearDebtIfUnchanged(i, gen)
-		r.down[i].Store(false)
+		f.clearDebtIfUnchanged(i, gen)
+		f.down[i].Store(false)
 		if p, ok := s.(Pinger); ok {
 			if epoch, err := p.Ping(ctx); err == nil {
-				r.recordEpoch(i, epoch)
+				f.recordEpoch(i, epoch)
 			}
 		}
 		// Debt that survived the guarded clear keeps the shard excluded —
 		// it rejoins on the next handoff (or probe after a re-seed).
-		if r.missedWrite[i].Load() {
-			r.down[i].Store(true)
+		if f.missedWrite[i].Load() {
+			f.down[i].Store(true)
 		}
 	}
 	return nil
@@ -533,30 +591,31 @@ func (r *Router) HandoffSnapshot(ctx context.Context, snapshot []byte) error {
 // (LoadShardFrom) — identical replicated state, own leaf partition — so
 // an n-shard deployment costs ONE training, not n.
 func (r *Router) Train(items []model.Item, interactions []model.Interaction, resolve func(string) (model.Item, bool)) error {
-	if r.replLocals != nil {
-		return r.trainReplicated(items, interactions, resolve)
+	f := r.fl()
+	if f.replLocals != nil {
+		return r.trainReplicated(f, items, interactions, resolve)
 	}
-	if r.locals == nil {
+	if f.locals == nil {
 		return fmt.Errorf("shard: Train requires an in-process deployment (New or FromSnapshot); remote deployments train out-of-band and boot via HandoffSnapshot")
 	}
-	if err := r.locals[0].Train(items, interactions, resolve); err != nil {
+	if err := f.locals[0].Train(items, interactions, resolve); err != nil {
 		return err
 	}
-	if len(r.locals) == 1 {
+	if len(f.locals) == 1 {
 		return nil
 	}
 	var buf bytes.Buffer
-	if err := r.locals[0].SaveTo(&buf); err != nil {
+	if err := f.locals[0].SaveTo(&buf); err != nil {
 		return fmt.Errorf("shard: snapshot shard 0: %w", err)
 	}
 	data := buf.Bytes()
-	for i := 1; i < len(r.locals); i++ {
-		e, err := core.LoadShardFrom(bytes.NewReader(data), i, len(r.locals))
+	for i := 1; i < len(f.locals); i++ {
+		e, err := core.LoadShardFrom(bytes.NewReader(data), i, len(f.locals))
 		if err != nil {
 			return fmt.Errorf("shard %d: boot from snapshot: %w", i, err)
 		}
-		r.locals[i] = e
-		r.shards[i] = NewLocal(i, e)
+		f.locals[i] = e
+		f.shards[i] = NewLocal(i, e)
 	}
 	return nil
 }
@@ -566,21 +625,21 @@ func (r *Router) Train(items []model.Item, interactions []model.Interaction, res
 // every slot boots from its snapshot (LoadShardFrom) — identical
 // replicated state, its slot's leaf partition — so an n×rep deployment
 // still costs ONE training.
-func (r *Router) trainReplicated(items []model.Item, interactions []model.Interaction, resolve func(string) (model.Item, bool)) error {
-	if err := r.replLocals[0][0].Train(items, interactions, resolve); err != nil {
+func (r *Router) trainReplicated(f *fleet, items []model.Item, interactions []model.Interaction, resolve func(string) (model.Item, bool)) error {
+	if err := f.replLocals[0][0].Train(items, interactions, resolve); err != nil {
 		return err
 	}
-	n := len(r.replLocals)
-	if n == 1 && len(r.replLocals[0]) == 1 {
+	n := len(f.replLocals)
+	if n == 1 && len(f.replLocals[0]) == 1 {
 		return nil
 	}
 	var buf bytes.Buffer
-	if err := r.replLocals[0][0].SaveTo(&buf); err != nil {
+	if err := f.replLocals[0][0].SaveTo(&buf); err != nil {
 		return fmt.Errorf("shard: snapshot slot 0: %w", err)
 	}
 	data := buf.Bytes()
-	for i := range r.replLocals {
-		for j := range r.replLocals[i] {
+	for i := range f.replLocals {
+		for j := range f.replLocals[i] {
 			if i == 0 && j == 0 {
 				continue
 			}
@@ -588,8 +647,8 @@ func (r *Router) trainReplicated(items []model.Item, interactions []model.Intera
 			if err != nil {
 				return fmt.Errorf("slot %d replica %d: boot from snapshot: %w", i, j, err)
 			}
-			r.replLocals[i][j] = e
-			r.shards[i].(*ReplicaSet).setReplica(j, NewLocal(i, e))
+			f.replLocals[i][j] = e
+			f.shards[i].(*ReplicaSet).setReplica(j, NewLocal(i, e))
 		}
 	}
 	return nil
@@ -599,12 +658,13 @@ func (r *Router) trainReplicated(items []model.Item, interactions []model.Intera
 // shard (no-op entries for non-local shards; remote shards take the
 // per-call core.WithParallelism option or their shardd -partitions flag).
 func (r *Router) SetParallelism(n int) {
-	for _, e := range r.locals {
+	f := r.fl()
+	for _, e := range f.locals {
 		if e != nil {
 			e.SetParallelism(n)
 		}
 	}
-	for _, row := range r.replLocals {
+	for _, row := range f.replLocals {
 		for _, e := range row {
 			if e != nil {
 				e.SetParallelism(n)
@@ -619,12 +679,13 @@ func (r *Router) SetParallelism(n int) {
 // maintenance — it never changes what a shard serves, only how it gets
 // there — so remote shards keep their own configuration.
 func (r *Router) SetFullRefresh(on bool) {
-	for _, e := range r.locals {
+	f := r.fl()
+	for _, e := range f.locals {
 		if e != nil {
 			e.SetFullRefresh(on)
 		}
 	}
-	for _, row := range r.replLocals {
+	for _, row := range f.replLocals {
 		for _, e := range row {
 			if e != nil {
 				e.SetFullRefresh(on)
@@ -637,12 +698,13 @@ func (r *Router) SetFullRefresh(on bool) {
 // (core.Engine.SetIncrementalFold) on every in-process shard; like
 // SetFullRefresh this is shard-local maintenance policy.
 func (r *Router) SetIncrementalFold(on bool) {
-	for _, e := range r.locals {
+	f := r.fl()
+	for _, e := range f.locals {
 		if e != nil {
 			e.SetIncrementalFold(on)
 		}
 	}
-	for _, row := range r.replLocals {
+	for _, row := range f.replLocals {
 		for _, e := range row {
 			if e != nil {
 				e.SetIncrementalFold(on)
@@ -691,15 +753,23 @@ func (r *Router) ObserveBatch(ctx context.Context, batch []core.Observation) (co
 	if len(batch) == 0 {
 		return core.BatchReport{}, nil
 	}
-	r.maybeProbe() // write-only workloads must also drive shard recovery
+	// The whole broadcast+mirror is one reshard critical section: the
+	// resharder's snapshot watermark and fleet flip both wait for
+	// in-flight writes, so every batch lands exactly once on the
+	// replacement fleet — in the snapshot, in the mirror ring, or after
+	// the flip.
+	r.reshardMu.RLock()
+	defer r.reshardMu.RUnlock()
+	f := r.fl()
+	r.maybeProbe(f) // write-only workloads must also drive shard recovery
 	bctx := detach(ctx)
-	reps := make([]core.BatchReport, len(r.shards))
-	errs := make([]error, len(r.shards))
-	ran := make([]bool, len(r.shards))
+	reps := make([]core.BatchReport, len(f.shards))
+	errs := make([]error, len(f.shards))
+	ran := make([]bool, len(f.shards))
 	var excluded []int
 	var wg sync.WaitGroup
-	for i, s := range r.shards {
-		if r.down[i].Load() {
+	for i, s := range f.shards {
+		if f.down[i].Load() {
 			excluded = append(excluded, i)
 			continue
 		}
@@ -716,13 +786,13 @@ func (r *Router) ObserveBatch(ctx context.Context, batch []core.Observation) (co
 	base := false
 	anyUnavail := false
 	var behind []int // shards that did not (or may not have) applied the batch
-	for i := range r.shards {
+	for i := range f.shards {
 		if !ran[i] {
 			continue
 		}
 		if errs[i] != nil {
 			if errors.Is(errs[i], ErrShardUnavailable) {
-				r.markDown(i)
+				f.markDown(i)
 				anyUnavail = true
 				excluded = append(excluded, i)
 				continue
@@ -759,11 +829,18 @@ func (r *Router) ObserveBatch(ctx context.Context, batch []core.Observation) (co
 	mutated := (base && rep.Applied > 0) || (!base && anyUnavail)
 	if mutated {
 		for _, i := range excluded {
-			r.recordDebt(i)
+			f.recordDebt(i)
 		}
 		for _, i := range behind {
-			r.recordDebt(i)
+			f.recordDebt(i)
 		}
+	}
+	// Mirror the batch to an in-flight reshard AFTER the old fleet
+	// applied it: the replacement fleet replays the ring in arrival
+	// order, so a sequential writer's stream lands on it in exactly the
+	// order the old fleet saw.
+	if rsd := r.rsd.Load(); rsd != nil {
+		rsd.mirrorObserve(batch)
 	}
 	if fatal != nil {
 		return rep, fatal
@@ -779,13 +856,16 @@ func (r *Router) ObserveBatch(ctx context.Context, batch []core.Observation) (co
 // Unavailable shards are excluded rather than failing the query — the
 // degraded-mode error surfaces on the query leg that follows.
 func (r *Router) registerBroadcast(ctx context.Context, items []model.Item) error {
+	r.reshardMu.RLock()
+	defer r.reshardMu.RUnlock()
+	f := r.fl()
 	bctx := detach(ctx)
-	errs := make([]error, len(r.shards))
-	changed := make([]bool, len(r.shards))
-	ran := make([]bool, len(r.shards))
+	errs := make([]error, len(f.shards))
+	changed := make([]bool, len(f.shards))
+	ran := make([]bool, len(f.shards))
 	var wg sync.WaitGroup
-	for i, s := range r.shards {
-		if r.down[i].Load() {
+	for i, s := range f.shards {
+		if f.down[i].Load() {
 			continue
 		}
 		ran[i] = true
@@ -807,7 +887,7 @@ func (r *Router) registerBroadcast(ctx context.Context, items []model.Item) erro
 	// skipped or failed shard owing a re-seed.
 	anySuccess, advanced, anyUnavail := false, false, false
 	var fatal error
-	for i := range r.shards {
+	for i := range f.shards {
 		if !ran[i] {
 			continue
 		}
@@ -825,7 +905,7 @@ func (r *Router) registerBroadcast(ctx context.Context, items []model.Item) erro
 			continue
 		}
 		anyUnavail = true
-		r.markDown(i)
+		f.markDown(i)
 	}
 	// Debt accrues for every shard that skipped or failed the broadcast
 	// when it may have advanced the replicated state elsewhere: proven by
@@ -836,10 +916,18 @@ func (r *Router) registerBroadcast(ctx context.Context, items []model.Item) erro
 	// re-inclusion stays reachable under ordinary read traffic.
 	mutated := (anySuccess && advanced) || (!anySuccess && anyUnavail)
 	if len(items) > 0 && mutated {
-		for i := range r.shards {
+		for i := range f.shards {
 			if !ran[i] || errs[i] != nil {
-				r.recordDebt(i)
+				f.recordDebt(i)
 			}
+		}
+	}
+	// Mirror registrations that (may have) advanced the replicated
+	// dictionaries; a proven no-op is a no-op on the replacement fleet
+	// too (it boots from a snapshot that already contains those items).
+	if len(items) > 0 && mutated {
+		if rsd := r.rsd.Load(); rsd != nil {
+			rsd.mirrorRegister(items)
 		}
 	}
 	return fatal
@@ -851,25 +939,26 @@ func (r *Router) registerBroadcast(ctx context.Context, items []model.Item) erro
 // shards excluded the merged result is partial (their owned users are
 // missing) and the call wraps ErrShardUnavailable alongside it.
 func (r *Router) recommendOne(ctx context.Context, v model.Item, o core.QueryOptions) (core.Result, error) {
-	r.maybeProbe()
-	if len(r.shards) == 1 {
-		if r.down[0].Load() {
+	f := r.fl()
+	r.maybeProbe(f)
+	if len(f.shards) == 1 {
+		if f.down[0].Load() {
 			return core.Result{ItemID: v.ID}, degradedErr([]int{0})
 		}
-		res, err := r.shards[0].Recommend(ctx, v, o, nil)
+		res, err := f.shards[0].Recommend(ctx, v, o, nil)
 		if err != nil && errors.Is(err, ErrShardUnavailable) {
-			r.markDown(0)
+			f.markDown(0)
 		}
 		return res, err
 	}
 	b := sigtree.NewBound()
-	parts := make([]core.Result, len(r.shards))
-	errs := make([]error, len(r.shards))
-	ran := make([]bool, len(r.shards))
+	parts := make([]core.Result, len(f.shards))
+	errs := make([]error, len(f.shards))
+	ran := make([]bool, len(f.shards))
 	var excluded []int
 	var wg sync.WaitGroup
-	for i, s := range r.shards {
-		if r.down[i].Load() {
+	for i, s := range f.shards {
+		if f.down[i].Load() {
 			excluded = append(excluded, i)
 			continue
 		}
@@ -889,7 +978,7 @@ func (r *Router) recommendOne(ctx context.Context, v model.Item, o core.QueryOpt
 			continue
 		}
 		if errs[i] != nil && errors.Is(errs[i], ErrShardUnavailable) {
-			r.markDown(i)
+			f.markDown(i)
 			excluded = append(excluded, i)
 			continue
 		}
@@ -1018,20 +1107,20 @@ func (r *Router) RegisterItem(v model.Item) {
 
 // Users counts tracked profiles (replicated — the first healthy shard's
 // figure is the deployment's).
-func (r *Router) Users() int { return r.firstUpStats().Users }
+func (r *Router) Users() int { return r.fl().firstUpStats().Users }
 
 // Parallelism reports the intra-query worker count of the first healthy
 // shard.
-func (r *Router) Parallelism() int { return r.firstUpStats().Parallelism }
+func (r *Router) Parallelism() int { return r.fl().firstUpStats().Parallelism }
 
 // firstUpStats snapshots the first non-excluded shard. With every shard
 // excluded it reports zero values WITHOUT a round trip — a monitoring
 // poll against a fully partitioned fleet must not hang on a dead
 // shard's timeout.
-func (r *Router) firstUpStats() Stats {
-	for i := range r.shards {
-		if !r.down[i].Load() {
-			return r.shards[i].Stats()
+func (f *fleet) firstUpStats() Stats {
+	for i := range f.shards {
+		if !f.down[i].Load() {
+			return f.shards[i].Stats()
 		}
 	}
 	return Stats{}
@@ -1041,7 +1130,7 @@ func (r *Router) firstUpStats() Stats {
 // structures are replicated, so any healthy shard's block/tree/hash
 // figures are the deployment's, and Users covers every assigned user.
 func (r *Router) IndexStats() core.IndexStatsView {
-	st := r.firstUpStats()
+	st := r.fl().firstUpStats()
 	return core.IndexStatsView{
 		Blocks:   st.Blocks,
 		Trees:    st.Trees,

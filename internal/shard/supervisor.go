@@ -186,8 +186,12 @@ type reseedJob struct {
 // handler, if wired) can force a deterministic pass.
 func (s *Supervisor) Sweep(ctx context.Context) {
 	defer s.cycles.Add(1)
+	// One fleet view per sweep: a reshard that flips mid-sweep retires
+	// this fleet, and finishing the pass against the retired (intact)
+	// state is harmless — the next sweep loads the new fleet.
+	f := s.r.fl()
 	var jobs []reseedJob
-	for _, sh := range s.r.shards {
+	for _, sh := range f.shards {
 		rs, ok := sh.(*ReplicaSet)
 		if !ok {
 			continue
@@ -212,19 +216,19 @@ func (s *Supervisor) Sweep(ctx context.Context) {
 			// is unsafe or fails does it join the snapshot jobs — so a
 			// sweep where every needy replica delta-heals skips the
 			// snapshot export entirely.
-			if s.tryDeltaReplay(ctx, rs, j) {
+			if s.tryDeltaReplay(ctx, f, rs, j) {
 				continue
 			}
 			jobs = append(jobs, reseedJob{rs: rs, j: j, sr: sr,
-				gen: rs.debtGen[j].Load(), routerGen: s.r.debtGen[rs.idx].Load()})
+				gen: rs.debtGen[j].Load(), routerGen: f.debtGen[rs.idx].Load()})
 		}
 	}
 	if len(jobs) > 0 {
-		snapshot, err := s.sourceSnapshot(ctx)
+		snapshot, err := s.sourceSnapshot(ctx, f)
 		if err != nil {
 			s.failures.Add(uint64(len(jobs)))
 			s.lastErr.Store(fmt.Sprintf("snapshot export: %v", err))
-			s.probeRouter(ctx)
+			s.probeRouter(ctx, f)
 			return
 		}
 		clean := true
@@ -260,14 +264,14 @@ func (s *Supervisor) Sweep(ctx context.Context) {
 			// re-include it. Without this, a slot whose epoch baseline was
 			// first observed after this reseed (the router could not ping
 			// while every replica was down) could never prove the re-seed.
-			s.r.clearDebtIfUnchanged(job.rs.idx, job.routerGen)
+			f.clearDebtIfUnchanged(job.rs.idx, job.routerGen)
 			s.reseeds.Add(1)
 		}
 		if clean {
 			s.lastErr.Store("")
 		}
 	}
-	s.probeRouter(ctx)
+	s.probeRouter(ctx, f)
 }
 
 // tryDeltaReplay heals a stale replica by replaying just the write
@@ -281,7 +285,7 @@ func (s *Supervisor) Sweep(ctx context.Context) {
 // the reseed generation, exactly like a snapshot handoff; failure
 // records a delta failure and falls back to the snapshot path this same
 // sweep.
-func (s *Supervisor) tryDeltaReplay(ctx context.Context, rs *ReplicaSet, j int) bool {
+func (s *Supervisor) tryDeltaReplay(ctx context.Context, f *fleet, rs *ReplicaSet, j int) bool {
 	max := s.deltaMax.Load()
 	if max <= 0 || !rs.missedWrite[j].Load() {
 		return false
@@ -292,7 +296,7 @@ func (s *Supervisor) tryDeltaReplay(ctx context.Context, rs *ReplicaSet, j int) 
 		return false
 	}
 	gen := rs.debtGen[j].Load()
-	routerGen := s.r.debtGen[rs.idx].Load()
+	routerGen := f.debtGen[rs.idx].Load()
 	epoch, err := p.Ping(ctx)
 	if err != nil || epoch == "" {
 		return false
@@ -331,15 +335,15 @@ func (s *Supervisor) tryDeltaReplay(ctx context.Context, rs *ReplicaSet, j int) 
 	}
 	rs.reseeding[j].Store(false)
 	rs.seedGen.Add(1)
-	s.r.clearDebtIfUnchanged(rs.idx, routerGen)
+	f.clearDebtIfUnchanged(rs.idx, routerGen)
 	s.deltaReseeds.Add(1)
 	return true
 }
 
 // probeRouter lets slots whose replicas recovered rejoin the scatter set.
-func (s *Supervisor) probeRouter(ctx context.Context) {
-	for i := range s.r.down {
-		if s.r.down[i].Load() {
+func (s *Supervisor) probeRouter(ctx context.Context, f *fleet) {
+	for i := range f.down {
+		if f.down[i].Load() {
 			s.r.Probe(ctx)
 			return
 		}
@@ -349,9 +353,9 @@ func (s *Supervisor) probeRouter(ctx context.Context) {
 // sourceSnapshot exports one snapshot from any healthy provider — a
 // shard snapshot carries the full replicated state, so one export seeds
 // every needy replica of every slot this sweep.
-func (s *Supervisor) sourceSnapshot(ctx context.Context) ([]byte, error) {
+func (s *Supervisor) sourceSnapshot(ctx context.Context, f *fleet) ([]byte, error) {
 	var firstErr error
-	for i, sh := range s.r.shards {
+	for i, sh := range f.shards {
 		sp, ok := sh.(SnapshotProvider)
 		if !ok {
 			continue
@@ -359,7 +363,7 @@ func (s *Supervisor) sourceSnapshot(ctx context.Context) ([]byte, error) {
 		if _, isSet := sh.(*ReplicaSet); !isSet {
 			// A plain shard must be healthy and debt-free to be a source;
 			// a ReplicaSet picks its own healthy replica internally.
-			if s.r.down[i].Load() || s.r.missedWrite[i].Load() {
+			if f.down[i].Load() || f.missedWrite[i].Load() {
 				continue
 			}
 		}

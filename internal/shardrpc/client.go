@@ -541,6 +541,17 @@ func (c *Client) Replay(ctx context.Context, batches []shard.ReplayBatch) error 
 	return c.do(ctx, "replay", pathReplay, req, &resp)
 }
 
+// PrepareReshard implements shard.ReshardPreparer: stages the successor
+// partition table on the shardd (POST /shard/v1/reshard) so the snapshot
+// handoff that follows boots slot `slot` via core.LoadPartitionFrom —
+// the control half of resharding onto remote members (Router.Reshard
+// with shardrpc clients for freshly started shardd processes).
+func (c *Client) PrepareReshard(ctx context.Context, slot int, p model.Partition) error {
+	w := reshardWire{Slot: slot, Partition: toPartitionWire(p)}
+	var resp reshardRespWire
+	return c.do(ctx, "reshard", pathReshard, w, &resp)
+}
+
 // Compile-time interface checks.
 var (
 	_ shard.Shard            = (*Client)(nil)
@@ -548,4 +559,5 @@ var (
 	_ shard.SnapshotReceiver = (*Client)(nil)
 	_ shard.SnapshotProvider = (*Client)(nil)
 	_ shard.Replayer         = (*Client)(nil)
+	_ shard.ReshardPreparer  = (*Client)(nil)
 )

@@ -117,6 +117,12 @@ type Server struct {
 	// watermark always agree (no batch can land between the two).
 	walMu sync.Mutex
 
+	// reshardPending is the partition table staged by POST /shard/v1/
+	// reshard: the next snapshot handoff consumes it and boots via
+	// core.LoadPartitionFrom — the data half of the online split/merge
+	// protocol. Nil outside a reshard seeding.
+	reshardPending atomic.Pointer[model.Partition]
+
 	mux *http.ServeMux
 }
 
@@ -146,6 +152,7 @@ func NewServer(idx, of int) (*Server, error) {
 	s.mux.HandleFunc("POST "+pathSnapshot, s.handleSnapshot)
 	s.mux.HandleFunc("GET "+pathSnapshot, s.handleSnapshotExport)
 	s.mux.HandleFunc("POST "+pathReplay, s.handleReplay)
+	s.mux.HandleFunc("POST "+pathReshard, s.handleReshard)
 	return s, nil
 }
 
@@ -546,6 +553,31 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleReshard stages a reshard: the router announces, before the
+// snapshot handoff, that this shard's next boot is slot `slot` of the
+// deployment partitioned by the posted versioned block table. The slot
+// and width must match the identity this shardd was started with —
+// resharding onto remote members means starting fresh processes with the
+// FINAL identity (-index i -of m) and pointing the reshard at them.
+func (s *Server) handleReshard(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "reshard: %v", err)
+		return
+	}
+	slot, p, err := decodeReshardRequest(body)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if slot != s.idx || p.Shards != s.of {
+		s.httpError(w, http.StatusConflict, "reshard addresses slot %d of %d, this shard is %d/%d", slot, p.Shards, s.idx, s.of)
+		return
+	}
+	s.reshardPending.Store(&p)
+	s.writeJSON(w, http.StatusOK, reshardRespWire{Staged: true})
+}
+
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	// Refuse a handoff addressed to a different shard identity — booting
 	// the wrong leaf partition would silently break the deployment's
@@ -558,7 +590,19 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	e, err := core.LoadShardFrom(http.MaxBytesReader(w, r.Body, s.MaxSnapshotBytes), s.idx, s.of)
+	var (
+		e   *core.Engine
+		err error
+	)
+	if pending := s.reshardPending.Swap(nil); pending != nil {
+		// A staged reshard: boot with the successor epoch's versioned
+		// table instead of the legacy modular rule. The stage is consumed
+		// either way — a failed handoff aborts the whole reshard and any
+		// retry re-stages.
+		e, err = core.LoadPartitionFrom(http.MaxBytesReader(w, r.Body, s.MaxSnapshotBytes), s.idx, *pending)
+	} else {
+		e, err = core.LoadShardFrom(http.MaxBytesReader(w, r.Body, s.MaxSnapshotBytes), s.idx, s.of)
+	}
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, "snapshot: %v", err)
 		return

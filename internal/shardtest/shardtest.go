@@ -115,6 +115,19 @@ func (fx *Fixture) Replay(tb testing.TB, d Deployment, maxBatches int, opts ...c
 // flush schedule is observable through BatchReport.Flushed.
 func (fx *Fixture) ReplayBatchSize(tb testing.TB, d Deployment, batchSize, maxBatches int, opts ...core.Option) *Transcript {
 	tb.Helper()
+	return fx.ReplayWithHooks(tb, d, batchSize, maxBatches, nil, opts...)
+}
+
+// ReplayWithHooks is ReplayBatchSize with mid-stream intervention points:
+// hooks[i] runs just BEFORE batch i's ObserveBatch, at the exact batch
+// boundary the schedule defines. The resharding conformance gates use it
+// to kick off a live split/merge at a seeded batch index and to join it a
+// fixed number of batches later, so the migration provably overlaps the
+// stream; the fault-injection suites can likewise kill or revive replicas
+// at deterministic stream positions. Hooks run on the replay goroutine —
+// anything concurrent must be launched by the hook itself.
+func (fx *Fixture) ReplayWithHooks(tb testing.TB, d Deployment, batchSize, maxBatches int, hooks map[int]func(batchIdx int), opts ...core.Option) *Transcript {
+	tb.Helper()
 	if batchSize <= 0 {
 		tb.Fatalf("batchSize %d", batchSize)
 	}
@@ -124,6 +137,9 @@ func (fx *Fixture) ReplayBatchSize(tb testing.TB, d Deployment, batchSize, maxBa
 	batchIdx := 0
 	for lo := 0; lo < len(fx.Obs); lo += batchSize {
 		hi := min(lo+batchSize, len(fx.Obs))
+		if hook, ok := hooks[batchIdx]; ok {
+			hook(batchIdx)
+		}
 		rep, err := d.ObserveBatch(ctx, fx.Obs[lo:hi])
 		if err != nil {
 			tb.Fatalf("batch %d: ObserveBatch: %v", batchIdx, err)
