@@ -1,0 +1,72 @@
+// host.go captures the run environment every BENCH artifact should pin
+// (a throughput number without its core count is not comparable) and the
+// optional /metrics scrape that snapshots a live fleet's counters into
+// the same JSON artifact.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// hostInfo is the run-environment block embedded in every JSON artifact:
+// scheduler width, physical core count, and the GC's view of the run.
+type hostInfo struct {
+	NumCPU         int    `json:"num_cpu"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+}
+
+// captureHostInfo snapshots the environment; call it AFTER the measured
+// section so the heap/GC numbers describe the run, not the startup.
+func captureHostInfo() hostInfo {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return hostInfo{
+		NumCPU:         runtime.NumCPU(),
+		HeapAllocBytes: ms.HeapAlloc,
+		GCPauseTotalNs: ms.PauseTotalNs,
+	}
+}
+
+// scrapeMetrics fetches a Prometheus text exposition (the GET /metrics
+// surface of ssrec-server / ssrec-shardd) and flattens it into
+// name{labels} → value. Comment and malformed lines are skipped; the
+// parser accepts exactly what internal/telemetry emits plus any other
+// 0.0.4 text exposition.
+func scrapeMetrics(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: status %s", url, resp.Status)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -55,11 +55,12 @@ func main() {
 		walDir       = flag.String("wal", "", "throughput mode, single-engine only: durable ingest WAL directory — every write batch is logged (and per -fsync, fsynced) before it is applied, measuring the durability tax on the ingest path")
 		fsync        = flag.String("fsync", "batch", "throughput mode, -wal only: fsync policy — batch (sync before every ack), interval (background 100ms ticker), off (OS page cache only)")
 		jsonOut      = flag.String("json", "", "throughput mode: write the JSON report here")
+		scrapeURL    = flag.String("scrape-metrics", "", "throughput/refresh modes: after the run, scrape this /metrics URL (ssrec-server or ssrec-shardd) and embed the series in the JSON artifact")
 	)
 	flag.Parse()
 
 	if *refresh {
-		runRefresh(*jsonOut)
+		runRefresh(*jsonOut, *scrapeURL)
 		return
 	}
 	if *throughput {
@@ -67,6 +68,7 @@ func main() {
 			Scale: *scale, Seed: *seed, Parallel: *parallel, Partitions: *partitions,
 			Shards: *shards, Replicas: *replicas, RemoteShards: *remoteShards, Writers: *writers, Batch: *batch,
 			K: *topK, Session: *session, Scatter: *scatter, WALDir: *walDir, Fsync: *fsync, JSONPath: *jsonOut,
+			ScrapeURL: *scrapeURL,
 		})
 		return
 	}

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"ssrec/internal/cppse"
@@ -40,10 +41,16 @@ type refreshScenario struct {
 
 // refreshReport is the JSON artifact of -refresh.
 type refreshReport struct {
-	Bench      string            `json:"bench"`
+	Bench      string `json:"bench"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	hostInfo
 	Users      int               `json:"users"`
 	WindowSize int               `json:"window_size"`
 	Scenarios  []refreshScenario `json:"scenarios"`
+
+	// ScrapedMetrics snapshots a live /metrics exposition into the
+	// artifact when -scrape-metrics is given (name{labels} → value).
+	ScrapedMetrics map[string]float64 `json:"scraped_metrics,omitempty"`
 }
 
 // refreshFixture builds a three-cohort store (the internal/cppse test
@@ -102,7 +109,7 @@ func inhabitAllCats(p *profile.Profile) {
 	}
 }
 
-func runRefresh(jsonPath string) {
+func runRefresh(jsonPath, scrapeURL string) {
 	const nPerCohort = 100
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "refresh: %v\n", err)
@@ -193,6 +200,16 @@ func runRefresh(jsonPath string) {
 			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.Iterations)
 	}
 
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.hostInfo = captureHostInfo()
+	if scrapeURL != "" {
+		m, err := scrapeMetrics(scrapeURL)
+		if err != nil {
+			fail(err)
+		}
+		rep.ScrapedMetrics = m
+		fmt.Fprintf(os.Stderr, "scraped %d metric series from %s\n", len(m), scrapeURL)
+	}
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)
 		if err != nil {

@@ -99,6 +99,7 @@ type throughputConfig struct {
 	WALDir       string // non-empty: wrap the single engine with the durable ingest WAL
 	Fsync        string // WAL fsync policy: "batch", "interval" or "off"
 	JSONPath     string
+	ScrapeURL    string // non-empty: snapshot this /metrics exposition into the artifact
 }
 
 // bootRemoteShards stands up the -remote-shards deployment: a numeric
@@ -197,11 +198,12 @@ type benchBackend interface {
 
 // ThroughputResult is the JSON report of one throughput run.
 type ThroughputResult struct {
-	Bench       string  `json:"bench"`
-	Dataset     string  `json:"dataset"`
-	Scale       float64 `json:"scale"`
-	Seed        int64   `json:"seed"`
-	GoMaxProcs  int     `json:"gomaxprocs"`
+	Bench      string  `json:"bench"`
+	Dataset    string  `json:"dataset"`
+	Scale      float64 `json:"scale"`
+	Seed       int64   `json:"seed"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	hostInfo
 	K           int     `json:"k"`
 	Parallel    int     `json:"parallel"`            // concurrent request workers
 	Partitions  int     `json:"partitions"`          // intra-query parallelism
@@ -235,6 +237,10 @@ type ThroughputResult struct {
 	WALAppends uint64 `json:"wal_appends,omitempty"`
 	WALSyncs   uint64 `json:"wal_syncs,omitempty"`
 	WALBytes   int64  `json:"wal_bytes,omitempty"`
+
+	// ScrapedMetrics snapshots a live /metrics exposition into the
+	// artifact when -scrape-metrics is given (name{labels} → value).
+	ScrapedMetrics map[string]float64 `json:"scraped_metrics,omitempty"`
 }
 
 func runThroughput(tc throughputConfig) {
@@ -480,6 +486,7 @@ func runThroughput(tc throughputConfig) {
 		Scale:       scale,
 		Seed:        seed,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		hostInfo:    captureHostInfo(),
 		K:           k,
 		Parallel:    parallel,
 		Partitions:  partitions,
@@ -538,6 +545,15 @@ func runThroughput(tc throughputConfig) {
 		fmt.Printf("wal:        %s fsync=%s: %d appends, %d syncs, %d bytes\n",
 			res.WALDir, res.WALFsync, res.WALAppends, res.WALSyncs, res.WALBytes)
 		walLog.Close() //nolint:errcheck // report already captured
+	}
+	if tc.ScrapeURL != "" {
+		m, err := scrapeMetrics(tc.ScrapeURL)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "throughput: scrape-metrics: %v\n", err)
+			os.Exit(1)
+		}
+		res.ScrapedMetrics = m
+		fmt.Fprintf(os.Stderr, "scraped %d metric series from %s\n", len(m), tc.ScrapeURL)
 	}
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)

@@ -65,6 +65,7 @@ import (
 	"ssrec/internal/server"
 	"ssrec/internal/shard"
 	"ssrec/internal/shardrpc"
+	"ssrec/internal/telemetry"
 	"ssrec/internal/wal"
 )
 
@@ -102,6 +103,13 @@ func main() {
 		sessionRate   = flag.Float64("session-rate", 0, "per-session rate limit in command lines/sec (token bucket; 0 = unpaced)")
 		sessionBurst  = flag.Int("session-burst", 0, "token-bucket burst of -session-rate (default max(1, rate))")
 		sessionLinger = flag.Duration("session-linger", 200*time.Millisecond, "flush a session's pending observations at most this long after the first arrives (<= 0 disables the timer)")
+
+		principalRate  = flag.Float64("principal-rate", 0, "per-principal request quota in requests/sec on /v1/* and /v2/* (principal = bearer token, else client host; token bucket; 0 = unlimited)")
+		principalBurst = flag.Int("principal-burst", 0, "token-bucket burst of -principal-rate (default max(1, rate))")
+
+		traceAll  = flag.Bool("trace", false, "trace EVERY request (otherwise only requests carrying an X-Ssrec-Trace header are traced); fetch span trees via GET /v2/trace/{id}")
+		traceSlow = flag.Duration("trace-slow", 0, "slow-query log threshold: a traced request slower than this logs its full span tree to stderr (0 disables)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof + GET /debug/exectrace on this side address (e.g. 127.0.0.1:6060; empty disables; never expose publicly)")
 	)
 	flag.Parse()
 	partitionsSet := false
@@ -308,6 +316,24 @@ func main() {
 	srv.SessionLinger = *sessionLinger
 	srv.WAL = walLog
 	srv.AdminReshard = *adminReshard
+	srv.TraceAll = *traceAll
+	srv.PrincipalRate = *principalRate
+	srv.PrincipalBurst = *principalBurst
+	if *traceSlow > 0 {
+		srv.Tracer().SlowThreshold = *traceSlow
+		srv.Tracer().SlowWriter = os.Stderr
+		log.Printf("slow-query log enabled: traced requests over %v dump their span tree", *traceSlow)
+	}
+	if *traceAll {
+		log.Printf("request tracing enabled for every request (GET /v2/trace/{id})")
+	}
+	if *principalRate > 0 {
+		log.Printf("per-principal quota enabled: %.3g req/s on /v1/* and /v2/*", *principalRate)
+	}
+	if *pprofAddr != "" {
+		telemetry.ServePprof(*pprofAddr, func(err error) { log.Printf("pprof listener: %v", err) })
+		log.Printf("pprof + exectrace serving on %s", *pprofAddr)
+	}
 	if *adminReshard {
 		log.Printf("admin resharding enabled on POST /v2/reshard")
 	}

@@ -54,6 +54,7 @@ import (
 
 	"ssrec/internal/core"
 	"ssrec/internal/shardrpc"
+	"ssrec/internal/telemetry"
 	"ssrec/internal/wal"
 )
 
@@ -74,6 +75,7 @@ func main() {
 		walCheckpoint = flag.Duration("wal-checkpoint", time.Minute, "periodic checkpoint cadence: snapshot the engine into the WAL and compact the covered segments (0 disables)")
 
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window after SIGINT/SIGTERM")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof + GET /debug/exectrace on this side address (e.g. 127.0.0.1:6061; empty disables; never expose publicly)")
 	)
 	flag.Parse()
 
@@ -86,6 +88,10 @@ func main() {
 	srv.AuthToken = *authToken
 	if *authToken != "" {
 		log.Printf("bearer auth enabled on every endpoint")
+	}
+	if *pprofAddr != "" {
+		telemetry.ServePprof(*pprofAddr, func(err error) { log.Printf("pprof listener: %v", err) })
+		log.Printf("pprof + exectrace serving on %s", *pprofAddr)
 	}
 
 	recovered := false

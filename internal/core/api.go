@@ -19,12 +19,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"ssrec/internal/model"
 	"ssrec/internal/ranking"
 	"ssrec/internal/sigtree"
+	"ssrec/internal/telemetry"
 )
 
 // Sentinel errors of the v2 API. Wrap-aware callers match with errors.Is.
@@ -137,7 +139,12 @@ func (e *Engine) recommendOne(ctx context.Context, v model.Item, o QueryOptions,
 	sc := ranking.GetQueryScratch()
 	defer ranking.PutQueryScratch(sc)
 	q := e.buildQueryScratch(sc, v, o.NoExpansion)
+	span := telemetry.LeafSpan(ctx, "sigtree.search")
 	recs, stats, err := e.index.RecommendBound(ctx, q, o.K, o.Parallelism, b)
+	span.SetAttr("item", v.ID)
+	span.SetAttr("nodes", strconv.Itoa(stats.NodesVisited))
+	span.SetAttr("scored", strconv.Itoa(stats.EntriesScored))
+	span.End()
 	res.Recommendations, res.Stats = recs, stats
 	return res, err
 }

@@ -18,7 +18,9 @@ const (
 )
 
 // Histogram accumulates duration samples into exponential buckets.
-// The zero value is ready to use. Not safe for concurrent use.
+// The zero value is ready to use. Not safe for concurrent use —
+// concurrent recorders should use telemetry.Histogram, the sharded
+// wrapper over this type.
 type Histogram struct {
 	buckets [numBuckets]uint64
 	count   uint64
@@ -65,6 +67,9 @@ func (h *Histogram) Mean() time.Duration {
 	return h.sum / time.Duration(h.count)
 }
 
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
 // Max and Min return the extreme samples (0 when empty).
 func (h *Histogram) Max() time.Duration { return h.max }
 func (h *Histogram) Min() time.Duration {
@@ -97,7 +102,10 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 		if seen >= rank {
 			upper := math.Pow(growth, float64(b+1))
 			d := time.Duration(upper)
-			if d > h.max && h.max > 0 {
+			// Clamp to the observed max unconditionally: a histogram
+			// whose every sample is 0 must report 0, not the first
+			// bucket's upper bound.
+			if d > h.max {
 				d = h.max
 			}
 			return d

@@ -127,6 +127,81 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 	}
 }
 
+func TestZeroDurationSamples(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(0)
+	h.Record(0)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := h.Percentile(p); got != 0 {
+			t.Fatalf("p%.0f of all-zero samples = %v, want 0", p, got)
+		}
+	}
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Sum() != 0 {
+		t.Fatalf("all-zero stats: %v", h.Snapshot())
+	}
+}
+
+func TestSaturatingBucket(t *testing.T) {
+	// Samples beyond the last bucket's range land in the final bucket;
+	// percentiles must clamp to the observed max, never overshoot it.
+	var h Histogram
+	huge := 2 * time.Hour
+	h.Record(huge)
+	h.Record(huge / 2)
+	for _, p := range []float64{50, 99, 100} {
+		got := h.Percentile(p)
+		if got > huge {
+			t.Fatalf("p%.0f = %v exceeds max %v", p, got, huge)
+		}
+		// Both samples saturate the last bucket, whose upper bound
+		// (~17s) is the best the histogram can report.
+		if got < 10*time.Second {
+			t.Fatalf("p%.0f = %v, want >= last bucket bound", p, got)
+		}
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	var a, b Histogram
+	b.Record(4 * time.Millisecond)
+	b.Record(2 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Min() != 2*time.Millisecond || a.Max() != 4*time.Millisecond {
+		t.Fatalf("merge into empty: %v", a.Snapshot())
+	}
+}
+
+func TestMergeEmptyIn(t *testing.T) {
+	var a, b Histogram
+	a.Record(7 * time.Millisecond)
+	a.Merge(&b)
+	// An empty operand must not disturb min/max (b.min is 0 but holds
+	// no samples).
+	if a.Count() != 1 || a.Min() != 7*time.Millisecond || a.Max() != 7*time.Millisecond {
+		t.Fatalf("merge empty in: %v min=%v", a.Snapshot(), a.Min())
+	}
+}
+
+func TestMergeZeroMin(t *testing.T) {
+	var a, b Histogram
+	a.Record(5 * time.Millisecond)
+	b.Record(0)
+	a.Merge(&b)
+	if a.Min() != 0 {
+		t.Fatalf("min after merging a zero sample = %v, want 0", a.Min())
+	}
+}
+
+func TestSum(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	h.Record(2 * time.Millisecond)
+	if h.Sum() != 3*time.Millisecond {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}
+
 func BenchmarkRecord(b *testing.B) {
 	var h Histogram
 	b.ReportAllocs()

@@ -1,18 +1,22 @@
 // middleware.go instruments every request of the v1/v2 API: a request ID
 // (accepted from X-Request-ID or generated) is echoed on the response, the
-// per-route latency/error counters behind /v2/stats are recorded, and v1
-// routes are stamped with deprecation headers pointing at their v2
-// successors.
+// per-route latency/error counters behind /v2/stats are recorded (into the
+// telemetry registry, which /metrics and /v2/stats both read), a root
+// trace span is opened when the request is traced, and v1 routes are
+// stamped with deprecation headers pointing at their v2 successors.
 package server
 
 import (
 	"crypto/subtle"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ssrec/internal/telemetry"
 )
 
 // requestIDHeader carries the caller-supplied or generated request ID.
@@ -26,6 +30,28 @@ var (
 // nextRequestID generates a process-unique request ID.
 func nextRequestID() string {
 	return fmt.Sprintf("req-%x-%x", procEpoch, reqCounter.Add(1))
+}
+
+// statusString renders the common response codes without the strconv
+// allocation the traced hot path would otherwise pay per request.
+func statusString(code int) string {
+	switch code {
+	case http.StatusOK:
+		return "200"
+	case http.StatusNoContent:
+		return "204"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusUnauthorized:
+		return "401"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusTooManyRequests:
+		return "429"
+	case http.StatusInternalServerError:
+		return "500"
+	}
+	return strconv.Itoa(code)
 }
 
 // v1Successor maps each deprecated v1 route to its v2 replacement.
@@ -59,8 +85,10 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 // underlying writer.
 func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
-// instrument wraps the mux with request-ID, deprecation and latency
-// middleware.
+// instrument wraps the mux with request-ID, deprecation, latency and
+// tracing middleware. A request is traced when TraceAll is set OR the
+// caller sent an X-Ssrec-Trace header (per-request opt-in); untraced
+// requests pay one header lookup and nothing else.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get(requestIDHeader)
@@ -74,13 +102,33 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			w.Header().Set("Deprecation", "true")
 			w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", succ))
 		}
+		var span *telemetry.Span
+		// Presence of the header opts in, even with an empty value — a
+		// client asking for a trace should not have to mint an id.
+		if _, traced := r.Header[telemetry.TraceHeader]; s.TraceAll || traced {
+			var ctx = r.Context()
+			ctx, span = s.tracer.StartRequest(ctx, "http.request", r.Header.Get(telemetry.TraceHeader))
+			// Echo the trace id so the caller can fetch /v2/trace/{id}.
+			w.Header().Set(telemetry.TraceHeader, telemetry.TraceID(ctx))
+			r = r.WithContext(ctx)
+		}
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(rec, r)
-		route := r.Pattern // set by the mux match; empty on 404s
+		route := r.Pattern // set by the mux match; empty when rejected before it
 		if route == "" {
-			route = "unmatched"
+			switch rec.status {
+			case http.StatusUnauthorized: // requireAuth reject
+				route = "unauthorized"
+			case http.StatusTooManyRequests: // principalQuota reject
+				route = "quota_rejected"
+			default: // 404
+				route = "unmatched"
+			}
 		}
+		span.SetAttr("route", route)
+		span.SetAttr("status", statusString(rec.status))
+		span.End()
 		s.metrics.record(route, rec.status, time.Since(start))
 	})
 }
@@ -89,9 +137,9 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 // when Server.AuthToken is set: every /v2/* route (including the
 // /v2/session stream) AND every deprecated /v1/* route answers 401
 // without "Authorization: Bearer <token>" — a token-protected deployment
-// must not leave its legacy write paths open. Only /healthz stays
-// unauthenticated; liveness probes must not need credentials. Comparison
-// is constant-time.
+// must not leave its legacy write paths open. Only /healthz and /metrics
+// stay unauthenticated; probes and scrapers must not need credentials.
+// Comparison is constant-time.
 func (s *Server) requireAuth(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.AuthToken != "" && (strings.HasPrefix(r.URL.Path, "/v2/") || strings.HasPrefix(r.URL.Path, "/v1/")) {
@@ -106,22 +154,24 @@ func (s *Server) requireAuth(next http.Handler) http.Handler {
 	})
 }
 
-// routeMetrics are the lock-free per-route counters.
+// routeMetrics are one route's registry-backed counters: the same
+// series /metrics exposes, re-derived into the /v2/stats requests block
+// by snapshot().
 type routeMetrics struct {
-	count   atomic.Int64
-	errors  atomic.Int64 // responses with status >= 400
-	totalNs atomic.Int64
-	maxNs   atomic.Int64
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	latency  *telemetry.Histogram
 }
 
 // apiMetrics aggregates routeMetrics by route pattern.
 type apiMetrics struct {
+	reg    *telemetry.Registry
 	mu     sync.Mutex
 	routes map[string]*routeMetrics
 }
 
-func newAPIMetrics() *apiMetrics {
-	return &apiMetrics{routes: make(map[string]*routeMetrics)}
+func newAPIMetrics(reg *telemetry.Registry) *apiMetrics {
+	return &apiMetrics{reg: reg, routes: make(map[string]*routeMetrics)}
 }
 
 func (m *apiMetrics) route(pattern string) *routeMetrics {
@@ -129,7 +179,15 @@ func (m *apiMetrics) route(pattern string) *routeMetrics {
 	defer m.mu.Unlock()
 	rm := m.routes[pattern]
 	if rm == nil {
-		rm = &routeMetrics{}
+		label := strings.TrimSpace(pattern)
+		rm = &routeMetrics{
+			requests: m.reg.Counter("ssrec_http_requests_total",
+				"HTTP requests served, by route pattern.", "route", label),
+			errors: m.reg.Counter("ssrec_http_errors_total",
+				"HTTP responses with status >= 400, by route pattern.", "route", label),
+			latency: m.reg.Histogram("ssrec_http_request_seconds",
+				"HTTP request latency, by route pattern.", "route", label),
+		}
 		m.routes[pattern] = rm
 	}
 	return rm
@@ -137,18 +195,11 @@ func (m *apiMetrics) route(pattern string) *routeMetrics {
 
 func (m *apiMetrics) record(pattern string, status int, d time.Duration) {
 	rm := m.route(pattern)
-	rm.count.Add(1)
+	rm.requests.Inc()
 	if status >= 400 {
-		rm.errors.Add(1)
+		rm.errors.Inc()
 	}
-	ns := d.Nanoseconds()
-	rm.totalNs.Add(ns)
-	for {
-		old := rm.maxNs.Load()
-		if ns <= old || rm.maxNs.CompareAndSwap(old, ns) {
-			break
-		}
-	}
+	rm.latency.Observe(d)
 }
 
 // RouteStats is the wire form of one route's counters.
@@ -159,19 +210,22 @@ type RouteStats struct {
 	MaxUs  float64 `json:"max_us"`
 }
 
+// snapshot derives the /v2/stats requests block from the registry
+// series — /v2/stats is a view over the registry, not a second set of
+// counters.
 func (m *apiMetrics) snapshot() map[string]RouteStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make(map[string]RouteStats, len(m.routes))
 	for pattern, rm := range m.routes {
-		n := rm.count.Load()
+		n := rm.latency.Count()
 		st := RouteStats{
-			Count:  n,
-			Errors: rm.errors.Load(),
-			MaxUs:  float64(rm.maxNs.Load()) / 1e3,
+			Count:  int64(n),
+			Errors: rm.errors.Value(),
+			MaxUs:  float64(rm.latency.Max().Nanoseconds()) / 1e3,
 		}
 		if n > 0 {
-			st.MeanUs = float64(rm.totalNs.Load()) / float64(n) / 1e3
+			st.MeanUs = float64(rm.latency.Sum().Nanoseconds()) / float64(n) / 1e3
 		}
 		out[strings.TrimSpace(pattern)] = st
 	}

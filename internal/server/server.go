@@ -31,12 +31,14 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"ssrec/internal/core"
 	"ssrec/internal/model"
 	"ssrec/internal/shard"
+	"ssrec/internal/telemetry"
 	"ssrec/internal/wal"
 )
 
@@ -94,9 +96,11 @@ var (
 
 // Server wraps a Backend with an http.Handler.
 type Server struct {
-	eng     Backend
-	mux     *http.ServeMux
-	metrics *apiMetrics
+	eng       Backend
+	mux       *http.ServeMux
+	metrics   *apiMetrics
+	telemetry *telemetry.Registry
+	tracer    *telemetry.Tracer
 
 	// MaxK caps the per-request k to bound response sizes. Default 100.
 	MaxK int
@@ -147,6 +151,21 @@ type Server struct {
 	// before serving; not synchronised.
 	AuthToken string
 
+	// TraceAll, when true, opens a root trace span for EVERY request
+	// (the -trace flag). When false, only requests carrying an
+	// X-Ssrec-Trace header are traced — a caller opts one request in.
+	// Set before serving; not synchronised.
+	TraceAll bool
+
+	// PrincipalRate, when > 0, paces each principal (bearer token, or
+	// remote host when the request carries none) to this many /v1+/v2
+	// requests per second (token bucket; PrincipalBurst is the bucket
+	// size, default max(1, PrincipalRate)). Excess requests answer 429 +
+	// Retry-After. Set before serving; not synchronised.
+	PrincipalRate float64
+	// PrincipalBurst is the token-bucket burst of PrincipalRate.
+	PrincipalBurst int
+
 	// AdminReshard gates the POST /v2/reshard admin trigger (the
 	// -admin-reshard flag): an online in-process split/merge of a sharded
 	// backend. Off by default — resharding is an operator action, not a
@@ -165,6 +184,10 @@ type Server struct {
 	inflightSessions atomic.Int64
 	// sessions aggregates the /v2/session counters for /v2/stats.
 	sessions sessionCounters
+
+	// principals holds the per-principal quota buckets of PrincipalRate.
+	principalMu sync.Mutex
+	principals  map[string]*principalBucket
 }
 
 // New builds a server around a (trained) single engine.
@@ -173,10 +196,14 @@ func New(eng *core.SafeEngine) *Server { return NewBackend(eng) }
 // NewBackend builds a server around any Backend — the entry point for a
 // sharded deployment (*shard.Router).
 func NewBackend(b Backend) *Server {
+	reg := telemetry.NewRegistry()
 	s := &Server{
 		eng:                b,
 		mux:                http.NewServeMux(),
-		metrics:            newAPIMetrics(),
+		metrics:            newAPIMetrics(reg),
+		telemetry:          reg,
+		tracer:             telemetry.NewTracer(),
+		principals:         make(map[string]*principalBucket),
 		MaxK:               100,
 		MaxBatch:           256,
 		BatchSize:          64,
@@ -200,12 +227,26 @@ func NewBackend(b Backend) *Server {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.Handle("GET /metrics", reg.Handler())
+	s.mux.HandleFunc("GET /v2/trace/{id}", s.handleTraceV2)
+	s.registerGauges()
 	return s
 }
 
 // Handler returns the instrumented HTTP handler (request IDs, deprecation
-// headers, latency counters, bearer auth on /v2/* when AuthToken is set).
-func (s *Server) Handler() http.Handler { return s.instrument(s.requireAuth(s.mux)) }
+// headers, latency counters, tracing, bearer auth and per-principal
+// quotas on /v1+/v2 when configured).
+func (s *Server) Handler() http.Handler {
+	return s.instrument(s.requireAuth(s.principalQuota(s.mux)))
+}
+
+// Metrics exposes the server's telemetry registry, so a daemon can
+// register process-level gauges beside the serving metrics.
+func (s *Server) Metrics() *telemetry.Registry { return s.telemetry }
+
+// Tracer exposes the span buffer behind /v2/trace/{id}; daemons
+// configure the slow-query log on it before serving.
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
 // itemJSON is the wire form of a social item.
 type itemJSON struct {
@@ -357,16 +398,22 @@ func httpError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorResponse{Error: msg})
 }
 
-// rejectOverloaded is the ONE admission-rejection path of the v2 surface:
-// both /v2/observe (MaxInflightObserve) and /v2/session (MaxSessions)
-// push back through it, so the 503 body and the Retry-After header
-// formatting cannot drift apart. The header carries whole seconds,
-// rounded up, per RFC 9110.
-func (s *Server) rejectOverloaded(w http.ResponseWriter, msg string) {
+// rejectStatus is the ONE push-back path of the v2 surface: the 503
+// admission rejections (/v2/observe, /v2/session) and the 429 quota
+// rejections all format their body and Retry-After header here, so the
+// two cannot drift apart. The header carries whole seconds, rounded up,
+// per RFC 9110.
+func (s *Server) rejectStatus(w http.ResponseWriter, status int, msg string) {
 	retry := s.RetryAfter
 	if retry <= 0 {
 		retry = time.Second
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
-	httpError(w, http.StatusServiceUnavailable, fmt.Sprintf("%s; retry after %v", msg, retry))
+	httpError(w, status, fmt.Sprintf("%s; retry after %v", msg, retry))
+}
+
+// rejectOverloaded is the 503 admission-rejection of /v2/observe
+// (MaxInflightObserve) and /v2/session (MaxSessions).
+func (s *Server) rejectOverloaded(w http.ResponseWriter, msg string) {
+	s.rejectStatus(w, http.StatusServiceUnavailable, msg)
 }

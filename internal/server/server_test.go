@@ -14,7 +14,7 @@ import (
 	"ssrec/internal/model"
 )
 
-func testServer(t *testing.T) (*Server, *dataset.Dataset) {
+func testServer(t testing.TB) (*Server, *dataset.Dataset) {
 	t.Helper()
 	cfg := dataset.YTubeConfig(0.2)
 	cfg.Seed = 31

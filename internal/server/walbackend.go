@@ -19,6 +19,7 @@ import (
 
 	"ssrec/internal/core"
 	"ssrec/internal/model"
+	"ssrec/internal/telemetry"
 	"ssrec/internal/wal"
 )
 
@@ -74,7 +75,11 @@ func (b *WALBackend) RecommendBatch(ctx context.Context, items []model.Item, opt
 				b.mu.Unlock()
 				return nil, fmt.Errorf("wal encode: %w", err)
 			}
-			if _, err := b.log.Append(wal.KindRegister, payload); err != nil {
+			sp := telemetry.LeafSpan(ctx, "wal.append")
+			sp.SetAttr("kind", "register")
+			_, err = b.log.Append(wal.KindRegister, payload)
+			sp.End()
+			if err != nil {
 				b.mu.Unlock()
 				return nil, fmt.Errorf("wal append: %w", err)
 			}
@@ -123,7 +128,11 @@ func (b *WALBackend) ObserveBatch(ctx context.Context, batch []core.Observation)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if _, err := b.log.Append(wal.KindObserve, payload); err != nil {
+	sp := telemetry.LeafSpan(ctx, "wal.append")
+	sp.SetAttr("kind", "observe")
+	_, err = b.log.Append(wal.KindObserve, payload)
+	sp.End()
+	if err != nil {
 		return core.BatchReport{}, fmt.Errorf("wal append: %w", err)
 	}
 	return b.SafeEngine.ObserveBatch(ctx, batch)

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,7 @@ import (
 	"ssrec/internal/core"
 	"ssrec/internal/model"
 	"ssrec/internal/sigtree"
+	"ssrec/internal/telemetry"
 )
 
 const (
@@ -566,12 +568,18 @@ func (rs *ReplicaSet) Recommend(ctx context.Context, v model.Item, o core.QueryO
 	tried := false
 	for _, j := range order {
 		start := time.Now()
-		res, err := rs.replicas[j].Recommend(ctx, v, o, b)
+		sctx, span := telemetry.StartSpan(ctx, "replica.read")
+		span.SetAttr("slot", strconv.Itoa(rs.idx))
+		span.SetAttr("replica", strconv.Itoa(j))
+		res, err := rs.replicas[j].Recommend(sctx, v, o, b)
 		if err != nil && errors.Is(err, ErrShardUnavailable) {
+			span.SetAttr("failover", "true")
+			span.End()
 			rs.down[j].Store(true)
 			tried = true
 			continue
 		}
+		span.End()
 		if tried {
 			rs.failovers.Add(1)
 		}

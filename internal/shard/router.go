@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,7 @@ import (
 	"ssrec/internal/core"
 	"ssrec/internal/model"
 	"ssrec/internal/sigtree"
+	"ssrec/internal/telemetry"
 )
 
 // DefaultProbeInterval is the BASE interval of the query path's lazy
@@ -763,6 +765,9 @@ func (r *Router) ObserveBatch(ctx context.Context, batch []core.Observation) (co
 	f := r.fl()
 	r.maybeProbe(f) // write-only workloads must also drive shard recovery
 	bctx := detach(ctx)
+	bctx, obsSpan := telemetry.StartSpan(bctx, "router.observe")
+	obsSpan.SetAttr("batch", strconv.Itoa(len(batch)))
+	defer obsSpan.End()
 	reps := make([]core.BatchReport, len(f.shards))
 	errs := make([]error, len(f.shards))
 	ran := make([]bool, len(f.shards))
@@ -860,6 +865,8 @@ func (r *Router) registerBroadcast(ctx context.Context, items []model.Item) erro
 	defer r.reshardMu.RUnlock()
 	f := r.fl()
 	bctx := detach(ctx)
+	bctx, regSpan := telemetry.StartSpan(bctx, "router.register")
+	defer regSpan.End()
 	errs := make([]error, len(f.shards))
 	changed := make([]bool, len(f.shards))
 	ran := make([]bool, len(f.shards))
@@ -951,6 +958,8 @@ func (r *Router) recommendOne(ctx context.Context, v model.Item, o core.QueryOpt
 		}
 		return res, err
 	}
+	ctx, scatterSpan := telemetry.StartSpan(ctx, "router.scatter")
+	scatterSpan.SetAttr("shards", strconv.Itoa(len(f.shards)))
 	b := sigtree.NewBound()
 	parts := make([]core.Result, len(f.shards))
 	errs := make([]error, len(f.shards))
@@ -966,10 +975,14 @@ func (r *Router) recommendOne(ctx context.Context, v model.Item, o core.QueryOpt
 		wg.Add(1)
 		go func(i int, s Shard) {
 			defer wg.Done()
-			parts[i], errs[i] = s.Recommend(ctx, v, o, b)
+			lctx, leg := telemetry.StartSpan(ctx, "router.shard")
+			leg.SetAttr("shard", strconv.Itoa(i))
+			parts[i], errs[i] = s.Recommend(lctx, v, o, b)
+			leg.End()
 		}(i, s)
 	}
 	wg.Wait()
+	scatterSpan.End()
 	res := core.Result{ItemID: v.ID}
 	lists := make([][]model.Recommendation, 0, len(parts))
 	var firstErr error

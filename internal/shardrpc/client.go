@@ -26,6 +26,7 @@ import (
 	"ssrec/internal/model"
 	"ssrec/internal/shard"
 	"ssrec/internal/sigtree"
+	"ssrec/internal/telemetry"
 )
 
 // DefaultBoundFlush is the default sampling interval of the bound-raise
@@ -210,6 +211,9 @@ func (c *Client) do(ctx context.Context, op, path string, in, out any) error {
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if hv := telemetry.HeaderValue(ctx); hv != "" {
+		req.Header.Set(telemetry.TraceHeader, hv)
+	}
 	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -309,7 +313,11 @@ func (c *Client) Recommend(ctx context.Context, v model.Item, o core.QueryOption
 			return core.Result{ItemID: v.ID}, err
 		}
 	}
-	env := recommendEnvelope{Item: toItemWire(v), Options: toOptionsWire(o), Stream: b != nil}
+	sctx, span := telemetry.StartSpan(ctx, "rpc.recommend")
+	span.SetAttr("shard", strconv.Itoa(c.idx))
+	defer span.End()
+	env := recommendEnvelope{Item: toItemWire(v), Options: toOptionsWire(o), Stream: b != nil,
+		Trace: telemetry.HeaderValue(sctx)}
 	last := math.Inf(-1)
 	if b != nil {
 		if lb := b.Load(); !math.IsInf(lb, -1) {
@@ -381,8 +389,10 @@ func (c *Client) Recommend(ctx context.Context, v model.Item, o core.QueryOption
 				b.Raise(*line.B)
 			}
 		case line.Result != nil:
+			telemetry.ImportSpans(sctx, line.Spans)
 			return line.Result.result(), decodeErr(line.Err)
 		case line.Err != nil:
+			telemetry.ImportSpans(sctx, line.Spans)
 			return core.Result{ItemID: v.ID}, decodeErr(line.Err)
 		}
 	}

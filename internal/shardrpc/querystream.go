@@ -23,6 +23,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"ssrec/internal/model"
 	"ssrec/internal/shard"
 	"ssrec/internal/sigtree"
+	"ssrec/internal/telemetry"
 )
 
 // ---- server side ----
@@ -124,6 +126,16 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 				last = *line.Ask.Bound
 			}
 			qctx, cancel := context.WithCancel(r.Context())
+			// Resume the caller's trace when the ask carries one: the
+			// shard-side spans are collected and shipped back on the
+			// terminal line, so the router's trace covers both processes.
+			var coll *telemetry.Collector
+			var sp *telemetry.Span
+			if line.Ask.Trace != "" {
+				qctx, coll = s.tracer.Resume(qctx, line.Ask.Trace)
+				qctx, sp = telemetry.StartSpan(qctx, "shardd.recommend")
+				sp.SetAttr("shard", strconv.Itoa(s.idx))
+			}
 			q := &qsQuery{b: b, cancel: cancel, last: last}
 			qmu.Lock()
 			active[line.ID] = q
@@ -152,7 +164,9 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 				if flushFinal {
 					write(qsLine{ID: id, B: &final})
 				}
-				write(qsLine{ID: id, Result: toResultWire(res), Err: encodeErr(rerr)})
+				sp.SetAttr("item", ask.Item.ID)
+				sp.End()
+				write(qsLine{ID: id, Result: toResultWire(res), Err: encodeErr(rerr), Spans: coll.Take()})
 			}(line.ID, *line.Ask)
 		case line.B != nil:
 			qmu.Lock()
@@ -182,9 +196,12 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 var errNoMux = errors.New("shardrpc: query stream unsupported")
 
 // muxResp is one terminal answer delivered to a waiting Recommend call.
+// spans carries the shard-side trace spans off the terminal line (the
+// reader goroutine has no per-query context to import them into).
 type muxResp struct {
-	res core.Result
-	err error
+	res   core.Result
+	err   error
+	spans []telemetry.SpanData
 }
 
 // muxQuery is one in-flight query of a multiplexed stream, on the client
@@ -354,6 +371,7 @@ func (ms *muxStream) read(body io.ReadCloser) {
 				resp.res = line.Result.result()
 			}
 			resp.err = decodeErr(line.Err)
+			resp.spans = line.Spans
 			q.ch <- resp
 		}
 	}
@@ -395,8 +413,11 @@ func (ms *muxStream) pump() {
 // recommend runs one query over the multiplexed stream: ask line out,
 // raises in both directions while the search runs, terminal line back.
 func (ms *muxStream) recommend(ctx context.Context, v model.Item, o core.QueryOptions, b *sigtree.Bound) (core.Result, error) {
+	sctx, span := telemetry.StartSpan(ctx, "rpc.recommend")
+	span.SetAttr("shard", strconv.Itoa(ms.c.idx))
+	defer span.End()
 	q := &muxQuery{b: b, last: math.Inf(-1), ch: make(chan muxResp, 1)}
-	ask := &qsAsk{Item: toItemWire(v), Options: toOptionsWire(o)}
+	ask := &qsAsk{Item: toItemWire(v), Options: toOptionsWire(o), Trace: telemetry.HeaderValue(sctx)}
 	if b != nil {
 		if lb := b.Load(); !math.IsInf(lb, -1) {
 			ask.Bound = &lb
@@ -420,6 +441,7 @@ func (ms *muxStream) recommend(ctx context.Context, v model.Item, o core.QueryOp
 	}
 	select {
 	case r := <-q.ch:
+		telemetry.ImportSpans(sctx, r.spans)
 		if r.res.ItemID == "" {
 			r.res.ItemID = v.ID
 		}

@@ -71,6 +71,7 @@ import (
 	"ssrec/internal/model"
 	"ssrec/internal/shard"
 	"ssrec/internal/sigtree"
+	"ssrec/internal/telemetry"
 	"ssrec/internal/wal"
 )
 
@@ -123,6 +124,13 @@ type Server struct {
 	// protocol. Nil outside a reshard seeding.
 	reshardPending atomic.Pointer[model.Partition]
 
+	// reg/tracer are the shard's telemetry surface: GET /metrics serves
+	// the registry, and traces resumed off incoming asks (qsAsk.Trace,
+	// recommendEnvelope.Trace, X-Ssrec-Trace on writes) are retained here
+	// and fetchable via GET /shard/v1/trace/{id}.
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+
 	mux *http.ServeMux
 }
 
@@ -139,8 +147,13 @@ func NewServer(idx, of int) (*Server, error) {
 		of:               of,
 		MaxBodyBytes:     64 << 20,
 		MaxSnapshotBytes: 1 << 30,
+		reg:              telemetry.NewRegistry(),
+		tracer:           telemetry.NewTracer(),
 		mux:              http.NewServeMux(),
 	}
+	s.registerGauges()
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+	s.mux.HandleFunc("GET /shard/v1/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET "+pathHealth, s.handleHealth)
 	s.mux.HandleFunc("GET "+pathLivez, s.handleLivez)
 	s.mux.HandleFunc("GET "+pathReadyz, s.handleReadyz)
@@ -230,8 +243,57 @@ func (s *Server) BootFromWAL(ctx context.Context) (recovered bool, replayed int,
 	return true, replayed, nil
 }
 
+// Metrics exposes the shard's telemetry registry (the GET /metrics
+// surface) for embedders and tests.
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// Tracer exposes the shard's span store (the GET /shard/v1/trace/{id}
+// surface) for embedders and tests.
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
+
+// registerGauges wires scrape-time gauges over state other code already
+// tracks — no double bookkeeping on any hot path.
+func (s *Server) registerGauges() {
+	s.reg.GaugeFunc("ssrec_shard_index", "Shard index of this process.",
+		func() float64 { return float64(s.idx) })
+	s.reg.GaugeFunc("ssrec_shard_of", "Shard count of the deployment.",
+		func() float64 { return float64(s.of) })
+	s.reg.GaugeFunc("ssrec_shard_trained", "1 when the shard is booted and trained, else 0.", func() float64 {
+		if b := s.boot.Load(); b != nil && b.local.Engine().Trained() {
+			return 1
+		}
+		return 0
+	})
+	s.reg.GaugeFunc("ssrec_shard_index_users", "Users indexed by the booted engine.", func() float64 {
+		if b := s.boot.Load(); b != nil {
+			return float64(b.local.Engine().Users())
+		}
+		return 0
+	})
+	s.reg.GaugeFunc("ssrec_shard_wal_last_seq", "Last appended WAL sequence number (0 without a WAL).", func() float64 {
+		if s.WAL != nil {
+			return float64(s.WAL.Stats().LastSeq)
+		}
+		return 0
+	})
+}
+
+// handleTrace serves the spans this shard retained for one trace id —
+// the same payload the terminal qsLine/recLine ships to the router, kept
+// for direct inspection of a single shardd.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := s.tracer.Trace(id)
+	if spans == nil {
+		s.httpError(w, http.StatusNotFound, "unknown trace id %q (evicted or never recorded)", id)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, traceRespWire{TraceID: id, Spans: spans})
+}
+
 // Handler returns the shard RPC handler (bearer-auth wrapped when
-// AuthToken is set).
+// AuthToken is set), instrumented with per-route request counters and
+// latency summaries.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !s.authorized(r) {
@@ -239,7 +301,16 @@ func (s *Server) Handler() http.Handler {
 			s.httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
 			return
 		}
+		start := time.Now()
 		s.mux.ServeHTTP(w, r)
+		// ServeMux stamps the matched pattern onto the request it routed,
+		// so the label is the route, never raw (unbounded) URL paths.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		s.reg.Counter("ssrec_shard_rpc_requests_total", "Shard RPC requests served, by route.", "route", route).Inc()
+		s.reg.Histogram("ssrec_shard_rpc_seconds", "Shard RPC handler latency, by route.", "route", route).Observe(time.Since(start))
 	})
 }
 
@@ -349,6 +420,24 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, toStatsWire(st))
 }
 
+// resumeWrite resumes the caller's trace off the X-Ssrec-Trace request
+// header for a detached write-path apply: the returned context is
+// detached from the client connection (the atomic-replication contract)
+// but still carries the trace, so WAL-append spans land in this shard's
+// tracer parented under the router's write span. Both returns are safe
+// zero values when the request carries no trace.
+func (s *Server) resumeWrite(r *http.Request, name string) (context.Context, *telemetry.Span) {
+	ctx := context.WithoutCancel(r.Context())
+	hv := r.Header.Get(telemetry.TraceHeader)
+	if hv == "" {
+		return ctx, nil
+	}
+	ctx, _ = s.tracer.Resume(ctx, hv)
+	ctx, sp := telemetry.StartSpan(ctx, name)
+	sp.SetAttr("shard", strconv.Itoa(s.idx))
+	return ctx, sp
+}
+
 // logBatch appends one admitted batch to the WAL (no-op without one).
 // It is called with walMu held, before the batch is applied: a batch
 // that cannot be persisted is refused before it can diverge the durable
@@ -389,20 +478,26 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	// (ack-after-durable): a crash between append and apply replays the
 	// record on recovery, a crash before the append loses only an
 	// unacknowledged batch the router will re-drive.
+	ctx, wspan := s.resumeWrite(r, "shardd.register")
+	defer wspan.End()
 	var changed bool
 	var err error
 	if s.WAL != nil {
 		s.walMu.Lock()
 		payload, perr := wal.EncodeRegister(items)
-		if werr := s.logBatch(wal.KindRegister, payload, perr); werr != nil {
+		wsp := telemetry.LeafSpan(ctx, "wal.append")
+		wsp.SetAttr("kind", "register")
+		werr := s.logBatch(wal.KindRegister, payload, perr)
+		wsp.End()
+		if werr != nil {
 			s.walMu.Unlock()
 			s.httpError(w, http.StatusInternalServerError, "wal append: %v", werr)
 			return
 		}
-		changed, err = l.RegisterItems(context.WithoutCancel(r.Context()), items)
+		changed, err = l.RegisterItems(ctx, items)
 		s.walMu.Unlock()
 	} else {
-		changed, err = l.RegisterItems(context.WithoutCancel(r.Context()), items)
+		changed, err = l.RegisterItems(ctx, items)
 	}
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "register: %v", err)
@@ -426,20 +521,26 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	// Detached for the same atomic-replication reason as handleRegister,
 	// and persisted before applied for the same ack-after-durable reason.
+	ctx, wspan := s.resumeWrite(r, "shardd.observe")
+	defer wspan.End()
 	var rep core.BatchReport
 	var err error
 	if s.WAL != nil {
 		s.walMu.Lock()
 		payload, perr := wal.EncodeObserve(batch)
-		if werr := s.logBatch(wal.KindObserve, payload, perr); werr != nil {
+		wsp := telemetry.LeafSpan(ctx, "wal.append")
+		wsp.SetAttr("kind", "observe")
+		werr := s.logBatch(wal.KindObserve, payload, perr)
+		wsp.End()
+		if werr != nil {
 			s.walMu.Unlock()
 			s.httpError(w, http.StatusInternalServerError, "wal append: %v", werr)
 			return
 		}
-		rep, err = l.ObserveBatch(context.WithoutCancel(r.Context()), batch)
+		rep, err = l.ObserveBatch(ctx, batch)
 		s.walMu.Unlock()
 	} else {
-		rep, err = l.ObserveBatch(context.WithoutCancel(r.Context()), batch)
+		rep, err = l.ObserveBatch(ctx, batch)
 	}
 	s.writeJSON(w, http.StatusOK, observeRespWire{reportWire: toReportWire(rep), Error: encodeErr(err)})
 }
@@ -454,6 +555,17 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&env); err != nil {
 		s.httpError(w, http.StatusBadRequest, "invalid envelope: %v", err)
 		return
+	}
+
+	// Resume the caller's trace when the envelope carries one: shard-side
+	// spans are retained locally AND shipped back on the terminal line.
+	ctx := r.Context()
+	var coll *telemetry.Collector
+	var sp *telemetry.Span
+	if env.Trace != "" {
+		ctx, coll = s.tracer.Resume(ctx, env.Trace)
+		ctx, sp = telemetry.StartSpan(ctx, "shardd.recommend")
+		sp.SetAttr("shard", strconv.Itoa(s.idx))
 	}
 
 	b := sigtree.NewBound()
@@ -516,7 +628,8 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 
-	res, rerr := l.Recommend(r.Context(), env.Item.model(), env.Options.options(), b)
+	res, rerr := l.Recommend(ctx, env.Item.model(), env.Options.options(), b)
+	sp.End()
 
 	close(stop)
 	pumps.Wait() // raise lines stop; the terminal line must be last
@@ -530,7 +643,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			enc.Encode(recLine{B: &v}) //nolint:errcheck
 		}
 	}
-	enc.Encode(recLine{Result: toResultWire(res), Err: encodeErr(rerr)}) //nolint:errcheck
+	enc.Encode(recLine{Result: toResultWire(res), Err: encodeErr(rerr), Spans: coll.Take()}) //nolint:errcheck
 	mu.Unlock()
 	if env.Stream {
 		// Join the inbound reader before ServeHTTP returns (reading r.Body

@@ -24,6 +24,7 @@ import (
 	"ssrec/internal/model"
 	"ssrec/internal/shard"
 	"ssrec/internal/sigtree"
+	"ssrec/internal/telemetry"
 	"ssrec/internal/wal"
 )
 
@@ -238,6 +239,10 @@ type recommendEnvelope struct {
 	Bound *float64 `json:"bound,omitempty"`
 	// Stream requests the full-duplex bound protocol.
 	Stream bool `json:"stream,omitempty"`
+	// Trace carries the caller's trace context ("<trace>-<span>", the
+	// X-Ssrec-Trace header form); empty when the request is untraced, so
+	// the wire stays byte-identical with telemetry off.
+	Trace string `json:"trace,omitempty"`
 }
 
 // recLine is one NDJSON line of the recommend exchange AFTER the envelope
@@ -253,6 +258,9 @@ type recLine struct {
 	B      *float64    `json:"b,omitempty"`
 	Result *resultWire `json:"result,omitempty"`
 	Err    *errWire    `json:"error,omitempty"`
+	// Spans returns the shard-side spans of a traced call on the
+	// terminal line; absent when the call was untraced.
+	Spans []telemetry.SpanData `json:"spans,omitempty"`
 }
 
 // qsAsk starts one query on a multiplexed query stream (POST
@@ -265,6 +273,9 @@ type qsAsk struct {
 	// Bound is the shared bound's value at dispatch time, omitted while
 	// -Inf.
 	Bound *float64 `json:"bound,omitempty"`
+	// Trace carries the caller's trace context for this query (the
+	// stream is shared, so propagation is per-ask, not per-request).
+	Trace string `json:"trace,omitempty"`
 }
 
 // qsLine is one NDJSON line of the multiplexed query-stream exchange, in
@@ -284,6 +295,9 @@ type qsLine struct {
 	Cancel bool        `json:"cancel,omitempty"`
 	Result *resultWire `json:"result,omitempty"`
 	Err    *errWire    `json:"error,omitempty"`
+	// Spans returns the shard-side spans of a traced query on its
+	// terminal line; absent when the ask was untraced.
+	Spans []telemetry.SpanData `json:"spans,omitempty"`
 }
 
 // recWire is one ranked entry.
@@ -512,6 +526,13 @@ func decodeErr(w *errWire) error {
 // errorBody is the JSON body of a non-2xx status.
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// traceRespWire is the GET /shard/v1/trace/{id} body: the spans this
+// shard retained for one distributed trace.
+type traceRespWire struct {
+	TraceID string               `json:"trace_id"`
+	Spans   []telemetry.SpanData `json:"spans"`
 }
 
 // unavailable wraps a transport-level failure of shard idx in the typed

@@ -1,0 +1,106 @@
+// histogram.go promotes internal/metrics.Histogram to a concurrent-safe
+// type by sharding: writers pick a shard round-robin (one atomic add +
+// one uncontended mutex in the common case), readers merge all shards
+// under their locks into one histogram before computing quantiles. The
+// underlying exponential-bucket histogram stays single-threaded and
+// allocation-free.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssrec/internal/metrics"
+)
+
+// histogramShards bounds writer contention. 8 shards keeps the merge
+// cheap (8 × 340 bucket adds per snapshot) while spreading hot routes
+// across enough locks that p99 recording never serialises the request
+// path.
+const histogramShards = 8
+
+type histogramShard struct {
+	mu sync.Mutex
+	h  metrics.Histogram
+	// pad spaces shards a cache line apart so two cores recording into
+	// neighbouring shards do not false-share.
+	_ [40]byte
+}
+
+// Histogram is a concurrency-safe exponential-bucket latency histogram.
+// Use NewHistogram (or Registry.Histogram); the zero value also works.
+type Histogram struct {
+	next   atomic.Uint64
+	shards [histogramShards]histogramShard
+}
+
+// NewHistogram returns an empty concurrent histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	s := &h.shards[h.next.Add(1)%histogramShards]
+	s.mu.Lock()
+	s.h.Record(d)
+	s.mu.Unlock()
+}
+
+// merged collects every shard into one plain histogram. Each shard is
+// locked only while it is copied; the merge sees each shard at some
+// point during the call (the usual weak consistency of concurrent
+// snapshots — counts never go backwards).
+func (h *Histogram) merged() metrics.Histogram {
+	var m metrics.Histogram
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		m.Merge(&s.h)
+		s.mu.Unlock()
+	}
+	return m
+}
+
+// Snapshot returns the merged headline statistics.
+func (h *Histogram) Snapshot() metrics.Snapshot {
+	m := h.merged()
+	return m.Snapshot()
+}
+
+// Sum returns the total of all recorded samples.
+func (h *Histogram) Sum() time.Duration {
+	var sum time.Duration
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		sum += s.h.Sum()
+		s.mu.Unlock()
+	}
+	return sum
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		n += s.h.Count()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Histogram) Max() time.Duration {
+	var max time.Duration
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		if m := s.h.Max(); m > max {
+			max = m
+		}
+		s.mu.Unlock()
+	}
+	return max
+}

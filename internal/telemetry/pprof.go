@@ -1,0 +1,71 @@
+// pprof.go is the profiling hook: a side-listener mux exposing the
+// standard net/http/pprof handlers plus an execution-trace capture
+// endpoint, deliberately OFF the serving listener — profiles are
+// operator tooling and must never share a port (or an auth story) with
+// the API surface. Daemons enable it with -pprof-addr.
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime/trace"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// PprofHandler returns the side-listener mux: the full /debug/pprof/*
+// family plus GET /debug/exectrace?sec=N, which streams a runtime
+// execution trace of the next N seconds (default 1, max 60). Execution
+// traces are whole-process and single-flight: a second capture while
+// one runs answers 409.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	var busy atomic.Bool
+	mux.HandleFunc("GET /debug/exectrace", func(w http.ResponseWriter, r *http.Request) {
+		sec := 1
+		if v := r.URL.Query().Get("sec"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 || n > 60 {
+				http.Error(w, "sec must be an integer in [1,60]", http.StatusBadRequest)
+				return
+			}
+			sec = n
+		}
+		if !busy.CompareAndSwap(false, true) {
+			http.Error(w, "an execution trace capture is already running", http.StatusConflict)
+			return
+		}
+		defer busy.Store(false)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="exectrace.out"`)
+		if err := trace.Start(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		select {
+		case <-time.After(time.Duration(sec) * time.Second):
+		case <-r.Context().Done():
+		}
+		trace.Stop()
+	})
+	return mux
+}
+
+// ServePprof starts the profiling side listener on addr and returns the
+// server (already serving in a goroutine). Errors after startup are
+// reported through errFn (may be nil).
+func ServePprof(addr string, errFn func(error)) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: PprofHandler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errFn != nil {
+			errFn(err)
+		}
+	}()
+	return srv
+}

@@ -1,0 +1,294 @@
+// Package telemetry is the fleet's observability substrate: a
+// dependency-free concurrent metrics registry with Prometheus
+// text-format exposition, lightweight request tracing propagated
+// through context.Context and the X-Ssrec-Trace header, and flag-gated
+// profiling hooks. It sits below every serving layer (server, shard,
+// shardrpc, wal) and above none of them — the package imports only the
+// standard library and internal/metrics, so any layer may instrument
+// itself without import cycles.
+//
+// Instrumentation is exactness-neutral by construction: counters and
+// spans observe the computation, they never participate in it. The
+// sigtree bound exchange, the top-k merge and every wire shape are
+// byte-identical whether telemetry is enabled or not.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, stored as a float64. The
+// zero value is ready to use; all methods are safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := floatBits(floatFrom(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return floatFrom(g.bits.Load()) }
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }
+
+// series is one labeled instance of a metric family. Exactly one of the
+// payload fields is set, matching the family's type.
+type series struct {
+	labels  string // canonical rendered label set, "" for none
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// family groups every labeled series of one metric name under a shared
+// help string and type.
+type family struct {
+	name string
+	help string
+	typ  string // "counter", "gauge", "summary"
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format 0.0.4. All methods are safe for concurrent use;
+// metric constructors are idempotent (same name + labels returns the
+// same instance).
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family returns (creating if needed) the named family, panicking on a
+// type conflict — mixing types under one name is a programming error
+// that would corrupt the exposition.
+func (r *Registry) family(name, help, typ string) *family {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		f = r.families[name]
+		if f == nil {
+			f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// Counter returns the counter for name + labels, creating it on first
+// use. Labels are alternating key, value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	f := r.family(name, help, "counter")
+	ls := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.series[ls]
+	if s == nil {
+		s = &series{labels: ls, counter: &Counter{}}
+		f.series[ls] = s
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge for name + labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	f := r.family(name, help, "gauge")
+	ls := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.series[ls]
+	if s == nil {
+		s = &series{labels: ls, gauge: &Gauge{}}
+		f.series[ls] = s
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a lazily evaluated gauge: fn is called at scrape
+// time. Useful for values another subsystem already tracks (index
+// sizes, WAL sequence numbers) — no double bookkeeping. Re-registering
+// the same name + labels replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	f := r.family(name, help, "gauge")
+	ls := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.series[ls] = &series{labels: ls, fn: fn}
+}
+
+// Histogram returns the latency histogram for name + labels, creating
+// it on first use. It is exposed as a Prometheus summary (quantiles
+// 0.5/0.95/0.99 + _sum + _count) — the 340 exponential buckets stay
+// internal, where they cost nothing per scrape.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	f := r.family(name, help, "summary")
+	ls := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.series[ls]
+	if s == nil {
+		s = &series{labels: ls, hist: NewHistogram()}
+		f.series[ls] = s
+	}
+	return s.hist
+}
+
+// renderLabels canonicalizes alternating key, value pairs into the
+// exposition form `k1="v1",k2="v2"` with keys sorted, so the same label
+// set always maps to the same series regardless of argument order.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("telemetry: odd label key/value list")
+	}
+	pairs := make([]string, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, kv[i]+`="`+escapeLabel(kv[i+1])+`"`)
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",")
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// WriteTo renders every family in Prometheus text exposition format
+// 0.0.4, deterministically ordered (families by name, series by label
+// string) so the output is golden-testable.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, k := range keys {
+			s := f.series[k]
+			switch {
+			case s.counter != nil:
+				fmt.Fprintf(&b, "%s %d\n", seriesName(f.name, s.labels), s.counter.Value())
+			case s.gauge != nil:
+				fmt.Fprintf(&b, "%s %s\n", seriesName(f.name, s.labels), formatFloat(s.gauge.Value()))
+			case s.fn != nil:
+				fmt.Fprintf(&b, "%s %s\n", seriesName(f.name, s.labels), formatFloat(s.fn()))
+			case s.hist != nil:
+				writeSummary(&b, f.name, s.labels, s.hist)
+			}
+		}
+		f.mu.Unlock()
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// writeSummary renders one histogram series as a Prometheus summary:
+// quantile-labeled lines in seconds plus _sum and _count.
+func writeSummary(b *strings.Builder, name, labels string, h *Histogram) {
+	snap := h.Snapshot()
+	sum := h.Sum()
+	for _, q := range [...]struct {
+		label string
+		d     time.Duration
+	}{{"0.5", snap.P50}, {"0.95", snap.P95}, {"0.99", snap.P99}} {
+		ql := `quantile="` + q.label + `"`
+		if labels != "" {
+			ql = labels + "," + ql
+		}
+		fmt.Fprintf(b, "%s{%s} %s\n", name, ql, formatFloat(q.d.Seconds()))
+	}
+	fmt.Fprintf(b, "%s %s\n", seriesName(name+"_sum", labels), formatFloat(sum.Seconds()))
+	fmt.Fprintf(b, "%s %d\n", seriesName(name+"_count", labels), snap.Count)
+}
+
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry at GET /metrics in text exposition
+// format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteTo(w)
+	})
+}

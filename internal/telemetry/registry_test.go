@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ssrec_requests_total", "Requests served.", "route", "POST /v2/recommend")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("ssrec_sessions_open", "Open session streams.")
+	g.Set(4)
+	g.Add(-1)
+	r.GaugeFunc("ssrec_users", "Indexed users.", func() float64 { return 42 })
+
+	var b strings.Builder
+	r.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP ssrec_requests_total Requests served.",
+		"# TYPE ssrec_requests_total counter",
+		`ssrec_requests_total{route="POST /v2/recommend"} 3`,
+		"# TYPE ssrec_sessions_open gauge",
+		"ssrec_sessions_open 3",
+		"ssrec_users 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryIdempotentAndDeterministic(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("ssrec_x_total", "", "k", "v")
+	b := r.Counter("ssrec_x_total", "", "k", "v")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	r.Counter("ssrec_b_total", "")
+	r.Counter("ssrec_a_total", "")
+	var s1, s2 strings.Builder
+	r.WriteTo(&s1)
+	r.WriteTo(&s2)
+	if s1.String() != s2.String() {
+		t.Fatal("exposition not deterministic")
+	}
+	if strings.Index(s1.String(), "ssrec_a_total") > strings.Index(s1.String(), "ssrec_b_total") {
+		t.Fatal("families not sorted by name")
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ssrec_latency_seconds", "Latency.", "route", "x")
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	var b strings.Builder
+	r.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ssrec_latency_seconds summary",
+		`ssrec_latency_seconds{route="x",quantile="0.5"}`,
+		`ssrec_latency_seconds{route="x",quantile="0.99"}`,
+		`ssrec_latency_seconds_sum{route="x"} 0.003`,
+		`ssrec_latency_seconds_count{route="x"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscapingAndOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ssrec_esc_total", "", "b", `quo"te`, "a", "back\\slash").Inc()
+	var b strings.Builder
+	r.WriteTo(&b)
+	if !strings.Contains(b.String(), `ssrec_esc_total{a="back\\slash",b="quo\"te"} 1`) {
+		t.Fatalf("label escaping/order wrong:\n%s", b.String())
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ssrec_dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type conflict did not panic")
+		}
+	}()
+	r.Gauge("ssrec_dup", "")
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ssrec_h_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "ssrec_h_total 1") {
+		t.Fatalf("body: %s", rec.Body.String())
+	}
+}
+
+// TestRegistryHammer drives every metric type from many goroutines
+// while scraping concurrently — the -race CI job runs this.
+func TestRegistryHammer(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("ssrec_hammer_total", "", "w", string(rune('a'+w%4))).Inc()
+				r.Gauge("ssrec_hammer_gauge", "").Add(1)
+				r.Histogram("ssrec_hammer_seconds", "").Observe(time.Duration(i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			r.WriteTo(&b)
+		}
+	}()
+	wg.Wait()
+	var total int64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("ssrec_hammer_total", "", "w", l).Value()
+	}
+	if total != workers*iters {
+		t.Fatalf("counter total = %d, want %d", total, workers*iters)
+	}
+	if n := r.Histogram("ssrec_hammer_seconds", "").Count(); n != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", n, workers*iters)
+	}
+}
+
+func TestConcurrentHistogramStats(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if want := 4 * 500500 * time.Microsecond; h.Sum() != want {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	snap := h.Snapshot()
+	if snap.P50 == 0 || snap.P99 < snap.P50 {
+		t.Fatalf("quantiles: %+v", snap)
+	}
+}

@@ -1,0 +1,634 @@
+// trace.go is the request-tracing half of the telemetry subsystem: a
+// trace is a tree of spans following one request through handler →
+// router scatter → RPC legs → sigtree search, propagated in-process via
+// context.Context and across processes via the X-Ssrec-Trace header (or
+// the trace field of the shard RPC stream protocols, which multiplex
+// many queries over one connection and cannot use per-request headers).
+//
+// The disabled path is engineered to be near-zero cost: StartSpan does
+// ONE context value lookup and returns a nil *Span when the request is
+// not being traced; every Span method is a nil-receiver no-op. No
+// allocation, no atomic, no clock read happens on an untraced request.
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader carries "<trace-id>-<parent-span-id>" across HTTP hops.
+const TraceHeader = "X-Ssrec-Trace"
+
+// SpanData is the immutable record of one finished span — also the wire
+// form shard RPC responses use to return remote spans to the caller.
+// Ids are uint64 in memory (cheap to mint, compare and hash on the hot
+// path) and render as fixed-width hex strings on the wire, matching the
+// X-Ssrec-Trace header form.
+type SpanData struct {
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64 // 0 = root
+	Name     string
+	StartNs  int64
+	DurNs    int64
+	Attrs    Attrs
+}
+
+// spanWire is the JSON form of SpanData.
+type spanWire struct {
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	StartNs  int64  `json:"start_unix_nano"`
+	DurNs    int64  `json:"duration_ns"`
+	Attrs    Attrs  `json:"attrs,omitempty"`
+}
+
+func (d SpanData) MarshalJSON() ([]byte, error) {
+	w := spanWire{TraceID: hex16(d.TraceID), SpanID: hex16(d.SpanID),
+		Name: d.Name, StartNs: d.StartNs, DurNs: d.DurNs, Attrs: d.Attrs}
+	if d.ParentID != 0 {
+		w.ParentID = hex16(d.ParentID)
+	}
+	return json.Marshal(w)
+}
+
+func (d *SpanData) UnmarshalJSON(b []byte) error {
+	var w spanWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	tid, err := strconv.ParseUint(w.TraceID, 16, 64)
+	if err != nil {
+		return fmt.Errorf("span trace_id %q: %w", w.TraceID, err)
+	}
+	sid, err := strconv.ParseUint(w.SpanID, 16, 64)
+	if err != nil {
+		return fmt.Errorf("span span_id %q: %w", w.SpanID, err)
+	}
+	var pid uint64
+	if w.ParentID != "" {
+		if pid, err = strconv.ParseUint(w.ParentID, 16, 64); err != nil {
+			return fmt.Errorf("span parent_id %q: %w", w.ParentID, err)
+		}
+	}
+	*d = SpanData{TraceID: tid, SpanID: sid, ParentID: pid,
+		Name: w.Name, StartNs: w.StartNs, DurNs: w.DurNs, Attrs: w.Attrs}
+	return nil
+}
+
+// Attr is one span annotation.
+type Attr struct {
+	K string
+	V string
+}
+
+// Attrs is a small ordered annotation list. Spans carry at most a
+// handful of attrs, so a slice beats a map on the hot path (one
+// allocation, no hashing); on the wire and in trace fetches it still
+// marshals as the {"key":"value"} JSON object.
+type Attrs []Attr
+
+// Get returns the value of key k, or "".
+func (a Attrs) Get(k string) string {
+	for _, kv := range a {
+		if kv.K == k {
+			return kv.V
+		}
+	}
+	return ""
+}
+
+// MarshalJSON renders the list as a JSON object (keys sorted by
+// encoding/json's map ordering — deterministic).
+func (a Attrs) MarshalJSON() ([]byte, error) {
+	m := make(map[string]string, len(a))
+	for _, kv := range a {
+		m[kv.K] = kv.V
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON accepts the object form, sorted by key.
+func (a *Attrs) UnmarshalJSON(b []byte) error {
+	var m map[string]string
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	out := make(Attrs, 0, len(m))
+	for k, v := range m {
+		out = append(out, Attr{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
+	*a = out
+	return nil
+}
+
+// Span is one in-flight timed operation. A nil Span is the "not
+// tracing" case and every method no-ops on it.
+type Span struct {
+	tracer    *Tracer
+	collector *Collector
+	start     time.Time
+	child     active // the context value for child spans; inlined to keep StartSpan at one allocation
+	pooled    bool   // LeafSpan spans return to leafPool at End
+	done      bool   // End already ran (guards double-End on pooled spans)
+	mu        sync.Mutex
+	data      SpanData
+}
+
+// SetAttr attaches a key/value annotation to the span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.data.Attrs {
+		if s.data.Attrs[i].K == k {
+			s.data.Attrs[i].V = v
+			s.mu.Unlock()
+			return
+		}
+	}
+	if s.data.Attrs == nil {
+		s.data.Attrs = make(Attrs, 0, 4)
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{k, v})
+	s.mu.Unlock()
+}
+
+// End finishes the span and records it into the tracer's buffer (and
+// the request's collector, when one is attached).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	s.data.DurNs = time.Since(s.start).Nanoseconds()
+	data := s.data
+	pooled := s.pooled
+	s.mu.Unlock()
+	if s.collector != nil {
+		s.collector.add(data)
+	}
+	if s.tracer != nil {
+		s.tracer.record(data)
+	}
+	if pooled {
+		s.tracer, s.collector = nil, nil
+		s.data = SpanData{} // drop the Attrs reference; the recorded copy keeps it
+		s.pooled, s.done = false, false
+		leafPool.Put(s)
+	}
+}
+
+// Collector accumulates the spans one request produced in this process,
+// so a shard RPC handler can return exactly its own spans on the
+// terminal wire line (the tracer's per-trace buffer may hold spans of
+// other asks sharing the trace).
+type Collector struct {
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+func (c *Collector) add(d SpanData) {
+	c.mu.Lock()
+	c.spans = append(c.spans, d)
+	c.mu.Unlock()
+}
+
+// Take returns the collected spans (nil when none).
+func (c *Collector) Take() []SpanData {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.spans
+	c.spans = nil
+	return out
+}
+
+// active is the per-request trace state carried by context.Context.
+type active struct {
+	tracer    *Tracer
+	collector *Collector
+	traceID   uint64
+	spanID    uint64 // parent of the next child span
+}
+
+type ctxKey struct{}
+
+// StartSpan opens a child span under the context's active trace. When
+// the request is not traced it returns the context unchanged and a nil
+// Span — the single ctx.Value lookup is the entire disabled-path cost.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil {
+		return ctx, nil
+	}
+	a, _ := ctx.Value(ctxKey{}).(*active)
+	if a == nil {
+		return ctx, nil
+	}
+	now := time.Now()
+	sp := &Span{
+		tracer:    a.tracer,
+		collector: a.collector,
+		start:     now,
+		data: SpanData{
+			TraceID:  a.traceID,
+			SpanID:   nextSpanID(),
+			ParentID: a.spanID,
+			Name:     name,
+			StartNs:  now.UnixNano(),
+		},
+	}
+	sp.child = active{tracer: a.tracer, collector: a.collector, traceID: a.traceID, spanID: sp.data.SpanID}
+	return context.WithValue(ctx, ctxKey{}, &sp.child), sp
+}
+
+// leafPool recycles LeafSpan spans: unlike StartSpan spans, no context
+// ever references them, so once End runs nothing can reach the struct.
+var leafPool = sync.Pool{New: func() any { return new(Span) }}
+
+// LeafSpan opens a child span that will never have children of its own:
+// it skips the context derivation StartSpan pays and recycles the Span
+// struct, so instrumenting a leaf operation (a sigtree search, a WAL
+// append) is nearly allocation-free. Returns nil when the request is
+// not traced. The span must not be touched after End.
+func LeafSpan(ctx context.Context, name string) *Span {
+	if ctx == nil {
+		return nil
+	}
+	a, _ := ctx.Value(ctxKey{}).(*active)
+	if a == nil {
+		return nil
+	}
+	now := time.Now()
+	sp := leafPool.Get().(*Span)
+	sp.tracer, sp.collector, sp.start, sp.pooled = a.tracer, a.collector, now, true
+	sp.data = SpanData{
+		TraceID:  a.traceID,
+		SpanID:   nextSpanID(),
+		ParentID: a.spanID,
+		Name:     name,
+		StartNs:  now.UnixNano(),
+	}
+	return sp
+}
+
+// HeaderValue renders the context's active trace as the X-Ssrec-Trace
+// header value ("<trace-id>-<span-id>"), or "" when not tracing.
+func HeaderValue(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	a, _ := ctx.Value(ctxKey{}).(*active)
+	if a == nil {
+		return ""
+	}
+	return hex16(a.traceID) + "-" + hex16(a.spanID)
+}
+
+// TraceID returns the context's active trace id, or "".
+func TraceID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	a, _ := ctx.Value(ctxKey{}).(*active)
+	if a == nil {
+		return ""
+	}
+	return hex16(a.traceID)
+}
+
+// ImportSpans records remotely produced spans (returned on a shard RPC
+// terminal line) into the context's tracer, deduplicating by span id so
+// retried or duplicated deliveries cannot double-count.
+func ImportSpans(ctx context.Context, spans []SpanData) {
+	if len(spans) == 0 {
+		return
+	}
+	a, _ := ctx.Value(ctxKey{}).(*active)
+	if a == nil || a.tracer == nil {
+		return
+	}
+	for _, sp := range spans {
+		a.tracer.insert(sp, true)
+	}
+}
+
+// Tracer buffers finished spans per trace id, bounded in both
+// dimensions: at most MaxTraces traces (FIFO eviction) of at most
+// MaxSpans spans each (excess dropped). All methods are safe for
+// concurrent use.
+type Tracer struct {
+	// MaxTraces bounds the number of retained traces (default 256).
+	MaxTraces int
+	// MaxSpans bounds the spans kept per trace (default 512).
+	MaxSpans int
+	// SlowThreshold, when > 0, emits the full span tree of any root
+	// span at least this slow to SlowWriter.
+	SlowThreshold time.Duration
+	// SlowWriter receives slow-query reports (required for
+	// SlowThreshold to have effect).
+	SlowWriter io.Writer
+
+	mu     sync.Mutex
+	traces map[uint64]*traceEntry
+	order  []uint64 // FIFO eviction order
+}
+
+type traceEntry struct {
+	spans   []SpanData
+	inline  [2]SpanData         // backing for the first spans; most traces are tiny
+	seen    map[uint64]struct{} // imported span ids only; nil until the first import
+	dropped int
+}
+
+// NewTracer returns a tracer with default bounds.
+func NewTracer() *Tracer {
+	return &Tracer{MaxTraces: 256, MaxSpans: 512, traces: make(map[uint64]*traceEntry)}
+}
+
+// StartRequest opens a root span for one request. header is the
+// incoming X-Ssrec-Trace value: when set, the trace id and parent span
+// id are resumed from it (the request joins a caller's trace); when
+// empty a fresh trace id is minted. The returned context carries the
+// active trace for StartSpan.
+func (t *Tracer) StartRequest(ctx context.Context, name, header string) (context.Context, *Span) {
+	traceID, parent := parseHeader(header)
+	if traceID == 0 {
+		traceID = newTraceID()
+	}
+	now := time.Now()
+	sp := &Span{
+		tracer: t,
+		start:  now,
+		data: SpanData{
+			TraceID:  traceID,
+			SpanID:   nextSpanID(),
+			ParentID: parent,
+			Name:     name,
+			StartNs:  now.UnixNano(),
+		},
+	}
+	sp.child = active{tracer: t, traceID: traceID, spanID: sp.data.SpanID}
+	return context.WithValue(ctx, ctxKey{}, &sp.child), sp
+}
+
+// Resume installs a remote caller's trace (from a header or stream
+// field) into ctx WITHOUT opening a span, attaching a fresh Collector
+// so the handler can return exactly the spans this request produced.
+// When header is empty the context is returned unchanged with a nil
+// Collector.
+func (t *Tracer) Resume(ctx context.Context, header string) (context.Context, *Collector) {
+	traceID, parent := parseHeader(header)
+	if traceID == 0 {
+		return ctx, nil
+	}
+	r := &struct {
+		coll Collector
+		act  active
+	}{}
+	r.act = active{tracer: t, collector: &r.coll, traceID: traceID, spanID: parent}
+	return context.WithValue(ctx, ctxKey{}, &r.act), &r.coll
+}
+
+// record buffers one locally finished span, evicting the oldest trace
+// when the trace bound is exceeded and dropping spans beyond the
+// per-trace bound.
+func (t *Tracer) record(d SpanData) {
+	t.insert(d, false)
+}
+
+// insert is the shared buffering path. dedup is set for imported remote
+// spans, whose terminal lines may be delivered more than once; locally
+// finished spans carry process-unique counter ids and skip the check,
+// so the per-trace seen map is only ever allocated on the import path.
+func (t *Tracer) insert(d SpanData, dedup bool) {
+	maxTraces := t.MaxTraces
+	if maxTraces <= 0 {
+		maxTraces = 256
+	}
+	maxSpans := t.MaxSpans
+	if maxSpans <= 0 {
+		maxSpans = 512
+	}
+	t.mu.Lock()
+	if t.traces == nil {
+		t.traces = make(map[uint64]*traceEntry)
+	}
+	e := t.traces[d.TraceID]
+	if e == nil {
+		for len(t.order) >= maxTraces {
+			oldest := t.order[0]
+			t.order = t.order[1:]
+			// Recycle the evicted entry: at steady state every new trace
+			// evicts one, so the tracer allocates no entries at all.
+			e = t.traces[oldest]
+			delete(t.traces, oldest)
+		}
+		if e == nil {
+			e = &traceEntry{}
+		} else {
+			e.seen = nil
+			e.dropped = 0
+		}
+		e.spans = e.inline[:0]
+		t.traces[d.TraceID] = e
+		t.order = append(t.order, d.TraceID)
+	}
+	if dedup {
+		if _, dup := e.seen[d.SpanID]; dup {
+			t.mu.Unlock()
+			return
+		}
+		if e.seen == nil {
+			e.seen = make(map[uint64]struct{}, 8)
+		}
+		e.seen[d.SpanID] = struct{}{}
+	}
+	if len(e.spans) >= maxSpans {
+		e.dropped++
+		t.mu.Unlock()
+		return
+	}
+	e.spans = append(e.spans, d)
+	// The entry (and its inline backing) can be recycled the moment the
+	// lock drops, so the slow-query report must copy while still holding
+	// it — a cost only slow traces pay.
+	var slowSpans []SpanData
+	if d.ParentID == 0 && t.SlowThreshold > 0 && t.SlowWriter != nil &&
+		time.Duration(d.DurNs) >= t.SlowThreshold {
+		slowSpans = append([]SpanData(nil), e.spans...)
+	}
+	t.mu.Unlock()
+
+	if slowSpans != nil {
+		t.writeSlow(d, slowSpans)
+	}
+}
+
+// Trace returns the buffered spans of one trace (nil when unknown).
+// The id is the hex string form used by headers and the trace API.
+func (t *Tracer) Trace(id string) []SpanData {
+	n, err := strconv.ParseUint(id, 16, 64)
+	if err != nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.traces[n]
+	if e == nil {
+		return nil
+	}
+	return append([]SpanData(nil), e.spans...)
+}
+
+// writeSlow renders the full span tree of a slow request as an
+// indented text block — the slow-query log.
+func (t *Tracer) writeSlow(root SpanData, spans []SpanData) {
+	fmt.Fprintf(t.SlowWriter, "SLOW trace=%s %s took %v\n%s",
+		hex16(root.TraceID), root.Name, time.Duration(root.DurNs), FormatTree(spans))
+}
+
+// FormatTree renders a trace's spans as an indented tree rooted at the
+// parentless spans, for slow-query logs and debugging.
+func FormatTree(spans []SpanData) string {
+	var b strings.Builder
+	byStart := append([]SpanData(nil), spans...)
+	sort.Slice(byStart, func(i, j int) bool { return byStart[i].StartNs < byStart[j].StartNs })
+	for _, sp := range byStart {
+		if sp.ParentID == 0 || !hasSpan(byStart, sp.ParentID) {
+			b.WriteString(formatSpanLine(sp, 0))
+			writeTree(&b, byStart, sp.SpanID, 1)
+		}
+	}
+	return b.String()
+}
+
+func hasSpan(spans []SpanData, id uint64) bool {
+	for _, sp := range spans {
+		if sp.SpanID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func writeTree(b *strings.Builder, spans []SpanData, parent uint64, depth int) {
+	for _, sp := range spans {
+		if sp.ParentID == parent {
+			b.WriteString(formatSpanLine(sp, depth))
+			writeTree(b, spans, sp.SpanID, depth+1)
+		}
+	}
+}
+
+func formatSpanLine(sp SpanData, depth int) string {
+	var attrs string
+	if len(sp.Attrs) > 0 {
+		kvs := append(Attrs(nil), sp.Attrs...)
+		sort.Slice(kvs, func(i, j int) bool { return kvs[i].K < kvs[j].K })
+		parts := make([]string, len(kvs))
+		for i, kv := range kvs {
+			parts[i] = kv.K + "=" + kv.V
+		}
+		attrs = " {" + strings.Join(parts, " ") + "}"
+	}
+	return fmt.Sprintf("%s%s %v%s\n", strings.Repeat("  ", depth), sp.Name, time.Duration(sp.DurNs), attrs)
+}
+
+// parseHeader parses "<trace-id>-<span-id>" (fixed-width hex); a bare
+// trace id (no dash) is accepted with a zero parent. Malformed headers
+// parse as (0, 0) — the request is simply not traced.
+func parseHeader(h string) (traceID, spanID uint64) {
+	if h == "" {
+		return 0, 0
+	}
+	tp, sp := h, ""
+	if i := strings.LastIndexByte(h, '-'); i >= 0 {
+		tp, sp = h[:i], h[i+1:]
+	}
+	traceID, err := strconv.ParseUint(tp, 16, 64)
+	if err != nil {
+		return 0, 0
+	}
+	if sp != "" {
+		if spanID, err = strconv.ParseUint(sp, 16, 64); err != nil {
+			return 0, 0
+		}
+	}
+	return traceID, spanID
+}
+
+// Span ids must be unique across every process of the fleet (the caller
+// merges remote spans into one tree). Each process draws a random
+// 64-bit base at startup and appends an atomic counter — collisions
+// between two processes inside one trace are vanishingly unlikely.
+var (
+	spanBase     = randUint64()
+	spanCounter  atomic.Uint64
+	traceBase    = randUint64()
+	traceCounter atomic.Uint64
+)
+
+const hexDigits = "0123456789abcdef"
+
+// hex16 is fmt.Sprintf("%016x", v) without the fmt machinery: one
+// string allocation, no reflection — span ids are minted on every
+// traced operation.
+func hex16(v uint64) string {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// nextSpanID mints a nonzero process-unique span id (0 means "root" in
+// ParentID fields, so it is never issued).
+func nextSpanID() uint64 {
+	for {
+		if v := spanBase + spanCounter.Add(1); v != 0 {
+			return v
+		}
+	}
+}
+
+// newTraceID mints a nonzero process-unique trace id from a random
+// startup base and a counter scrambled by an odd multiplier (a
+// bijection on uint64), keeping crypto/rand off the per-request path.
+func newTraceID() uint64 {
+	for {
+		if v := traceBase ^ (traceCounter.Add(1) * 0x9e3779b97f4a7c15); v != 0 {
+			return v
+		}
+	}
+}
+
+func randUint64() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano())
+	}
+	return binary.BigEndian.Uint64(b[:])
+}

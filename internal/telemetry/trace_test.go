@@ -1,0 +1,298 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartSpanWithoutTraceIsNil(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("untraced context produced a span")
+	}
+	// Every method must no-op on the nil span.
+	sp.SetAttr("k", "v")
+	sp.End()
+	if HeaderValue(ctx) != "" || TraceID(ctx) != "" {
+		t.Fatal("untraced context has trace identity")
+	}
+}
+
+func TestRequestSpanTree(t *testing.T) {
+	tr := NewTracer()
+	ctx, root := tr.StartRequest(context.Background(), "http.request", "")
+	id := TraceID(ctx)
+	if id == "" {
+		t.Fatal("no trace id")
+	}
+	ctx2, child := StartSpan(ctx, "router.scatter")
+	_, leaf := StartSpan(ctx2, "sigtree.search")
+	leaf.SetAttr("shard", "0")
+	leaf.End()
+	child.End()
+	root.End()
+
+	spans := tr.Trace(id)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, sp := range spans {
+		if hex16(sp.TraceID) != id {
+			t.Fatalf("span %q has trace %q, want %q", sp.Name, hex16(sp.TraceID), id)
+		}
+		byName[sp.Name] = sp
+	}
+	if byName["http.request"].ParentID != 0 {
+		t.Fatal("root has a parent")
+	}
+	if byName["router.scatter"].ParentID != byName["http.request"].SpanID {
+		t.Fatal("scatter not parented under root")
+	}
+	if byName["sigtree.search"].ParentID != byName["router.scatter"].SpanID {
+		t.Fatal("search not parented under scatter")
+	}
+	if byName["sigtree.search"].Attrs.Get("shard") != "0" {
+		t.Fatal("attr lost")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	ctx, root := tr.StartRequest(context.Background(), "root", "")
+	hv := HeaderValue(ctx)
+	if hv == "" || !strings.Contains(hv, "-") {
+		t.Fatalf("header value %q", hv)
+	}
+
+	// The remote side resumes from the header: same trace id, spans
+	// parented under the caller's span, collected for the wire.
+	remote := NewTracer()
+	rctx, coll := remote.Resume(context.Background(), hv)
+	if TraceID(rctx) != TraceID(ctx) {
+		t.Fatal("trace id not propagated")
+	}
+	_, rsp := StartSpan(rctx, "shardd.recommend")
+	rsp.End()
+	root.End()
+
+	got := coll.Take()
+	if len(got) != 1 || got[0].Name != "shardd.recommend" {
+		t.Fatalf("collector: %+v", got)
+	}
+	if hex16(got[0].TraceID) != TraceID(ctx) {
+		t.Fatal("collected span has wrong trace")
+	}
+	wantParent := strings.TrimPrefix(hv, TraceID(ctx)+"-")
+	if hex16(got[0].ParentID) != wantParent {
+		t.Fatalf("parent = %q, want %q", hex16(got[0].ParentID), wantParent)
+	}
+	// The remote tracer also buffered it locally.
+	if len(remote.Trace(TraceID(ctx))) != 1 {
+		t.Fatal("remote tracer did not record")
+	}
+}
+
+func TestImportSpansDedup(t *testing.T) {
+	tr := NewTracer()
+	ctx, root := tr.StartRequest(context.Background(), "root", "")
+	id := TraceID(ctx)
+	remote := SpanData{TraceID: mustID(t, id), SpanID: 0xabc, Name: "remote"}
+	ImportSpans(ctx, []SpanData{remote})
+	ImportSpans(ctx, []SpanData{remote}) // duplicate delivery
+	root.End()
+	if got := len(tr.Trace(id)); got != 2 {
+		t.Fatalf("got %d spans, want 2 (root + one remote)", got)
+	}
+}
+
+func TestTracerBounds(t *testing.T) {
+	tr := &Tracer{MaxTraces: 2, MaxSpans: 3}
+	ids := []string{}
+	for i := 0; i < 4; i++ {
+		ctx, root := tr.StartRequest(context.Background(), "r", "")
+		ids = append(ids, TraceID(ctx))
+		for j := 0; j < 5; j++ {
+			_, sp := StartSpan(ctx, "child")
+			sp.End()
+		}
+		root.End()
+	}
+	// Only the 2 newest traces survive FIFO eviction.
+	if tr.Trace(ids[0]) != nil || tr.Trace(ids[1]) != nil {
+		t.Fatal("old traces not evicted")
+	}
+	for _, id := range ids[2:] {
+		spans := tr.Trace(id)
+		if spans == nil {
+			t.Fatalf("trace %s evicted", id)
+		}
+		if len(spans) > 3 {
+			t.Fatalf("trace %s kept %d spans, cap 3", id, len(spans))
+		}
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	tr := NewTracer()
+	tr.SlowThreshold = time.Nanosecond
+	tr.SlowWriter = w
+	ctx, root := tr.StartRequest(context.Background(), "http.request", "")
+	_, sp := StartSpan(ctx, "router.scatter")
+	sp.End()
+	time.Sleep(time.Millisecond)
+	root.End()
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "SLOW trace=") || !strings.Contains(out, "router.scatter") {
+		t.Fatalf("slow log: %q", out)
+	}
+
+	// Under threshold: nothing logged.
+	tr2 := NewTracer()
+	tr2.SlowThreshold = time.Hour
+	tr2.SlowWriter = w
+	_, r2 := tr2.StartRequest(context.Background(), "fast", "")
+	r2.End()
+	mu.Lock()
+	out2 := buf.String()
+	mu.Unlock()
+	if strings.Contains(out2, "fast") {
+		t.Fatal("fast request hit the slow log")
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestFormatTree(t *testing.T) {
+	spans := []SpanData{
+		{SpanID: 1, Name: "root", StartNs: 1, DurNs: 100},
+		{SpanID: 2, ParentID: 1, Name: "child", StartNs: 2, DurNs: 50, Attrs: Attrs{{K: "shard", V: "1"}}},
+	}
+	out := FormatTree(spans)
+	if !strings.Contains(out, "root") || !strings.Contains(out, "  child") || !strings.Contains(out, "{shard=1}") {
+		t.Fatalf("tree:\n%s", out)
+	}
+}
+
+// TestTracerHammer exercises concurrent span production, import and
+// fetch under -race.
+func TestTracerHammer(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, root := tr.StartRequest(context.Background(), "r", "")
+				_, sp := StartSpan(ctx, "child")
+				sp.SetAttr("i", "x")
+				sp.End()
+				ImportSpans(ctx, []SpanData{{TraceID: mustID(t, TraceID(ctx)), SpanID: nextSpanID(), Name: "remote"}})
+				root.End()
+				tr.Trace(TraceID(ctx))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mustID parses the hex trace-id form the public API exposes.
+func mustID(t testing.TB, id string) uint64 {
+	t.Helper()
+	n, err := strconv.ParseUint(id, 16, 64)
+	if err != nil {
+		t.Fatalf("bad trace id %q: %v", id, err)
+	}
+	return n
+}
+
+func TestParseHeader(t *testing.T) {
+	for _, tc := range []struct {
+		in         string
+		trace, spn uint64
+	}{
+		{"", 0, 0},
+		{"abc-def", 0xabc, 0xdef},
+		{"abc", 0xabc, 0},
+		{"00000000000000ff-0000000000000001", 0xff, 1},
+		{"not-hex", 0, 0}, // malformed → untraced
+		{"a-b-c", 0, 0},   // "a-b" is not a hex trace id
+		{"zz", 0, 0},      // bare malformed id
+	} {
+		tr, sp := parseHeader(tc.in)
+		if tr != tc.trace || sp != tc.spn {
+			t.Fatalf("parseHeader(%q) = %x,%x want %x,%x", tc.in, tr, sp, tc.trace, tc.spn)
+		}
+	}
+}
+
+// TestSpanDataWireRoundTrip pins the JSON wire form: hex-string ids,
+// parent omitted on roots, attrs as an object.
+func TestSpanDataWireRoundTrip(t *testing.T) {
+	in := SpanData{TraceID: 0xff, SpanID: 2, ParentID: 1, Name: "x",
+		StartNs: 5, DurNs: 7, Attrs: Attrs{{K: "k", V: "v"}}}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"trace_id":"00000000000000ff"`, `"span_id":"0000000000000002"`,
+		`"parent_id":"0000000000000001"`, `"attrs":{"k":"v"}`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("wire %s misses %s", s, want)
+		}
+	}
+	var out SpanData
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != in.TraceID || out.SpanID != in.SpanID || out.ParentID != in.ParentID ||
+		out.Attrs.Get("k") != "v" {
+		t.Fatalf("round trip: %+v", out)
+	}
+	// Roots omit parent_id entirely.
+	rb, err := json.Marshal(SpanData{TraceID: 1, SpanID: 2, Name: "root"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(rb), "parent_id") {
+		t.Errorf("root span encodes parent_id: %s", rb)
+	}
+}
+
+func BenchmarkStartSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "x")
+		sp.End()
+	}
+}
+
+func BenchmarkStartSpanEnabled(b *testing.B) {
+	tr := NewTracer()
+	ctx, root := tr.StartRequest(context.Background(), "root", "")
+	defer root.End()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "x")
+		sp.End()
+	}
+}
